@@ -1,0 +1,182 @@
+// Figure 1: the JCF 3.0 information architecture. The report
+// instantiates every entity/relation of the figure and prints the
+// resulting object census; the micro-benchmarks time the metadata
+// operations the paper calls "sufficiently high" in performance (s3.6).
+
+#include "bench_util.hpp"
+#include "jfm/jcf/framework.hpp"
+
+namespace {
+
+using namespace jfm;
+
+void print_report() {
+  benchutil::header("Figure 1: JCF 3.0 information architecture (instantiated)");
+  support::SimClock clock;
+  jcf::JcfFramework jcf(&clock);
+
+  // resources (metadata, administrator-defined)
+  auto user = *jcf.create_user("designer1");
+  auto user2 = *jcf.create_user("designer2");
+  auto team = *jcf.create_team("team_a");
+  (void)jcf.add_member(team, user);
+  (void)jcf.add_member(team, user2);
+  auto tool = *jcf.register_tool("schematic_entry");
+  auto vt_sch = *jcf.create_viewtype("schematic");
+  auto vt_sim = *jcf.create_viewtype("simulate");
+  auto enter = *jcf.create_activity("enter", tool, {}, {vt_sch});
+  auto simulate = *jcf.create_activity("simulate", tool, {vt_sch}, {vt_sim});
+  auto flow = *jcf.create_flow("flow1", {enter, simulate});
+  (void)jcf.add_precedence(flow, enter, simulate);
+  (void)jcf.freeze_flow(flow);
+
+  // project structure: Project - Cell - CellVersion - Variant -
+  // DesignObject - DesignObjectVersion, plus CompOf / precedes /
+  // derived / equivalent / configurations
+  auto project = *jcf.create_project("project1", team);
+  auto cell = *jcf.create_cell(project, "alu", flow, team);
+  auto child_cell = *jcf.create_cell(project, "adder", flow, team);
+  auto cv1 = *jcf.create_cell_version(cell, user);
+  auto cv2 = *jcf.create_cell_version(cell, user);
+  auto child_cv = *jcf.create_cell_version(child_cell, user);
+  (void)jcf.add_child(cv2, child_cv);  // CompOf hierarchy
+  (void)jcf.reserve(cv2, user);
+  auto variant = *jcf.create_variant(cv2, "variant1", user);
+  auto variant2 = *jcf.create_variant(cv2, "variant2", user);
+  auto dobj = *jcf.create_design_object(variant, "schematic", vt_sch, user);
+  auto dov1 = *jcf.create_dov(dobj, "netlist rev 1", user);
+  auto dov2 = *jcf.create_dov(dobj, "netlist rev 2", user);
+  auto sim_obj = *jcf.create_design_object(variant, "waves", vt_sim, user);
+  auto exec = *jcf.start_activity(variant, enter, user);
+  (void)jcf.complete_activity(exec, {dov2});
+  auto exec2 = *jcf.start_activity(variant, simulate, user);
+  auto sim_dov = *jcf.create_dov(sim_obj, "waveforms", user);
+  (void)jcf.complete_activity(exec2, {sim_dov});  // Needs/Creates + derived
+  (void)jcf.set_equivalent(dov1, dov2);
+  auto config = *jcf.create_config(cv2, "golden");
+  (void)jcf.add_config_member(config, dov2);
+  (void)jcf.add_config_member(config, sim_dov);
+  (void)jcf.publish(cv2, user);
+  (void)variant2;
+  (void)cv1;
+
+  const auto& store = jcf.store();
+  for (const char* cls :
+       {"User", "Team", "Tool", "ViewType", "Activity", "Flow", "Project", "Cell",
+        "CellVersion", "Variant", "DesignObject", "DesignObjectVersion", "Configuration",
+        "ActivityExecution"}) {
+    benchutil::row(std::string(cls) + ": " + std::to_string(store.objects_of(cls).size()) +
+                   " object(s)");
+  }
+  benchutil::row("derived relations recorded: " +
+                 std::to_string(jcf.derivation_sources(sim_dov)->size()) + " (simulate <- schematic)");
+  benchutil::row("CompOf children of alu v2: " + std::to_string(jcf.children(cv2)->size()));
+  benchutil::row("total OMS objects: " + std::to_string(store.object_count()));
+}
+
+// ---- metadata operation micro-benchmarks --------------------------------
+
+struct JcfFixture {
+  JcfFixture() : jcf(&clock) {
+    user = *jcf.create_user("u");
+    team = *jcf.create_team("t");
+    (void)jcf.add_member(team, user);
+    auto tool = *jcf.register_tool("tl");
+    vt = *jcf.create_viewtype("v");
+    auto act = *jcf.create_activity("a", tool, {}, {vt});
+    flow = *jcf.create_flow("f", {act});
+    (void)jcf.freeze_flow(flow);
+    project = *jcf.create_project("p", team);
+  }
+  support::SimClock clock;
+  jcf::JcfFramework jcf;
+  jcf::UserRef user;
+  jcf::TeamRef team;
+  jcf::ViewTypeRef vt;
+  jcf::FlowRef flow;
+  jcf::ProjectRef project;
+};
+
+void BM_CreateCell(benchmark::State& state) {
+  JcfFixture fx;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    auto cell = fx.jcf.create_cell(fx.project, "cell" + std::to_string(n++), fx.flow, fx.team);
+    benchmark::DoNotOptimize(cell);
+  }
+}
+BENCHMARK(BM_CreateCell)->Unit(benchmark::kMicrosecond);
+
+void BM_CreateCellVersion(benchmark::State& state) {
+  JcfFixture fx;
+  auto cell = *fx.jcf.create_cell(fx.project, "c", fx.flow, fx.team);
+  for (auto _ : state) {
+    auto cv = fx.jcf.create_cell_version(cell, fx.user);
+    benchmark::DoNotOptimize(cv);
+  }
+}
+BENCHMARK(BM_CreateCellVersion)->Unit(benchmark::kMicrosecond);
+
+void BM_CreateVariantAndDesignObject(benchmark::State& state) {
+  JcfFixture fx;
+  auto cell = *fx.jcf.create_cell(fx.project, "c", fx.flow, fx.team);
+  auto cv = *fx.jcf.create_cell_version(cell, fx.user);
+  (void)fx.jcf.reserve(cv, fx.user);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    auto variant = *fx.jcf.create_variant(cv, "var" + std::to_string(n++), fx.user);
+    auto dobj = fx.jcf.create_design_object(variant, "d", fx.vt, fx.user);
+    benchmark::DoNotOptimize(dobj);
+  }
+}
+BENCHMARK(BM_CreateVariantAndDesignObject)->Unit(benchmark::kMicrosecond);
+
+void BM_WorkspaceReservePublish(benchmark::State& state) {
+  JcfFixture fx;
+  auto cell = *fx.jcf.create_cell(fx.project, "c", fx.flow, fx.team);
+  auto cv = *fx.jcf.create_cell_version(cell, fx.user);
+  for (auto _ : state) {
+    (void)fx.jcf.reserve(cv, fx.user);
+    (void)fx.jcf.publish(cv, fx.user);
+  }
+}
+BENCHMARK(BM_WorkspaceReservePublish)->Unit(benchmark::kMicrosecond);
+
+void BM_ConfigMembership(benchmark::State& state) {
+  JcfFixture fx;
+  auto cell = *fx.jcf.create_cell(fx.project, "c", fx.flow, fx.team);
+  auto cv = *fx.jcf.create_cell_version(cell, fx.user);
+  (void)fx.jcf.reserve(cv, fx.user);
+  auto variant = *fx.jcf.create_variant(cv, "w", fx.user);
+  auto dobj = *fx.jcf.create_design_object(variant, "d", fx.vt, fx.user);
+  auto dov = *fx.jcf.create_dov(dobj, "data", fx.user);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    auto config = *fx.jcf.create_config(cv, "cfg" + std::to_string(n++));
+    (void)fx.jcf.add_config_member(config, dov);
+  }
+}
+BENCHMARK(BM_ConfigMembership)->Unit(benchmark::kMicrosecond);
+
+void BM_ConsistencySweep(benchmark::State& state) {
+  JcfFixture fx;
+  for (int c = 0; c < state.range(0); ++c) {
+    auto cell = *fx.jcf.create_cell(fx.project, "c" + std::to_string(c), fx.flow, fx.team);
+    auto cv = *fx.jcf.create_cell_version(cell, fx.user);
+    (void)fx.jcf.reserve(cv, fx.user);
+    auto variant = *fx.jcf.create_variant(cv, "w", fx.user);
+    auto dobj = *fx.jcf.create_design_object(variant, "d", fx.vt, fx.user);
+    (void)*fx.jcf.create_dov(dobj, "data", fx.user);
+    (void)fx.jcf.publish(cv, fx.user);
+  }
+  for (auto _ : state) {
+    auto problems = fx.jcf.check_consistency(fx.project);
+    benchmark::DoNotOptimize(problems);
+  }
+  state.counters["cells"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ConsistencySweep)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+JFM_BENCH_MAIN(print_report)

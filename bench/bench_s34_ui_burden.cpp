@@ -1,0 +1,133 @@
+// Section 3.4: user interface.
+//
+// Paper claim: "the designer has to work with both the FMCAD and JCF
+// user interface ... the user has to cope with an extra user
+// interface." We quantify the interaction surface: how many distinct
+// command surfaces (desktops) and interaction steps a canonical task
+// costs natively vs in the hybrid.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace jfm;
+
+void print_report() {
+  benchutil::header("s3.4: user-interface burden for one edit-and-release task");
+
+  // Native FMCAD: checkout -> edit -> checkin. One desktop.
+  {
+    benchutil::FmcadEnv env;
+    env.make_cellview("alu", "schematic");
+    int steps = 0;
+    auto work = env.session->checkout({"alu", "schematic"});
+    ++steps;  // checkout
+    (void)work;
+    (void)env.session->write_working({"alu", "schematic"},
+                                     "cvfile 1\ncellview alu schematic schematic\npayload\n");
+    ++steps;  // edit/save in the tool
+    (void)env.session->checkin({"alu", "schematic"});
+    ++steps;  // checkin
+    benchutil::row("FMCAD alone:      1 desktop, " + std::to_string(steps) +
+                   " interaction steps (checkout, edit, checkin)");
+  }
+
+  // Hybrid: the designer touches the JCF desktop (reserve), the FMCAD
+  // tool (edit), and the JCF desktop again (publish) -- two UIs.
+  {
+    benchutil::HybridEnv env;
+    env.hybrid.jcf();  // silence unused warnings in some configurations
+    if (!env.hybrid.create_cell("proj", "alu", env.alice).ok()) return;
+    int jcf_steps = 0;
+    int fmcad_steps = 0;
+    (void)env.hybrid.reserve_cell("proj", "alu", env.alice);
+    ++jcf_steps;  // JCF desktop: reserve workspace
+    auto run = env.hybrid.run_activity("proj", "alu", "enter_schematic", env.alice,
+                                       benchutil::small_schematic_commands());
+    ++jcf_steps;    // JCF desktop: start activity
+    ++fmcad_steps;  // FMCAD tool window: edit + save/checkin
+    (void)env.hybrid.publish_cell("proj", "alu", env.alice);
+    ++jcf_steps;  // JCF desktop: publish
+    const auto& burden = env.hybrid.last_ui_burden();
+    benchutil::row("hybrid JCF-FMCAD: " + std::to_string(burden.desktops) + " desktops, " +
+                   std::to_string(jcf_steps + fmcad_steps) + " interaction steps (" +
+                   std::to_string(jcf_steps) + " on the JCF desktop + " +
+                   std::to_string(fmcad_steps) + " in the FMCAD tool)");
+    benchutil::row("hybrid FMCAD tool window: " + std::to_string(burden.menu_items) +
+                   " menu points, of which " + std::to_string(burden.locked_items) +
+                   " locked by the encapsulation");
+    if (run.ok()) {
+      benchutil::row("consistency windows shown during the task: " +
+                     std::to_string(run->consistency_windows.size()));
+    }
+  }
+
+  benchutil::header("s3.4: hierarchy declaration adds JCF-desktop-only steps");
+  {
+    benchutil::HybridEnv env;
+    (void)env.hybrid.create_cell("proj", "leaf", env.alice);
+    (void)env.hybrid.create_cell("proj", "top", env.alice);
+    (void)env.hybrid.declare_child("proj", "top", "leaf");
+    benchutil::row("declaring 1 parent/child relation: " +
+                   std::to_string(env.hybrid.hierarchy().stats().desktop_steps) +
+                   " extra JCF desktop step(s) (0 in native FMCAD, where hierarchy lives "
+                   "in the design files)");
+  }
+}
+
+// ---- micro-benchmarks: the per-step overhead of each surface -------------
+
+void BM_NativeEditCycle(benchmark::State& state) {
+  benchutil::FmcadEnv env;
+  env.make_cellview("alu", "schematic");
+  for (auto _ : state) {
+    (void)env.session->checkout({"alu", "schematic"});
+    (void)env.session->write_working({"alu", "schematic"}, "data");
+    (void)env.session->checkin({"alu", "schematic"});
+  }
+}
+BENCHMARK(BM_NativeEditCycle)->Unit(benchmark::kMicrosecond);
+
+void BM_HybridEditCycle(benchmark::State& state) {
+  benchutil::HybridEnv env;
+  env.make_cell("alu");
+  (void)env.hybrid.run_activity("proj", "alu", "enter_schematic", env.alice,
+                                {{"add-net", {"n0"}}});
+  bool flip = false;  // constant-size document: rename back and forth
+  for (auto _ : state) {
+    std::vector<coupling::ToolCommand> edits{
+        {"rename-net", flip ? std::vector<std::string>{"n1", "n0"}
+                            : std::vector<std::string>{"n0", "n1"}}};
+    flip = !flip;
+    auto run = env.hybrid.run_activity("proj", "alu", "enter_schematic", env.alice, edits);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_HybridEditCycle)->Unit(benchmark::kMicrosecond);
+
+void BM_MenuInvocationWithGuards(benchmark::State& state) {
+  benchutil::HybridEnv env;
+  env.make_cell("alu");
+  // an open tool session outside an activity is read-only probing of the
+  // menu machinery itself
+  auto library = env.hybrid.library("proj");
+  fmcad::DesignerSession session(library, "alice");
+  tools::SchematicTool tool;
+  fmcad::ToolSession tool_session(&session, &tool, &env.hybrid.itc(),
+                                  &env.hybrid.interpreter());
+  if (!tool_session.open({"alu", "schematic"}, false).ok()) std::abort();
+  if (!tool_session.edit("add-net", {"m0"}).ok()) std::abort();
+  bool flip = false;  // constant-size document
+  for (auto _ : state) {
+    auto st = tool_session.invoke_menu("Edit", "rename-net",
+                                       flip ? std::vector<std::string>{"m1", "m0"}
+                                            : std::vector<std::string>{"m0", "m1"});
+    flip = !flip;
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_MenuInvocationWithGuards)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+JFM_BENCH_MAIN(print_report)

@@ -1,0 +1,181 @@
+// Section 3.6: performance.
+//
+// Claims reproduced:
+//  * "The performance of metadata operations ... is sufficiently high"
+//    -- metadata ops are design-size independent;
+//  * "for design data manipulations the performance is strongly
+//    dependent on the amount of data: while the time delay for small
+//    designs is acceptable, more complex and realistic designs may
+//    cause problems, mainly due to the fact that design data have to be
+//    copied to and from the JCF database even in the case of read only
+//    accesses" -- we sweep design size and compare a native FMCAD
+//    read-only open (no copy) with the hybrid one (copy out of OMS,
+//    staged through the file system), plus the direct-access ablation.
+
+#include "bench_util.hpp"
+#include "jfm/workload/generators.hpp"
+
+namespace {
+
+using namespace jfm;
+
+void print_report() {
+  benchutil::header("s3.6: bytes moved by ONE read-only open of a design");
+  std::printf("  %-14s | %16s | %22s | %18s\n", "design size", "native FMCAD",
+              "hybrid (paper: staged)", "hybrid (direct)");
+  for (std::size_t size : {1u << 10, 1u << 14, 1u << 18, 1u << 20}) {
+    support::Rng rng(size);
+    const std::string payload = workload::schematic_payload_of_size(rng, size);
+
+    // native: read the version file in place
+    std::uint64_t native_bytes = 0;
+    {
+      benchutil::FmcadEnv env;
+      env.make_cellview("c", "schematic");
+      env.checkin({"c", "schematic"}, payload);
+      env.fs.reset_counters();
+      auto content = env.session->read_default({"c", "schematic"});
+      if (!content.ok()) std::abort();
+      native_bytes = env.fs.counters().bytes_read + env.fs.counters().bytes_written;
+    }
+
+    auto hybrid_bytes = [&](bool staged) {
+      coupling::HybridConfig config;
+      config.copy_through_filesystem = staged;
+      benchutil::HybridEnv env(config);
+      env.make_cell("c");
+      // put the payload into OMS through a real activity
+      auto& jcf = env.hybrid.jcf();
+      auto project = *jcf.find_project("proj");
+      auto cell = *jcf.find_cell(project, "c");
+      auto cv = *jcf.latest_cell_version(cell);
+      auto variant = *jcf.find_variant(cv, "work");
+      auto vt = *jcf.find_viewtype("schematic");
+      auto dobj = *jcf.create_design_object(variant, "schematic", vt, env.alice);
+      (void)*jcf.create_dov(dobj, payload, env.alice);
+      env.hybrid.fs().reset_counters();
+      auto content = env.hybrid.open_read_only("proj", "c", "schematic", env.alice);
+      if (!content.ok()) std::abort();
+      return env.hybrid.fs().counters().bytes_read + env.hybrid.fs().counters().bytes_written;
+    };
+
+    std::printf("  %10zu B | %14llu B | %20llu B | %16llu B\n", payload.size(),
+                static_cast<unsigned long long>(native_bytes),
+                static_cast<unsigned long long>(hybrid_bytes(true)),
+                static_cast<unsigned long long>(hybrid_bytes(false)));
+  }
+  benchutil::row("");
+  benchutil::row("shape: native ~= 1x size; hybrid staged ~= 4x size (DB export + stage +");
+  benchutil::row("copy + read); the direct-interface ablation removes the staging copy.");
+}
+
+// ---- timing sweeps ---------------------------------------------------------
+
+// Metadata operation latency must NOT depend on design data size.
+void BM_MetadataOpVsDesignSize(benchmark::State& state) {
+  benchutil::HybridEnv env;
+  env.make_cell("c");
+  auto& jcf = env.hybrid.jcf();
+  auto project = *jcf.find_project("proj");
+  auto cell = *jcf.find_cell(project, "c");
+  auto cv = *jcf.latest_cell_version(cell);
+  auto variant = *jcf.find_variant(cv, "work");
+  auto vt = *jcf.find_viewtype("schematic");
+  auto dobj = *jcf.create_design_object(variant, "schematic", vt, env.alice);
+  support::Rng rng(1);
+  (void)*jcf.create_dov(dobj, workload::schematic_payload_of_size(
+                                  rng, static_cast<std::size_t>(state.range(0))),
+                        env.alice);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    auto config = jcf.create_config(cv, "cfg" + std::to_string(n++));
+    benchmark::DoNotOptimize(config);
+  }
+  state.counters["design_bytes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MetadataOpVsDesignSize)
+    ->Arg(1 << 10)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+// Hybrid read-only open latency grows with design size (the copy).
+void BM_HybridReadOnlyOpen(benchmark::State& state) {
+  benchutil::HybridEnv env;
+  env.make_cell("c");
+  auto& jcf = env.hybrid.jcf();
+  auto project = *jcf.find_project("proj");
+  auto cell = *jcf.find_cell(project, "c");
+  auto cv = *jcf.latest_cell_version(cell);
+  auto variant = *jcf.find_variant(cv, "work");
+  auto vt = *jcf.find_viewtype("schematic");
+  auto dobj = *jcf.create_design_object(variant, "schematic", vt, env.alice);
+  support::Rng rng(2);
+  (void)*jcf.create_dov(dobj, workload::schematic_payload_of_size(
+                                  rng, static_cast<std::size_t>(state.range(0))),
+                        env.alice);
+  for (auto _ : state) {
+    auto content = env.hybrid.open_read_only("proj", "c", "schematic", env.alice);
+    benchmark::DoNotOptimize(content);
+  }
+  state.counters["design_bytes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_HybridReadOnlyOpen)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+// Native FMCAD read of the same sizes: no database, no staging.
+void BM_NativeReadOnlyOpen(benchmark::State& state) {
+  benchutil::FmcadEnv env;
+  env.make_cellview("c", "schematic");
+  support::Rng rng(3);
+  env.checkin({"c", "schematic"}, workload::schematic_payload_of_size(
+                                      rng, static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto content = env.session->read_default({"c", "schematic"});
+    benchmark::DoNotOptimize(content);
+  }
+  state.counters["design_bytes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_NativeReadOnlyOpen)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+// A full hybrid activity (checkout->edit->checkin->import) vs payload size.
+void BM_HybridActivityVsDesignSize(benchmark::State& state) {
+  benchutil::HybridEnv env;
+  env.make_cell("c");
+  support::Rng rng(4);
+  // first build up a schematic of the target size through one activity
+  const auto target = static_cast<std::size_t>(state.range(0));
+  std::vector<coupling::ToolCommand> grow;
+  grow.push_back({"add-net", {"seed"}});
+  std::size_t approx = 10;
+  std::uint64_t n = 0;
+  while (approx < target) {
+    grow.push_back({"add-net", {"net_" + std::to_string(n++)}});
+    approx += 12;
+  }
+  (void)env.hybrid.run_activity("proj", "c", "enter_schematic", env.alice, grow);
+  for (auto _ : state) {
+    std::vector<coupling::ToolCommand> edits{{"add-net", {"x" + std::to_string(n++)}}};
+    auto run = env.hybrid.run_activity("proj", "c", "enter_schematic", env.alice, edits);
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["approx_bytes"] = static_cast<double>(target);
+}
+BENCHMARK(BM_HybridActivityVsDesignSize)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+JFM_BENCH_MAIN(print_report)

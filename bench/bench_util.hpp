@@ -1,0 +1,118 @@
+#pragma once
+// Shared helpers for the experiment harness. Every bench binary prints
+// its paper-style report table first (the rows EXPERIMENTS.md records),
+// then runs its google-benchmark micro-timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "jfm/coupling/hybrid.hpp"
+
+namespace jfm::benchutil {
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void row(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// A ready-to-use hybrid environment with one project and one designer.
+struct HybridEnv {
+  explicit HybridEnv(coupling::HybridConfig config = {}) : hybrid(config) {
+    if (!hybrid.bootstrap().ok()) std::abort();
+    auto u = hybrid.add_designer("alice");
+    if (!u.ok()) std::abort();
+    alice = *u;
+    if (!hybrid.create_project("proj").ok()) std::abort();
+  }
+
+  /// cell + reservation, ready for activities.
+  void make_cell(const std::string& name) {
+    if (!hybrid.create_cell("proj", name, alice).ok()) std::abort();
+    if (!hybrid.reserve_cell("proj", name, alice).ok()) std::abort();
+  }
+
+  coupling::HybridFramework hybrid;
+  jcf::UserRef alice;
+};
+
+inline std::vector<coupling::ToolCommand> small_schematic_commands() {
+  return {
+      {"add-port", {"a", "in"}},   {"add-port", {"b", "in"}},
+      {"add-port", {"y", "out"}},  {"add-prim", {"g0", "AND"}},
+      {"connect", {"a", "g0", "a"}}, {"connect", {"b", "g0", "b"}},
+      {"connect", {"y", "g0", "y"}},
+  };
+}
+
+/// A native FMCAD library with one designer session and the standard
+/// views, for the "FMCAD alone" baselines.
+struct FmcadEnv {
+  FmcadEnv() : fs(&clock) {
+    if (!fs.mkdirs(vfs::Path().child("libs")).ok()) std::abort();
+    auto lib = fmcad::Library::create(&fs, &clock, vfs::Path().child("libs"), "native");
+    if (!lib.ok()) std::abort();
+    library = *lib;
+    session = std::make_unique<fmcad::DesignerSession>(library, "alice");
+    for (const char* view : {"schematic", "layout", "simulate"}) {
+      if (!session->define_view(view, view).ok()) std::abort();
+    }
+  }
+
+  void make_cellview(const std::string& cell, const std::string& view) {
+    if (!library->meta().has_cell(cell) && !session->create_cell(cell).ok()) std::abort();
+    if (!session->create_cellview({cell, view}).ok()) std::abort();
+  }
+
+  int checkin(const fmcad::CellViewKey& key, const std::string& data) {
+    auto work = session->checkout(key);
+    if (!work.ok()) std::abort();
+    if (!session->write_working(key, data).ok()) std::abort();
+    auto version = session->checkin(key);
+    if (!version.ok()) std::abort();
+    return *version;
+  }
+
+  support::SimClock clock;
+  vfs::FileSystem fs;
+  std::shared_ptr<fmcad::Library> library;
+  std::unique_ptr<fmcad::DesignerSession> session;
+};
+
+}  // namespace jfm::benchutil
+
+namespace jfm::benchutil {
+/// Default to a short measuring window so the whole 9-binary harness
+/// finishes in well under a minute; any explicit --benchmark_min_time
+/// on the command line wins.
+inline std::vector<char*> with_default_min_time(int argc, char** argv,
+                                                std::string& storage) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) has_min_time = true;
+  }
+  if (!has_min_time) {
+    storage = "--benchmark_min_time=0.05";
+    args.push_back(storage.data());
+  }
+  return args;
+}
+}  // namespace jfm::benchutil
+
+/// Each bench defines `void print_report();` and uses this main.
+#define JFM_BENCH_MAIN(print_report_fn)                                   \
+  int main(int argc, char** argv) {                                      \
+    print_report_fn();                                                   \
+    std::string jfm_min_time_storage;                                    \
+    auto jfm_args =                                                      \
+        ::jfm::benchutil::with_default_min_time(argc, argv, jfm_min_time_storage); \
+    int jfm_argc = static_cast<int>(jfm_args.size());                    \
+    ::benchmark::Initialize(&jfm_argc, jfm_args.data());                 \
+    if (::benchmark::ReportUnrecognizedArguments(jfm_argc, jfm_args.data())) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    return 0;                                                            \
+  }

@@ -1,0 +1,104 @@
+// Framework administration (paper s2.1): the resources a JCF
+// administrator defines in advance -- users, teams, tools, viewtypes,
+// activities with Needs/Creates, frozen flows -- plus database
+// checkpoint/restore and the future-work inter-project data sharing.
+//
+//   build/examples/framework_admin
+
+#include <cstdio>
+
+#include "jfm/coupling/hybrid.hpp"
+#include "jfm/oms/dump.hpp"
+
+using namespace jfm;
+
+int main() {
+  std::printf("== 1. resources are metadata under framework control ==\n");
+  support::SimClock clock;
+  jcf::JcfFramework jcf(&clock);
+
+  auto alice = *jcf.create_user("alice");
+  auto bob = *jcf.create_user("bob");
+  auto frontend = *jcf.create_team("frontend");
+  auto backend = *jcf.create_team("backend");
+  (void)jcf.add_member(frontend, alice);
+  (void)jcf.add_member(backend, bob);
+  auto sch_tool = *jcf.register_tool("schematic_entry");
+  auto sim_tool = *jcf.register_tool("digital_simulator");
+  auto vt_sch = *jcf.create_viewtype("schematic");
+  auto vt_sim = *jcf.create_viewtype("simulate");
+  auto enter = *jcf.create_activity("enter", sch_tool, {}, {vt_sch});
+  auto verify = *jcf.create_activity("verify", sim_tool, {vt_sch}, {vt_sim});
+  std::printf("   2 users, 2 teams, 2 tools, 2 viewtypes, 2 activities defined\n");
+
+  auto flow = *jcf.create_flow("frontend_flow", {enter, verify});
+  (void)jcf.add_precedence(flow, enter, verify);
+  std::printf("   flow 'frontend_flow': enter precedes verify\n");
+  auto premature = jcf.create_project("x", frontend);
+  (void)premature;
+  auto cell_attempt =
+      jcf.create_cell(*jcf.create_project("chip", frontend), "alu", flow, frontend);
+  std::printf("   attaching the unfrozen flow to a cell: %s\n",
+              cell_attempt.ok() ? "accepted (?)" : cell_attempt.error().to_text().c_str());
+  (void)jcf.freeze_flow(flow);
+  auto chip = *jcf.find_project("chip");
+  auto alu = *jcf.create_cell(chip, "alu", flow, frontend);
+  std::printf("   after freeze_flow: cell 'alu' created, flow is now immutable\n");
+  auto mutate = jcf.add_precedence(flow, verify, enter);
+  std::printf("   modifying the frozen flow: %s\n",
+              mutate.ok() ? "accepted (?)" : mutate.error().to_text().c_str());
+
+  std::printf("\n== 2. team rules gate everything ==\n");
+  auto denied = jcf.create_cell_version(alu, bob);  // bob is backend
+  std::printf("   bob (backend) versions a frontend cell: %s\n",
+              denied.ok() ? "accepted (?)" : denied.error().to_text().c_str());
+  auto cv = *jcf.create_cell_version(alu, alice);
+  (void)jcf.reserve(cv, alice);
+  auto variant = *jcf.create_variant(cv, "work", alice);
+  auto dobj = *jcf.create_design_object(variant, "schematic", vt_sch, alice);
+  (void)*jcf.create_dov(dobj, "port a in\nnet a\n", alice);
+  (void)jcf.publish(cv, alice);
+  std::printf("   alice: version 1 of alu created, populated and published\n");
+
+  std::printf("\n== 3. checkpoint / restore (everything lives in OMS) ==\n");
+  vfs::FileSystem fs(&clock);
+  (void)fs.mkdirs(vfs::Path().child("backup"));
+  auto file = vfs::Path().child("backup").child("jcf.oms");
+  (void)jcf.checkpoint(fs, file);
+  std::printf("   checkpoint written: %llu bytes (%zu objects)\n",
+              static_cast<unsigned long long>(fs.stat(file)->size),
+              jcf.store().object_count());
+  jcf::JcfFramework restored(&clock);
+  (void)restored.restore(fs, file);
+  auto found = restored.find_cell(*restored.find_project("chip"), "alu");
+  std::printf("   restored framework: cell alu %s, %zu objects\n",
+              found.ok() ? "found" : "MISSING", restored.store().object_count());
+
+  std::printf("\n== 4. data sharing between projects (s3.1 future work) ==\n");
+  {
+    coupling::HybridFramework prototype;  // the paper's configuration
+    (void)prototype.bootstrap();
+    auto erin = *prototype.add_designer("erin");
+    (void)prototype.create_project("ip");
+    (void)prototype.create_project("soc");
+    (void)prototype.create_cell("ip", "uart", erin);
+    auto refused = prototype.share_cell("soc", "ip", "uart");
+    std::printf("   paper prototype:  %s\n",
+                refused.ok() ? "shared (?)" : refused.error().to_text().c_str());
+  }
+  {
+    coupling::HybridConfig config;
+    config.allow_project_data_sharing = true;
+    coupling::HybridFramework future(config);
+    (void)future.bootstrap();
+    auto erin = *future.add_designer("erin");
+    (void)future.create_project("ip");
+    (void)future.create_project("soc");
+    (void)future.create_cell("ip", "uart", erin);
+    auto granted = future.share_cell("soc", "ip", "uart");
+    std::printf("   future extension: %s\n",
+                granted.ok() ? "uart shared into project soc (read access to published data)"
+                             : granted.error().to_text().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#pragma once
+// Hierarchy handling in the hybrid framework (paper s2.3 / s3.3).
+//
+// FMCAD keeps hierarchy inside design files; JCF keeps it as CompOf
+// metadata that "must be submitted manually via the JCF desktop" before
+// design starts. This component implements both:
+//  * manual mode (the paper's prototype): each parent->child relation
+//    costs one desktop step, counted in the stats;
+//  * procedural mode (the paper's future work): a procedural interface
+//    tools use to pass hierarchy information to JCF in bulk.
+//
+// It also enforces the JCF 3.0 limitation: non-isomorphic hierarchies
+// (schematic vs layout structure differing) are rejected with
+// Errc::not_supported unless `allow_non_isomorphic` models a future
+// JCF release.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jfm/fmcad/hierarchy.hpp"
+#include "jfm/jcf/framework.hpp"
+
+namespace jfm::coupling {
+
+struct HierarchyStats {
+  std::uint64_t desktop_steps = 0;       ///< manual submissions performed
+  std::uint64_t procedural_calls = 0;    ///< bulk submissions
+  std::uint64_t relations_submitted = 0;
+  std::uint64_t non_isomorphic_rejections = 0;
+};
+
+class HierarchySubmitter {
+ public:
+  HierarchySubmitter(jcf::JcfFramework* jcf, bool procedural_interface,
+                     bool allow_non_isomorphic)
+      : jcf_(jcf),
+        procedural_interface_(procedural_interface),
+        allow_non_isomorphic_(allow_non_isomorphic) {}
+
+  /// Check that every view of `cell` that has design data yields the
+  /// same cell-structure hierarchy. Returns not_supported with the
+  /// offending views when they differ (and the extension is off).
+  support::Status check_isomorphic(fmcad::Library& library, const std::string& cell,
+                                   const std::vector<std::string>& views);
+
+  /// Extract the direct children of (cell, view) from the FMCAD design
+  /// file and submit the parent->child relations to JCF's CompOf
+  /// metadata. `project` supplies the JCF cells; children must already
+  /// have cell versions ("defined and passed to JCF first", s2.3).
+  /// In manual mode each relation costs one desktop step.
+  support::Status submit(fmcad::Library& library, const fmcad::CellViewKey& root,
+                         jcf::ProjectRef project);
+
+  /// One manual declaration at the JCF desktop: parent contains child.
+  /// Costs one desktop step regardless of mode -- this is what the
+  /// designer does *before* the design starts in the prototype.
+  support::Status declare(jcf::CellVersionRef parent, jcf::CellVersionRef child);
+
+  /// Bulk submission of explicit child-cell names through the
+  /// procedural interface (future work); fails when it is disabled.
+  support::Status submit_children(jcf::ProjectRef project, const std::string& parent_cell,
+                                  const std::vector<std::string>& child_cells);
+
+  /// Are the direct children recorded in JCF consistent with what the
+  /// design file of (cell, view) instantiates? Returns the missing
+  /// child cell names (empty = consistent).
+  support::Result<std::vector<std::string>> undeclared_children(
+      fmcad::Library& library, const fmcad::CellViewKey& root, jcf::ProjectRef project) const;
+
+  const HierarchyStats& stats() const noexcept { return stats_; }
+  bool procedural_interface() const noexcept { return procedural_interface_; }
+
+ private:
+  support::Result<std::vector<std::string>> child_cells_of(fmcad::Library& library,
+                                                           const fmcad::CellViewKey& root) const;
+  support::Result<jcf::CellVersionRef> latest_cv(jcf::ProjectRef project,
+                                                 const std::string& cell) const;
+
+  jcf::JcfFramework* jcf_;
+  bool procedural_interface_;
+  bool allow_non_isomorphic_;
+  HierarchyStats stats_;
+};
+
+}  // namespace jfm::coupling

@@ -1,0 +1,242 @@
+#pragma once
+// HybridFramework: the JCF-FMCAD coupled environment (the paper's
+// contribution). JCF is the master -- it owns design management,
+// workspaces, flows and all design data (in OMS); FMCAD is the slave --
+// its libraries act as the tool-facing staging area, its tools
+// (schematic entry, layout editor, digital simulator) are encapsulated
+// as JCF activities through wrappers that:
+//   * copy the required data from OMS to the FMCAD library through the
+//     file system before the tool starts, and copy results back after
+//     checkin (TransferEngine; even read-only access pays the copy,
+//     s3.6);
+//   * enforce the prescribed flow; `force` executes an activity whose
+//     predecessor has not finished, at the price of an extra
+//     "consistency window" (s2.4);
+//   * guard and lock menu points through the FMCAD extension language
+//     so hierarchy stays consistent with JCF's CompOf metadata (s2.4,
+//     s3.3): removal of instances is locked, adding an instance whose
+//     cell was not declared via the JCF desktop is vetoed (manual mode)
+//     or auto-submitted (procedural-interface mode, the paper's future
+//     work);
+//   * reject non-isomorphic hierarchies unless the future-JCF extension
+//     is enabled;
+//   * record every derivation relation in JCF (s3.5).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jfm/coupling/hierarchy_sync.hpp"
+#include "jfm/coupling/transfer.hpp"
+#include "jfm/extlang/interpreter.hpp"
+#include "jfm/fmcad/itc.hpp"
+#include "jfm/fmcad/tool.hpp"
+#include "jfm/jcf/framework.hpp"
+#include "jfm/tools/layout_tool.hpp"
+#include "jfm/tools/lvs.hpp"
+#include "jfm/tools/schematic_tool.hpp"
+#include "jfm/tools/sim_tool.hpp"
+#include "jfm/tools/timing.hpp"
+
+namespace jfm::coupling {
+
+struct HybridConfig {
+  /// Paper behaviour: stage every transfer through the file system.
+  bool copy_through_filesystem = true;
+  /// Future work (s3.3): tools pass hierarchy to JCF procedurally.
+  bool procedural_hierarchy_interface = false;
+  /// Future JCF releases: accept non-isomorphic hierarchies.
+  bool allow_non_isomorphic = false;
+  /// Future work (s3.1): "data sharing between projects ... access to
+  /// cells of other projects". Off = the paper's prototype.
+  bool allow_project_data_sharing = false;
+};
+
+struct ToolCommand {
+  std::string command;
+  std::vector<std::string> args;
+};
+
+struct ActivityRunReport {
+  jcf::ExecRef exec;
+  jcf::DovRef output;
+  int fmcad_version = 0;
+  std::uint64_t bytes_exported = 0;  ///< OMS -> FMCAD for this run
+  std::uint64_t bytes_imported = 0;  ///< FMCAD -> OMS for this run
+  std::vector<std::string> consistency_windows;
+};
+
+class HybridFramework {
+ public:
+  explicit HybridFramework(HybridConfig config = {});
+
+  // -- subsystem access (benches, tests, examples) -------------------------
+  jcf::JcfFramework& jcf() noexcept { return jcf_; }
+  vfs::FileSystem& fs() noexcept { return fs_; }
+  support::SimClock& clock() noexcept { return clock_; }
+  TransferEngine& transfer() noexcept { return *transfer_; }
+  HierarchySubmitter& hierarchy() noexcept { return *hierarchy_; }
+  fmcad::ItcBus& itc() noexcept { return itc_; }
+  extlang::Interpreter& interpreter() noexcept { return interp_; }
+  fmcad::ToolRegistry& tools() noexcept { return tools_; }
+  const HybridConfig& config() const noexcept { return config_; }
+
+  /// The standard resource set: viewtypes schematic/layout/simulate,
+  /// the three tools, activities (enter_schematic -> simulate ->
+  /// enter_layout) and the frozen flow "asic_flow"; team "designers".
+  support::Status bootstrap();
+  support::Result<jcf::UserRef> add_designer(const std::string& name);
+  jcf::FlowRef standard_flow() const noexcept { return flow_; }
+  jcf::TeamRef designers() const noexcept { return team_; }
+  support::Result<jcf::ActivityRef> activity(const std::string& name) const;
+
+  /// Define and freeze a custom flow over the bootstrap activities
+  /// (project managers tailor flows per design style -- the companion
+  /// work [Seep94b] modelled an FPGA flow in JCF this way). `order`
+  /// lists (before, after) precedence pairs.
+  support::Result<jcf::FlowRef> define_flow(
+      const std::string& name, const std::vector<std::string>& activities,
+      const std::vector<std::pair<std::string, std::string>>& order);
+  /// Attach a different (frozen) flow to the latest version of a cell.
+  support::Status set_cell_flow(const std::string& project, const std::string& cell,
+                                const std::string& flow_name);
+
+  // -- projects and cells ------------------------------------------------
+  /// A JCF project plus its slave FMCAD library.
+  support::Result<jcf::ProjectRef> create_project(const std::string& name);
+  std::shared_ptr<fmcad::Library> library(const std::string& project) const;
+  /// JCF cell (+version 1 + variant "work") and the FMCAD cell with a
+  /// cellview per standard view. Reserves nothing.
+  support::Status create_cell(const std::string& project, const std::string& cell,
+                              jcf::UserRef creator);
+  /// Manual hierarchy declaration via the JCF desktop (one step each).
+  support::Status declare_child(const std::string& project, const std::string& parent,
+                                const std::string& child);
+  /// Share a published cell of `from_project` into `to_project` so its
+  /// designs can reference it. Fails with not_supported unless the
+  /// future-work extension is enabled (s3.1: "Not yet possible in JCF
+  /// or in the combined framework is data sharing between projects").
+  support::Status share_cell(const std::string& to_project, const std::string& from_project,
+                             const std::string& cell);
+
+  /// Open a read-only FMCAD tool window on a cellview (browsing /
+  /// cross-probing). The caller owns the session; it participates in
+  /// ITC, so probes from other windows of the same cell highlight here.
+  support::Result<std::unique_ptr<fmcad::ToolSession>> open_viewer(const std::string& project,
+                                                                   const std::string& cell,
+                                                                   const std::string& view,
+                                                                   jcf::UserRef user);
+
+  // -- workspaces -------------------------------------------------------------
+  support::Status reserve_cell(const std::string& project, const std::string& cell,
+                               jcf::UserRef user);
+  support::Status publish_cell(const std::string& project, const std::string& cell,
+                               jcf::UserRef user);
+
+  // -- variants (the second versioning level, s2.1) ------------------------
+  /// Derive a named variant inside the (reserved) latest cell version:
+  /// "the users have the ability to derive many different variants of
+  /// the same flow in one cell version ... to select the optimal design
+  /// solution".
+  support::Status create_variant(const std::string& project, const std::string& cell,
+                                 const std::string& variant_name, jcf::UserRef user);
+
+  // -- encapsulated activity execution ------------------------------------
+  /// Runs in the default variant ("work", or the first one).
+  support::Result<ActivityRunReport> run_activity(const std::string& project,
+                                                  const std::string& cell,
+                                                  const std::string& activity_name,
+                                                  jcf::UserRef user,
+                                                  const std::vector<ToolCommand>& edits,
+                                                  bool force = false);
+  /// Runs in an explicit variant; each variant carries its own design
+  /// objects, flow progress and derivation history.
+  support::Result<ActivityRunReport> run_activity_in_variant(
+      const std::string& project, const std::string& cell, const std::string& variant_name,
+      const std::string& activity_name, jcf::UserRef user,
+      const std::vector<ToolCommand>& edits, bool force = false);
+
+  /// Read the latest data of (cell, view) through the hybrid: the data
+  /// are copied out of OMS even though nothing is modified (s3.6).
+  support::Result<std::string> open_read_only(const std::string& project,
+                                              const std::string& cell, const std::string& view,
+                                              jcf::UserRef user);
+
+  // -- analysis on the master's data ---------------------------------------
+  /// Layout-versus-schematic comparison of a cell's two views, read out
+  /// of the JCF database (the inter-view consistency s3.2 celebrates).
+  support::Result<tools::LvsReport> run_lvs(const std::string& project,
+                                            const std::string& cell, jcf::UserRef user);
+  /// Static timing of a cell's (flattened) schematic: critical path and
+  /// delay over the gate propagation delays.
+  support::Result<tools::TimingReport> report_timing(const std::string& project,
+                                                     const std::string& cell,
+                                                     jcf::UserRef user,
+                                                     std::string* path_text = nullptr);
+
+  // -- queries ------------------------------------------------------------------
+  /// "what was derived from what": derivation rows for one cell, as
+  /// "output<view vN> <- input<view vM>" strings.
+  support::Result<std::vector<std::string>> derivation_report(const std::string& project,
+                                                              const std::string& cell);
+  support::Result<std::vector<std::string>> check_consistency(const std::string& project);
+  /// All consistency windows ever shown (the s2.4 "additional windows").
+  const std::vector<std::string>& consistency_log() const noexcept { return consistency_log_; }
+
+  /// Total menu points vs locked ones in the last tool session (s3.4).
+  struct UiBurden {
+    std::size_t menu_items = 0;
+    std::size_t locked_items = 0;
+    std::size_t desktops = 2;  ///< the designer faces JCF *and* FMCAD UIs
+  };
+  const UiBurden& last_ui_burden() const noexcept { return ui_burden_; }
+
+  static const std::vector<std::string>& standard_views();
+
+ private:
+  struct ProjectCtx {
+    jcf::ProjectRef ref;
+    std::shared_ptr<fmcad::Library> library;
+    std::map<std::string, std::unique_ptr<fmcad::DesignerSession>> sessions;
+  };
+
+  ProjectCtx* project_ctx(const std::string& name);
+  const ProjectCtx* project_ctx(const std::string& name) const;
+  support::Result<ActivityRunReport> run_activity_on(ProjectCtx* ctx, jcf::VariantRef variant,
+                                                     const std::string& cell,
+                                                     const std::string& activity_name,
+                                                     jcf::UserRef user,
+                                                     const std::vector<ToolCommand>& edits,
+                                                     bool force);
+  fmcad::DesignerSession* session_for(ProjectCtx& ctx, const std::string& user);
+  support::Result<jcf::VariantRef> work_variant(const std::string& project,
+                                                const std::string& cell) const;
+  void install_guards();
+  void show_window(const std::string& message, std::vector<std::string>* run_log);
+
+  HybridConfig config_;
+  support::SimClock clock_;
+  vfs::FileSystem fs_;
+  jcf::JcfFramework jcf_;
+  fmcad::ItcBus itc_;
+  extlang::Interpreter interp_;
+  fmcad::ToolRegistry tools_;
+  std::shared_ptr<tools::SimulatorTool> sim_tool_;
+  std::unique_ptr<TransferEngine> transfer_;
+  std::unique_ptr<HierarchySubmitter> hierarchy_;
+
+  jcf::TeamRef team_;
+  jcf::FlowRef flow_;
+  std::map<std::string, ProjectCtx> projects_;
+  std::vector<std::string> consistency_log_;
+  UiBurden ui_burden_;
+
+  // current-run context consulted by the extension-language guards
+  ProjectCtx* guard_ctx_ = nullptr;
+  std::string guard_cell_;
+  std::string guard_view_;
+  std::vector<std::string>* guard_run_log_ = nullptr;
+};
+
+}  // namespace jfm::coupling

@@ -1,0 +1,80 @@
+#pragma once
+// Table 1 of the paper: the JCF <-> FMCAD data model mapping.
+//
+//   JCF object            FMCAD object
+//   -------------------   ---------------
+//   Project               Library
+//   CellVersion           Cell
+//   ViewType              View
+//   DesignObject          Cellview
+//   DesignObjectVersion   Cellview Version
+//
+// ModelMapper materializes the mapping in both directions: importing an
+// FMCAD library creates the corresponding JCF project structure (with
+// the design data stored in OMS), exporting rebuilds an FMCAD library
+// from a JCF project. Round-tripping must be lossless on the mapped
+// objects -- the property suite checks it.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jfm/fmcad/session.hpp"
+#include "jfm/jcf/framework.hpp"
+
+namespace jfm::coupling {
+
+/// One row of Table 1 (for the bench that regenerates the table).
+struct MappingRow {
+  std::string jcf_object;
+  std::string fmcad_object;
+};
+const std::vector<MappingRow>& mapping_table();
+
+/// Statistics of one mapping run.
+struct MappingStats {
+  std::size_t cells = 0;
+  std::size_t views = 0;
+  std::size_t cellviews = 0;
+  std::size_t versions = 0;
+  std::uint64_t design_bytes = 0;
+};
+
+class ModelMapper {
+ public:
+  /// The mapper acts on behalf of an integration user that must be a
+  /// member of `team` (it drives JCF workspaces during import).
+  ModelMapper(jcf::JcfFramework* jcf, jcf::UserRef integrator, jcf::TeamRef team,
+              jcf::FlowRef flow);
+
+  /// FMCAD -> JCF: create a project mirroring `library` per Table 1.
+  /// Cells map to cell versions (the FMCAD cell corresponds to one
+  /// design state); every cellview version's file content becomes a
+  /// design object version in OMS. The project is published.
+  support::Result<jcf::ProjectRef> import_library(fmcad::Library& library,
+                                                  MappingStats* stats = nullptr);
+
+  /// JCF -> FMCAD: rebuild a library under `parent` from the latest
+  /// published cell versions of `project`.
+  support::Result<std::shared_ptr<fmcad::Library>> export_project(
+      jcf::ProjectRef project, vfs::FileSystem* fs, support::SimClock* clock,
+      const vfs::Path& parent, const std::string& library_name,
+      MappingStats* stats = nullptr);
+
+  /// The variant name the mapper stores imported data under.
+  static const char* import_variant() { return "imported"; }
+
+ private:
+  jcf::JcfFramework* jcf_;
+  jcf::UserRef integrator_;
+  jcf::TeamRef team_;
+  jcf::FlowRef flow_;
+};
+
+/// Deep comparison of two FMCAD libraries on the Table-1-mapped state:
+/// cells, views, cellviews, per-version file contents. Returns the list
+/// of differences (empty = equal). Version mtimes/authors and checkout
+/// state are not part of the mapped state.
+std::vector<std::string> diff_libraries(fmcad::Library& a, fmcad::Library& b);
+
+}  // namespace jfm::coupling

@@ -1,0 +1,58 @@
+#pragma once
+// TransferEngine: the encapsulation data path between OMS and FMCAD.
+//
+// Paper s2.1: "In case of encapsulation, the required data are copied
+// to and from the database via the UNIX file system." And s3.6: "design
+// data have to be copied to and from the JCF database even in the case
+// of read only accesses" -- the root cause of the hybrid's size-
+// dependent latency.
+//
+// copy_through_filesystem = true (the paper's implementation) stages
+// every payload in a transfer directory before it reaches its
+// destination, so each access moves the data twice. false is the
+// ablation: a hypothetical direct interface (which JCF 3.0's closed
+// architecture did not offer).
+
+#include "jfm/fmcad/session.hpp"
+#include "jfm/jcf/framework.hpp"
+#include "jfm/vfs/filesystem.hpp"
+
+namespace jfm::coupling {
+
+struct TransferStats {
+  std::uint64_t exports = 0;        ///< OMS -> FMCAD
+  std::uint64_t imports = 0;        ///< FMCAD -> OMS
+  std::uint64_t bytes_exported = 0;
+  std::uint64_t bytes_imported = 0;
+  std::uint64_t staging_copies = 0;  ///< extra copies through the transfer dir
+};
+
+class TransferEngine {
+ public:
+  TransferEngine(jcf::JcfFramework* jcf, vfs::FileSystem* fs, vfs::Path transfer_dir,
+                 bool copy_through_filesystem);
+
+  /// OMS -> file: materialize a design object version at `dst`.
+  /// The caller provides the reading user (workspace rules apply).
+  support::Status export_dov(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst);
+
+  /// file -> OMS: store `src`'s content as a new version of `dobj`.
+  support::Result<jcf::DovRef> import_file(const vfs::Path& src, jcf::DesignObjectRef dobj,
+                                           jcf::UserRef writer);
+
+  const TransferStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  bool copies_through_filesystem() const noexcept { return copy_through_filesystem_; }
+
+ private:
+  vfs::Path staging_file(const std::string& tag);
+
+  jcf::JcfFramework* jcf_;
+  vfs::FileSystem* fs_;
+  vfs::Path transfer_dir_;
+  bool copy_through_filesystem_;
+  TransferStats stats_;
+  std::uint64_t stage_counter_ = 0;
+};
+
+}  // namespace jfm::coupling

@@ -1,0 +1,164 @@
+#include "jfm/coupling/desktop.hpp"
+
+#include "jfm/support/strings.hpp"
+
+namespace jfm::coupling {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+namespace {
+Status usage(const std::string& what) {
+  return support::fail(Errc::invalid_argument, "usage: " + what);
+}
+}  // namespace
+
+Status DesktopShell::execute_line(const std::string& line, DesktopResult& result) {
+  std::string_view trimmed = support::trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return {};
+  auto words = support::split_ws(trimmed);
+  auto st = dispatch(words, result);
+  ++result.commands_executed;
+  if (!st.ok()) {
+    result.transcript.push_back("error: " + st.error().to_text());
+  }
+  return st;
+}
+
+Result<DesktopResult> DesktopShell::run_script(const std::string& script, bool keep_going) {
+  DesktopResult result;
+  for (const auto& line : support::split(script, '\n')) {
+    auto st = execute_line(line, result);
+    if (!st.ok() && !keep_going) {
+      return Result<DesktopResult>::failure(st.error().code,
+                                            st.error().message + " (line: '" +
+                                                std::string(support::trim(line)) + "')");
+    }
+  }
+  return result;
+}
+
+Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResult& result) {
+  const std::string& cmd = words[0];
+  auto say = [&result](std::string text) { result.transcript.push_back(std::move(text)); };
+
+  if (cmd == "echo") {
+    std::vector<std::string> rest(words.begin() + 1, words.end());
+    say(support::join(rest, " "));
+    return {};
+  }
+  if (cmd == "designer") {
+    if (words.size() != 2) return usage("designer <name>");
+    auto user = hybrid_->add_designer(words[1]);
+    if (!user.ok()) return Status(user.error());
+    say("designer " + words[1] + " joined team designers");
+    return {};
+  }
+  if (cmd == "project") {
+    if (words.size() != 2) return usage("project <name>");
+    auto project = hybrid_->create_project(words[1]);
+    if (!project.ok()) return Status(project.error());
+    say("project " + words[1] + " created (JCF project + FMCAD library)");
+    return {};
+  }
+  if (cmd == "cell") {
+    if (words.size() != 4) return usage("cell <project> <cell> <designer>");
+    auto user = hybrid_->jcf().find_user(words[3]);
+    if (!user.ok()) return Status(user.error());
+    if (auto st = hybrid_->create_cell(words[1], words[2], *user); !st.ok()) return st;
+    say("cell " + words[2] + " created in " + words[1]);
+    return {};
+  }
+  if (cmd == "declare-child") {
+    if (words.size() != 4) return usage("declare-child <project> <parent> <child>");
+    if (auto st = hybrid_->declare_child(words[1], words[2], words[3]); !st.ok()) return st;
+    say(words[2] + " contains " + words[3] + " (CompOf)");
+    return {};
+  }
+  if (cmd == "define-flow") {
+    if (words.size() != 3 && words.size() != 4) {
+      return usage("define-flow <name> <a1,a2,...> [a>b,c>d]");
+    }
+    auto activities = support::split(words[2], ',');
+    std::vector<std::pair<std::string, std::string>> order;
+    if (words.size() == 4) {
+      for (const auto& pair : support::split(words[3], ',')) {
+        auto parts = support::split(pair, '>');
+        if (parts.size() != 2) return usage("precedence pairs look like before>after");
+        order.emplace_back(parts[0], parts[1]);
+      }
+    }
+    auto flow = hybrid_->define_flow(words[1], activities, order);
+    if (!flow.ok()) return Status(flow.error());
+    say("flow " + words[1] + " frozen (" + std::to_string(activities.size()) + " activities)");
+    return {};
+  }
+  if (cmd == "set-flow") {
+    if (words.size() != 4) return usage("set-flow <project> <cell> <flow>");
+    if (auto st = hybrid_->set_cell_flow(words[1], words[2], words[3]); !st.ok()) return st;
+    say(words[2] + " now follows flow " + words[3]);
+    return {};
+  }
+  if (cmd == "reserve" || cmd == "publish") {
+    if (words.size() != 4) return usage(cmd + " <project> <cell> <designer>");
+    auto user = hybrid_->jcf().find_user(words[3]);
+    if (!user.ok()) return Status(user.error());
+    auto st = cmd == "reserve" ? hybrid_->reserve_cell(words[1], words[2], *user)
+                               : hybrid_->publish_cell(words[1], words[2], *user);
+    if (!st.ok()) return st;
+    say(words[2] + (cmd == "reserve" ? " reserved into " : " published by ") + words[3] +
+        (cmd == "reserve" ? "'s workspace" : ""));
+    return {};
+  }
+  if (cmd == "share") {
+    if (words.size() != 4) return usage("share <to-project> <from-project> <cell>");
+    if (auto st = hybrid_->share_cell(words[1], words[2], words[3]); !st.ok()) return st;
+    say(words[3] + " of " + words[2] + " shared into " + words[1]);
+    return {};
+  }
+  if (cmd == "edit") {
+    if (words.size() < 2) return usage("edit <tool-command> [args...]");
+    ToolCommand edit;
+    edit.command = words[1];
+    edit.args.assign(words.begin() + 2, words.end());
+    pending_edits_.push_back(std::move(edit));
+    return {};
+  }
+  if (cmd == "run") {
+    if (words.size() != 5 && words.size() != 6) {
+      return usage("run <project> <cell> <activity> <designer> [force]");
+    }
+    bool force = words.size() == 6 && words[5] == "force";
+    auto user = hybrid_->jcf().find_user(words[4]);
+    if (!user.ok()) return Status(user.error());
+    std::vector<ToolCommand> edits;
+    edits.swap(pending_edits_);  // one run consumes the queued edits
+    auto run = hybrid_->run_activity(words[1], words[2], words[3], *user, edits, force);
+    if (!run.ok()) return Status(run.error());
+    say(words[3] + " on " + words[2] + ": checked in FMCAD v" +
+        std::to_string(run->fmcad_version) + ", " + std::to_string(edits.size()) + " edits, " +
+        std::to_string(run->consistency_windows.size()) + " consistency window(s)");
+    for (const auto& window : run->consistency_windows) say("  [window] " + window);
+    return {};
+  }
+  if (cmd == "derivations") {
+    if (words.size() != 3) return usage("derivations <project> <cell>");
+    auto rows = hybrid_->derivation_report(words[1], words[2]);
+    if (!rows.ok()) return Status(rows.error());
+    say(words[2] + ": " + std::to_string(rows->size()) + " derivation relation(s)");
+    for (const auto& row : *rows) say("  " + row);
+    return {};
+  }
+  if (cmd == "check") {
+    if (words.size() != 2) return usage("check <project>");
+    auto problems = hybrid_->check_consistency(words[1]);
+    if (!problems.ok()) return Status(problems.error());
+    say(words[1] + ": " + std::to_string(problems->size()) + " consistency problem(s)");
+    for (const auto& p : *problems) say("  " + p);
+    return {};
+  }
+  return support::fail(Errc::not_found, "unknown desktop command '" + cmd + "'");
+}
+
+}  // namespace jfm::coupling

@@ -1,0 +1,165 @@
+#include "jfm/coupling/hierarchy_sync.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace jfm::coupling {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+Status HierarchySubmitter::check_isomorphic(fmcad::Library& library, const std::string& cell,
+                                            const std::vector<std::string>& views) {
+  fmcad::HierarchyBinder binder(&library);
+  std::string reference_sig;
+  std::string reference_view;
+  for (const auto& view : views) {
+    fmcad::CellViewKey key{cell, view};
+    const auto* record = library.meta().find_cellview(key);
+    if (record == nullptr || record->default_version() == nullptr) continue;  // no data yet
+    auto sig = binder.signature(key);
+    if (!sig.ok()) return Status(sig.error());
+    if (reference_sig.empty()) {
+      reference_sig = *sig;
+      reference_view = view;
+      continue;
+    }
+    if (*sig != reference_sig) {
+      if (allow_non_isomorphic_) continue;  // future JCF releases support this
+      ++stats_.non_isomorphic_rejections;
+      return support::fail(Errc::not_supported,
+                           "non-isomorphic hierarchies: view " + view + " of cell " + cell +
+                               " differs from view " + reference_view +
+                               " (not supported by JCF 3.0)");
+    }
+  }
+  return {};
+}
+
+Result<std::vector<std::string>> HierarchySubmitter::child_cells_of(
+    fmcad::Library& library, const fmcad::CellViewKey& root) const {
+  const auto* record = library.meta().find_cellview(root);
+  if (record == nullptr) {
+    return Result<std::vector<std::string>>::failure(Errc::not_found,
+                                                     "cellview " + root.str());
+  }
+  const auto* version = record->default_version();
+  if (version == nullptr) return std::vector<std::string>{};  // empty design
+  auto text = library.fs().read_file(library.cellview_dir(root).child(version->file));
+  if (!text.ok()) {
+    return Result<std::vector<std::string>>::failure(text.error().code, text.error().message);
+  }
+  auto file = fmcad::DesignFile::parse(*text);
+  if (!file.ok()) {
+    return Result<std::vector<std::string>>::failure(file.error().code, file.error().message);
+  }
+  std::set<std::string> cells;
+  for (const auto& use : file->uses) cells.insert(use.cell);
+  return std::vector<std::string>(cells.begin(), cells.end());
+}
+
+Result<jcf::CellVersionRef> HierarchySubmitter::latest_cv(jcf::ProjectRef project,
+                                                          const std::string& cell) const {
+  auto jcf_cell = jcf_->find_cell(project, cell);
+  if (!jcf_cell.ok()) {
+    return Result<jcf::CellVersionRef>::failure(jcf_cell.error().code, jcf_cell.error().message);
+  }
+  return jcf_->latest_cell_version(*jcf_cell);
+}
+
+Status HierarchySubmitter::submit(fmcad::Library& library, const fmcad::CellViewKey& root,
+                                  jcf::ProjectRef project) {
+  auto child_cells = child_cells_of(library, root);
+  if (!child_cells.ok()) return Status(child_cells.error());
+  auto parent_cv = latest_cv(project, root.cell);
+  if (!parent_cv.ok()) {
+    return support::fail(Errc::consistency_violation,
+                         "hierarchy submission: parent cell " + root.cell +
+                             " is not registered in JCF: " + parent_cv.error().message);
+  }
+  if (procedural_interface_) ++stats_.procedural_calls;
+  for (const auto& child : *child_cells) {
+    auto child_cv = latest_cv(project, child);
+    if (!child_cv.ok()) {
+      return support::fail(Errc::consistency_violation,
+                           "hierarchy submission: child cell " + child +
+                               " must be defined in JCF before the design starts");
+    }
+    // Already declared? CompOf is idempotent here.
+    auto existing = jcf_->children(*parent_cv);
+    bool present = existing.ok() && std::find(existing->begin(), existing->end(), *child_cv) !=
+                                        existing->end();
+    if (present) continue;
+    if (!procedural_interface_) {
+      // Manual mode: the designer walks to the JCF desktop for every
+      // relation (paper s3.3: "all hierarchical manipulations must be
+      // done manually via the JCF desktop").
+      ++stats_.desktop_steps;
+    }
+    if (auto st = jcf_->add_child(*parent_cv, *child_cv); !st.ok()) return st;
+    ++stats_.relations_submitted;
+  }
+  return {};
+}
+
+Status HierarchySubmitter::declare(jcf::CellVersionRef parent, jcf::CellVersionRef child) {
+  ++stats_.desktop_steps;
+  if (auto st = jcf_->add_child(parent, child); !st.ok()) return st;
+  ++stats_.relations_submitted;
+  return {};
+}
+
+Status HierarchySubmitter::submit_children(jcf::ProjectRef project,
+                                           const std::string& parent_cell,
+                                           const std::vector<std::string>& child_cells) {
+  if (!procedural_interface_) {
+    return support::fail(Errc::not_supported,
+                         "JCF 3.0 has no procedural hierarchy interface (future work)");
+  }
+  auto parent_cv = latest_cv(project, parent_cell);
+  if (!parent_cv.ok()) return Status(parent_cv.error());
+  ++stats_.procedural_calls;
+  for (const auto& child : child_cells) {
+    auto child_cv = latest_cv(project, child);
+    if (!child_cv.ok()) {
+      return support::fail(Errc::consistency_violation,
+                           "child cell " + child + " is not registered in JCF");
+    }
+    auto existing = jcf_->children(*parent_cv);
+    bool present = existing.ok() && std::find(existing->begin(), existing->end(), *child_cv) !=
+                                        existing->end();
+    if (present) continue;
+    if (auto st = jcf_->add_child(*parent_cv, *child_cv); !st.ok()) return st;
+    ++stats_.relations_submitted;
+  }
+  return {};
+}
+
+Result<std::vector<std::string>> HierarchySubmitter::undeclared_children(
+    fmcad::Library& library, const fmcad::CellViewKey& root, jcf::ProjectRef project) const {
+  auto child_cells = child_cells_of(library, root);
+  if (!child_cells.ok()) {
+    return Result<std::vector<std::string>>::failure(child_cells.error().code,
+                                                     child_cells.error().message);
+  }
+  auto parent_cv = latest_cv(project, root.cell);
+  if (!parent_cv.ok()) return *child_cells;  // nothing declared at all
+  auto declared = jcf_->children(*parent_cv);
+  std::set<std::string> declared_names;
+  if (declared.ok()) {
+    for (auto cv : *declared) {
+      auto cell = jcf_->cell_of(cv);
+      if (!cell.ok()) continue;
+      auto name = jcf_->name_of(cell->id);
+      if (name.ok()) declared_names.insert(*name);
+    }
+  }
+  std::vector<std::string> missing;
+  for (const auto& child : *child_cells) {
+    if (!declared_names.contains(child)) missing.push_back(child);
+  }
+  return missing;
+}
+
+}  // namespace jfm::coupling

@@ -1,0 +1,228 @@
+#include "jfm/coupling/mapping.hpp"
+
+#include <algorithm>
+
+namespace jfm::coupling {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+const std::vector<MappingRow>& mapping_table() {
+  static const std::vector<MappingRow> kTable = {
+      {"Project", "Library"},
+      {"CellVersion", "Cell"},
+      {"ViewType", "View"},
+      {"DesignObject", "Cellview"},
+      {"DesignObjectVersion", "Cellview Version"},
+  };
+  return kTable;
+}
+
+ModelMapper::ModelMapper(jcf::JcfFramework* jcf, jcf::UserRef integrator, jcf::TeamRef team,
+                         jcf::FlowRef flow)
+    : jcf_(jcf), integrator_(integrator), team_(team), flow_(flow) {}
+
+Result<jcf::ProjectRef> ModelMapper::import_library(fmcad::Library& library,
+                                                    MappingStats* stats) {
+  auto fail = [](const support::Error& e) {
+    return Result<jcf::ProjectRef>::failure(e.code, e.message);
+  };
+  // Project <- Library
+  auto project = jcf_->create_project(library.name(), team_);
+  if (!project.ok()) return project;
+
+  // ViewType <- View: the JCF ViewType carries the FMCAD *viewtype*
+  // (the tool binding); the view's own name becomes the design object
+  // name below, so the pair survives the round trip.
+  std::map<std::string, jcf::ViewTypeRef> viewtypes;  // view name -> JCF viewtype
+  for (const auto& view : library.meta().views) {
+    auto vt = jcf_->find_viewtype(view.viewtype);
+    if (!vt.ok()) vt = jcf_->create_viewtype(view.viewtype);
+    if (!vt.ok()) return fail(vt.error());
+    viewtypes[view.name] = *vt;
+    if (stats != nullptr) ++stats->views;
+  }
+
+  // CellVersion <- Cell (each FMCAD cell becomes cell + one version)
+  for (const auto& cell_name : library.meta().cells) {
+    auto cell = jcf_->create_cell(*project, cell_name, flow_, team_);
+    if (!cell.ok()) return fail(cell.error());
+    auto cv = jcf_->create_cell_version(*cell, integrator_);
+    if (!cv.ok()) return fail(cv.error());
+    if (auto st = jcf_->reserve(*cv, integrator_); !st.ok()) return fail(st.error());
+    auto variant = jcf_->create_variant(*cv, import_variant(), integrator_);
+    if (!variant.ok()) return fail(variant.error());
+    if (stats != nullptr) ++stats->cells;
+
+    // DesignObject <- Cellview ; DesignObjectVersion <- Cellview Version
+    for (const auto& [key, record] : library.meta().cellviews) {
+      if (key.cell != cell_name) continue;
+      auto vt_it = viewtypes.find(key.view);
+      if (vt_it == viewtypes.end()) {
+        return Result<jcf::ProjectRef>::failure(
+            Errc::consistency_violation,
+            "cellview " + key.str() + " references undeclared view " + key.view);
+      }
+      auto dobj = jcf_->create_design_object(*variant, key.view, vt_it->second, integrator_);
+      if (!dobj.ok()) return fail(dobj.error());
+      if (stats != nullptr) ++stats->cellviews;
+      for (const auto& version : record.versions) {
+        auto content =
+            library.fs().read_file(library.cellview_dir(key).child(version.file));
+        if (!content.ok()) return fail(content.error());
+        auto dov = jcf_->create_dov(*dobj, *content, integrator_);
+        if (!dov.ok()) return fail(dov.error());
+        if (stats != nullptr) {
+          ++stats->versions;
+          stats->design_bytes += content->size();
+        }
+      }
+    }
+    if (auto st = jcf_->publish(*cv, integrator_); !st.ok()) return fail(st.error());
+  }
+  return project;
+}
+
+Result<std::shared_ptr<fmcad::Library>> ModelMapper::export_project(
+    jcf::ProjectRef project, vfs::FileSystem* fs, support::SimClock* clock,
+    const vfs::Path& parent, const std::string& library_name, MappingStats* stats) {
+  using LibResult = Result<std::shared_ptr<fmcad::Library>>;
+  auto fail = [](const support::Error& e) { return LibResult::failure(e.code, e.message); };
+
+  auto library = fmcad::Library::create(fs, clock, parent, library_name);
+  if (!library.ok()) return library;
+  fmcad::DesignerSession session(*library, "jcf_export");
+
+  // Views first: each design object name is an FMCAD view name; its JCF
+  // viewtype is the FMCAD viewtype (see import_library).
+  std::vector<std::string> declared_views;
+  auto cells = jcf_->cells(project);
+  if (!cells.ok()) return fail(cells.error());
+  for (auto cell : *cells) {
+    auto cv = jcf_->latest_cell_version(cell);
+    if (!cv.ok()) continue;  // cells without versions have no mapped state
+    auto variant = jcf_->find_variant(*cv, import_variant());
+    if (!variant.ok()) {
+      auto all = jcf_->variants(*cv);
+      if (!all.ok() || all->empty()) continue;
+      variant = all->front();
+    }
+    auto dobjs = jcf_->design_objects(*variant);
+    if (!dobjs.ok()) return fail(dobjs.error());
+    for (auto dobj : *dobjs) {
+      auto view_name = jcf_->name_of(dobj.id);
+      if (!view_name.ok()) return fail(view_name.error());
+      auto vt = jcf_->viewtype_of(dobj);
+      if (!vt.ok()) return fail(vt.error());
+      auto vt_name = jcf_->name_of(vt->id);
+      if (!vt_name.ok()) return fail(vt_name.error());
+      if (std::find(declared_views.begin(), declared_views.end(), *view_name) ==
+          declared_views.end()) {
+        declared_views.push_back(*view_name);
+        if (auto st = session.define_view(*view_name, *vt_name); !st.ok()) {
+          return fail(st.error());
+        }
+        if (stats != nullptr) ++stats->views;
+      }
+    }
+  }
+
+  for (auto cell : *cells) {
+    auto cell_name = jcf_->name_of(cell.id);
+    if (!cell_name.ok()) return fail(cell_name.error());
+    auto cv = jcf_->latest_cell_version(cell);
+    if (!cv.ok()) continue;
+    auto variant = jcf_->find_variant(*cv, import_variant());
+    if (!variant.ok()) {
+      auto all = jcf_->variants(*cv);
+      if (!all.ok() || all->empty()) continue;
+      variant = all->front();
+    }
+    if (auto st = session.create_cell(*cell_name); !st.ok()) return fail(st.error());
+    if (stats != nullptr) ++stats->cells;
+    auto dobjs = jcf_->design_objects(*variant);
+    if (!dobjs.ok()) return fail(dobjs.error());
+    for (auto dobj : *dobjs) {
+      auto view_name = jcf_->name_of(dobj.id);
+      if (!view_name.ok()) return fail(view_name.error());
+      fmcad::CellViewKey key{*cell_name, *view_name};
+      if (auto st = session.create_cellview(key); !st.ok()) return fail(st.error());
+      if (stats != nullptr) ++stats->cellviews;
+      auto dovs = jcf_->dov_versions(dobj);
+      if (!dovs.ok()) return fail(dovs.error());
+      for (auto dov : *dovs) {
+        auto data = jcf_->dov_data(dov, integrator_);
+        if (!data.ok()) return fail(data.error());
+        auto work = session.checkout(key);
+        if (!work.ok()) return fail(work.error());
+        if (auto st = session.write_working(key, *data); !st.ok()) return fail(st.error());
+        auto version = session.checkin(key);
+        if (!version.ok()) return fail(version.error());
+        if (stats != nullptr) {
+          ++stats->versions;
+          stats->design_bytes += data->size();
+        }
+      }
+    }
+  }
+  return library;
+}
+
+std::vector<std::string> diff_libraries(fmcad::Library& a, fmcad::Library& b) {
+  std::vector<std::string> diffs;
+  const auto& ma = a.meta();
+  const auto& mb = b.meta();
+
+  auto sorted = [](std::vector<std::string> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  if (sorted(ma.cells) != sorted(mb.cells)) diffs.push_back("cell sets differ");
+
+  // Only views that carry cellviews are part of the mapped state: JCF
+  // has ViewTypes but no standalone View object, so a declared-but-
+  // never-used FMCAD view does not survive the round trip (and carries
+  // no design data that could).
+  auto view_names = [&](const fmcad::LibraryMeta& m) {
+    std::vector<std::string> out;
+    for (const auto& v : m.views) {
+      bool used = false;
+      for (const auto& [key, record] : m.cellviews) {
+        if (key.view == v.name) used = true;
+      }
+      if (used) out.push_back(v.name + ":" + v.viewtype);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  if (view_names(ma) != view_names(mb)) diffs.push_back("view sets differ");
+
+  for (const auto& [key, record] : ma.cellviews) {
+    const auto* other = mb.find_cellview(key);
+    if (other == nullptr) {
+      diffs.push_back("cellview " + key.str() + " missing in second library");
+      continue;
+    }
+    if (record.versions.size() != other->versions.size()) {
+      diffs.push_back("cellview " + key.str() + " version counts differ");
+      continue;
+    }
+    for (std::size_t i = 0; i < record.versions.size(); ++i) {
+      auto ca = a.fs().read_file(a.cellview_dir(key).child(record.versions[i].file));
+      auto cb = b.fs().read_file(b.cellview_dir(key).child(other->versions[i].file));
+      if (!ca.ok() || !cb.ok() || *ca != *cb) {
+        diffs.push_back("cellview " + key.str() + " version " +
+                        std::to_string(record.versions[i].number) + " content differs");
+      }
+    }
+  }
+  for (const auto& [key, record] : mb.cellviews) {
+    if (ma.find_cellview(key) == nullptr) {
+      diffs.push_back("cellview " + key.str() + " missing in first library");
+    }
+  }
+  return diffs;
+}
+
+}  // namespace jfm::coupling

@@ -1,0 +1,61 @@
+#include "jfm/coupling/transfer.hpp"
+
+namespace jfm::coupling {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+TransferEngine::TransferEngine(jcf::JcfFramework* jcf, vfs::FileSystem* fs,
+                               vfs::Path transfer_dir, bool copy_through_filesystem)
+    : jcf_(jcf),
+      fs_(fs),
+      transfer_dir_(std::move(transfer_dir)),
+      copy_through_filesystem_(copy_through_filesystem) {
+  (void)fs_->mkdirs(transfer_dir_);
+}
+
+vfs::Path TransferEngine::staging_file(const std::string& tag) {
+  return transfer_dir_.child(tag + "_" + std::to_string(++stage_counter_) + ".xfer");
+}
+
+Status TransferEngine::export_dov(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst) {
+  auto data = jcf_->dov_data(dov, reader);
+  if (!data.ok()) return Status(data.error());
+  ++stats_.exports;
+  stats_.bytes_exported += data->size();
+  if (copy_through_filesystem_) {
+    // Stage in the transfer directory, then copy to the destination --
+    // the payload crosses the file system twice, as in the paper.
+    vfs::Path stage = staging_file("out");
+    if (auto st = fs_->write_file(stage, std::move(*data)); !st.ok()) return st;
+    ++stats_.staging_copies;
+    auto st = fs_->copy_file(stage, dst);
+    (void)fs_->remove(stage);
+    return st;
+  }
+  return fs_->write_file(dst, std::move(*data));
+}
+
+Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
+                                                jcf::DesignObjectRef dobj,
+                                                jcf::UserRef writer) {
+  vfs::Path read_from = src;
+  vfs::Path stage;
+  if (copy_through_filesystem_) {
+    stage = staging_file("in");
+    if (auto st = fs_->copy_file(src, stage); !st.ok()) {
+      return Result<jcf::DovRef>::failure(st.error().code, st.error().message);
+    }
+    ++stats_.staging_copies;
+    read_from = stage;
+  }
+  auto data = fs_->read_file(read_from);
+  if (copy_through_filesystem_) (void)fs_->remove(stage);
+  if (!data.ok()) return Result<jcf::DovRef>::failure(data.error().code, data.error().message);
+  ++stats_.imports;
+  stats_.bytes_imported += data->size();
+  return jcf_->create_dov(dobj, std::move(*data), writer);
+}
+
+}  // namespace jfm::coupling

@@ -1,0 +1,11 @@
+#pragma once
+// Core FML builtins (arithmetic, lists, strings, predicates, print).
+// Installed automatically by every Interpreter.
+
+namespace jfm::extlang {
+
+class Interpreter;
+
+void install_core_builtins(Interpreter& interp);
+
+}  // namespace jfm::extlang

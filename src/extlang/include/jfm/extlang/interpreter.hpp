@@ -1,0 +1,87 @@
+#pragma once
+// FML interpreter: environments, evaluation, host bindings and triggers.
+//
+// The encapsulation layer (paper s2.4) drives FMCAD through this
+// interpreter: wrapper procedures are installed as *triggers* fired on
+// framework events (tool-open, pre-save, checkin, ...) and host
+// builtins expose menu locking and framework queries to scripts.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jfm/extlang/value.hpp"
+
+namespace jfm::extlang {
+
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  /// Define (or redefine) in *this* scope.
+  void define(const std::string& name, Value value) { vars_[name] = std::move(value); }
+
+  /// Lookup through the scope chain; nullptr if unbound.
+  const Value* lookup(const std::string& name) const;
+
+  /// Assign to the nearest scope that binds `name`; fails if unbound.
+  support::Status assign(const std::string& name, Value value);
+
+ private:
+  std::map<std::string, Value, std::less<>> vars_;
+  std::shared_ptr<Environment> parent_;
+};
+
+class Interpreter {
+ public:
+  Interpreter();
+
+  /// Evaluate a whole program; returns the value of the last expression.
+  support::Result<Value> eval_text(std::string_view program);
+
+  /// Evaluate an already-read expression in the global environment.
+  support::Result<Value> eval(const Value& expr);
+  support::Result<Value> eval(const Value& expr, const std::shared_ptr<Environment>& env);
+
+  /// Call any callable value with arguments.
+  support::Result<Value> apply(const Value& callable, ValueList args);
+
+  /// Expose a host function to scripts.
+  void define_builtin(const std::string& name,
+                      std::function<support::Result<Value>(Interpreter&, ValueList&)> fn);
+  void define_global(const std::string& name, Value value);
+  support::Result<Value> global(const std::string& name) const;
+
+  std::shared_ptr<Environment> global_env() const { return global_; }
+
+  // -- triggers ----------------------------------------------------------
+  // Named event hooks. The hybrid framework registers consistency
+  // procedures here; FMCAD fires them around tool operations (s2.4).
+  void add_trigger(const std::string& event, Value procedure);
+  std::size_t trigger_count(const std::string& event) const;
+  /// Run all triggers for `event` in registration order. Stops at the
+  /// first failing trigger (a trigger fails by erroring or by returning
+  /// #f when `veto_on_false` is set -- that is how wrappers veto unsafe
+  /// menu actions).
+  support::Status fire(const std::string& event, ValueList args, bool veto_on_false = false);
+
+  /// Output captured from (print ...); examples and tests inspect it.
+  const std::vector<std::string>& output() const noexcept { return output_; }
+  void clear_output() { output_.clear(); }
+  void emit(std::string line) { output_.push_back(std::move(line)); }
+
+ private:
+  support::Result<Value> eval_list(const ValueList& form, const std::shared_ptr<Environment>& env,
+                                   int depth);
+  support::Result<Value> eval_depth(const Value& expr, const std::shared_ptr<Environment>& env,
+                                    int depth);
+  support::Result<Value> apply_depth(const Value& callable, ValueList args, int depth);
+
+  std::shared_ptr<Environment> global_;
+  std::map<std::string, std::vector<Value>, std::less<>> triggers_;
+  std::vector<std::string> output_;
+};
+
+}  // namespace jfm::extlang

@@ -1,0 +1,20 @@
+#pragma once
+// FML reader: text -> Values.
+//
+// Syntax: s-expressions. Atoms: integers (42, -7), reals (3.14),
+// strings ("..." with \" \\ \n \t escapes), booleans (#t / #f), nil,
+// symbols (anything else). 'x quotes. ; comments to end of line.
+
+#include <string_view>
+
+#include "jfm/extlang/value.hpp"
+
+namespace jfm::extlang {
+
+/// Parse a single expression. Fails if there is trailing content.
+support::Result<Value> read_one(std::string_view text);
+
+/// Parse a whole program: zero or more expressions.
+support::Result<ValueList> read_all(std::string_view text);
+
+}  // namespace jfm::extlang

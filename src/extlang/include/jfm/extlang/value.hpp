@@ -1,0 +1,106 @@
+#pragma once
+// Values of the FMCAD extension language (FML).
+//
+// FMCAD "can be modified by an extension language" (paper s2.2); the
+// JCF-FMCAD encapsulation uses it for "extension language procedures to
+// trigger functions and lock menu points" (s2.4). FML is a small
+// s-expression language in the spirit of Cadence SKILL.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "jfm/support/result.hpp"
+
+namespace jfm::extlang {
+
+class Interpreter;
+struct Value;
+
+using ValueList = std::vector<Value>;
+
+/// Interned-by-name symbol; distinct from strings.
+struct Symbol {
+  std::string name;
+  friend bool operator==(const Symbol& a, const Symbol& b) { return a.name == b.name; }
+};
+
+/// A user-defined procedure with lexical closure.
+struct Lambda;
+
+/// A host (C++) function exposed to scripts.
+struct Builtin {
+  std::string name;
+  std::function<support::Result<Value>(Interpreter&, ValueList&)> fn;
+};
+
+struct Value {
+  using Data = std::variant<std::monostate,              // nil
+                            bool, std::int64_t, double,  // atoms
+                            std::string, Symbol,
+                            std::shared_ptr<ValueList>,  // list
+                            std::shared_ptr<Lambda>, std::shared_ptr<Builtin>>;
+
+  Data data;
+
+  Value() = default;
+  Value(bool b) : data(b) {}                     // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i) : data(i) {}             // NOLINT(google-explicit-constructor)
+  Value(int i) : data(std::int64_t{i}) {}        // NOLINT(google-explicit-constructor)
+  Value(double d) : data(d) {}                   // NOLINT(google-explicit-constructor)
+  Value(std::string s) : data(std::move(s)) {}   // NOLINT(google-explicit-constructor)
+  Value(const char* s) : data(std::string(s)) {} // NOLINT(google-explicit-constructor)
+  Value(Symbol s) : data(std::move(s)) {}        // NOLINT(google-explicit-constructor)
+
+  static Value nil() { return Value(); }
+  static Value list(ValueList items) {
+    Value v;
+    v.data = std::make_shared<ValueList>(std::move(items));
+    return v;
+  }
+  static Value symbol(std::string name) { return Value(Symbol{std::move(name)}); }
+
+  bool is_nil() const noexcept { return std::holds_alternative<std::monostate>(data); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(data); }
+  bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(data); }
+  bool is_real() const noexcept { return std::holds_alternative<double>(data); }
+  bool is_number() const noexcept { return is_int() || is_real(); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(data); }
+  bool is_symbol() const noexcept { return std::holds_alternative<Symbol>(data); }
+  bool is_list() const noexcept { return std::holds_alternative<std::shared_ptr<ValueList>>(data); }
+  bool is_callable() const noexcept {
+    return std::holds_alternative<std::shared_ptr<Lambda>>(data) ||
+           std::holds_alternative<std::shared_ptr<Builtin>>(data);
+  }
+
+  bool as_bool() const { return std::get<bool>(data); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(data); }
+  double as_real() const { return std::get<double>(data); }
+  /// int or real widened to double
+  double as_number() const { return is_int() ? static_cast<double>(as_int()) : as_real(); }
+  const std::string& as_string() const { return std::get<std::string>(data); }
+  const Symbol& as_symbol() const { return std::get<Symbol>(data); }
+  const ValueList& as_list() const { return *std::get<std::shared_ptr<ValueList>>(data); }
+  ValueList& as_list() { return *std::get<std::shared_ptr<ValueList>>(data); }
+
+  /// Scheme-style truthiness: everything except #f and nil is true.
+  bool truthy() const noexcept { return !(is_nil() || (is_bool() && !as_bool())); }
+
+  /// Printable form ("(a 1 \"x\")").
+  std::string repr() const;
+
+  /// Structural equality (lists compared element-wise).
+  friend bool operator==(const Value& a, const Value& b);
+};
+
+struct Lambda {
+  std::string name;  ///< for diagnostics; "" for anonymous
+  std::vector<std::string> params;
+  ValueList body;  ///< sequence of expressions
+  std::shared_ptr<class Environment> closure;
+};
+
+}  // namespace jfm::extlang

@@ -1,0 +1,308 @@
+#include "jfm/extlang/builtins.hpp"
+
+#include <algorithm>
+
+#include "jfm/extlang/interpreter.hpp"
+
+namespace jfm::extlang {
+
+using support::Errc;
+using support::Result;
+
+namespace {
+
+Result<Value> error(Errc code, std::string msg) {
+  return Result<Value>::failure(code, std::move(msg));
+}
+
+Result<Value> need_args(const std::string& name, const ValueList& args, std::size_t n) {
+  if (args.size() != n) {
+    return error(Errc::invalid_argument,
+                 name + " expects " + std::to_string(n) + " arguments, got " +
+                     std::to_string(args.size()));
+  }
+  return Value::nil();
+}
+
+bool all_ints(const ValueList& args) {
+  return std::all_of(args.begin(), args.end(), [](const Value& v) { return v.is_int(); });
+}
+
+Result<Value> check_numbers(const std::string& name, const ValueList& args, std::size_t min_n) {
+  if (args.size() < min_n) {
+    return error(Errc::invalid_argument, name + " expects at least " + std::to_string(min_n));
+  }
+  for (const auto& a : args) {
+    if (!a.is_number()) return error(Errc::invalid_argument, name + ": not a number " + a.repr());
+  }
+  return Value::nil();
+}
+
+}  // namespace
+
+void install_core_builtins(Interpreter& interp) {
+  // -- arithmetic --------------------------------------------------------
+  interp.define_builtin("+", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = check_numbers("+", args, 0); !chk.ok()) return chk;
+    if (all_ints(args)) {
+      std::int64_t sum = 0;
+      for (const auto& a : args) sum += a.as_int();
+      return Value(sum);
+    }
+    double sum = 0;
+    for (const auto& a : args) sum += a.as_number();
+    return Value(sum);
+  });
+  interp.define_builtin("-", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = check_numbers("-", args, 1); !chk.ok()) return chk;
+    if (args.size() == 1) {
+      return all_ints(args) ? Value(-args[0].as_int()) : Value(-args[0].as_number());
+    }
+    if (all_ints(args)) {
+      std::int64_t acc = args[0].as_int();
+      for (std::size_t i = 1; i < args.size(); ++i) acc -= args[i].as_int();
+      return Value(acc);
+    }
+    double acc = args[0].as_number();
+    for (std::size_t i = 1; i < args.size(); ++i) acc -= args[i].as_number();
+    return Value(acc);
+  });
+  interp.define_builtin("*", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = check_numbers("*", args, 0); !chk.ok()) return chk;
+    if (all_ints(args)) {
+      std::int64_t acc = 1;
+      for (const auto& a : args) acc *= a.as_int();
+      return Value(acc);
+    }
+    double acc = 1;
+    for (const auto& a : args) acc *= a.as_number();
+    return Value(acc);
+  });
+  interp.define_builtin("/", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = check_numbers("/", args, 2); !chk.ok()) return chk;
+    if (all_ints(args)) {
+      std::int64_t acc = args[0].as_int();
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i].as_int() == 0) return error(Errc::invalid_argument, "division by zero");
+        acc /= args[i].as_int();
+      }
+      return Value(acc);
+    }
+    double acc = args[0].as_number();
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i].as_number() == 0.0) return error(Errc::invalid_argument, "division by zero");
+      acc /= args[i].as_number();
+    }
+    return Value(acc);
+  });
+  interp.define_builtin("mod", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("mod", args, 2); !chk.ok()) return chk;
+    if (!args[0].is_int() || !args[1].is_int()) {
+      return error(Errc::invalid_argument, "mod expects integers");
+    }
+    if (args[1].as_int() == 0) return error(Errc::invalid_argument, "mod by zero");
+    return Value(args[0].as_int() % args[1].as_int());
+  });
+
+  // -- comparison --------------------------------------------------------
+  auto compare = [](const std::string& name, auto cmp) {
+    return [name, cmp](Interpreter&, ValueList& args) -> Result<Value> {
+      if (auto chk = check_numbers(name, args, 2); !chk.ok()) return chk;
+      for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (!cmp(args[i].as_number(), args[i + 1].as_number())) return Value(false);
+      }
+      return Value(true);
+    };
+  };
+  interp.define_builtin("<", compare("<", [](double a, double b) { return a < b; }));
+  interp.define_builtin("<=", compare("<=", [](double a, double b) { return a <= b; }));
+  interp.define_builtin(">", compare(">", [](double a, double b) { return a > b; }));
+  interp.define_builtin(">=", compare(">=", [](double a, double b) { return a >= b; }));
+  interp.define_builtin("=", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (args.size() < 2) return error(Errc::invalid_argument, "= expects at least 2 arguments");
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+      if (!(args[i] == args[i + 1])) return Value(false);
+    }
+    return Value(true);
+  });
+  interp.define_builtin("not", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("not", args, 1); !chk.ok()) return chk;
+    return Value(!args[0].truthy());
+  });
+
+  // -- lists ---------------------------------------------------------------
+  interp.define_builtin("list", [](Interpreter&, ValueList& args) -> Result<Value> {
+    return Value::list(args);
+  });
+  interp.define_builtin("length", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("length", args, 1); !chk.ok()) return chk;
+    if (args[0].is_nil()) return Value(std::int64_t{0});
+    if (args[0].is_string()) return Value(static_cast<std::int64_t>(args[0].as_string().size()));
+    if (!args[0].is_list()) return error(Errc::invalid_argument, "length: not a list");
+    return Value(static_cast<std::int64_t>(args[0].as_list().size()));
+  });
+  interp.define_builtin("nth", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("nth", args, 2); !chk.ok()) return chk;
+    if (!args[0].is_int() || !args[1].is_list()) {
+      return error(Errc::invalid_argument, "nth expects (nth index list)");
+    }
+    const auto& list = args[1].as_list();
+    std::int64_t i = args[0].as_int();
+    if (i < 0 || static_cast<std::size_t>(i) >= list.size()) {
+      return error(Errc::invalid_argument, "nth: index out of range");
+    }
+    return list[static_cast<std::size_t>(i)];
+  });
+  interp.define_builtin("append", [](Interpreter&, ValueList& args) -> Result<Value> {
+    ValueList out;
+    for (const auto& a : args) {
+      if (a.is_nil()) continue;
+      if (!a.is_list()) return error(Errc::invalid_argument, "append: not a list");
+      const auto& items = a.as_list();
+      out.insert(out.end(), items.begin(), items.end());
+    }
+    return Value::list(std::move(out));
+  });
+  interp.define_builtin("cons", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("cons", args, 2); !chk.ok()) return chk;
+    ValueList out;
+    out.push_back(args[0]);
+    if (args[1].is_list()) {
+      const auto& rest = args[1].as_list();
+      out.insert(out.end(), rest.begin(), rest.end());
+    } else if (!args[1].is_nil()) {
+      out.push_back(args[1]);
+    }
+    return Value::list(std::move(out));
+  });
+  interp.define_builtin("car", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("car", args, 1); !chk.ok()) return chk;
+    if (!args[0].is_list() || args[0].as_list().empty()) {
+      return error(Errc::invalid_argument, "car: empty or not a list");
+    }
+    return args[0].as_list().front();
+  });
+  interp.define_builtin("cdr", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("cdr", args, 1); !chk.ok()) return chk;
+    if (!args[0].is_list() || args[0].as_list().empty()) {
+      return error(Errc::invalid_argument, "cdr: empty or not a list");
+    }
+    const auto& list = args[0].as_list();
+    return Value::list(ValueList(list.begin() + 1, list.end()));
+  });
+  interp.define_builtin("null?", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("null?", args, 1); !chk.ok()) return chk;
+    return Value(args[0].is_nil() || (args[0].is_list() && args[0].as_list().empty()));
+  });
+  interp.define_builtin("member", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("member", args, 2); !chk.ok()) return chk;
+    if (!args[1].is_list()) return error(Errc::invalid_argument, "member: not a list");
+    for (const auto& item : args[1].as_list()) {
+      if (item == args[0]) return Value(true);
+    }
+    return Value(false);
+  });
+  interp.define_builtin("map", [](Interpreter& in, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("map", args, 2); !chk.ok()) return chk;
+    if (!args[0].is_callable() || !args[1].is_list()) {
+      return error(Errc::invalid_argument, "map expects (map fn list)");
+    }
+    ValueList out;
+    for (const auto& item : args[1].as_list()) {
+      auto v = in.apply(args[0], {item});
+      if (!v.ok()) return v;
+      out.push_back(std::move(*v));
+    }
+    return Value::list(std::move(out));
+  });
+  interp.define_builtin("filter", [](Interpreter& in, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("filter", args, 2); !chk.ok()) return chk;
+    if (!args[0].is_callable() || !args[1].is_list()) {
+      return error(Errc::invalid_argument, "filter expects (filter fn list)");
+    }
+    ValueList out;
+    for (const auto& item : args[1].as_list()) {
+      auto v = in.apply(args[0], {item});
+      if (!v.ok()) return v;
+      if (v->truthy()) out.push_back(item);
+    }
+    return Value::list(std::move(out));
+  });
+
+  // -- predicates ---------------------------------------------------------
+  auto type_pred = [](auto pred) {
+    return [pred](Interpreter&, ValueList& args) -> Result<Value> {
+      if (args.size() != 1) return error(Errc::invalid_argument, "predicate expects 1 argument");
+      return Value(pred(args[0]));
+    };
+  };
+  interp.define_builtin("number?", type_pred([](const Value& v) { return v.is_number(); }));
+  interp.define_builtin("string?", type_pred([](const Value& v) { return v.is_string(); }));
+  interp.define_builtin("symbol?", type_pred([](const Value& v) { return v.is_symbol(); }));
+  interp.define_builtin("list?", type_pred([](const Value& v) { return v.is_list(); }));
+  interp.define_builtin("procedure?", type_pred([](const Value& v) { return v.is_callable(); }));
+
+  // -- strings --------------------------------------------------------------
+  interp.define_builtin("string-append", [](Interpreter&, ValueList& args) -> Result<Value> {
+    std::string out;
+    for (const auto& a : args) {
+      if (a.is_string()) {
+        out += a.as_string();
+      } else {
+        out += a.repr();
+      }
+    }
+    return Value(std::move(out));
+  });
+  interp.define_builtin("to-string", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("to-string", args, 1); !chk.ok()) return chk;
+    return Value(args[0].is_string() ? args[0].as_string() : args[0].repr());
+  });
+  interp.define_builtin("symbol->string", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (auto chk = need_args("symbol->string", args, 1); !chk.ok()) return chk;
+    if (!args[0].is_symbol()) return error(Errc::invalid_argument, "not a symbol");
+    return Value(args[0].as_symbol().name);
+  });
+
+  // -- output & errors ------------------------------------------------------
+  interp.define_builtin("print", [](Interpreter& in, ValueList& args) -> Result<Value> {
+    std::string line;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i) line += ' ';
+      line += args[i].is_string() ? args[i].as_string() : args[i].repr();
+    }
+    in.emit(std::move(line));
+    return Value::nil();
+  });
+  interp.define_builtin("error", [](Interpreter&, ValueList& args) -> Result<Value> {
+    std::string msg = "script error";
+    if (!args.empty() && args[0].is_string()) msg = args[0].as_string();
+    return error(Errc::invalid_argument, msg);
+  });
+  // -- framework hooks --------------------------------------------------------
+  // Customization scripts install their own trigger procedures, e.g.
+  //   (register-trigger "pre-save" (lambda (cell view) ...))
+  interp.define_builtin("register-trigger", [](Interpreter& in, ValueList& args) -> Result<Value> {
+    if (args.size() != 2 || !(args[0].is_string() || args[0].is_symbol()) ||
+        !args[1].is_callable()) {
+      return error(Errc::invalid_argument,
+                   "register-trigger expects (register-trigger event procedure)");
+    }
+    const std::string event =
+        args[0].is_string() ? args[0].as_string() : args[0].as_symbol().name;
+    in.add_trigger(event, args[1]);
+    return Value(static_cast<std::int64_t>(in.trigger_count(event)));
+  });
+
+  interp.define_builtin("assert", [](Interpreter&, ValueList& args) -> Result<Value> {
+    if (args.empty()) return error(Errc::invalid_argument, "assert expects a condition");
+    if (!args[0].truthy()) {
+      std::string msg = args.size() > 1 && args[1].is_string() ? args[1].as_string()
+                                                               : "assertion failed";
+      return error(Errc::invalid_argument, msg);
+    }
+    return Value(true);
+  });
+}
+
+}  // namespace jfm::extlang

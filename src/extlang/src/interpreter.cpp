@@ -1,0 +1,341 @@
+#include "jfm/extlang/interpreter.hpp"
+
+#include "jfm/extlang/reader.hpp"
+#include "jfm/extlang/builtins.hpp"
+
+namespace jfm::extlang {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+namespace {
+constexpr int kMaxDepth = 400;
+
+Result<Value> error(Errc code, std::string msg) {
+  return Result<Value>::failure(code, std::move(msg));
+}
+}  // namespace
+
+const Value* Environment::lookup(const std::string& name) const {
+  const Environment* env = this;
+  while (env != nullptr) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) return &it->second;
+    env = env->parent_.get();
+  }
+  return nullptr;
+}
+
+Status Environment::assign(const std::string& name, Value value) {
+  Environment* env = this;
+  while (env != nullptr) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) {
+      it->second = std::move(value);
+      return {};
+    }
+    env = env->parent_.get();
+  }
+  return support::fail(Errc::not_found, "set!: unbound variable '" + name + "'");
+}
+
+Interpreter::Interpreter() : global_(std::make_shared<Environment>()) {
+  install_core_builtins(*this);  // defined in builtins.cpp
+}
+
+Result<Value> Interpreter::eval_text(std::string_view program) {
+  auto exprs = read_all(program);
+  if (!exprs.ok()) return error(exprs.error().code, exprs.error().message);
+  Value last = Value::nil();
+  for (const auto& expr : *exprs) {
+    auto v = eval(expr);
+    if (!v.ok()) return v;
+    last = std::move(*v);
+  }
+  return last;
+}
+
+Result<Value> Interpreter::eval(const Value& expr) { return eval(expr, global_); }
+
+Result<Value> Interpreter::eval(const Value& expr, const std::shared_ptr<Environment>& env) {
+  return eval_depth(expr, env, 0);
+}
+
+Result<Value> Interpreter::eval_depth(const Value& expr, const std::shared_ptr<Environment>& env,
+                                      int depth) {
+  if (depth > kMaxDepth) return error(Errc::invalid_argument, "evaluation too deep");
+  if (expr.is_symbol()) {
+    const Value* bound = env->lookup(expr.as_symbol().name);
+    if (bound == nullptr) {
+      return error(Errc::not_found, "unbound variable '" + expr.as_symbol().name + "'");
+    }
+    return *bound;
+  }
+  if (!expr.is_list()) return expr;  // atoms are self-evaluating
+  return eval_list(expr.as_list(), env, depth);
+}
+
+Result<Value> Interpreter::eval_list(const ValueList& form,
+                                     const std::shared_ptr<Environment>& env, int depth) {
+  if (form.empty()) return error(Errc::invalid_argument, "cannot evaluate ()");
+
+  if (form[0].is_symbol()) {
+    const std::string& head = form[0].as_symbol().name;
+
+    if (head == "quote") {
+      if (form.size() != 2) return error(Errc::invalid_argument, "quote expects 1 argument");
+      return form[1];
+    }
+    if (head == "if") {
+      if (form.size() != 3 && form.size() != 4) {
+        return error(Errc::invalid_argument, "if expects 2 or 3 arguments");
+      }
+      auto cond = eval_depth(form[1], env, depth + 1);
+      if (!cond.ok()) return cond;
+      if (cond->truthy()) return eval_depth(form[2], env, depth + 1);
+      if (form.size() == 4) return eval_depth(form[3], env, depth + 1);
+      return Value::nil();
+    }
+    if (head == "cond") {
+      for (std::size_t i = 1; i < form.size(); ++i) {
+        if (!form[i].is_list() || form[i].as_list().size() < 2) {
+          return error(Errc::invalid_argument, "cond clause must be (test expr...)");
+        }
+        const auto& clause = form[i].as_list();
+        bool is_else = clause[0].is_symbol() && clause[0].as_symbol().name == "else";
+        Value test_result;
+        if (!is_else) {
+          auto test = eval_depth(clause[0], env, depth + 1);
+          if (!test.ok()) return test;
+          test_result = std::move(*test);
+        }
+        if (is_else || test_result.truthy()) {
+          Value last = Value::nil();
+          for (std::size_t j = 1; j < clause.size(); ++j) {
+            auto v = eval_depth(clause[j], env, depth + 1);
+            if (!v.ok()) return v;
+            last = std::move(*v);
+          }
+          return last;
+        }
+      }
+      return Value::nil();
+    }
+    if (head == "define") {
+      // (define name expr) or (define (name params...) body...)
+      if (form.size() < 3) return error(Errc::invalid_argument, "define expects 2+ arguments");
+      if (form[1].is_symbol()) {
+        if (form.size() != 3) return error(Errc::invalid_argument, "define expects 2 arguments");
+        auto v = eval_depth(form[2], env, depth + 1);
+        if (!v.ok()) return v;
+        env->define(form[1].as_symbol().name, *v);
+        return *v;
+      }
+      if (form[1].is_list() && !form[1].as_list().empty() &&
+          form[1].as_list()[0].is_symbol()) {
+        const auto& sig = form[1].as_list();
+        auto lambda = std::make_shared<Lambda>();
+        lambda->name = sig[0].as_symbol().name;
+        for (std::size_t i = 1; i < sig.size(); ++i) {
+          if (!sig[i].is_symbol()) {
+            return error(Errc::invalid_argument, "parameter names must be symbols");
+          }
+          lambda->params.push_back(sig[i].as_symbol().name);
+        }
+        lambda->body.assign(form.begin() + 2, form.end());
+        lambda->closure = env;
+        Value v;
+        v.data = lambda;
+        env->define(lambda->name, v);
+        return v;
+      }
+      return error(Errc::invalid_argument, "bad define form");
+    }
+    if (head == "set!") {
+      if (form.size() != 3 || !form[1].is_symbol()) {
+        return error(Errc::invalid_argument, "set! expects (set! name expr)");
+      }
+      auto v = eval_depth(form[2], env, depth + 1);
+      if (!v.ok()) return v;
+      if (auto st = env->assign(form[1].as_symbol().name, *v); !st.ok()) {
+        return error(st.error().code, st.error().message);
+      }
+      return *v;
+    }
+    if (head == "lambda") {
+      if (form.size() < 3 || !form[1].is_list()) {
+        return error(Errc::invalid_argument, "lambda expects (lambda (params) body...)");
+      }
+      auto lambda = std::make_shared<Lambda>();
+      for (const auto& p : form[1].as_list()) {
+        if (!p.is_symbol()) return error(Errc::invalid_argument, "parameter names must be symbols");
+        lambda->params.push_back(p.as_symbol().name);
+      }
+      lambda->body.assign(form.begin() + 2, form.end());
+      lambda->closure = env;
+      Value v;
+      v.data = lambda;
+      return v;
+    }
+    if (head == "let") {
+      // (let ((name expr)...) body...)
+      if (form.size() < 3 || !form[1].is_list()) {
+        return error(Errc::invalid_argument, "let expects bindings and a body");
+      }
+      auto scope = std::make_shared<Environment>(env);
+      for (const auto& binding : form[1].as_list()) {
+        if (!binding.is_list() || binding.as_list().size() != 2 ||
+            !binding.as_list()[0].is_symbol()) {
+          return error(Errc::invalid_argument, "let binding must be (name expr)");
+        }
+        auto v = eval_depth(binding.as_list()[1], env, depth + 1);
+        if (!v.ok()) return v;
+        scope->define(binding.as_list()[0].as_symbol().name, std::move(*v));
+      }
+      Value last = Value::nil();
+      for (std::size_t i = 2; i < form.size(); ++i) {
+        auto v = eval_depth(form[i], scope, depth + 1);
+        if (!v.ok()) return v;
+        last = std::move(*v);
+      }
+      return last;
+    }
+    if (head == "begin") {
+      Value last = Value::nil();
+      for (std::size_t i = 1; i < form.size(); ++i) {
+        auto v = eval_depth(form[i], env, depth + 1);
+        if (!v.ok()) return v;
+        last = std::move(*v);
+      }
+      return last;
+    }
+    if (head == "while") {
+      if (form.size() < 2) return error(Errc::invalid_argument, "while expects a condition");
+      Value last = Value::nil();
+      std::uint64_t guard = 0;
+      while (true) {
+        if (++guard > 1'000'000) return error(Errc::invalid_argument, "while: iteration limit");
+        auto cond = eval_depth(form[1], env, depth + 1);
+        if (!cond.ok()) return cond;
+        if (!cond->truthy()) break;
+        for (std::size_t i = 2; i < form.size(); ++i) {
+          auto v = eval_depth(form[i], env, depth + 1);
+          if (!v.ok()) return v;
+          last = std::move(*v);
+        }
+      }
+      return last;
+    }
+    if (head == "and") {
+      Value last(true);
+      for (std::size_t i = 1; i < form.size(); ++i) {
+        auto v = eval_depth(form[i], env, depth + 1);
+        if (!v.ok()) return v;
+        if (!v->truthy()) return *v;
+        last = std::move(*v);
+      }
+      return last;
+    }
+    if (head == "or") {
+      for (std::size_t i = 1; i < form.size(); ++i) {
+        auto v = eval_depth(form[i], env, depth + 1);
+        if (!v.ok()) return v;
+        if (v->truthy()) return *v;
+      }
+      return Value(false);
+    }
+  }
+
+  // ordinary application
+  auto callee = eval_depth(form[0], env, depth + 1);
+  if (!callee.ok()) return callee;
+  ValueList args;
+  args.reserve(form.size() - 1);
+  for (std::size_t i = 1; i < form.size(); ++i) {
+    auto v = eval_depth(form[i], env, depth + 1);
+    if (!v.ok()) return v;
+    args.push_back(std::move(*v));
+  }
+  return apply_depth(*callee, std::move(args), depth + 1);
+}
+
+Result<Value> Interpreter::apply(const Value& callable, ValueList args) {
+  return apply_depth(callable, std::move(args), 0);
+}
+
+Result<Value> Interpreter::apply_depth(const Value& callable, ValueList args, int depth) {
+  if (depth > kMaxDepth) return error(Errc::invalid_argument, "application too deep");
+  if (const auto* builtin = std::get_if<std::shared_ptr<Builtin>>(&callable.data)) {
+    return (*builtin)->fn(*this, args);
+  }
+  if (const auto* lambda_ptr = std::get_if<std::shared_ptr<Lambda>>(&callable.data)) {
+    const Lambda& lambda = **lambda_ptr;
+    if (args.size() != lambda.params.size()) {
+      return error(Errc::invalid_argument,
+                   "procedure " + (lambda.name.empty() ? "<anonymous>" : lambda.name) +
+                       " expects " + std::to_string(lambda.params.size()) + " arguments, got " +
+                       std::to_string(args.size()));
+    }
+    auto scope = std::make_shared<Environment>(lambda.closure);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      scope->define(lambda.params[i], std::move(args[i]));
+    }
+    Value last = Value::nil();
+    for (const auto& expr : lambda.body) {
+      auto v = eval_depth(expr, scope, depth + 1);
+      if (!v.ok()) return v;
+      last = std::move(*v);
+    }
+    return last;
+  }
+  return error(Errc::invalid_argument, "not callable: " + callable.repr());
+}
+
+void Interpreter::define_builtin(
+    const std::string& name,
+    std::function<support::Result<Value>(Interpreter&, ValueList&)> fn) {
+  auto builtin = std::make_shared<Builtin>();
+  builtin->name = name;
+  builtin->fn = std::move(fn);
+  Value v;
+  v.data = std::move(builtin);
+  global_->define(name, std::move(v));
+}
+
+void Interpreter::define_global(const std::string& name, Value value) {
+  global_->define(name, std::move(value));
+}
+
+Result<Value> Interpreter::global(const std::string& name) const {
+  const Value* v = global_->lookup(name);
+  if (v == nullptr) return error(Errc::not_found, "unbound global '" + name + "'");
+  return *v;
+}
+
+void Interpreter::add_trigger(const std::string& event, Value procedure) {
+  triggers_[event].push_back(std::move(procedure));
+}
+
+std::size_t Interpreter::trigger_count(const std::string& event) const {
+  auto it = triggers_.find(event);
+  return it == triggers_.end() ? 0 : it->second.size();
+}
+
+Status Interpreter::fire(const std::string& event, ValueList args, bool veto_on_false) {
+  auto it = triggers_.find(event);
+  if (it == triggers_.end()) return {};
+  for (const auto& proc : it->second) {
+    auto v = apply(proc, args);
+    if (!v.ok()) {
+      return support::fail(v.error().code, "trigger for '" + event + "': " + v.error().message);
+    }
+    if (veto_on_false && !v->truthy()) {
+      return support::fail(Errc::permission_denied,
+                           "trigger for '" + event + "' vetoed the operation");
+    }
+  }
+  return {};
+}
+
+}  // namespace jfm::extlang

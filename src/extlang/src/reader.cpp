@@ -1,0 +1,157 @@
+#include "jfm/extlang/reader.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace jfm::extlang {
+
+using support::Errc;
+using support::Result;
+
+namespace {
+
+struct Reader {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_space() {
+    while (!eof()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == ';') {
+        while (!eof() && peek() != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  static bool symbol_char(char c) {
+    if (std::isalnum(static_cast<unsigned char>(c))) return true;
+    return std::string_view("+-*/<>=!?_.:&%$@^~").find(c) != std::string_view::npos;
+  }
+
+  Result<Value> read_string() {
+    ++pos;  // consume opening quote
+    std::string out;
+    while (!eof() && peek() != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (eof()) break;
+        char esc = text[pos++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          default: out.push_back(esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (eof()) return Result<Value>::failure(Errc::parse_error, "unterminated string");
+    ++pos;  // closing quote
+    return Value(std::move(out));
+  }
+
+  Result<Value> read_atom() {
+    std::size_t start = pos;
+    while (!eof() && symbol_char(peek())) ++pos;
+    std::string_view token = text.substr(start, pos - start);
+    if (token.empty()) {
+      return Result<Value>::failure(Errc::parse_error,
+                                    std::string("unexpected character '") + peek() + "'");
+    }
+    if (token == "nil") return Value::nil();
+    // integer?
+    {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec == std::errc{} && p == token.data() + token.size()) return Value(v);
+    }
+    // real?
+    if (token.find_first_of(".eE") != std::string_view::npos &&
+        (std::isdigit(static_cast<unsigned char>(token[0])) || token[0] == '-' ||
+         token[0] == '+' || token[0] == '.')) {
+      try {
+        std::size_t n = 0;
+        double v = std::stod(std::string(token), &n);
+        if (n == token.size()) return Value(v);
+      } catch (const std::exception&) {
+        // fall through to symbol
+      }
+    }
+    return Value::symbol(std::string(token));
+  }
+
+  Result<Value> read_expr(int depth) {
+    if (depth > 200) return Result<Value>::failure(Errc::parse_error, "nesting too deep");
+    skip_space();
+    if (eof()) return Result<Value>::failure(Errc::parse_error, "unexpected end of input");
+    char c = peek();
+    if (c == '(') {
+      ++pos;
+      ValueList items;
+      while (true) {
+        skip_space();
+        if (eof()) return Result<Value>::failure(Errc::parse_error, "unterminated list");
+        if (peek() == ')') {
+          ++pos;
+          return Value::list(std::move(items));
+        }
+        auto item = read_expr(depth + 1);
+        if (!item.ok()) return item;
+        items.push_back(std::move(*item));
+      }
+    }
+    if (c == ')') return Result<Value>::failure(Errc::parse_error, "unexpected ')'");
+    if (c == '\'') {
+      ++pos;
+      auto quoted = read_expr(depth + 1);
+      if (!quoted.ok()) return quoted;
+      return Value::list({Value::symbol("quote"), std::move(*quoted)});
+    }
+    if (c == '"') return read_string();
+    if (c == '#') {
+      if (pos + 1 < text.size() && (text[pos + 1] == 't' || text[pos + 1] == 'f')) {
+        bool v = text[pos + 1] == 't';
+        pos += 2;
+        return Value(v);
+      }
+      return Result<Value>::failure(Errc::parse_error, "bad '#' literal");
+    }
+    return read_atom();
+  }
+};
+
+}  // namespace
+
+Result<Value> read_one(std::string_view text) {
+  Reader reader{text};
+  auto v = reader.read_expr(0);
+  if (!v.ok()) return v;
+  reader.skip_space();
+  if (!reader.eof()) {
+    return Result<Value>::failure(Errc::parse_error, "trailing content after expression");
+  }
+  return v;
+}
+
+Result<ValueList> read_all(std::string_view text) {
+  Reader reader{text};
+  ValueList out;
+  while (true) {
+    reader.skip_space();
+    if (reader.eof()) return out;
+    auto v = reader.read_expr(0);
+    if (!v.ok()) return Result<ValueList>::failure(v.error().code, v.error().message);
+    out.push_back(std::move(*v));
+  }
+}
+
+}  // namespace jfm::extlang

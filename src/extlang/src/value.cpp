@@ -1,0 +1,81 @@
+#include "jfm/extlang/value.hpp"
+
+#include <sstream>
+
+namespace jfm::extlang {
+
+namespace {
+std::string real_repr(double d) {
+  std::ostringstream os;
+  os.precision(15);
+  os << d;
+  std::string s = os.str();
+  // make reals visually distinct from ints
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+}  // namespace
+
+std::string Value::repr() const {
+  if (is_nil()) return "nil";
+  if (is_bool()) return as_bool() ? "#t" : "#f";
+  if (is_int()) return std::to_string(as_int());
+  if (is_real()) return real_repr(as_real());
+  if (is_string()) {
+    std::string out = "\"";
+    for (char c : as_string()) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out += '"';
+    return out;
+  }
+  if (is_symbol()) return as_symbol().name;
+  if (is_list()) {
+    std::string out = "(";
+    const auto& items = as_list();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) out += ' ';
+      out += items[i].repr();
+    }
+    out += ')';
+    return out;
+  }
+  if (const auto* l = std::get_if<std::shared_ptr<Lambda>>(&data)) {
+    return "#<lambda " + ((*l)->name.empty() ? "anonymous" : (*l)->name) + ">";
+  }
+  if (const auto* b = std::get_if<std::shared_ptr<Builtin>>(&data)) {
+    return "#<builtin " + (*b)->name + ">";
+  }
+  return "#<unknown>";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.data.index() != b.data.index()) {
+    // allow int == real numeric comparison
+    if (a.is_number() && b.is_number()) return a.as_number() == b.as_number();
+    return false;
+  }
+  if (a.is_nil()) return true;
+  if (a.is_bool()) return a.as_bool() == b.as_bool();
+  if (a.is_int()) return a.as_int() == b.as_int();
+  if (a.is_real()) return a.as_real() == b.as_real();
+  if (a.is_string()) return a.as_string() == b.as_string();
+  if (a.is_symbol()) return a.as_symbol() == b.as_symbol();
+  if (a.is_list()) {
+    const auto& la = a.as_list();
+    const auto& lb = b.as_list();
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      if (!(la[i] == lb[i])) return false;
+    }
+    return true;
+  }
+  // callables: identity
+  return a.data == b.data;
+}
+
+}  // namespace jfm::extlang

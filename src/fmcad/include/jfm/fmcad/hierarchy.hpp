@@ -1,0 +1,116 @@
+#pragma once
+// Design-file envelope and FMCAD's dynamic hierarchy binding.
+//
+// Every cellview version file starts with a small envelope that names
+// the cellview and lists the master cellviews it instantiates; the
+// tool-specific content follows after the `payload` marker. Hierarchy
+// is therefore "specified within the design files" (paper s2.3), per
+// viewtype -- the schematic hierarchy of a cell may differ from its
+// layout hierarchy (non-isomorphic hierarchies, which FMCAD supports).
+//
+// Dynamic binding (s2.2): instances are bound to the *default (latest)
+// version* of the referenced cellview at expansion time; what-belongs-
+// to-what is NOT stored, so the history of the development is lost --
+// exactly the weakness JCF's metadata hierarchy fixes in the hybrid.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "jfm/fmcad/library.hpp"
+
+namespace jfm::fmcad {
+
+struct DesignFile {
+  std::string cell;
+  std::string view;
+  std::string viewtype;
+  std::vector<CellViewKey> uses;  ///< instantiated master cellviews
+  std::string payload;            ///< tool-specific content
+
+  std::string serialize() const;
+  static support::Result<DesignFile> parse(const std::string& text);
+};
+
+struct HierarchyNode {
+  CellViewKey key;
+  int bound_version = 0;  ///< 0 = unresolved (dangling reference)
+  std::vector<HierarchyNode> children;
+
+  std::size_t node_count() const;
+  int depth() const;
+};
+
+struct BindResult {
+  HierarchyNode root;
+  /// References that did not resolve to any version. FMCAD tolerates
+  /// these at bind time (poor consistency control, s3.3); the JCF side
+  /// of the hybrid treats them as consistency violations.
+  std::vector<std::string> dangling;
+};
+
+/// An ordered list of libraries searched for cellviews -- the classic
+/// ECAD "library search path" (a design library shadowing a standard-
+/// cell library, etc.). The first library holding a cellview with at
+/// least one version wins.
+class LibrarySet {
+ public:
+  LibrarySet() = default;
+  /// Convenience: a set of one.
+  explicit LibrarySet(Library* only) { add(only); }
+
+  /// Libraries are borrowed, not owned; the caller keeps them alive.
+  void add(Library* library) { libraries_.push_back(library); }
+  std::size_t size() const noexcept { return libraries_.size(); }
+
+  /// First library whose committed metadata holds `key` with a version
+  /// (nullptr when nowhere).
+  Library* owner_of(const CellViewKey& key) const;
+  /// Like owner_of but also accepts version-less cellviews.
+  Library* declaring_library(const CellViewKey& key) const;
+
+  /// Default-version file text of `key` from its owning library.
+  support::Result<std::string> read_default_text(const CellViewKey& key) const;
+
+ private:
+  std::vector<Library*> libraries_;
+};
+
+class HierarchyBinder {
+ public:
+  /// Bind within a single library (the common case)...
+  explicit HierarchyBinder(Library* library);
+  /// ...or across a library search path.
+  explicit HierarchyBinder(const LibrarySet* libraries) : libraries_(libraries) {}
+
+  // The single-library constructor points libraries_ at owned_; copying
+  // would leave it dangling into the source object.
+  HierarchyBinder(const HierarchyBinder&) = delete;
+  HierarchyBinder& operator=(const HierarchyBinder&) = delete;
+
+  /// Expand the hierarchy below `root` using default-version binding
+  /// against the *committed* library metadata. Fails on reference
+  /// cycles or unreadable files.
+  support::Result<BindResult> expand(const CellViewKey& root) const;
+
+  /// Cell-structure signature of the hierarchy under (cell, view):
+  /// "(cell (childsig childsig ...))" with children sorted. Two
+  /// viewtype hierarchies are isomorphic iff their signatures match.
+  support::Result<std::string> signature(const CellViewKey& root) const;
+
+ private:
+  support::Status expand_into(const CellViewKey& key, HierarchyNode& node,
+                              std::vector<std::string>& dangling,
+                              std::set<CellViewKey>& on_path, int depth) const;
+
+  LibrarySet owned_;  ///< backs the single-library constructor
+  const LibrarySet* libraries_ = nullptr;
+};
+
+/// Are the hierarchies of two views of the same cell isomorphic
+/// (identical cell structure)? Used by the coupling layer: JCF 3.0
+/// only supports isomorphic hierarchies.
+support::Result<bool> isomorphic(Library& library, const std::string& cell,
+                                 const std::string& view_a, const std::string& view_b);
+
+}  // namespace jfm::fmcad

@@ -1,0 +1,47 @@
+#pragma once
+// Inter-tool communication (ITC): the message bus FMCAD tools use for
+// features like cross-probing between the schematic and layout editors
+// (paper s2.2). Delivery is synchronous and in subscription order.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jfm::fmcad {
+
+struct ItcMessage {
+  std::string topic;
+  std::string sender;  ///< tool/session identification
+  std::map<std::string, std::string> fields;
+};
+
+class ItcBus {
+ public:
+  using Handler = std::function<void(const ItcMessage&)>;
+  using SubscriptionId = std::uint64_t;
+
+  SubscriptionId subscribe(const std::string& topic, Handler handler);
+  void unsubscribe(SubscriptionId id);
+
+  /// Deliver to every current subscriber of the topic (including the
+  /// sender's own subscriptions); returns the delivery count.
+  std::size_t publish(const ItcMessage& message);
+
+  /// Every message ever published, for inspection by tests/benches.
+  const std::vector<ItcMessage>& history() const noexcept { return history_; }
+  void clear_history() { history_.clear(); }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    std::string topic;
+    Handler handler;
+  };
+  std::vector<Subscription> subscriptions_;
+  std::vector<ItcMessage> history_;
+  SubscriptionId next_id_ = 1;
+};
+
+}  // namespace jfm::fmcad

@@ -1,0 +1,98 @@
+#pragma once
+// FMCAD library metadata: the in-memory form of the .meta file.
+//
+// Paper s2.2: "The library consists of a UNIX directory and the related
+// .meta-file describes the contents of the directory (metadata). The
+// logical data objects are named cells, views, cellviews, cellview
+// versions and configurations." There is exactly one .meta per library;
+// it is NOT refreshed automatically in other designers' sessions --
+// keeping it current is the designer's responsibility (and the source
+// of the locking problems evaluated in s3.1).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jfm/support/clock.hpp"
+#include "jfm/support/result.hpp"
+
+namespace jfm::fmcad {
+
+/// A (cell, view) pair names a cellview within one library.
+struct CellViewKey {
+  std::string cell;
+  std::string view;
+  friend auto operator<=>(const CellViewKey&, const CellViewKey&) = default;
+  std::string str() const { return cell + "/" + view; }
+};
+
+/// A view is one type of representation; its viewtype associates it
+/// with an FMCAD application (e.g. view "layout" -> viewtype "layout"
+/// -> the layout editor).
+struct ViewDef {
+  std::string name;
+  std::string viewtype;
+};
+
+/// A cellview version: the data file of a cellview at a particular time.
+struct VersionInfo {
+  int number = 0;
+  std::string file;  ///< file name inside the cellview directory
+  support::Timestamp mtime = 0;
+  std::string author;
+};
+
+/// Checkout state: at most one user works on a cellview at a time.
+struct CheckOutStatus {
+  std::string user;
+  int base_version = 0;   ///< version the working copy started from
+  std::string work_file;  ///< working file inside the cellview directory
+};
+
+struct CellViewRecord {
+  CellViewKey key;
+  std::vector<VersionInfo> versions;  ///< version numbers 1..n in order
+  std::optional<CheckOutStatus> checkout;
+
+  /// FMCAD's dynamic binding uses the most recent version by default.
+  const VersionInfo* default_version() const {
+    return versions.empty() ? nullptr : &versions.back();
+  }
+  const VersionInfo* version(int number) const {
+    for (const auto& v : versions) {
+      if (v.number == number) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// A configuration is a collection of related cellview versions; at most
+/// one version of each cellview.
+struct ConfigRecord {
+  std::string name;
+  std::map<CellViewKey, int> members;
+};
+
+/// Everything the .meta file describes.
+struct LibraryMeta {
+  std::string library;
+  std::uint64_t generation = 0;  ///< bumped on every committed change
+  std::vector<std::string> cells;
+  std::vector<ViewDef> views;
+  std::map<CellViewKey, CellViewRecord> cellviews;
+  std::map<std::string, ConfigRecord> configs;
+
+  bool has_cell(std::string_view name) const;
+  const ViewDef* find_view(std::string_view name) const;
+  const CellViewRecord* find_cellview(const CellViewKey& key) const;
+  CellViewRecord* find_cellview(const CellViewKey& key);
+  const ConfigRecord* find_config(std::string_view name) const;
+
+  /// Serialize to the .meta file format (line-oriented, versioned).
+  std::string serialize() const;
+  static support::Result<LibraryMeta> parse(const std::string& text);
+};
+
+}  // namespace jfm::fmcad

@@ -1,0 +1,145 @@
+#pragma once
+// FMCAD tool integration: the tool interface, the registry that binds
+// viewtypes to applications, and ToolSession -- a running tool instance
+// with menus, extension-language triggers and ITC.
+//
+// Paper s2.2: "The FMCAD tools run on top of the framework and each
+// part of the system can be modified by an extension language. ...
+// The viewtype concept is very flexible and it allows viewtypes to be
+// easily switched with the same tool."
+// Paper s2.4: the encapsulation uses "extension language procedures to
+// trigger functions and lock menu points in order to prevent data
+// inconsistency" -- ToolSession provides exactly those hooks.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jfm/extlang/interpreter.hpp"
+#include "jfm/fmcad/hierarchy.hpp"
+#include "jfm/fmcad/itc.hpp"
+#include "jfm/fmcad/session.hpp"
+
+namespace jfm::fmcad {
+
+/// Implemented by each FMCAD application (schematic entry, layout
+/// editor, digital simulator -- see src/tools). A tool edits the
+/// DesignFile of a cellview whose view has the tool's viewtype.
+class ToolInterface {
+ public:
+  virtual ~ToolInterface() = default;
+  virtual std::string name() const = 0;
+  virtual std::string viewtype() const = 0;
+
+  /// Payload of a brand-new document.
+  virtual std::string empty_payload() const = 0;
+
+  /// Structural check run before save; the framework refuses to save a
+  /// document its tool considers corrupt.
+  virtual support::Status validate(const DesignFile& doc) const = 0;
+
+  /// Execute one editing command ("add-component", "draw-rect", ...) on
+  /// the document and return the updated document.
+  virtual support::Result<DesignFile> apply(const DesignFile& doc, const std::string& command,
+                                            const std::vector<std::string>& args) const = 0;
+
+  /// Editing commands this tool offers; used to build the default menu.
+  virtual std::vector<std::string> commands() const = 0;
+};
+
+class ToolRegistry {
+ public:
+  support::Status add(std::shared_ptr<ToolInterface> tool);
+  ToolInterface* by_viewtype(std::string_view viewtype) const;
+  ToolInterface* by_name(std::string_view name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::shared_ptr<ToolInterface>> tools_;
+};
+
+struct MenuItem {
+  std::string name;
+  std::string command;
+  bool enabled = true;  ///< false = "locked menu point"
+};
+
+/// One invocation of an FMCAD tool on one cellview, as a designer sees
+/// it: a window with menus. The hybrid framework drives this class from
+/// its activity wrappers.
+class ToolSession {
+ public:
+  /// `interp` is the designer's FMCAD customization interpreter; the
+  /// session fires triggers on it:
+  ///   "menu"      (menu item command args...) -- veto_on_false
+  ///   "pre-save"  (cell view)                 -- veto_on_false
+  ///   "post-save" (cell view)
+  ///   "post-open" (cell view readonly?)
+  ToolSession(DesignerSession* designer, ToolInterface* tool, ItcBus* bus,
+              extlang::Interpreter* interp);
+  ~ToolSession();
+
+  ToolSession(const ToolSession&) = delete;
+  ToolSession& operator=(const ToolSession&) = delete;
+
+  // -- document lifecycle --------------------------------------------------
+  /// Open a cellview. read_only opens the snapshot's default version
+  /// without a checkout (native FMCAD browsing); otherwise the cellview
+  /// is checked out and the working copy loaded.
+  support::Status open(const CellViewKey& key, bool read_only);
+  bool is_open() const noexcept { return doc_.has_value(); }
+  bool read_only() const noexcept { return read_only_; }
+  const DesignFile& document() const { return *doc_; }
+  const CellViewKey& key() const noexcept { return key_; }
+
+  /// Validate + write the working copy (keeps the checkout).
+  support::Status save();
+  /// Save, check in as a new version and close; returns version number.
+  support::Result<int> checkin();
+  /// Close without keeping changes (cancels any checkout).
+  support::Status discard();
+
+  // -- editing ---------------------------------------------------------------
+  /// Run a tool command directly (scripting path, no menu checks).
+  support::Status edit(const std::string& command, const std::vector<std::string>& args);
+
+  // -- menus -------------------------------------------------------------------
+  const std::map<std::string, std::vector<MenuItem>>& menus() const noexcept { return menus_; }
+  support::Status add_menu_item(const std::string& menu, MenuItem item);
+  /// Lock or unlock a menu point (encapsulation consistency guard).
+  support::Status set_menu_enabled(const std::string& menu, const std::string& item,
+                                   bool enabled);
+  /// Count of interaction points currently offered (s3.4 UI burden).
+  std::size_t menu_item_count(bool enabled_only) const;
+  /// Invoke a menu item as a designer would: enabled check, "menu"
+  /// trigger (vetoable), then dispatch. Built-in commands: "save",
+  /// "checkin", "discard"; anything else goes to the tool.
+  support::Status invoke_menu(const std::string& menu, const std::string& item,
+                              const std::vector<std::string>& args);
+
+  // -- cross-probing (ITC) -----------------------------------------------------
+  /// Publish a cross-probe for a named object (net, instance).
+  std::size_t probe(const std::string& object);
+  /// Objects highlighted in this session by other tools' probes.
+  const std::vector<std::string>& highlights() const noexcept { return highlights_; }
+
+ private:
+  static std::string probe_topic(const std::string& cell) { return "crossprobe:" + cell; }
+  void install_default_menus();
+
+  DesignerSession* designer_;
+  ToolInterface* tool_;
+  ItcBus* bus_;
+  extlang::Interpreter* interp_;
+
+  CellViewKey key_;
+  std::optional<DesignFile> doc_;
+  bool read_only_ = false;
+  std::map<std::string, std::vector<MenuItem>> menus_;
+  std::optional<ItcBus::SubscriptionId> probe_subscription_;
+  std::vector<std::string> highlights_;
+};
+
+}  // namespace jfm::fmcad

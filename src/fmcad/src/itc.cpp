@@ -1,0 +1,31 @@
+#include "jfm/fmcad/itc.hpp"
+
+#include <algorithm>
+
+namespace jfm::fmcad {
+
+ItcBus::SubscriptionId ItcBus::subscribe(const std::string& topic, Handler handler) {
+  SubscriptionId id = next_id_++;
+  subscriptions_.push_back({id, topic, std::move(handler)});
+  return id;
+}
+
+void ItcBus::unsubscribe(SubscriptionId id) {
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [id](const Subscription& s) { return s.id == id; }),
+      subscriptions_.end());
+}
+
+std::size_t ItcBus::publish(const ItcMessage& message) {
+  history_.push_back(message);
+  // Copy matching handlers first: a handler may subscribe/unsubscribe.
+  std::vector<Handler> matched;
+  for (const auto& s : subscriptions_) {
+    if (s.topic == message.topic) matched.push_back(s.handler);
+  }
+  for (const auto& h : matched) h(message);
+  return matched.size();
+}
+
+}  // namespace jfm::fmcad

@@ -1,0 +1,230 @@
+#include "jfm/fmcad/library.hpp"
+
+#include <algorithm>
+
+#include "jfm/support/strings.hpp"
+
+namespace jfm::fmcad {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+namespace {
+const char* kMetaFile = ".meta";
+}
+
+Result<std::shared_ptr<Library>> Library::create(vfs::FileSystem* fs, support::SimClock* clock,
+                                                 const vfs::Path& parent,
+                                                 const std::string& name) {
+  if (!support::is_identifier(name)) {
+    return Result<std::shared_ptr<Library>>::failure(Errc::invalid_argument,
+                                                     "bad library name '" + name + "'");
+  }
+  vfs::Path root = parent.child(name);
+  if (fs->exists(root)) {
+    return Result<std::shared_ptr<Library>>::failure(Errc::already_exists, root.str());
+  }
+  if (auto st = fs->mkdirs(root); !st.ok()) {
+    return Result<std::shared_ptr<Library>>::failure(st.error().code, st.error().message);
+  }
+  auto lib = std::shared_ptr<Library>(new Library(fs, clock, root));
+  lib->meta_.library = name;
+  lib->meta_.generation = 0;
+  if (auto st = lib->commit(); !st.ok()) {
+    return Result<std::shared_ptr<Library>>::failure(st.error().code, st.error().message);
+  }
+  return lib;
+}
+
+Result<std::shared_ptr<Library>> Library::open(vfs::FileSystem* fs, support::SimClock* clock,
+                                               const vfs::Path& root) {
+  auto text = fs->read_file(root.child(kMetaFile));
+  if (!text.ok()) {
+    return Result<std::shared_ptr<Library>>::failure(Errc::not_found,
+                                                     "no .meta under " + root.str());
+  }
+  auto meta = LibraryMeta::parse(*text);
+  if (!meta.ok()) {
+    return Result<std::shared_ptr<Library>>::failure(meta.error().code, meta.error().message);
+  }
+  auto lib = std::shared_ptr<Library>(new Library(fs, clock, root));
+  lib->meta_ = std::move(*meta);
+  return lib;
+}
+
+vfs::Path Library::cellview_dir(const CellViewKey& key) const {
+  return root_.child(key.cell).child(key.view);
+}
+
+Status Library::commit() {
+  ++meta_.generation;
+  return fs_->write_file(root_.child(kMetaFile), meta_.serialize());
+}
+
+Status Library::define_view(const std::string& name, const std::string& viewtype) {
+  if (!support::is_identifier(name) || !support::is_identifier(viewtype)) {
+    return support::fail(Errc::invalid_argument, "bad view or viewtype name");
+  }
+  if (meta_.find_view(name) != nullptr) {
+    return support::fail(Errc::already_exists, "view " + name);
+  }
+  meta_.views.push_back({name, viewtype});
+  return commit();
+}
+
+Status Library::create_cell(const std::string& name) {
+  if (!support::is_identifier(name)) {
+    return support::fail(Errc::invalid_argument, "bad cell name '" + name + "'");
+  }
+  if (meta_.has_cell(name)) return support::fail(Errc::already_exists, "cell " + name);
+  if (auto st = fs_->mkdir(root_.child(name)); !st.ok()) return st;
+  meta_.cells.push_back(name);
+  return commit();
+}
+
+Status Library::create_cellview(const CellViewKey& key) {
+  if (!meta_.has_cell(key.cell)) return support::fail(Errc::not_found, "cell " + key.cell);
+  if (meta_.find_view(key.view) == nullptr) {
+    return support::fail(Errc::not_found, "view " + key.view);
+  }
+  if (meta_.find_cellview(key) != nullptr) {
+    return support::fail(Errc::already_exists, "cellview " + key.str());
+  }
+  if (auto st = fs_->mkdir(cellview_dir(key)); !st.ok()) return st;
+  meta_.cellviews[key].key = key;
+  return commit();
+}
+
+Status Library::create_config(const std::string& name) {
+  if (!support::is_identifier(name)) {
+    return support::fail(Errc::invalid_argument, "bad config name '" + name + "'");
+  }
+  if (meta_.configs.contains(name)) return support::fail(Errc::already_exists, "config " + name);
+  meta_.configs[name].name = name;
+  return commit();
+}
+
+Status Library::set_config_member(const std::string& config, const CellViewKey& key,
+                                  int version) {
+  auto it = meta_.configs.find(config);
+  if (it == meta_.configs.end()) return support::fail(Errc::not_found, "config " + config);
+  const CellViewRecord* record = meta_.find_cellview(key);
+  if (record == nullptr) return support::fail(Errc::not_found, "cellview " + key.str());
+  if (record->version(version) == nullptr) {
+    return support::fail(Errc::not_found,
+                         "cellview " + key.str() + " has no version " + std::to_string(version));
+  }
+  // "For each cellview, at maximum one version can be part of the
+  // configuration" -- map semantics give us that by construction.
+  it->second.members[key] = version;
+  return commit();
+}
+
+Status Library::remove_config_member(const std::string& config, const CellViewKey& key) {
+  auto it = meta_.configs.find(config);
+  if (it == meta_.configs.end()) return support::fail(Errc::not_found, "config " + config);
+  if (it->second.members.erase(key) == 0) {
+    return support::fail(Errc::not_found, key.str() + " not in config " + config);
+  }
+  return commit();
+}
+
+Result<vfs::Path> Library::checkout(const CellViewKey& key, const std::string& user) {
+  CellViewRecord* record = meta_.find_cellview(key);
+  if (record == nullptr) {
+    return Result<vfs::Path>::failure(Errc::not_found, "cellview " + key.str());
+  }
+  if (record->checkout) {
+    if (record->checkout->user == user) {
+      return Result<vfs::Path>::failure(Errc::already_exists,
+                                        "cellview " + key.str() +
+                                            " is already checked out to you");
+    }
+    // Only one user can change a cellview at a time (s2.2); parallel work
+    // on two versions of the same cellview is impossible in FMCAD.
+    return Result<vfs::Path>::failure(Errc::locked, "cellview " + key.str() +
+                                                        " is checked out by " +
+                                                        record->checkout->user);
+  }
+  const std::string work_name = "work_" + user + ".cv";
+  vfs::Path work = cellview_dir(key).child(work_name);
+  const VersionInfo* base = record->default_version();
+  if (base != nullptr) {
+    if (auto st = fs_->copy_file(cellview_dir(key).child(base->file), work); !st.ok()) {
+      return Result<vfs::Path>::failure(st.error().code, st.error().message);
+    }
+  } else {
+    if (auto st = fs_->write_file(work, ""); !st.ok()) {
+      return Result<vfs::Path>::failure(st.error().code, st.error().message);
+    }
+  }
+  record->checkout = CheckOutStatus{user, base != nullptr ? base->number : 0, work_name};
+  if (auto st = commit(); !st.ok()) {
+    return Result<vfs::Path>::failure(st.error().code, st.error().message);
+  }
+  return work;
+}
+
+Result<int> Library::checkin(const CellViewKey& key, const std::string& user) {
+  CellViewRecord* record = meta_.find_cellview(key);
+  if (record == nullptr) return Result<int>::failure(Errc::not_found, "cellview " + key.str());
+  if (!record->checkout) {
+    return Result<int>::failure(Errc::checkout_required,
+                                "cellview " + key.str() + " is not checked out");
+  }
+  if (record->checkout->user != user) {
+    return Result<int>::failure(Errc::permission_denied,
+                                "cellview " + key.str() + " is checked out by " +
+                                    record->checkout->user + ", not " + user);
+  }
+  const int next = record->versions.empty() ? 1 : record->versions.back().number + 1;
+  VersionInfo ver;
+  ver.number = next;
+  ver.file = "v" + std::to_string(next) + ".cv";
+  ver.author = user;
+  vfs::Path dir = cellview_dir(key);
+  if (auto st = fs_->copy_file(dir.child(record->checkout->work_file), dir.child(ver.file));
+      !st.ok()) {
+    return Result<int>::failure(st.error().code, st.error().message);
+  }
+  auto stat = fs_->stat(dir.child(ver.file));
+  ver.mtime = stat.ok() ? stat->mtime : clock_->now();
+  (void)fs_->remove(dir.child(record->checkout->work_file));
+  record->versions.push_back(ver);
+  record->checkout.reset();
+  if (auto st = commit(); !st.ok()) {
+    return Result<int>::failure(st.error().code, st.error().message);
+  }
+  return next;
+}
+
+Status Library::cancel_checkout(const CellViewKey& key, const std::string& user) {
+  CellViewRecord* record = meta_.find_cellview(key);
+  if (record == nullptr) return support::fail(Errc::not_found, "cellview " + key.str());
+  if (!record->checkout) {
+    return support::fail(Errc::checkout_required, "cellview " + key.str() + " is not checked out");
+  }
+  if (record->checkout->user != user) {
+    return support::fail(Errc::permission_denied,
+                         "cellview " + key.str() + " is checked out by " +
+                             record->checkout->user + ", not " + user);
+  }
+  (void)fs_->remove(cellview_dir(key).child(record->checkout->work_file));
+  record->checkout.reset();
+  return commit();
+}
+
+std::uint64_t Library::design_bytes() const {
+  auto files = fs_->walk_files(root_);
+  if (!files.ok()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& path : *files) {
+    if (path.basename() == kMetaFile) continue;
+    auto st = fs_->stat(path);
+    if (st.ok()) total += st->size;
+  }
+  return total;
+}
+
+}  // namespace jfm::fmcad

@@ -1,0 +1,221 @@
+#pragma once
+// JcfFramework: the JCF 3.0 "desktop" -- the only interface to the
+// framework's data (paper s2.1: direct access to the stored data is not
+// possible). It implements:
+//   * resources: users, teams, tools, viewtypes, activities, flows --
+//     defined in advance by the framework administrator; flows are
+//     frozen before use and cannot be modified afterwards;
+//   * project data: projects, cells, cell versions (version mechanism
+//     one), variants (version mechanism two), design objects and their
+//     versions (data stored *in* the OMS database), configurations,
+//     the CompOf hierarchy and the equivalent/derived relations;
+//   * the workspace concept: a cell version is reserved by exactly one
+//     user; everyone else reads published data only;
+//   * flow management: activities with Needs/Creates viewtype sets,
+//     per-flow precedence, execution tracking and automatic recording
+//     of derivation relations.
+//
+// All metadata and design data live in one OMS store.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jfm/jcf/refs.hpp"
+#include "jfm/vfs/filesystem.hpp"
+#include "jfm/jcf/schema.hpp"
+#include "jfm/support/clock.hpp"
+#include "jfm/support/result.hpp"
+
+namespace jfm::jcf {
+
+enum class ExecState { running, done, aborted };
+std::string_view to_string(ExecState state);
+
+/// Per-activity progress within one variant.
+enum class ActivityProgress { not_started, running, done };
+
+struct WorkspaceStats {
+  std::uint64_t reservations = 0;
+  std::uint64_t reservation_conflicts = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t read_denials = 0;
+};
+
+class JcfFramework {
+ public:
+  explicit JcfFramework(support::SimClock* clock);
+
+  /// The underlying store, for administrative export/checkpoint only
+  /// (oms::Dump). Application code must use the typed API.
+  oms::Store& store() noexcept { return store_; }
+  const oms::Store& store() const noexcept { return store_; }
+
+  // ======================= resources (admin) =============================
+  support::Result<UserRef> create_user(const std::string& name);
+  support::Result<TeamRef> create_team(const std::string& name);
+  support::Status add_member(TeamRef team, UserRef user);
+  support::Result<bool> is_member(TeamRef team, UserRef user) const;
+  support::Result<ToolRef> register_tool(const std::string& name);
+  support::Result<ViewTypeRef> create_viewtype(const std::string& name);
+  support::Result<ActivityRef> create_activity(const std::string& name, ToolRef tool,
+                                               const std::vector<ViewTypeRef>& needs,
+                                               const std::vector<ViewTypeRef>& creates);
+  support::Result<FlowRef> create_flow(const std::string& name,
+                                       const std::vector<ActivityRef>& activities);
+  /// Add "before precedes after" to a (not yet frozen) flow.
+  support::Status add_precedence(FlowRef flow, ActivityRef before, ActivityRef after);
+  /// Validate the flow (acyclic, edges within the flow) and fix it;
+  /// only frozen flows can be attached to cells. "Flows are fixed and
+  /// cannot be modified" (s2.1).
+  support::Status freeze_flow(FlowRef flow);
+  support::Result<bool> flow_frozen(FlowRef flow) const;
+
+  // name lookups (resources are uniquely named)
+  support::Result<UserRef> find_user(const std::string& name) const;
+  support::Result<TeamRef> find_team(const std::string& name) const;
+  support::Result<ViewTypeRef> find_viewtype(const std::string& name) const;
+  support::Result<ActivityRef> find_activity(const std::string& name) const;
+  support::Result<FlowRef> find_flow(const std::string& name) const;
+  support::Result<ToolRef> find_tool(const std::string& name) const;
+
+  support::Result<std::string> name_of(oms::ObjectId id) const;
+  template <typename Tag>
+  support::Result<std::string> name_of(Ref<Tag> ref) const {
+    return name_of(ref.id);
+  }
+
+  support::Result<std::vector<ActivityRef>> flow_activities(FlowRef flow) const;
+  support::Result<std::vector<ViewTypeRef>> activity_needs(ActivityRef activity) const;
+  support::Result<std::vector<ViewTypeRef>> activity_creates(ActivityRef activity) const;
+  support::Result<ToolRef> activity_tool(ActivityRef activity) const;
+  /// Direct predecessors of `activity` in `flow`.
+  support::Result<std::vector<ActivityRef>> predecessors(FlowRef flow,
+                                                         ActivityRef activity) const;
+
+  // ======================= project structure ==============================
+  support::Result<ProjectRef> create_project(const std::string& name, TeamRef team);
+  support::Result<ProjectRef> find_project(const std::string& name) const;
+  /// Creating a cell attaches the flow (must be frozen) and the team.
+  support::Result<CellRef> create_cell(ProjectRef project, const std::string& name, FlowRef flow,
+                                       TeamRef team);
+  /// Finds own cells first, then cells shared into the project.
+  support::Result<CellRef> find_cell(ProjectRef project, const std::string& name) const;
+  support::Result<std::vector<CellRef>> cells(ProjectRef project) const;
+
+  /// Data sharing between projects. The paper (s3.1) lists this as
+  /// missing from both JCF 3.0 and the hybrid ("it would be helpful to
+  /// also provide access to cells of other projects"); this is the
+  /// future-JCF mechanism the hybrid's ablation flag switches on.
+  /// The cell must belong to a different project and have at least one
+  /// published version.
+  support::Status share_cell(ProjectRef borrower, CellRef cell);
+  support::Result<std::vector<CellRef>> shared_cells(ProjectRef project) const;
+  /// The project a cell natively belongs to.
+  support::Result<ProjectRef> project_of(CellRef cell) const;
+
+  /// New cell version; inherits the cell's flow/team (both overridable
+  /// per version, s2.1), numbered 1.. and linked precedes-wise.
+  support::Result<CellVersionRef> create_cell_version(CellRef cell, UserRef creator);
+  support::Result<std::vector<CellVersionRef>> cell_versions(CellRef cell) const;
+  support::Result<CellVersionRef> latest_cell_version(CellRef cell) const;
+  support::Result<int> version_number(CellVersionRef cv) const;
+  support::Status override_flow(CellVersionRef cv, FlowRef flow);
+  support::Status override_team(CellVersionRef cv, TeamRef team);
+  support::Result<FlowRef> effective_flow(CellVersionRef cv) const;
+  support::Result<TeamRef> effective_team(CellVersionRef cv) const;
+  support::Result<CellRef> cell_of(CellVersionRef cv) const;
+
+  /// Variants: the second versioning mechanism inside a cell version.
+  support::Result<VariantRef> create_variant(CellVersionRef cv, const std::string& name,
+                                             UserRef user);
+  support::Result<std::vector<VariantRef>> variants(CellVersionRef cv) const;
+  support::Result<VariantRef> find_variant(CellVersionRef cv, const std::string& name) const;
+  support::Result<CellVersionRef> cell_version_of(VariantRef variant) const;
+
+  support::Result<DesignObjectRef> create_design_object(VariantRef variant,
+                                                        const std::string& name,
+                                                        ViewTypeRef viewtype, UserRef user);
+  support::Result<std::vector<DesignObjectRef>> design_objects(VariantRef variant) const;
+  support::Result<DesignObjectRef> find_design_object(VariantRef variant,
+                                                      const std::string& name) const;
+  support::Result<ViewTypeRef> viewtype_of(DesignObjectRef dobj) const;
+
+  /// Store design data as a new version of `dobj` (workspace required).
+  support::Result<DovRef> create_dov(DesignObjectRef dobj, std::string data, UserRef user);
+  support::Result<std::vector<DovRef>> dov_versions(DesignObjectRef dobj) const;
+  support::Result<DovRef> latest_dov(DesignObjectRef dobj) const;
+  support::Result<int> dov_number(DovRef dov) const;
+  support::Result<DesignObjectRef> design_object_of(DovRef dov) const;
+  /// Read design data; honors the workspace visibility rules.
+  support::Result<std::string> dov_data(DovRef dov, UserRef reader);
+  support::Status set_equivalent(DovRef a, DovRef b);
+  support::Result<bool> is_equivalent(DovRef a, DovRef b) const;
+
+  // hierarchy (CompOf): must stay acyclic
+  support::Status add_child(CellVersionRef parent, CellVersionRef child);
+  support::Status remove_child(CellVersionRef parent, CellVersionRef child);
+  support::Result<std::vector<CellVersionRef>> children(CellVersionRef parent) const;
+  support::Result<std::vector<CellVersionRef>> parents(CellVersionRef child) const;
+
+  // configurations
+  support::Result<ConfigRef> create_config(CellVersionRef cv, const std::string& name);
+  support::Status add_config_member(ConfigRef config, DovRef dov);
+  support::Status add_config_child(ConfigRef parent, ConfigRef child);
+  support::Result<std::vector<DovRef>> config_members(ConfigRef config) const;
+
+  // ======================= workspaces =====================================
+  /// Reserve a cell version into `user`'s private workspace. Requires
+  /// team membership; fails with Errc::locked if someone else holds it.
+  support::Status reserve(CellVersionRef cv, UserRef user);
+  /// Publish: all design data under the cell version become visible,
+  /// the reservation is released.
+  support::Status publish(CellVersionRef cv, UserRef user);
+  /// Name of the reserving user, or "" when free.
+  support::Result<std::string> reserved_by(CellVersionRef cv) const;
+  const WorkspaceStats& workspace_stats() const noexcept { return ws_stats_; }
+
+  // ======================= flow engine ====================================
+  /// Start an activity execution in a variant. Enforces: workspace
+  /// reserved by `user`, activity part of the effective (frozen) flow,
+  /// all flow predecessors completed in this variant, and all needed
+  /// viewtypes present. `force` skips the predecessor check -- the
+  /// hybrid wrappers use it and show a consistency window instead
+  /// (paper s2.4).
+  support::Result<ExecRef> start_activity(VariantRef variant, ActivityRef activity, UserRef user,
+                                          bool force = false);
+  /// Complete: verifies outputs' viewtypes against the activity's
+  /// Creates set and records output-derived-from-input relations.
+  support::Status complete_activity(ExecRef exec, const std::vector<DovRef>& outputs);
+  support::Status abort_activity(ExecRef exec);
+  support::Result<ExecState> exec_state(ExecRef exec) const;
+  support::Result<std::vector<DovRef>> exec_inputs(ExecRef exec) const;
+  support::Result<ActivityProgress> activity_progress(VariantRef variant,
+                                                      ActivityRef activity) const;
+  /// The inputs a DOV was derived from (the what-belongs-to-what record
+  /// FMCAD cannot provide, s3.5).
+  support::Result<std::vector<DovRef>> derivation_sources(DovRef dov) const;
+  /// DOVs derived from `dov` (forward closure, direct only).
+  support::Result<std::vector<DovRef>> derived_from_this(DovRef dov) const;
+
+  // ======================= persistence ====================================
+  /// Write the whole OMS database (metadata AND design data -- the JCF
+  /// deployment model, s2.1) to a file on the virtual file system.
+  support::Status checkpoint(vfs::FileSystem& fs, const vfs::Path& file) const;
+  /// Load a checkpoint into this (still empty) framework.
+  support::Status restore(const vfs::FileSystem& fs, const vfs::Path& file);
+
+  // ======================= consistency ====================================
+  /// Framework-wide invariant sweep over one project; returns human-
+  /// readable problem descriptions (empty = consistent).
+  support::Result<std::vector<std::string>> check_consistency(ProjectRef project) const;
+
+ private:
+  friend struct FrameworkPrivate;  // shared helpers across the .cpp files
+
+  oms::Store store_;
+  support::SimClock* clock_;
+  WorkspaceStats ws_stats_;
+};
+
+}  // namespace jfm::jcf

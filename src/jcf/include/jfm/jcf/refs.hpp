@@ -1,0 +1,40 @@
+#pragma once
+// Typed references to JCF objects. All JCF data live in OMS; these thin
+// wrappers keep the desktop API type-safe without exposing the store
+// (the paper stresses that direct access to OMS internals "is not
+// possible" -- the desktop API is the only way in).
+
+#include "jfm/oms/store.hpp"
+
+namespace jfm::jcf {
+
+template <typename Tag>
+struct Ref {
+  oms::ObjectId id;
+
+  constexpr Ref() = default;
+  constexpr explicit Ref(oms::ObjectId object_id) : id(object_id) {}
+
+  bool valid() const noexcept { return id.valid(); }
+  explicit operator bool() const noexcept { return valid(); }
+  friend bool operator==(Ref a, Ref b) noexcept { return a.id == b.id; }
+  friend bool operator!=(Ref a, Ref b) noexcept { return !(a == b); }
+  friend bool operator<(Ref a, Ref b) noexcept { return a.id < b.id; }
+};
+
+using UserRef = Ref<struct UserTag>;
+using TeamRef = Ref<struct TeamTag>;
+using ToolRef = Ref<struct ToolTag>;
+using ViewTypeRef = Ref<struct ViewTypeTag>;
+using ActivityRef = Ref<struct ActivityTag>;
+using FlowRef = Ref<struct FlowTag>;
+using ProjectRef = Ref<struct ProjectTag>;
+using CellRef = Ref<struct CellTag>;
+using CellVersionRef = Ref<struct CellVersionTag>;
+using VariantRef = Ref<struct VariantTag>;
+using DesignObjectRef = Ref<struct DesignObjectTag>;
+using DovRef = Ref<struct DovTag>;  ///< design object version
+using ConfigRef = Ref<struct ConfigTag>;
+using ExecRef = Ref<struct ExecTag>;  ///< activity execution
+
+}  // namespace jfm::jcf

@@ -1,0 +1,73 @@
+#pragma once
+// The OMS schema expressing JCF 3.0's Figure-1 information model.
+//
+// Class names and relations follow the paper's vocabulary: resources
+// (User, Team, Tool, ViewType, Activity, Flow) are metadata defined by
+// the framework administrator; Project/Cell/CellVersion/Variant/
+// DesignObject/DesignObjectVersion/Configuration are project data; the
+// relations carry the Figure-1 edges (CompOf hierarchy, precedes,
+// derived/equivalent, Needs/Creates, ...).
+
+#include "jfm/oms/schema.hpp"
+
+namespace jfm::jcf {
+
+/// Class name constants (single source of truth for the facade code).
+namespace cls {
+inline constexpr const char* User = "User";
+inline constexpr const char* Team = "Team";
+inline constexpr const char* Tool = "Tool";
+inline constexpr const char* ViewType = "ViewType";
+inline constexpr const char* Activity = "Activity";
+inline constexpr const char* Flow = "Flow";
+inline constexpr const char* FlowEdge = "FlowEdge";
+inline constexpr const char* Project = "Project";
+inline constexpr const char* Cell = "Cell";
+inline constexpr const char* CellVersion = "CellVersion";
+inline constexpr const char* Variant = "Variant";
+inline constexpr const char* DesignObject = "DesignObject";
+inline constexpr const char* Dov = "DesignObjectVersion";
+inline constexpr const char* Config = "Configuration";
+inline constexpr const char* Exec = "ActivityExecution";
+}  // namespace cls
+
+namespace rel {
+inline constexpr const char* team_member = "team_member";      // Team -> User
+inline constexpr const char* project_team = "project_team";    // Project -> Team
+inline constexpr const char* uses_tool = "uses_tool";          // Activity -> Tool
+inline constexpr const char* act_needs = "act_needs";          // Activity -> ViewType
+inline constexpr const char* act_creates = "act_creates";      // Activity -> ViewType
+inline constexpr const char* flow_activity = "flow_activity";  // Flow -> Activity
+inline constexpr const char* edge_flow = "edge_flow";          // FlowEdge -> Flow
+inline constexpr const char* edge_from = "edge_from";          // FlowEdge -> Activity
+inline constexpr const char* edge_to = "edge_to";              // FlowEdge -> Activity
+inline constexpr const char* project_cell = "project_cell";    // Project -> Cell (1:n)
+inline constexpr const char* project_shared = "project_shared";  // Project -> Cell (borrowed)
+inline constexpr const char* cell_flow = "cell_flow";          // Cell -> Flow
+inline constexpr const char* cell_team = "cell_team";          // Cell -> Team
+inline constexpr const char* cell_version = "cell_version";    // Cell -> CellVersion (1:n)
+inline constexpr const char* cv_flow = "cv_flow";              // CellVersion -> Flow
+inline constexpr const char* cv_team = "cv_team";              // CellVersion -> Team
+inline constexpr const char* cv_precedes = "cv_precedes";      // CellVersion -> CellVersion
+inline constexpr const char* comp_of = "comp_of";              // CellVersion -> CellVersion
+inline constexpr const char* cv_variant = "cv_variant";        // CellVersion -> Variant (1:n)
+inline constexpr const char* variant_do = "variant_do";        // Variant -> DesignObject (1:n)
+inline constexpr const char* do_viewtype = "do_viewtype";      // DesignObject -> ViewType
+inline constexpr const char* do_version = "do_version";        // DesignObject -> Dov (1:n)
+inline constexpr const char* dov_precedes = "dov_precedes";    // Dov -> Dov
+inline constexpr const char* derived_from = "derived_from";    // Dov(new) -> Dov(input)
+inline constexpr const char* equivalent = "equivalent";        // Dov -> Dov
+inline constexpr const char* cv_config = "cv_config";          // CellVersion -> Config (1:n)
+inline constexpr const char* config_member = "config_member";  // Config -> Dov
+inline constexpr const char* config_child = "config_child";    // Config -> Config
+inline constexpr const char* exec_variant = "exec_variant";    // Variant -> Exec (1:n)
+inline constexpr const char* exec_activity = "exec_activity";  // Exec -> Activity
+inline constexpr const char* exec_user = "exec_user";          // Exec -> User
+inline constexpr const char* exec_inputs = "exec_inputs";      // Exec -> Dov
+inline constexpr const char* exec_outputs = "exec_outputs";    // Exec -> Dov
+}  // namespace rel
+
+/// Build the full JCF schema.
+oms::Schema build_jcf_schema();
+
+}  // namespace jfm::jcf

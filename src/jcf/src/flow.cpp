@@ -1,0 +1,198 @@
+#include "internal.hpp"
+
+namespace jfm::jcf {
+
+using detail::expect;
+using support::Errc;
+using support::Result;
+using support::Status;
+
+// Flow management (paper s2.1/s3.5): flows are fixed; the user must
+// follow the flow constraints. Every activity execution records which
+// design object versions it consumed and produced, yielding the
+// derivation relations FMCAD alone cannot provide.
+
+Result<ExecRef> JcfFramework::start_activity(VariantRef variant, ActivityRef activity,
+                                             UserRef user, bool force) {
+  if (auto st = expect(store_, variant, cls::Variant); !st.ok()) {
+    return Result<ExecRef>::failure(st.error().code, st.error().message);
+  }
+  if (auto st = expect(store_, activity, cls::Activity); !st.ok()) {
+    return Result<ExecRef>::failure(st.error().code, st.error().message);
+  }
+  auto cv = cell_version_of(variant);
+  if (!cv.ok()) return Result<ExecRef>::failure(cv.error().code, cv.error().message);
+
+  // 1. workspace: the executing user must hold the reservation
+  auto holder = reserved_by(*cv);
+  auto uname = name_of(user.id);
+  if (!holder.ok() || !uname.ok() || *holder != *uname) {
+    return Result<ExecRef>::failure(Errc::permission_denied,
+                                    "activity execution requires the reserved workspace");
+  }
+
+  // 2. the activity must be part of the effective flow
+  auto flow = effective_flow(*cv);
+  if (!flow.ok()) return Result<ExecRef>::failure(flow.error().code, flow.error().message);
+  if (!store_.linked(rel::flow_activity, flow->id, activity.id)) {
+    auto aname = name_of(activity.id);
+    return Result<ExecRef>::failure(Errc::flow_violation,
+                                    "activity " + (aname.ok() ? *aname : "?") +
+                                        " is not part of the prescribed flow");
+  }
+
+  // 3. predecessors must be complete (unless the wrapper forces; the
+  //    hybrid shows a consistency window instead, s2.4)
+  if (!force) {
+    auto preds = predecessors(*flow, activity);
+    if (!preds.ok()) return Result<ExecRef>::failure(preds.error().code, preds.error().message);
+    for (auto pred : *preds) {
+      auto progress = activity_progress(variant, pred);
+      if (!progress.ok()) {
+        return Result<ExecRef>::failure(progress.error().code, progress.error().message);
+      }
+      if (*progress != ActivityProgress::done) {
+        auto pname = name_of(pred.id);
+        return Result<ExecRef>::failure(Errc::flow_violation,
+                                        "predecessor activity " + (pname.ok() ? *pname : "?") +
+                                            " has not completed");
+      }
+    }
+  }
+
+  // 4. needs: collect the latest DOV of each needed viewtype as inputs
+  auto needs = activity_needs(activity);
+  if (!needs.ok()) return Result<ExecRef>::failure(needs.error().code, needs.error().message);
+  std::vector<DovRef> inputs;
+  for (auto vt : *needs) {
+    DovRef found;
+    auto dobjs = design_objects(variant);
+    if (!dobjs.ok()) return Result<ExecRef>::failure(dobjs.error().code, dobjs.error().message);
+    for (auto dobj : *dobjs) {
+      auto dvt = viewtype_of(dobj);
+      if (!dvt.ok() || *dvt != vt) continue;
+      auto latest = latest_dov(dobj);
+      if (latest.ok()) found = *latest;
+    }
+    if (!found.valid()) {
+      auto vtname = name_of(vt.id);
+      return Result<ExecRef>::failure(Errc::flow_violation,
+                                      "activity needs a " + (vtname.ok() ? *vtname : "?") +
+                                          " design object version; none exists in the variant");
+    }
+    inputs.push_back(found);
+  }
+
+  auto id = store_.create(cls::Exec);
+  if (!id.ok()) return Result<ExecRef>::failure(id.error().code, id.error().message);
+  (void)store_.set(*id, "state", oms::AttrValue(std::string(to_string(ExecState::running))));
+  (void)store_.link(rel::exec_variant, variant.id, *id);
+  (void)store_.link(rel::exec_activity, *id, activity.id);
+  (void)store_.link(rel::exec_user, *id, user.id);
+  for (auto input : inputs) (void)store_.link(rel::exec_inputs, *id, input.id);
+  return ExecRef(*id);
+}
+
+Status JcfFramework::complete_activity(ExecRef exec, const std::vector<DovRef>& outputs) {
+  if (auto st = expect(store_, exec, cls::Exec); !st.ok()) return st;
+  auto state = exec_state(exec);
+  if (!state.ok()) return Status(state.error());
+  if (*state != ExecState::running) {
+    return support::fail(Errc::invalid_argument, "activity execution is not running");
+  }
+  auto activity = detail::single_target(store_, rel::exec_activity, exec.id, "execution");
+  if (!activity.ok()) return Status(activity.error());
+  auto creates = activity_creates(ActivityRef(*activity));
+  if (!creates.ok()) return Status(creates.error());
+  // Outputs must match the activity's Creates set.
+  for (auto out : outputs) {
+    if (auto st = expect(store_, out, cls::Dov); !st.ok()) return st;
+    auto dobj = design_object_of(out);
+    if (!dobj.ok()) return Status(dobj.error());
+    auto vt = viewtype_of(*dobj);
+    if (!vt.ok()) return Status(vt.error());
+    bool allowed = std::find(creates->begin(), creates->end(), *vt) != creates->end();
+    if (!allowed) {
+      auto vtname = name_of(vt->id);
+      return support::fail(Errc::consistency_violation,
+                           "activity does not create viewtype " +
+                               (vtname.ok() ? *vtname : "?"));
+    }
+  }
+  // Record derivation: every output derived_from every input.
+  auto inputs = store_.targets(rel::exec_inputs, exec.id);
+  if (!inputs.ok()) return Status(inputs.error());
+  for (auto out : outputs) {
+    for (auto input : *inputs) {
+      if (out.id == input) continue;
+      if (!store_.linked(rel::derived_from, out.id, input)) {
+        (void)store_.link(rel::derived_from, out.id, input);
+      }
+    }
+    (void)store_.link(rel::exec_outputs, exec.id, out.id);
+  }
+  return store_.set(exec.id, "state", oms::AttrValue(std::string(to_string(ExecState::done))));
+}
+
+Status JcfFramework::abort_activity(ExecRef exec) {
+  if (auto st = expect(store_, exec, cls::Exec); !st.ok()) return st;
+  auto state = exec_state(exec);
+  if (!state.ok()) return Status(state.error());
+  if (*state != ExecState::running) {
+    return support::fail(Errc::invalid_argument, "activity execution is not running");
+  }
+  return store_.set(exec.id, "state",
+                    oms::AttrValue(std::string(to_string(ExecState::aborted))));
+}
+
+Result<ExecState> JcfFramework::exec_state(ExecRef exec) const {
+  auto text = store_.get_text(exec.id, "state");
+  if (!text.ok()) return Result<ExecState>::failure(text.error().code, text.error().message);
+  if (*text == "running") return ExecState::running;
+  if (*text == "done") return ExecState::done;
+  if (*text == "aborted") return ExecState::aborted;
+  return Result<ExecState>::failure(Errc::internal, "bad execution state " + *text);
+}
+
+Result<std::vector<DovRef>> JcfFramework::exec_inputs(ExecRef exec) const {
+  if (auto st = expect(store_, exec, cls::Exec); !st.ok()) {
+    return Result<std::vector<DovRef>>::failure(st.error().code, st.error().message);
+  }
+  return detail::ref_targets<DovTag>(store_, rel::exec_inputs, exec.id);
+}
+
+Result<ActivityProgress> JcfFramework::activity_progress(VariantRef variant,
+                                                         ActivityRef activity) const {
+  if (auto st = expect(store_, variant, cls::Variant); !st.ok()) {
+    return Result<ActivityProgress>::failure(st.error().code, st.error().message);
+  }
+  auto execs = store_.targets(rel::exec_variant, variant.id);
+  if (!execs.ok()) {
+    return Result<ActivityProgress>::failure(execs.error().code, execs.error().message);
+  }
+  ActivityProgress progress = ActivityProgress::not_started;
+  for (auto exec : *execs) {
+    if (!store_.linked(rel::exec_activity, exec, activity.id)) continue;
+    auto state = exec_state(ExecRef(exec));
+    if (!state.ok()) continue;
+    if (*state == ExecState::done) return ActivityProgress::done;
+    if (*state == ExecState::running) progress = ActivityProgress::running;
+  }
+  return progress;
+}
+
+Result<std::vector<DovRef>> JcfFramework::derivation_sources(DovRef dov) const {
+  if (auto st = expect(store_, dov, cls::Dov); !st.ok()) {
+    return Result<std::vector<DovRef>>::failure(st.error().code, st.error().message);
+  }
+  return detail::ref_targets<DovTag>(store_, rel::derived_from, dov.id);
+}
+
+Result<std::vector<DovRef>> JcfFramework::derived_from_this(DovRef dov) const {
+  if (auto st = expect(store_, dov, cls::Dov); !st.ok()) {
+    return Result<std::vector<DovRef>>::failure(st.error().code, st.error().message);
+  }
+  return detail::ref_sources<DovTag>(store_, rel::derived_from, dov.id);
+}
+
+}  // namespace jfm::jcf

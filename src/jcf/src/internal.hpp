@@ -1,0 +1,113 @@
+#pragma once
+// Shared implementation helpers for the JcfFramework .cpp files.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "jfm/jcf/framework.hpp"
+
+namespace jfm::jcf::detail {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+/// Verify `id` exists and is of class `cls` (or derived).
+inline Status expect_class(const oms::Store& store, oms::ObjectId id, const char* cls) {
+  auto actual = store.class_of(id);
+  if (!actual.ok()) return support::fail(Errc::not_found, std::string(cls) + " reference is dangling");
+  if (!store.schema().is_a(*actual, cls)) {
+    return support::fail(Errc::invalid_argument,
+                         "expected " + std::string(cls) + ", got " + *actual);
+  }
+  return {};
+}
+
+template <typename Tag>
+Status expect(const oms::Store& store, Ref<Tag> ref, const char* cls) {
+  return expect_class(store, ref.id, cls);
+}
+
+/// Create an object of a Named subclass with a (globally unique within
+/// that class) name.
+inline Result<oms::ObjectId> create_named(oms::Store& store, const char* cls,
+                                          const std::string& name) {
+  if (name.empty()) {
+    return Result<oms::ObjectId>::failure(Errc::invalid_argument,
+                                          std::string(cls) + " name must not be empty");
+  }
+  if (store.find_one(cls, "name", oms::AttrValue(name)).has_value()) {
+    return Result<oms::ObjectId>::failure(Errc::already_exists,
+                                          std::string(cls) + " '" + name + "'");
+  }
+  auto id = store.create(cls);
+  if (!id.ok()) return id;
+  if (auto st = store.set(*id, "name", oms::AttrValue(name)); !st.ok()) {
+    return Result<oms::ObjectId>::failure(st.error().code, st.error().message);
+  }
+  return id;
+}
+
+/// Find the unique object of `cls` named `name`.
+inline Result<oms::ObjectId> find_named(const oms::Store& store, const char* cls,
+                                        const std::string& name) {
+  auto found = store.find_one(cls, "name", oms::AttrValue(name));
+  if (!found) {
+    return Result<oms::ObjectId>::failure(Errc::not_found,
+                                          std::string(cls) + " '" + name + "'");
+  }
+  return *found;
+}
+
+/// Targets of a relation as typed refs.
+template <typename Tag>
+Result<std::vector<Ref<Tag>>> ref_targets(const oms::Store& store, const char* relation,
+                                          oms::ObjectId from) {
+  auto ids = store.targets(relation, from);
+  if (!ids.ok()) {
+    return Result<std::vector<Ref<Tag>>>::failure(ids.error().code, ids.error().message);
+  }
+  std::vector<Ref<Tag>> out;
+  out.reserve(ids->size());
+  for (auto id : *ids) out.push_back(Ref<Tag>(id));
+  return out;
+}
+
+template <typename Tag>
+Result<std::vector<Ref<Tag>>> ref_sources(const oms::Store& store, const char* relation,
+                                          oms::ObjectId to) {
+  auto ids = store.sources(relation, to);
+  if (!ids.ok()) {
+    return Result<std::vector<Ref<Tag>>>::failure(ids.error().code, ids.error().message);
+  }
+  std::vector<Ref<Tag>> out;
+  out.reserve(ids->size());
+  for (auto id : *ids) out.push_back(Ref<Tag>(id));
+  return out;
+}
+
+/// The single source of a 1:n relation (owner lookup).
+inline Result<oms::ObjectId> single_source(const oms::Store& store, const char* relation,
+                                           oms::ObjectId to, const char* what) {
+  auto ids = store.sources(relation, to);
+  if (!ids.ok()) return Result<oms::ObjectId>::failure(ids.error().code, ids.error().message);
+  if (ids->empty()) {
+    return Result<oms::ObjectId>::failure(Errc::not_found, std::string(what) + " has no owner");
+  }
+  return ids->front();
+}
+
+/// The single target of a code-enforced to-one relation.
+inline Result<oms::ObjectId> single_target(const oms::Store& store, const char* relation,
+                                           oms::ObjectId from, const char* what) {
+  auto ids = store.targets(relation, from);
+  if (!ids.ok()) return Result<oms::ObjectId>::failure(ids.error().code, ids.error().message);
+  if (ids->empty()) {
+    return Result<oms::ObjectId>::failure(Errc::not_found,
+                                          std::string(what) + " is not attached");
+  }
+  return ids->front();
+}
+
+}  // namespace jfm::jcf::detail

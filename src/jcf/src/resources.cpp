@@ -1,0 +1,249 @@
+#include "internal.hpp"
+#include "jfm/oms/dump.hpp"
+
+namespace jfm::jcf {
+
+using detail::expect;
+using support::Errc;
+using support::Result;
+using support::Status;
+
+std::string_view to_string(ExecState state) {
+  switch (state) {
+    case ExecState::running: return "running";
+    case ExecState::done: return "done";
+    case ExecState::aborted: return "aborted";
+  }
+  return "?";
+}
+
+JcfFramework::JcfFramework(support::SimClock* clock)
+    : store_(build_jcf_schema(), clock), clock_(clock) {}
+
+Status JcfFramework::checkpoint(vfs::FileSystem& fs, const vfs::Path& file) const {
+  return oms::Dump::export_store(store_, fs, file);
+}
+
+Status JcfFramework::restore(const vfs::FileSystem& fs, const vfs::Path& file) {
+  return oms::Dump::import_store(store_, fs, file);
+}
+
+Result<UserRef> JcfFramework::create_user(const std::string& name) {
+  auto id = detail::create_named(store_, cls::User, name);
+  if (!id.ok()) return Result<UserRef>::failure(id.error().code, id.error().message);
+  return UserRef(*id);
+}
+
+Result<TeamRef> JcfFramework::create_team(const std::string& name) {
+  auto id = detail::create_named(store_, cls::Team, name);
+  if (!id.ok()) return Result<TeamRef>::failure(id.error().code, id.error().message);
+  return TeamRef(*id);
+}
+
+Status JcfFramework::add_member(TeamRef team, UserRef user) {
+  if (auto st = expect(store_, team, cls::Team); !st.ok()) return st;
+  if (auto st = expect(store_, user, cls::User); !st.ok()) return st;
+  return store_.link(rel::team_member, team.id, user.id);
+}
+
+Result<bool> JcfFramework::is_member(TeamRef team, UserRef user) const {
+  if (auto st = expect(store_, team, cls::Team); !st.ok()) {
+    return Result<bool>::failure(st.error().code, st.error().message);
+  }
+  return store_.linked(rel::team_member, team.id, user.id);
+}
+
+Result<ToolRef> JcfFramework::register_tool(const std::string& name) {
+  auto id = detail::create_named(store_, cls::Tool, name);
+  if (!id.ok()) return Result<ToolRef>::failure(id.error().code, id.error().message);
+  return ToolRef(*id);
+}
+
+Result<ViewTypeRef> JcfFramework::create_viewtype(const std::string& name) {
+  auto id = detail::create_named(store_, cls::ViewType, name);
+  if (!id.ok()) return Result<ViewTypeRef>::failure(id.error().code, id.error().message);
+  return ViewTypeRef(*id);
+}
+
+Result<ActivityRef> JcfFramework::create_activity(const std::string& name, ToolRef tool,
+                                                  const std::vector<ViewTypeRef>& needs,
+                                                  const std::vector<ViewTypeRef>& creates) {
+  if (auto st = expect(store_, tool, cls::Tool); !st.ok()) {
+    return Result<ActivityRef>::failure(st.error().code, st.error().message);
+  }
+  for (const auto& vt : needs) {
+    if (auto st = expect(store_, vt, cls::ViewType); !st.ok()) {
+      return Result<ActivityRef>::failure(st.error().code, st.error().message);
+    }
+  }
+  for (const auto& vt : creates) {
+    if (auto st = expect(store_, vt, cls::ViewType); !st.ok()) {
+      return Result<ActivityRef>::failure(st.error().code, st.error().message);
+    }
+  }
+  if (creates.empty()) {
+    return Result<ActivityRef>::failure(Errc::invalid_argument,
+                                        "an activity must create at least one viewtype");
+  }
+  auto id = detail::create_named(store_, cls::Activity, name);
+  if (!id.ok()) return Result<ActivityRef>::failure(id.error().code, id.error().message);
+  (void)store_.link(rel::uses_tool, *id, tool.id);
+  for (const auto& vt : needs) (void)store_.link(rel::act_needs, *id, vt.id);
+  for (const auto& vt : creates) (void)store_.link(rel::act_creates, *id, vt.id);
+  return ActivityRef(*id);
+}
+
+Result<FlowRef> JcfFramework::create_flow(const std::string& name,
+                                          const std::vector<ActivityRef>& activities) {
+  if (activities.empty()) {
+    return Result<FlowRef>::failure(Errc::invalid_argument, "a flow needs activities");
+  }
+  for (const auto& act : activities) {
+    if (auto st = expect(store_, act, cls::Activity); !st.ok()) {
+      return Result<FlowRef>::failure(st.error().code, st.error().message);
+    }
+  }
+  auto id = detail::create_named(store_, cls::Flow, name);
+  if (!id.ok()) return Result<FlowRef>::failure(id.error().code, id.error().message);
+  (void)store_.set(*id, "frozen", oms::AttrValue(false));
+  for (const auto& act : activities) {
+    if (auto st = store_.link(rel::flow_activity, *id, act.id); !st.ok()) {
+      return Result<FlowRef>::failure(st.error().code,
+                                      "duplicate activity in flow: " + st.error().message);
+    }
+  }
+  return FlowRef(*id);
+}
+
+Status JcfFramework::add_precedence(FlowRef flow, ActivityRef before, ActivityRef after) {
+  if (auto st = expect(store_, flow, cls::Flow); !st.ok()) return st;
+  auto frozen = flow_frozen(flow);
+  if (!frozen.ok()) return Status(frozen.error());
+  if (*frozen) {
+    return support::fail(Errc::permission_denied, "flow is frozen and cannot be modified");
+  }
+  if (!store_.linked(rel::flow_activity, flow.id, before.id) ||
+      !store_.linked(rel::flow_activity, flow.id, after.id)) {
+    return support::fail(Errc::invalid_argument, "both activities must belong to the flow");
+  }
+  if (before == after) {
+    return support::fail(Errc::invalid_argument, "an activity cannot precede itself");
+  }
+  auto edge = store_.create(cls::FlowEdge);
+  if (!edge.ok()) return Status(edge.error());
+  (void)store_.link(rel::edge_flow, *edge, flow.id);
+  (void)store_.link(rel::edge_from, *edge, before.id);
+  (void)store_.link(rel::edge_to, *edge, after.id);
+  return {};
+}
+
+Result<std::vector<ActivityRef>> JcfFramework::flow_activities(FlowRef flow) const {
+  if (auto st = expect(store_, flow, cls::Flow); !st.ok()) {
+    return Result<std::vector<ActivityRef>>::failure(st.error().code, st.error().message);
+  }
+  return detail::ref_targets<ActivityTag>(store_, rel::flow_activity, flow.id);
+}
+
+Result<std::vector<ActivityRef>> JcfFramework::predecessors(FlowRef flow,
+                                                            ActivityRef activity) const {
+  if (auto st = expect(store_, flow, cls::Flow); !st.ok()) {
+    return Result<std::vector<ActivityRef>>::failure(st.error().code, st.error().message);
+  }
+  std::vector<ActivityRef> out;
+  // edges pointing at `activity` that belong to `flow`
+  auto edges = store_.sources(rel::edge_to, activity.id);
+  if (!edges.ok()) {
+    return Result<std::vector<ActivityRef>>::failure(edges.error().code, edges.error().message);
+  }
+  for (auto edge : *edges) {
+    if (!store_.linked(rel::edge_flow, edge, flow.id)) continue;
+    auto from = detail::single_target(store_, rel::edge_from, edge, "flow edge");
+    if (from.ok()) out.push_back(ActivityRef(*from));
+  }
+  return out;
+}
+
+Status JcfFramework::freeze_flow(FlowRef flow) {
+  if (auto st = expect(store_, flow, cls::Flow); !st.ok()) return st;
+  auto activities = flow_activities(flow);
+  if (!activities.ok()) return Status(activities.error());
+  // Cycle check: Kahn-style peeling over the flow's precedence edges.
+  std::vector<ActivityRef> pending = *activities;
+  bool progressed = true;
+  std::vector<ActivityRef> done;
+  while (!pending.empty() && progressed) {
+    progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      auto preds = predecessors(flow, *it);
+      if (!preds.ok()) return Status(preds.error());
+      bool ready = std::all_of(preds->begin(), preds->end(), [&](ActivityRef p) {
+        return std::find(done.begin(), done.end(), p) != done.end();
+      });
+      if (ready) {
+        done.push_back(*it);
+        it = pending.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!pending.empty()) {
+    return support::fail(Errc::consistency_violation, "flow precedence contains a cycle");
+  }
+  return store_.set(flow.id, "frozen", oms::AttrValue(true));
+}
+
+Result<bool> JcfFramework::flow_frozen(FlowRef flow) const {
+  if (auto st = expect(store_, flow, cls::Flow); !st.ok()) {
+    return Result<bool>::failure(st.error().code, st.error().message);
+  }
+  auto v = store_.get_bool(flow.id, "frozen");
+  if (!v.ok()) return false;
+  return *v;
+}
+
+Result<std::vector<ViewTypeRef>> JcfFramework::activity_needs(ActivityRef activity) const {
+  if (auto st = expect(store_, activity, cls::Activity); !st.ok()) {
+    return Result<std::vector<ViewTypeRef>>::failure(st.error().code, st.error().message);
+  }
+  return detail::ref_targets<ViewTypeTag>(store_, rel::act_needs, activity.id);
+}
+
+Result<std::vector<ViewTypeRef>> JcfFramework::activity_creates(ActivityRef activity) const {
+  if (auto st = expect(store_, activity, cls::Activity); !st.ok()) {
+    return Result<std::vector<ViewTypeRef>>::failure(st.error().code, st.error().message);
+  }
+  return detail::ref_targets<ViewTypeTag>(store_, rel::act_creates, activity.id);
+}
+
+Result<ToolRef> JcfFramework::activity_tool(ActivityRef activity) const {
+  auto id = detail::single_target(store_, rel::uses_tool, activity.id, "activity");
+  if (!id.ok()) return Result<ToolRef>::failure(id.error().code, id.error().message);
+  return ToolRef(*id);
+}
+
+Result<std::string> JcfFramework::name_of(oms::ObjectId id) const {
+  return store_.get_text(id, "name");
+}
+
+// -- name lookups -----------------------------------------------------------
+
+#define JFM_JCF_FINDER(method, RefT, cls_const)                             \
+  Result<RefT> JcfFramework::method(const std::string& name) const {       \
+    auto id = detail::find_named(store_, cls_const, name);                  \
+    if (!id.ok()) return Result<RefT>::failure(id.error().code, id.error().message); \
+    return RefT(*id);                                                       \
+  }
+
+JFM_JCF_FINDER(find_user, UserRef, cls::User)
+JFM_JCF_FINDER(find_team, TeamRef, cls::Team)
+JFM_JCF_FINDER(find_viewtype, ViewTypeRef, cls::ViewType)
+JFM_JCF_FINDER(find_activity, ActivityRef, cls::Activity)
+JFM_JCF_FINDER(find_flow, FlowRef, cls::Flow)
+JFM_JCF_FINDER(find_tool, ToolRef, cls::Tool)
+JFM_JCF_FINDER(find_project, ProjectRef, cls::Project)
+
+#undef JFM_JCF_FINDER
+
+}  // namespace jfm::jcf

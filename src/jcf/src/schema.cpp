@@ -1,0 +1,93 @@
+#include "jfm/jcf/schema.hpp"
+
+#include <stdexcept>
+
+namespace jfm::jcf {
+
+using oms::AttrType;
+using oms::Cardinality;
+
+namespace {
+void must(support::Status status) {
+  if (!status.ok()) {
+    throw std::logic_error("jcf schema definition error: " + status.error().to_text());
+  }
+}
+}  // namespace
+
+oms::Schema build_jcf_schema() {
+  oms::Schema schema;
+
+  // Named base for everything that carries a user-visible name.
+  must(schema.define_class({"Named", "", {{"name", AttrType::text, true}}}));
+
+  // -- resources (framework-administered metadata) ------------------------
+  must(schema.define_class({cls::User, "Named", {}}));
+  must(schema.define_class({cls::Team, "Named", {}}));
+  must(schema.define_class({cls::Tool, "Named", {}}));
+  must(schema.define_class({cls::ViewType, "Named", {}}));
+  must(schema.define_class({cls::Activity, "Named", {}}));
+  must(schema.define_class({cls::Flow, "Named", {{"frozen", AttrType::boolean}}}));
+  must(schema.define_class({cls::FlowEdge, "", {}}));
+
+  // -- project structure ---------------------------------------------------
+  must(schema.define_class({cls::Project, "Named", {}}));
+  must(schema.define_class({cls::Cell, "Named", {}}));
+  must(schema.define_class({cls::CellVersion,
+                            "",
+                            {{"number", AttrType::integer, true},
+                             {"published", AttrType::boolean},
+                             {"reserved_by", AttrType::text}}}));
+  must(schema.define_class({cls::Variant, "Named", {}}));
+  must(schema.define_class({cls::DesignObject, "Named", {}}));
+  must(schema.define_class({cls::Dov,
+                            "",
+                            {{"number", AttrType::integer, true},
+                             {"data", AttrType::text},
+                             {"published", AttrType::boolean}}}));
+  must(schema.define_class({cls::Config, "Named", {}}));
+  must(schema.define_class(
+      {cls::Exec, "", {{"state", AttrType::text, true}}}));  // running/done/aborted
+
+  // -- relations ------------------------------------------------------------
+  auto r = [&](const char* name, const char* from, const char* to, Cardinality card) {
+    must(schema.define_relation({name, from, to, card}));
+  };
+  r(rel::team_member, cls::Team, cls::User, Cardinality::many_to_many);
+  r(rel::project_team, cls::Project, cls::Team, Cardinality::many_to_many);
+  r(rel::uses_tool, cls::Activity, cls::Tool, Cardinality::many_to_many);
+  r(rel::act_needs, cls::Activity, cls::ViewType, Cardinality::many_to_many);
+  r(rel::act_creates, cls::Activity, cls::ViewType, Cardinality::many_to_many);
+  r(rel::flow_activity, cls::Flow, cls::Activity, Cardinality::many_to_many);
+  r(rel::edge_flow, cls::FlowEdge, cls::Flow, Cardinality::many_to_many);
+  r(rel::edge_from, cls::FlowEdge, cls::Activity, Cardinality::many_to_many);
+  r(rel::edge_to, cls::FlowEdge, cls::Activity, Cardinality::many_to_many);
+  r(rel::project_cell, cls::Project, cls::Cell, Cardinality::one_to_many);
+  r(rel::project_shared, cls::Project, cls::Cell, Cardinality::many_to_many);
+  r(rel::cell_flow, cls::Cell, cls::Flow, Cardinality::many_to_many);
+  r(rel::cell_team, cls::Cell, cls::Team, Cardinality::many_to_many);
+  r(rel::cell_version, cls::Cell, cls::CellVersion, Cardinality::one_to_many);
+  r(rel::cv_flow, cls::CellVersion, cls::Flow, Cardinality::many_to_many);
+  r(rel::cv_team, cls::CellVersion, cls::Team, Cardinality::many_to_many);
+  r(rel::cv_precedes, cls::CellVersion, cls::CellVersion, Cardinality::many_to_many);
+  r(rel::comp_of, cls::CellVersion, cls::CellVersion, Cardinality::many_to_many);
+  r(rel::cv_variant, cls::CellVersion, cls::Variant, Cardinality::one_to_many);
+  r(rel::variant_do, cls::Variant, cls::DesignObject, Cardinality::one_to_many);
+  r(rel::do_viewtype, cls::DesignObject, cls::ViewType, Cardinality::many_to_many);
+  r(rel::do_version, cls::DesignObject, cls::Dov, Cardinality::one_to_many);
+  r(rel::dov_precedes, cls::Dov, cls::Dov, Cardinality::many_to_many);
+  r(rel::derived_from, cls::Dov, cls::Dov, Cardinality::many_to_many);
+  r(rel::equivalent, cls::Dov, cls::Dov, Cardinality::many_to_many);
+  r(rel::cv_config, cls::CellVersion, cls::Config, Cardinality::one_to_many);
+  r(rel::config_member, cls::Config, cls::Dov, Cardinality::many_to_many);
+  r(rel::config_child, cls::Config, cls::Config, Cardinality::many_to_many);
+  r(rel::exec_variant, cls::Variant, cls::Exec, Cardinality::one_to_many);
+  r(rel::exec_activity, cls::Exec, cls::Activity, Cardinality::many_to_many);
+  r(rel::exec_user, cls::Exec, cls::User, Cardinality::many_to_many);
+  r(rel::exec_inputs, cls::Exec, cls::Dov, Cardinality::many_to_many);
+  r(rel::exec_outputs, cls::Exec, cls::Dov, Cardinality::many_to_many);
+
+  return schema;
+}
+
+}  // namespace jfm::jcf

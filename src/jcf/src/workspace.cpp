@@ -1,0 +1,163 @@
+#include "internal.hpp"
+
+namespace jfm::jcf {
+
+using detail::expect;
+using support::Errc;
+using support::Result;
+using support::Status;
+
+// The JCF workspace concept (paper s2.1): "the workspace concept of JCF
+// allows only one user to work on a particular cell version if this
+// cell version is reserved in his private workspace. Other users are
+// only allowed to read the published parts of the design data."
+
+Status JcfFramework::reserve(CellVersionRef cv, UserRef user) {
+  if (auto st = expect(store_, cv, cls::CellVersion); !st.ok()) return st;
+  if (auto st = expect(store_, user, cls::User); !st.ok()) return st;
+  auto uname = name_of(user.id);
+  if (!uname.ok()) return Status(uname.error());
+  auto team = effective_team(cv);
+  if (!team.ok()) return Status(team.error());
+  if (!store_.linked(rel::team_member, team->id, user.id)) {
+    ++ws_stats_.reservation_conflicts;
+    return support::fail(Errc::permission_denied,
+                         *uname + " is not a member of the cell version's team");
+  }
+  auto holder = store_.get_text(cv.id, "reserved_by");
+  if (!holder.ok()) return Status(holder.error());
+  if (!holder->empty()) {
+    ++ws_stats_.reservation_conflicts;
+    if (*holder == *uname) {
+      return support::fail(Errc::already_exists, "cell version already in your workspace");
+    }
+    return support::fail(Errc::locked, "cell version is reserved by " + *holder);
+  }
+  ++ws_stats_.reservations;
+  return store_.set(cv.id, "reserved_by", oms::AttrValue(*uname));
+}
+
+Status JcfFramework::publish(CellVersionRef cv, UserRef user) {
+  if (auto st = expect(store_, cv, cls::CellVersion); !st.ok()) return st;
+  auto uname = name_of(user.id);
+  if (!uname.ok()) return Status(uname.error());
+  auto holder = store_.get_text(cv.id, "reserved_by");
+  if (!holder.ok()) return Status(holder.error());
+  if (*holder != *uname) {
+    return support::fail(Errc::permission_denied,
+                         holder->empty() ? "cell version is not reserved"
+                                         : "cell version is reserved by " + *holder);
+  }
+  // Everything created in the workspace becomes visible.
+  auto all_variants = variants(cv);
+  if (!all_variants.ok()) return Status(all_variants.error());
+  for (auto variant : *all_variants) {
+    auto dobjs = design_objects(variant);
+    if (!dobjs.ok()) return Status(dobjs.error());
+    for (auto dobj : *dobjs) {
+      auto dovs = dov_versions(dobj);
+      if (!dovs.ok()) return Status(dovs.error());
+      for (auto dov : *dovs) {
+        (void)store_.set(dov.id, "published", oms::AttrValue(true));
+      }
+    }
+  }
+  (void)store_.set(cv.id, "published", oms::AttrValue(true));
+  ++ws_stats_.publishes;
+  return store_.set(cv.id, "reserved_by", oms::AttrValue(std::string()));
+}
+
+Result<std::string> JcfFramework::reserved_by(CellVersionRef cv) const {
+  if (auto st = expect(store_, cv, cls::CellVersion); !st.ok()) {
+    return Result<std::string>::failure(st.error().code, st.error().message);
+  }
+  return store_.get_text(cv.id, "reserved_by");
+}
+
+Result<DovRef> JcfFramework::create_dov(DesignObjectRef dobj, std::string data, UserRef user) {
+  if (auto st = expect(store_, dobj, cls::DesignObject); !st.ok()) {
+    return Result<DovRef>::failure(st.error().code, st.error().message);
+  }
+  auto variant = detail::single_source(store_, rel::variant_do, dobj.id, "design object");
+  if (!variant.ok()) return Result<DovRef>::failure(variant.error().code, variant.error().message);
+  auto cv = cell_version_of(VariantRef(*variant));
+  if (!cv.ok()) return Result<DovRef>::failure(cv.error().code, cv.error().message);
+  auto holder = reserved_by(*cv);
+  auto uname = name_of(user.id);
+  if (!holder.ok() || !uname.ok() || *holder != *uname) {
+    return Result<DovRef>::failure(Errc::permission_denied,
+                                   "design data can only be written in a reserved workspace");
+  }
+  auto existing = store_.targets(rel::do_version, dobj.id);
+  if (!existing.ok()) {
+    return Result<DovRef>::failure(existing.error().code, existing.error().message);
+  }
+  auto id = store_.create(cls::Dov);
+  if (!id.ok()) return Result<DovRef>::failure(id.error().code, id.error().message);
+  const int number = static_cast<int>(existing->size()) + 1;
+  (void)store_.set(*id, "number", oms::AttrValue(std::int64_t{number}));
+  (void)store_.set(*id, "data", oms::AttrValue(std::move(data)));
+  (void)store_.set(*id, "published", oms::AttrValue(false));
+  (void)store_.link(rel::do_version, dobj.id, *id);
+  if (!existing->empty()) {
+    (void)store_.link(rel::dov_precedes, existing->back(), *id);
+  }
+  return DovRef(*id);
+}
+
+Result<std::vector<DovRef>> JcfFramework::dov_versions(DesignObjectRef dobj) const {
+  if (auto st = expect(store_, dobj, cls::DesignObject); !st.ok()) {
+    return Result<std::vector<DovRef>>::failure(st.error().code, st.error().message);
+  }
+  return detail::ref_targets<DovTag>(store_, rel::do_version, dobj.id);
+}
+
+Result<DovRef> JcfFramework::latest_dov(DesignObjectRef dobj) const {
+  auto all = dov_versions(dobj);
+  if (!all.ok()) return Result<DovRef>::failure(all.error().code, all.error().message);
+  if (all->empty()) {
+    return Result<DovRef>::failure(Errc::not_found, "design object has no versions");
+  }
+  return all->back();
+}
+
+Result<int> JcfFramework::dov_number(DovRef dov) const {
+  auto v = store_.get_int(dov.id, "number");
+  if (!v.ok()) return Result<int>::failure(v.error().code, v.error().message);
+  return static_cast<int>(*v);
+}
+
+Result<DesignObjectRef> JcfFramework::design_object_of(DovRef dov) const {
+  auto id = detail::single_source(store_, rel::do_version, dov.id, "design object version");
+  if (!id.ok()) return Result<DesignObjectRef>::failure(id.error().code, id.error().message);
+  return DesignObjectRef(*id);
+}
+
+Result<std::string> JcfFramework::dov_data(DovRef dov, UserRef reader) {
+  if (auto st = expect(store_, dov, cls::Dov); !st.ok()) {
+    return Result<std::string>::failure(st.error().code, st.error().message);
+  }
+  auto published = store_.get_bool(dov.id, "published");
+  bool visible = published.ok() && *published;
+  if (!visible) {
+    // unpublished data: only the workspace holder sees it
+    auto dobj = design_object_of(dov);
+    if (!dobj.ok()) return Result<std::string>::failure(dobj.error().code, dobj.error().message);
+    auto variant = detail::single_source(store_, rel::variant_do, dobj->id, "design object");
+    if (!variant.ok()) {
+      return Result<std::string>::failure(variant.error().code, variant.error().message);
+    }
+    auto cv = cell_version_of(VariantRef(*variant));
+    if (!cv.ok()) return Result<std::string>::failure(cv.error().code, cv.error().message);
+    auto holder = reserved_by(*cv);
+    auto uname = name_of(reader.id);
+    if (!holder.ok() || !uname.ok() || *holder != *uname) {
+      ++ws_stats_.read_denials;
+      return Result<std::string>::failure(Errc::permission_denied,
+                                          "design data not published yet");
+    }
+  }
+  return store_.get_text(dov.id, "data");
+}
+
+}  // namespace jfm::jcf

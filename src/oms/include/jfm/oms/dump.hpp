@@ -1,0 +1,34 @@
+#pragma once
+// OMS export/import through the (virtual) UNIX file system.
+//
+// The paper, s2.1: "In case of encapsulation, the required data are
+// copied to and from the database via the UNIX file system." Dump is
+// that copy path: a store (or a single text blob attribute) is written
+// as a line-oriented file which the FMCAD side then reads. It is also
+// the checkpoint mechanism used by the JCF desktop.
+
+#include <string>
+
+#include "jfm/oms/store.hpp"
+#include "jfm/vfs/filesystem.hpp"
+
+namespace jfm::oms {
+
+class Dump {
+ public:
+  /// Serialize every object, attribute and link of `store` to `file`.
+  static support::Status export_store(const Store& store, vfs::FileSystem& fs,
+                                      const vfs::Path& file);
+
+  /// Load a dump produced by export_store into `store`, which must be
+  /// empty and share the schema the dump was written under. Object ids
+  /// are preserved.
+  static support::Status import_store(Store& store, const vfs::FileSystem& fs,
+                                      const vfs::Path& file);
+
+  /// In-memory forms of the above (used by tests and the transfer engine).
+  static std::string to_text(const Store& store);
+  static support::Status from_text(Store& store, const std::string& text);
+};
+
+}  // namespace jfm::oms

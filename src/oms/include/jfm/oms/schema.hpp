@@ -1,0 +1,78 @@
+#pragma once
+// OMS schema: classes, attributes and relationship types.
+//
+// OMS is the "common object-oriented database" JCF stores metadata and
+// design data in (paper s2.1, [Meck92]). The schema is defined up front
+// by the framework; JCF's Figure-1 information model is expressed as an
+// OMS schema in src/jcf.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "jfm/support/result.hpp"
+
+namespace jfm::oms {
+
+enum class AttrType { integer, real, text, boolean };
+
+using AttrValue = std::variant<std::int64_t, double, std::string, bool>;
+
+/// Does a runtime value match a declared attribute type?
+bool value_matches(AttrType type, const AttrValue& value) noexcept;
+
+std::string_view to_string(AttrType type) noexcept;
+
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::text;
+  bool required = false;  ///< must be set before commit
+};
+
+struct ClassDef {
+  std::string name;
+  std::string parent;  ///< optional base class (single inheritance)
+  std::vector<AttributeDef> attributes;
+};
+
+/// Relationship cardinality, enforced by the store on link():
+///  - one_to_one:  each source has <=1 target and each target <=1 source
+///  - one_to_many: each target has <=1 source (a child has one parent)
+///  - many_to_many: unconstrained
+enum class Cardinality { one_to_one, one_to_many, many_to_many };
+
+struct RelationDef {
+  std::string name;
+  std::string from_class;
+  std::string to_class;
+  Cardinality cardinality = Cardinality::many_to_many;
+};
+
+class Schema {
+ public:
+  support::Status define_class(ClassDef def);
+  support::Status define_relation(RelationDef def);
+
+  const ClassDef* find_class(std::string_view name) const;
+  const RelationDef* find_relation(std::string_view name) const;
+
+  /// Is `cls` the same as or derived from `base`?
+  bool is_a(std::string_view cls, std::string_view base) const;
+
+  /// Attribute definition visible on `cls` (own or inherited), or nullptr.
+  const AttributeDef* find_attribute(std::string_view cls, std::string_view attr) const;
+
+  /// All attributes of `cls` including inherited ones (base first).
+  std::vector<AttributeDef> attributes_of(std::string_view cls) const;
+
+  std::vector<std::string> class_names() const;
+  std::vector<std::string> relation_names() const;
+
+ private:
+  std::map<std::string, ClassDef, std::less<>> classes_;
+  std::map<std::string, RelationDef, std::less<>> relations_;
+};
+
+}  // namespace jfm::oms

@@ -1,0 +1,115 @@
+#pragma once
+// OMS object store: typed objects, bidirectional relationships and
+// journaled transactions.
+//
+// JCF keeps *everything* -- metadata (teams, flows, activities) and
+// design data blobs -- in OMS. The paper stresses two properties this
+// store reproduces:
+//   * the data are "completely under the control of the framework";
+//     there is no direct access to internal structures (s2.1) -- the
+//     public API is the only way in;
+//   * encapsulated tools exchange data by export/import through the
+//     file system (dump.hpp), never by pointer sharing.
+//
+// Mutations outside an explicit transaction auto-commit; inside a
+// transaction they are journaled and can be rolled back atomically.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jfm/oms/schema.hpp"
+#include "jfm/support/clock.hpp"
+#include "jfm/support/ids.hpp"
+#include "jfm/support/result.hpp"
+
+namespace jfm::oms {
+
+struct ObjectTag {
+  static constexpr const char* prefix() { return "obj#"; }
+};
+using ObjectId = support::Id<ObjectTag>;
+
+class Store {
+ public:
+  Store(Schema schema, support::SimClock* clock);
+
+  const Schema& schema() const noexcept { return schema_; }
+
+  // -- objects -----------------------------------------------------------
+  support::Result<ObjectId> create(std::string_view class_name);
+  support::Status destroy(ObjectId id);  ///< also drops all links touching id
+  bool exists(ObjectId id) const noexcept;
+  support::Result<std::string> class_of(ObjectId id) const;
+  std::size_t object_count() const noexcept;
+
+  // -- attributes --------------------------------------------------------
+  support::Status set(ObjectId id, std::string_view attr, AttrValue value);
+  support::Result<AttrValue> get(ObjectId id, std::string_view attr) const;
+  /// Typed accessors; fail with invalid_argument on type mismatch.
+  support::Result<std::int64_t> get_int(ObjectId id, std::string_view attr) const;
+  support::Result<std::string> get_text(ObjectId id, std::string_view attr) const;
+  support::Result<bool> get_bool(ObjectId id, std::string_view attr) const;
+  support::Result<double> get_real(ObjectId id, std::string_view attr) const;
+
+  // -- relationships -----------------------------------------------------
+  support::Status link(std::string_view relation, ObjectId from, ObjectId to);
+  support::Status unlink(std::string_view relation, ObjectId from, ObjectId to);
+  bool linked(std::string_view relation, ObjectId from, ObjectId to) const;
+  /// Targets of `from` under `relation`, in link order.
+  support::Result<std::vector<ObjectId>> targets(std::string_view relation, ObjectId from) const;
+  /// Sources pointing at `to` under `relation`, in link order.
+  support::Result<std::vector<ObjectId>> sources(std::string_view relation, ObjectId to) const;
+
+  // -- queries -----------------------------------------------------------
+  /// All live objects of `class_name` (including subclasses), id order.
+  std::vector<ObjectId> objects_of(std::string_view class_name) const;
+  /// Objects of `class_name` whose attribute equals `value`.
+  std::vector<ObjectId> find(std::string_view class_name, std::string_view attr,
+                             const AttrValue& value) const;
+  /// First match of find(), if any.
+  std::optional<ObjectId> find_one(std::string_view class_name, std::string_view attr,
+                                   const AttrValue& value) const;
+
+  // -- transactions ------------------------------------------------------
+  support::Status begin();
+  support::Status commit();
+  support::Status abort();  ///< roll back everything since begin()
+  bool in_transaction() const noexcept { return tx_open_; }
+
+  support::Timestamp created_at(ObjectId id) const;
+
+ private:
+  friend class Dump;
+
+  struct Object {
+    std::string class_name;
+    std::map<std::string, AttrValue, std::less<>> attrs;
+    support::Timestamp created = 0;
+  };
+
+  struct RelationIndex {
+    std::unordered_map<ObjectId, std::vector<ObjectId>> forward;
+    std::unordered_map<ObjectId, std::vector<ObjectId>> backward;
+  };
+
+  // transaction journal: undo closures applied in reverse on abort
+  void journal(std::function<void()> undo);
+
+  void erase_object_links(ObjectId id);
+  support::Status link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to);
+
+  Schema schema_;
+  support::SimClock* clock_;
+  support::IdAllocator<ObjectTag> ids_;
+  std::unordered_map<ObjectId, Object> objects_;
+  std::map<std::string, RelationIndex, std::less<>> relations_;
+  std::vector<std::function<void()>> undo_log_;
+  bool tx_open_ = false;
+};
+
+}  // namespace jfm::oms

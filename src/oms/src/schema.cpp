@@ -1,0 +1,140 @@
+#include "jfm/oms/schema.hpp"
+
+#include "jfm/support/strings.hpp"
+
+namespace jfm::oms {
+
+using support::Errc;
+using support::Status;
+
+bool value_matches(AttrType type, const AttrValue& value) noexcept {
+  switch (type) {
+    case AttrType::integer: return std::holds_alternative<std::int64_t>(value);
+    case AttrType::real: return std::holds_alternative<double>(value);
+    case AttrType::text: return std::holds_alternative<std::string>(value);
+    case AttrType::boolean: return std::holds_alternative<bool>(value);
+  }
+  return false;
+}
+
+std::string_view to_string(AttrType type) noexcept {
+  switch (type) {
+    case AttrType::integer: return "integer";
+    case AttrType::real: return "real";
+    case AttrType::text: return "text";
+    case AttrType::boolean: return "boolean";
+  }
+  return "?";
+}
+
+Status Schema::define_class(ClassDef def) {
+  if (!support::is_identifier(def.name)) {
+    return support::fail(Errc::invalid_argument, "bad class name '" + def.name + "'");
+  }
+  if (classes_.contains(def.name)) {
+    return support::fail(Errc::already_exists, "class " + def.name);
+  }
+  if (!def.parent.empty() && !classes_.contains(def.parent)) {
+    return support::fail(Errc::not_found, "parent class " + def.parent);
+  }
+  for (const auto& attr : def.attributes) {
+    if (!support::is_identifier(attr.name)) {
+      return support::fail(Errc::invalid_argument, "bad attribute name '" + attr.name + "'");
+    }
+    // Reject shadowing of inherited attributes: the dump format stores
+    // attributes by name, so a shadowed name would be ambiguous.
+    if (!def.parent.empty() && find_attribute(def.parent, attr.name) != nullptr) {
+      return support::fail(Errc::already_exists,
+                           "attribute " + attr.name + " shadows inherited attribute");
+    }
+  }
+  for (std::size_t i = 0; i < def.attributes.size(); ++i) {
+    for (std::size_t j = i + 1; j < def.attributes.size(); ++j) {
+      if (def.attributes[i].name == def.attributes[j].name) {
+        return support::fail(Errc::already_exists,
+                             "duplicate attribute " + def.attributes[i].name);
+      }
+    }
+  }
+  classes_.emplace(def.name, std::move(def));
+  return {};
+}
+
+Status Schema::define_relation(RelationDef def) {
+  if (!support::is_identifier(def.name)) {
+    return support::fail(Errc::invalid_argument, "bad relation name '" + def.name + "'");
+  }
+  if (relations_.contains(def.name)) {
+    return support::fail(Errc::already_exists, "relation " + def.name);
+  }
+  if (!classes_.contains(def.from_class)) {
+    return support::fail(Errc::not_found, "class " + def.from_class);
+  }
+  if (!classes_.contains(def.to_class)) {
+    return support::fail(Errc::not_found, "class " + def.to_class);
+  }
+  relations_.emplace(def.name, std::move(def));
+  return {};
+}
+
+const ClassDef* Schema::find_class(std::string_view name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+const RelationDef* Schema::find_relation(std::string_view name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+bool Schema::is_a(std::string_view cls, std::string_view base) const {
+  const ClassDef* def = find_class(cls);
+  while (def != nullptr) {
+    if (def->name == base) return true;
+    if (def->parent.empty()) return false;
+    def = find_class(def->parent);
+  }
+  return false;
+}
+
+const AttributeDef* Schema::find_attribute(std::string_view cls, std::string_view attr) const {
+  const ClassDef* def = find_class(cls);
+  while (def != nullptr) {
+    for (const auto& a : def->attributes) {
+      if (a.name == attr) return &a;
+    }
+    if (def->parent.empty()) return nullptr;
+    def = find_class(def->parent);
+  }
+  return nullptr;
+}
+
+std::vector<AttributeDef> Schema::attributes_of(std::string_view cls) const {
+  std::vector<const ClassDef*> chain;
+  const ClassDef* def = find_class(cls);
+  while (def != nullptr) {
+    chain.push_back(def);
+    def = def->parent.empty() ? nullptr : find_class(def->parent);
+  }
+  std::vector<AttributeDef> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    out.insert(out.end(), (*it)->attributes.begin(), (*it)->attributes.end());
+  }
+  return out;
+}
+
+std::vector<std::string> Schema::class_names() const {
+  std::vector<std::string> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, def] : classes_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Schema::relation_names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, def] : relations_) out.push_back(name);
+  return out;
+}
+
+}  // namespace jfm::oms

@@ -1,0 +1,317 @@
+#include "jfm/oms/store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jfm::oms {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+Store::Store(Schema schema, support::SimClock* clock)
+    : schema_(std::move(schema)), clock_(clock) {
+  assert(clock != nullptr);
+  for (const auto& name : schema_.relation_names()) {
+    relations_.emplace(name, RelationIndex{});
+  }
+}
+
+void Store::journal(std::function<void()> undo) {
+  if (tx_open_) undo_log_.push_back(std::move(undo));
+}
+
+Result<ObjectId> Store::create(std::string_view class_name) {
+  const ClassDef* def = schema_.find_class(class_name);
+  if (def == nullptr) {
+    return Result<ObjectId>::failure(Errc::not_found, "class " + std::string(class_name));
+  }
+  ObjectId id = ids_.next();
+  Object obj;
+  obj.class_name = def->name;
+  obj.created = clock_->tick();
+  objects_.emplace(id, std::move(obj));
+  journal([this, id] { objects_.erase(id); });
+  return id;
+}
+
+Status Store::destroy(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return support::fail(Errc::not_found, "no such object");
+  erase_object_links(id);
+  Object saved = std::move(it->second);
+  objects_.erase(it);
+  journal([this, id, saved = std::move(saved)]() mutable {
+    objects_.emplace(id, std::move(saved));
+  });
+  return {};
+}
+
+void Store::erase_object_links(ObjectId id) {
+  for (auto& [rel_name, index] : relations_) {
+    // outgoing links
+    if (auto fit = index.forward.find(id); fit != index.forward.end()) {
+      std::vector<ObjectId> tos = fit->second;
+      for (ObjectId to : tos) {
+        auto& back = index.backward[to];
+        back.erase(std::remove(back.begin(), back.end(), id), back.end());
+        journal([this, rel = rel_name, id, to] {
+          relations_[rel].backward[to].push_back(id);
+        });
+      }
+      index.forward.erase(fit);
+      journal([this, rel = rel_name, id, tos = std::move(tos)]() mutable {
+        relations_[rel].forward[id] = std::move(tos);
+      });
+    }
+    // incoming links
+    if (auto bit = index.backward.find(id); bit != index.backward.end()) {
+      std::vector<ObjectId> froms = bit->second;
+      for (ObjectId from : froms) {
+        auto& fwd = index.forward[from];
+        fwd.erase(std::remove(fwd.begin(), fwd.end(), id), fwd.end());
+        journal([this, rel = rel_name, from, id] {
+          relations_[rel].forward[from].push_back(id);
+        });
+      }
+      index.backward.erase(bit);
+      journal([this, rel = rel_name, id, froms = std::move(froms)]() mutable {
+        relations_[rel].backward[id] = std::move(froms);
+      });
+    }
+  }
+}
+
+bool Store::exists(ObjectId id) const noexcept { return objects_.contains(id); }
+
+Result<std::string> Store::class_of(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Result<std::string>::failure(Errc::not_found, "no such object");
+  return it->second.class_name;
+}
+
+std::size_t Store::object_count() const noexcept { return objects_.size(); }
+
+Status Store::set(ObjectId id, std::string_view attr, AttrValue value) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return support::fail(Errc::not_found, "no such object");
+  const AttributeDef* def = schema_.find_attribute(it->second.class_name, attr);
+  if (def == nullptr) {
+    return support::fail(Errc::not_found, "attribute " + std::string(attr) + " on class " +
+                                              it->second.class_name);
+  }
+  if (!value_matches(def->type, value)) {
+    return support::fail(Errc::invalid_argument,
+                         "attribute " + std::string(attr) + " expects " +
+                             std::string(to_string(def->type)));
+  }
+  auto& attrs = it->second.attrs;
+  auto ait = attrs.find(attr);
+  if (ait == attrs.end()) {
+    attrs.emplace(std::string(attr), std::move(value));
+    journal([this, id, name = std::string(attr)] {
+      if (auto oit = objects_.find(id); oit != objects_.end()) oit->second.attrs.erase(name);
+    });
+  } else {
+    AttrValue old = ait->second;
+    ait->second = std::move(value);
+    journal([this, id, name = std::string(attr), old = std::move(old)]() mutable {
+      if (auto oit = objects_.find(id); oit != objects_.end()) {
+        oit->second.attrs[name] = std::move(old);
+      }
+    });
+  }
+  return {};
+}
+
+Result<AttrValue> Store::get(ObjectId id, std::string_view attr) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Result<AttrValue>::failure(Errc::not_found, "no such object");
+  auto ait = it->second.attrs.find(attr);
+  if (ait == it->second.attrs.end()) {
+    return Result<AttrValue>::failure(Errc::not_found,
+                                      "attribute " + std::string(attr) + " unset");
+  }
+  return ait->second;
+}
+
+template <typename T>
+static Result<T> typed_get(const Store& store, ObjectId id, std::string_view attr) {
+  auto value = store.get(id, attr);
+  if (!value.ok()) return Result<T>::failure(value.error().code, value.error().message);
+  if (!std::holds_alternative<T>(*value)) {
+    return Result<T>::failure(Errc::invalid_argument,
+                              "attribute " + std::string(attr) + " has a different type");
+  }
+  return std::get<T>(*value);
+}
+
+Result<std::int64_t> Store::get_int(ObjectId id, std::string_view attr) const {
+  return typed_get<std::int64_t>(*this, id, attr);
+}
+Result<std::string> Store::get_text(ObjectId id, std::string_view attr) const {
+  return typed_get<std::string>(*this, id, attr);
+}
+Result<bool> Store::get_bool(ObjectId id, std::string_view attr) const {
+  return typed_get<bool>(*this, id, attr);
+}
+Result<double> Store::get_real(ObjectId id, std::string_view attr) const {
+  return typed_get<double>(*this, id, attr);
+}
+
+Status Store::link(std::string_view relation, ObjectId from, ObjectId to) {
+  const RelationDef* rel = schema_.find_relation(relation);
+  if (rel == nullptr) return support::fail(Errc::not_found, "relation " + std::string(relation));
+  auto fit = objects_.find(from);
+  auto tit = objects_.find(to);
+  if (fit == objects_.end() || tit == objects_.end()) {
+    return support::fail(Errc::not_found, "link endpoint does not exist");
+  }
+  if (!schema_.is_a(fit->second.class_name, rel->from_class)) {
+    return support::fail(Errc::invalid_argument,
+                         "source is " + fit->second.class_name + ", relation " + rel->name +
+                             " expects " + rel->from_class);
+  }
+  if (!schema_.is_a(tit->second.class_name, rel->to_class)) {
+    return support::fail(Errc::invalid_argument,
+                         "target is " + tit->second.class_name + ", relation " + rel->name +
+                             " expects " + rel->to_class);
+  }
+  return link_nocheck(*rel, from, to);
+}
+
+Status Store::link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to) {
+  RelationIndex& index = relations_[rel.name];
+  auto& fwd = index.forward[from];
+  if (std::find(fwd.begin(), fwd.end(), to) != fwd.end()) {
+    return support::fail(Errc::already_exists, "link already present");
+  }
+  if (rel.cardinality == Cardinality::one_to_one && !fwd.empty()) {
+    return support::fail(Errc::invalid_argument,
+                         "relation " + rel.name + " is one_to_one and source already linked");
+  }
+  if (rel.cardinality != Cardinality::many_to_many) {
+    const auto& back = index.backward[to];
+    if (!back.empty()) {
+      return support::fail(Errc::invalid_argument,
+                           "relation " + rel.name + " target already has a source");
+    }
+  }
+  fwd.push_back(to);
+  index.backward[to].push_back(from);
+  journal([this, rel = rel.name, from, to] {
+    RelationIndex& idx = relations_[rel];
+    auto& f = idx.forward[from];
+    f.erase(std::remove(f.begin(), f.end(), to), f.end());
+    auto& b = idx.backward[to];
+    b.erase(std::remove(b.begin(), b.end(), from), b.end());
+  });
+  return {};
+}
+
+Status Store::unlink(std::string_view relation, ObjectId from, ObjectId to) {
+  const RelationDef* rel = schema_.find_relation(relation);
+  if (rel == nullptr) return support::fail(Errc::not_found, "relation " + std::string(relation));
+  RelationIndex& index = relations_[rel->name];
+  auto& fwd = index.forward[from];
+  auto it = std::find(fwd.begin(), fwd.end(), to);
+  if (it == fwd.end()) return support::fail(Errc::not_found, "link not present");
+  fwd.erase(it);
+  auto& back = index.backward[to];
+  back.erase(std::remove(back.begin(), back.end(), from), back.end());
+  journal([this, rel = rel->name, from, to] {
+    RelationIndex& idx = relations_[rel];
+    idx.forward[from].push_back(to);
+    idx.backward[to].push_back(from);
+  });
+  return {};
+}
+
+bool Store::linked(std::string_view relation, ObjectId from, ObjectId to) const {
+  auto rit = relations_.find(relation);
+  if (rit == relations_.end()) return false;
+  auto fit = rit->second.forward.find(from);
+  if (fit == rit->second.forward.end()) return false;
+  return std::find(fit->second.begin(), fit->second.end(), to) != fit->second.end();
+}
+
+Result<std::vector<ObjectId>> Store::targets(std::string_view relation, ObjectId from) const {
+  auto rit = relations_.find(relation);
+  if (rit == relations_.end()) {
+    return Result<std::vector<ObjectId>>::failure(Errc::not_found,
+                                                  "relation " + std::string(relation));
+  }
+  auto fit = rit->second.forward.find(from);
+  if (fit == rit->second.forward.end()) return std::vector<ObjectId>{};
+  return fit->second;
+}
+
+Result<std::vector<ObjectId>> Store::sources(std::string_view relation, ObjectId to) const {
+  auto rit = relations_.find(relation);
+  if (rit == relations_.end()) {
+    return Result<std::vector<ObjectId>>::failure(Errc::not_found,
+                                                  "relation " + std::string(relation));
+  }
+  auto bit = rit->second.backward.find(to);
+  if (bit == rit->second.backward.end()) return std::vector<ObjectId>{};
+  return bit->second;
+}
+
+std::vector<ObjectId> Store::objects_of(std::string_view class_name) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, obj] : objects_) {
+    if (schema_.is_a(obj.class_name, class_name)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectId> Store::find(std::string_view class_name, std::string_view attr,
+                                  const AttrValue& value) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, obj] : objects_) {
+    if (!schema_.is_a(obj.class_name, class_name)) continue;
+    auto ait = obj.attrs.find(attr);
+    if (ait != obj.attrs.end() && ait->second == value) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<ObjectId> Store::find_one(std::string_view class_name, std::string_view attr,
+                                        const AttrValue& value) const {
+  auto all = find(class_name, attr, value);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+Status Store::begin() {
+  if (tx_open_) return support::fail(Errc::invalid_argument, "transaction already open");
+  tx_open_ = true;
+  undo_log_.clear();
+  return {};
+}
+
+Status Store::commit() {
+  if (!tx_open_) return support::fail(Errc::invalid_argument, "no open transaction");
+  tx_open_ = false;
+  undo_log_.clear();
+  return {};
+}
+
+Status Store::abort() {
+  if (!tx_open_) return support::fail(Errc::invalid_argument, "no open transaction");
+  // Undo closures may journal again if they call mutators; close the
+  // transaction first so replay is not re-journaled.
+  tx_open_ = false;
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) (*it)();
+  undo_log_.clear();
+  return {};
+}
+
+support::Timestamp Store::created_at(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? 0 : it->second.created;
+}
+
+}  // namespace jfm::oms

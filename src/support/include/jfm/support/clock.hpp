@@ -1,0 +1,36 @@
+#pragma once
+// SimClock: a deterministic logical clock.
+//
+// All timestamps in the framework stack (version creation times, .meta
+// modification times, workspace reservations) come from a SimClock so
+// that tests and benchmark workloads are fully reproducible. The clock
+// only moves when someone advances it.
+
+#include <cstdint>
+
+namespace jfm::support {
+
+using Timestamp = std::uint64_t;
+
+class SimClock {
+ public:
+  /// Current logical time.
+  Timestamp now() const noexcept { return now_; }
+
+  /// Advance by `delta` ticks and return the new time.
+  Timestamp advance(std::uint64_t delta = 1) noexcept {
+    now_ += delta;
+    return now_;
+  }
+
+  /// Advance by one tick and return the *new* time; the common way to
+  /// stamp an event so that consecutive events get distinct timestamps.
+  Timestamp tick() noexcept { return advance(1); }
+
+  void reset(Timestamp to = 0) noexcept { now_ = to; }
+
+ private:
+  Timestamp now_ = 0;
+};
+
+}  // namespace jfm::support

@@ -1,0 +1,49 @@
+#pragma once
+// Error codes and the Error value used across the whole framework stack.
+//
+// Operational failures (lock conflicts, flow violations, missing objects,
+// ...) travel through Result<T> (see result.hpp); exceptions are reserved
+// for programming errors (precondition violations).
+
+#include <string>
+#include <string_view>
+
+namespace jfm::support {
+
+/// Framework-wide error codes. The set mirrors the failure modes the
+/// paper's evaluation discusses: locking (s3.1), consistency (s3.2),
+/// hierarchy limits (s3.3), flow constraints (s3.5) and I/O (s3.6).
+enum class Errc {
+  ok = 0,
+  not_found,
+  already_exists,
+  locked,                 ///< checkout / workspace / .meta lock conflicts
+  permission_denied,      ///< team / role / workspace access rules
+  invalid_argument,
+  consistency_violation,  ///< stale or dangling references detected
+  flow_violation,         ///< tool invocation outside the prescribed flow
+  not_supported,          ///< e.g. non-isomorphic hierarchies in JCF 3.0
+  io_error,
+  transaction_aborted,
+  stale_metadata,         ///< FMCAD .meta not refreshed (s2.2)
+  checkout_required,      ///< write attempted without a checked-out version
+  parse_error,            ///< extension language / file format errors
+  internal,
+};
+
+/// Human-readable name of an error code (stable, for logs and tests).
+std::string_view to_string(Errc code) noexcept;
+
+/// An operational error: a code plus a context message.
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  /// "locked: cellview adder/schematic is checked out by bob"
+  std::string to_text() const;
+};
+
+}  // namespace jfm::support

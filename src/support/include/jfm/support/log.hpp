@@ -1,0 +1,42 @@
+#pragma once
+// Minimal leveled logger. Quiet by default so tests and benches stay
+// clean; examples turn it up to narrate the framework interplay.
+
+#include <sstream>
+#include <string>
+
+namespace jfm::support {
+
+enum class LogLevel { off = 0, error, warn, info, debug };
+
+class Log {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+
+  /// Emit one line at `level` with a subsystem tag, e.g.
+  ///   Log::write(LogLevel::info, "jcf", "published cell alu v3");
+  static void write(LogLevel level, std::string_view subsystem, std::string_view message);
+};
+
+/// Streaming helper: JFM_LOG(info, "fmcad") << "checked out " << name;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view subsystem)
+      : level_(level), subsystem_(subsystem) {}
+  ~LogLine() { Log::write(level_, subsystem_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string subsystem_;
+  std::ostringstream stream_;
+};
+
+#define JFM_LOG(lvl, subsystem) ::jfm::support::LogLine(::jfm::support::LogLevel::lvl, (subsystem))
+
+}  // namespace jfm::support

@@ -1,0 +1,99 @@
+#pragma once
+// Result<T>: the framework's error channel for operational failures.
+//
+// C++20 has no std::expected yet; this is a minimal, assert-checked
+// equivalent. Accessing value() on a failed Result (or error() on a
+// successful one) throws std::logic_error -- that is a programming error,
+// not an operational one.
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "jfm/support/error.hpp"
+
+namespace jfm::support {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(Errc code, std::string message) {
+    return Result(Error(code, std::move(message)));
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    require(ok(), "Result::value() on failure");
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    require(ok(), "Result::value() on failure");
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    require(ok(), "Result::take() on failure");
+    return std::get<T>(std::move(state_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    require(!ok(), "Result::error() on success");
+    return std::get<Error>(state_);
+  }
+  Errc code() const noexcept {
+    return ok() ? Errc::ok : std::get<Error>(state_).code;
+  }
+
+  /// value or a caller-supplied fallback
+  T value_or(T fallback) const& { return ok() ? std::get<T>(state_) : std::move(fallback); }
+
+ private:
+  static void require(bool cond, const char* what) {
+    if (!cond) throw std::logic_error(what);
+  }
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> specialization: success carries no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(Errc code, std::string message) {
+    return Result(Error(code, std::move(message)));
+  }
+
+  bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result<void>::error() on success");
+    return error_;
+  }
+  Errc code() const noexcept { return failed_ ? error_.code : Errc::ok; }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+using Status = Result<void>;
+
+/// Convenience factory used throughout: fail(Errc::locked, "...").
+inline Error fail(Errc code, std::string message) {
+  return Error(code, std::move(message));
+}
+
+}  // namespace jfm::support

@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic PRNG (SplitMix64) for workload generation.
+//
+// std::mt19937 output is standardized but its distributions are not; we
+// roll our own uniform helpers so generated workloads are bit-identical
+// across platforms and standard libraries.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jfm::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound) ; bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[below(v.size())];
+  }
+
+  /// Lower-case identifier of length n (starts with a letter).
+  std::string identifier(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace jfm::support

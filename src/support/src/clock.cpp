@@ -1,0 +1,6 @@
+#include "jfm/support/clock.hpp"
+
+// SimClock is header-only; this TU anchors the target.
+namespace jfm::support {
+static_assert(sizeof(SimClock) == sizeof(Timestamp));
+}

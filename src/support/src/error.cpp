@@ -1,0 +1,35 @@
+#include "jfm/support/error.hpp"
+
+namespace jfm::support {
+
+std::string_view to_string(Errc code) noexcept {
+  switch (code) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::locked: return "locked";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::consistency_violation: return "consistency_violation";
+    case Errc::flow_violation: return "flow_violation";
+    case Errc::not_supported: return "not_supported";
+    case Errc::io_error: return "io_error";
+    case Errc::transaction_aborted: return "transaction_aborted";
+    case Errc::stale_metadata: return "stale_metadata";
+    case Errc::checkout_required: return "checkout_required";
+    case Errc::parse_error: return "parse_error";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_text() const {
+  std::string out{to_string(code)};
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace jfm::support

@@ -1,0 +1,30 @@
+#include "jfm/support/log.hpp"
+
+#include <iostream>
+
+namespace jfm::support {
+
+namespace {
+LogLevel g_level = LogLevel::off;
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::off: return "off";
+    case LogLevel::error: return "error";
+    case LogLevel::warn: return "warn";
+    case LogLevel::info: return "info";
+    case LogLevel::debug: return "debug";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Log::level() noexcept { return g_level; }
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+
+void Log::write(LogLevel level, std::string_view subsystem, std::string_view message) {
+  if (level == LogLevel::off || static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::clog << '[' << level_name(level) << "] " << subsystem << ": " << message << '\n';
+}
+
+}  // namespace jfm::support

@@ -1,0 +1,20 @@
+#include "jfm/support/rng.hpp"
+
+namespace jfm::support {
+
+std::string Rng::identifier(std::size_t n) {
+  static constexpr char kFirst[] = "abcdefghijklmnopqrstuvwxyz";
+  static constexpr char kRest[] = "abcdefghijklmnopqrstuvwxyz0123456789_";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0) {
+      out.push_back(kFirst[below(sizeof(kFirst) - 1)]);
+    } else {
+      out.push_back(kRest[below(sizeof(kRest) - 1)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace jfm::support

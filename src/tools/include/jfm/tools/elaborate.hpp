@@ -1,0 +1,31 @@
+#pragma once
+// Elaboration: flatten a hierarchical schematic into a simulatable
+// Circuit. Child schematics are fetched through a resolver callback so
+// the elaborator works against any source (an FMCAD library via dynamic
+// default-version binding, a JCF configuration with pinned versions, or
+// an in-memory map in tests). This difference in *which version the
+// resolver returns* is precisely the paper's hierarchy-consistency
+// story (s3.3).
+
+#include <functional>
+#include <string>
+
+#include "jfm/fmcad/meta.hpp"
+#include "jfm/support/result.hpp"
+#include "jfm/tools/schematic.hpp"
+#include "jfm/tools/simulator.hpp"
+
+namespace jfm::tools {
+
+/// Fetch the schematic of a master cellview.
+using SchematicResolver =
+    std::function<support::Result<Schematic>(const fmcad::CellViewKey&)>;
+
+/// Flatten `top` (named `top_name` for signal prefixes) into a Circuit.
+/// Signals are named "<instance-path>/<net>"; top-level nets have no
+/// prefix. Fails on unresolved masters, port/pin mismatches, recursion
+/// deeper than 32 levels, or multiply-driven signals.
+support::Result<Circuit> elaborate(const Schematic& top, const std::string& top_name,
+                                   const SchematicResolver& resolver);
+
+}  // namespace jfm::tools

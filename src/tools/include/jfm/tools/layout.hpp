@@ -1,0 +1,82 @@
+#pragma once
+// Layout model: the document edited by the FMCAD layout editor.
+//
+// A layout is a set of named layers, axis-aligned rectangles (optionally
+// tagged with the net they implement -- that tag is what cross-probing
+// from the schematic highlights) and placed instances of other cells'
+// layouts. Payload grammar:
+//
+//   layer <name>
+//   rect <layer> <x1> <y1> <x2> <y2> [net]
+//   place <name> <master_cell> <master_view> <x> <y>
+//
+// Coordinates are integer database units; rectangles are normalized so
+// x1<x2, y1<y2.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jfm/support/result.hpp"
+
+namespace jfm::tools {
+
+struct Rect {
+  std::string layer;
+  std::int64_t x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  std::string net;  ///< "" = unlabeled geometry
+
+  std::int64_t width() const { return x2 - x1; }
+  std::int64_t height() const { return y2 - y1; }
+  std::int64_t area() const { return width() * height(); }
+};
+
+struct Placement {
+  std::string name;
+  std::string master_cell;
+  std::string master_view;
+  std::int64_t x = 0, y = 0;
+};
+
+struct BBox {
+  std::int64_t x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  bool empty = true;
+};
+
+/// One spacing/overlap violation found by the design-rule check.
+struct DrcViolation {
+  std::size_t rect_a = 0;
+  std::size_t rect_b = 0;
+  std::string layer;
+  std::int64_t distance = 0;  ///< 0 = overlap/abutment
+  std::string describe() const;
+};
+
+struct Layout {
+  std::vector<std::string> layers;
+  std::vector<Rect> rects;
+  std::vector<Placement> placements;
+
+  std::string serialize() const;
+  static support::Result<Layout> parse(const std::string& payload);
+
+  bool has_layer(std::string_view name) const;
+  const Placement* find_placement(std::string_view name) const;
+
+  support::Status validate() const;
+
+  /// Bounding box over all local rectangles (placements excluded; their
+  /// extent belongs to the master).
+  BBox bbox() const;
+  /// Total rectangle area on one layer.
+  std::int64_t layer_area(std::string_view layer) const;
+  /// Rectangles labeled with `net` (cross-probe target set).
+  std::vector<std::size_t> rects_on_net(std::string_view net) const;
+
+  /// Same-layer spacing check between rects of *different* nets:
+  /// violations are pairs closer than `min_space` (overlap counts).
+  std::vector<DrcViolation> drc_spacing(std::int64_t min_space) const;
+};
+
+}  // namespace jfm::tools

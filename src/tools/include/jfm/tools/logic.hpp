@@ -1,0 +1,32 @@
+#pragma once
+// Four-valued logic for the digital simulator: 0, 1, X (unknown),
+// Z (high impedance). Gate evaluation follows the usual dominance
+// rules (0 dominates AND, 1 dominates OR; Z on an input reads as X).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "jfm/support/result.hpp"
+
+namespace jfm::tools {
+
+enum class Logic : std::uint8_t { L0 = 0, L1 = 1, X = 2, Z = 3 };
+
+char to_char(Logic v) noexcept;
+support::Result<Logic> logic_from(char c);
+
+/// Z inputs are treated as unknown when driving gates.
+Logic normalize_input(Logic v) noexcept;
+
+Logic eval_and(const std::vector<Logic>& inputs) noexcept;
+Logic eval_or(const std::vector<Logic>& inputs) noexcept;
+Logic eval_xor(const std::vector<Logic>& inputs) noexcept;
+Logic eval_not(Logic input) noexcept;
+Logic eval_buf(Logic input) noexcept;
+
+/// Evaluate a named gate ("AND", "NOR", ...) on its inputs. DFF is not
+/// combinational and is handled by the simulator kernel directly.
+support::Result<Logic> eval_gate(std::string_view gate, const std::vector<Logic>& inputs);
+
+}  // namespace jfm::tools

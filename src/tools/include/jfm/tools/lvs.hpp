@@ -1,0 +1,40 @@
+#pragma once
+// LVS-lite: layout-versus-schematic consistency between the two views
+// of one cell. The schematic's nets and hierarchical instances must be
+// reflected in the layout's labeled geometry and placements -- exactly
+// the kind of inter-view consistency the hybrid framework's metadata
+// makes checkable (paper s3.2).
+
+#include <string>
+#include <vector>
+
+#include "jfm/tools/layout.hpp"
+#include "jfm/tools/schematic.hpp"
+
+namespace jfm::tools {
+
+struct LvsReport {
+  /// Schematic nets with no labeled geometry in the layout.
+  std::vector<std::string> nets_missing_in_layout;
+  /// Layout net labels that name no schematic net.
+  std::vector<std::string> nets_unknown_to_schematic;
+  /// Schematic instance masters without a placement of the same cell.
+  std::vector<std::string> instances_missing_in_layout;
+  /// Placed masters the schematic does not instantiate.
+  std::vector<std::string> placements_unknown_to_schematic;
+
+  bool clean() const {
+    return nets_missing_in_layout.empty() && nets_unknown_to_schematic.empty() &&
+           instances_missing_in_layout.empty() && placements_unknown_to_schematic.empty();
+  }
+  std::size_t violation_count() const {
+    return nets_missing_in_layout.size() + nets_unknown_to_schematic.size() +
+           instances_missing_in_layout.size() + placements_unknown_to_schematic.size();
+  }
+  /// Human-readable rows, one per violation.
+  std::vector<std::string> describe() const;
+};
+
+LvsReport lvs_compare(const Schematic& schematic, const Layout& layout);
+
+}  // namespace jfm::tools

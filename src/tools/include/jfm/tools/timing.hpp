@@ -1,0 +1,31 @@
+#pragma once
+// Static timing analysis over an elaborated circuit: longest-path
+// arrival times using the gates' propagation delays. Classic register-
+// to-register convention: primary inputs and DFF outputs launch paths
+// (arrival 0), DFF inputs and any signal capture them; the critical
+// path is the slowest combinational cone.
+
+#include <vector>
+
+#include "jfm/support/result.hpp"
+#include "jfm/tools/simulator.hpp"
+
+namespace jfm::tools {
+
+struct TimingReport {
+  /// Arrival time of each signal (index = signal id); sources are 0.
+  std::vector<SimTime> arrival;
+  /// The slowest arrival anywhere in the circuit.
+  SimTime critical_delay = 0;
+  /// Signal ids along the critical path, source first.
+  std::vector<int> critical_path;
+
+  /// "in -> g0/y -> g3/y (delay 7)"
+  std::string describe(const Circuit& circuit) const;
+};
+
+/// Fails with Errc::consistency_violation on combinational cycles
+/// (cycles through DFFs are fine -- the flop cuts the path).
+support::Result<TimingReport> analyze_timing(const Circuit& circuit);
+
+}  // namespace jfm::tools

@@ -1,0 +1,19 @@
+#pragma once
+// VCD (Value Change Dump, IEEE 1364) export of a simulation trace, so
+// waveforms from the digital simulator can be inspected with any
+// standard viewer (GTKWave etc.).
+
+#include <string>
+#include <vector>
+
+#include "jfm/tools/simulator.hpp"
+
+namespace jfm::tools {
+
+/// Render the simulator's committed trace as VCD text. `signals`
+/// selects which signals appear (empty = all); unknown names are
+/// ignored. The header's date/version fields are fixed strings so the
+/// output is deterministic.
+std::string to_vcd(const Simulator& sim, const std::vector<std::string>& signals = {});
+
+}  // namespace jfm::tools

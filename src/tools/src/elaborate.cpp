@@ -1,0 +1,119 @@
+#include "jfm/tools/elaborate.hpp"
+
+#include <map>
+
+namespace jfm::tools {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+namespace {
+
+struct Elaborator {
+  const SchematicResolver& resolver;
+  Circuit circuit;
+
+  /// Flatten one schematic. `prefix` is the instance path ("" for top,
+  /// "u1/" below). `port_signals` maps the schematic's port names to
+  /// already-created parent signal ids.
+  Status flatten(const Schematic& sch, const std::string& prefix,
+                 const std::map<std::string, int>& port_signals, int depth) {
+    if (depth > 32) {
+      return support::fail(Errc::consistency_violation, "hierarchy deeper than 32 levels");
+    }
+    if (auto st = sch.validate(); !st.ok()) return st;
+
+    // Net name -> signal id for this scope. Ports alias parent signals.
+    std::map<std::string, int> net_ids;
+    for (const auto& port : sch.ports) {
+      auto it = port_signals.find(port.name);
+      if (it != port_signals.end()) {
+        net_ids[port.name] = it->second;
+      }
+      // Unconnected ports fall through and get a local signal below.
+    }
+    for (const auto& net : sch.nets) {
+      if (!net_ids.contains(net)) {
+        net_ids[net] = circuit.add_signal(prefix + net);
+      }
+    }
+
+    // (element -> pin -> net) for quick pin lookup.
+    std::map<std::string, std::map<std::string, std::string>> pins;
+    for (const auto& conn : sch.connections) {
+      pins[conn.element][conn.pin] = conn.net;
+    }
+
+    for (const auto& prim : sch.primitives) {
+      CircuitGate gate;
+      gate.type = prim.gate;
+      const auto& element_pins = pins[prim.name];
+      for (const auto& pin : gate_input_pins(prim.gate)) {
+        auto it = element_pins.find(pin);
+        if (it == element_pins.end()) {
+          // Unconnected input: give it a dedicated X-valued signal.
+          gate.inputs.push_back(circuit.add_signal(prefix + prim.name + "." + pin));
+        } else {
+          gate.inputs.push_back(net_ids.at(it->second));
+        }
+      }
+      const std::string out_pin = gate_output_pin(prim.gate);
+      auto out_it = element_pins.find(out_pin);
+      if (out_it == element_pins.end()) {
+        gate.output = circuit.add_signal(prefix + prim.name + "." + out_pin);
+      } else {
+        gate.output = net_ids.at(out_it->second);
+      }
+      circuit.gates.push_back(std::move(gate));
+    }
+
+    for (const auto& inst : sch.instances) {
+      auto child = resolver({inst.master_cell, inst.master_view});
+      if (!child.ok()) {
+        return support::fail(child.error().code,
+                             "instance " + prefix + inst.name + " (" + inst.master_cell + "/" +
+                                 inst.master_view + "): " + child.error().message);
+      }
+      // Map the child's ports to this scope's nets via the instance pins.
+      std::map<std::string, int> child_ports;
+      const auto& element_pins = pins[inst.name];
+      for (const auto& port : child->ports) {
+        auto it = element_pins.find(port.name);
+        if (it != element_pins.end()) {
+          child_ports[port.name] = net_ids.at(it->second);
+        }
+      }
+      for (const auto& [pin, net] : element_pins) {
+        if (child->find_port(pin) == nullptr) {
+          return support::fail(Errc::consistency_violation,
+                               "instance " + prefix + inst.name + " connects pin " + pin +
+                                   " that master " + inst.master_cell + " does not declare");
+        }
+        (void)net;
+      }
+      if (auto st = flatten(*child, prefix + inst.name + "/", child_ports, depth + 1);
+          !st.ok()) {
+        return st;
+      }
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+Result<Circuit> elaborate(const Schematic& top, const std::string& top_name,
+                          const SchematicResolver& resolver) {
+  (void)top_name;  // kept for symmetric APIs; top nets are unprefixed
+  Elaborator elab{resolver, {}};
+  if (auto st = elab.flatten(top, "", {}, 0); !st.ok()) {
+    return Result<Circuit>::failure(st.error().code, st.error().message);
+  }
+  if (auto st = elab.circuit.check_single_driver(); !st.ok()) {
+    return Result<Circuit>::failure(st.error().code, st.error().message);
+  }
+  return std::move(elab.circuit);
+}
+
+}  // namespace jfm::tools

@@ -1,0 +1,149 @@
+#include "jfm/tools/layout_tool.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace jfm::tools {
+
+using fmcad::DesignFile;
+using support::Errc;
+using support::Result;
+using support::Status;
+
+void sync_uses_from_layout(DesignFile& doc, const Layout& layout) {
+  std::set<fmcad::CellViewKey> masters;
+  for (const auto& p : layout.placements) {
+    masters.insert({p.master_cell, p.master_view});
+  }
+  doc.uses.assign(masters.begin(), masters.end());
+}
+
+Status LayoutTool::validate(const DesignFile& doc) const {
+  if (doc.viewtype != viewtype()) {
+    return support::fail(Errc::invalid_argument, "not a layout document");
+  }
+  auto layout = Layout::parse(doc.payload);
+  if (!layout.ok()) return Status(layout.error());
+  if (auto st = layout->validate(); !st.ok()) return st;
+  DesignFile expected = doc;
+  sync_uses_from_layout(expected, *layout);
+  std::set<fmcad::CellViewKey> actual(doc.uses.begin(), doc.uses.end());
+  std::set<fmcad::CellViewKey> wanted(expected.uses.begin(), expected.uses.end());
+  if (actual != wanted) {
+    return support::fail(Errc::consistency_violation,
+                         "envelope uses-list does not match placed masters");
+  }
+  return {};
+}
+
+Result<DesignFile> LayoutTool::apply(const DesignFile& doc, const std::string& command,
+                                     const std::vector<std::string>& args) const {
+  auto fail = [](Errc code, std::string msg) {
+    return Result<DesignFile>::failure(code, std::move(msg));
+  };
+  auto parse_int = [](const std::string& text, std::int64_t& out) {
+    try {
+      out = std::stoll(text);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  auto parsed = Layout::parse(doc.payload);
+  if (!parsed.ok()) return fail(parsed.error().code, parsed.error().message);
+  Layout layout = std::move(*parsed);
+
+  if (command == "add-layer") {
+    if (args.size() != 1) return fail(Errc::invalid_argument, "add-layer <name>");
+    if (layout.has_layer(args[0])) return fail(Errc::already_exists, "layer " + args[0]);
+    layout.layers.push_back(args[0]);
+  } else if (command == "draw-rect") {
+    if (args.size() != 5 && args.size() != 6) {
+      return fail(Errc::invalid_argument, "draw-rect <layer> <x1> <y1> <x2> <y2> [net]");
+    }
+    if (!layout.has_layer(args[0])) return fail(Errc::not_found, "layer " + args[0]);
+    Rect r;
+    r.layer = args[0];
+    if (!parse_int(args[1], r.x1) || !parse_int(args[2], r.y1) || !parse_int(args[3], r.x2) ||
+        !parse_int(args[4], r.y2)) {
+      return fail(Errc::invalid_argument, "draw-rect: bad coordinate");
+    }
+    if (r.x1 > r.x2) std::swap(r.x1, r.x2);
+    if (r.y1 > r.y2) std::swap(r.y1, r.y2);
+    if (r.width() <= 0 || r.height() <= 0) {
+      return fail(Errc::invalid_argument, "draw-rect: degenerate rectangle");
+    }
+    if (args.size() == 6) r.net = args[5];
+    layout.rects.push_back(std::move(r));
+  } else if (command == "move-rect") {
+    if (args.size() != 3) return fail(Errc::invalid_argument, "move-rect <index> <dx> <dy>");
+    std::int64_t index = 0, dx = 0, dy = 0;
+    if (!parse_int(args[0], index) || !parse_int(args[1], dx) || !parse_int(args[2], dy)) {
+      return fail(Errc::invalid_argument, "move-rect: bad number");
+    }
+    if (index < 0 || static_cast<std::size_t>(index) >= layout.rects.size()) {
+      return fail(Errc::not_found, "rect #" + args[0]);
+    }
+    Rect& r = layout.rects[static_cast<std::size_t>(index)];
+    r.x1 += dx;
+    r.x2 += dx;
+    r.y1 += dy;
+    r.y2 += dy;
+  } else if (command == "delete-rect") {
+    if (args.size() != 1) return fail(Errc::invalid_argument, "delete-rect <index>");
+    std::int64_t index = 0;
+    if (!parse_int(args[0], index) || index < 0 ||
+        static_cast<std::size_t>(index) >= layout.rects.size()) {
+      return fail(Errc::not_found, "rect #" + args[0]);
+    }
+    layout.rects.erase(layout.rects.begin() + index);
+  } else if (command == "add-instance") {
+    // Hierarchy menu verb: place a master layout.
+    if (args.size() != 5) {
+      return fail(Errc::invalid_argument, "add-instance <name> <cell> <view> <x> <y>");
+    }
+    if (layout.find_placement(args[0]) != nullptr) {
+      return fail(Errc::already_exists, "placement " + args[0]);
+    }
+    if (args[1] == doc.cell) {
+      return fail(Errc::consistency_violation, "a cell cannot place itself");
+    }
+    Placement p;
+    p.name = args[0];
+    p.master_cell = args[1];
+    p.master_view = args[2];
+    if (!parse_int(args[3], p.x) || !parse_int(args[4], p.y)) {
+      return fail(Errc::invalid_argument, "add-instance: bad coordinate");
+    }
+    layout.placements.push_back(std::move(p));
+  } else if (command == "remove-instance") {
+    if (args.size() != 1) return fail(Errc::invalid_argument, "remove-instance <name>");
+    auto it = std::find_if(layout.placements.begin(), layout.placements.end(),
+                           [&](const Placement& p) { return p.name == args[0]; });
+    if (it == layout.placements.end()) return fail(Errc::not_found, "placement " + args[0]);
+    layout.placements.erase(it);
+  } else if (command == "check-drc") {
+    // A quality gate: the command fails when the spacing rule is
+    // violated, so a flow can force a clean DRC before checkin.
+    if (args.size() != 1) return fail(Errc::invalid_argument, "check-drc <min_space>");
+    std::int64_t min_space = 0;
+    if (!parse_int(args[0], min_space) || min_space <= 0) {
+      return fail(Errc::invalid_argument, "check-drc: bad spacing rule");
+    }
+    auto violations = layout.drc_spacing(min_space);
+    if (!violations.empty()) {
+      std::string msg = "DRC: " + std::to_string(violations.size()) + " violation(s); first: " +
+                        violations.front().describe();
+      return fail(Errc::consistency_violation, std::move(msg));
+    }
+  } else {
+    return fail(Errc::not_found, "layout tool: unknown command " + command);
+  }
+
+  DesignFile updated = doc;
+  updated.payload = layout.serialize();
+  sync_uses_from_layout(updated, layout);
+  return updated;
+}
+
+}  // namespace jfm::tools

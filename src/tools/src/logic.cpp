@@ -1,0 +1,92 @@
+#include "jfm/tools/logic.hpp"
+
+namespace jfm::tools {
+
+using support::Errc;
+using support::Result;
+
+char to_char(Logic v) noexcept {
+  switch (v) {
+    case Logic::L0: return '0';
+    case Logic::L1: return '1';
+    case Logic::X: return 'X';
+    case Logic::Z: return 'Z';
+  }
+  return '?';
+}
+
+Result<Logic> logic_from(char c) {
+  switch (c) {
+    case '0': return Logic::L0;
+    case '1': return Logic::L1;
+    case 'X': case 'x': return Logic::X;
+    case 'Z': case 'z': return Logic::Z;
+    default:
+      return Result<Logic>::failure(Errc::parse_error,
+                                    std::string("bad logic value '") + c + "'");
+  }
+}
+
+Logic normalize_input(Logic v) noexcept { return v == Logic::Z ? Logic::X : v; }
+
+Logic eval_and(const std::vector<Logic>& inputs) noexcept {
+  bool unknown = false;
+  for (Logic raw : inputs) {
+    Logic v = normalize_input(raw);
+    if (v == Logic::L0) return Logic::L0;
+    if (v == Logic::X) unknown = true;
+  }
+  return unknown ? Logic::X : Logic::L1;
+}
+
+Logic eval_or(const std::vector<Logic>& inputs) noexcept {
+  bool unknown = false;
+  for (Logic raw : inputs) {
+    Logic v = normalize_input(raw);
+    if (v == Logic::L1) return Logic::L1;
+    if (v == Logic::X) unknown = true;
+  }
+  return unknown ? Logic::X : Logic::L0;
+}
+
+Logic eval_xor(const std::vector<Logic>& inputs) noexcept {
+  bool acc = false;
+  for (Logic raw : inputs) {
+    Logic v = normalize_input(raw);
+    if (v == Logic::X) return Logic::X;
+    acc ^= (v == Logic::L1);
+  }
+  return acc ? Logic::L1 : Logic::L0;
+}
+
+Logic eval_not(Logic input) noexcept {
+  switch (normalize_input(input)) {
+    case Logic::L0: return Logic::L1;
+    case Logic::L1: return Logic::L0;
+    default: return Logic::X;
+  }
+}
+
+Logic eval_buf(Logic input) noexcept { return normalize_input(input); }
+
+Result<Logic> eval_gate(std::string_view gate, const std::vector<Logic>& inputs) {
+  auto arity = [&](std::size_t n) -> Result<Logic> {
+    return Result<Logic>::failure(Errc::invalid_argument,
+                                  std::string(gate) + " expects " + std::to_string(n) +
+                                      " inputs, got " + std::to_string(inputs.size()));
+  };
+  if (gate == "NOT" || gate == "BUF") {
+    if (inputs.size() != 1) return arity(1);
+    return gate == "NOT" ? eval_not(inputs[0]) : eval_buf(inputs[0]);
+  }
+  if (inputs.size() != 2) return arity(2);
+  if (gate == "AND") return eval_and(inputs);
+  if (gate == "OR") return eval_or(inputs);
+  if (gate == "NAND") return eval_not(eval_and(inputs));
+  if (gate == "NOR") return eval_not(eval_or(inputs));
+  if (gate == "XOR") return eval_xor(inputs);
+  if (gate == "XNOR") return eval_not(eval_xor(inputs));
+  return Result<Logic>::failure(Errc::not_found, "unknown gate " + std::string(gate));
+}
+
+}  // namespace jfm::tools

@@ -1,0 +1,130 @@
+#include "jfm/tools/schematic_tool.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace jfm::tools {
+
+using fmcad::DesignFile;
+using support::Errc;
+using support::Result;
+using support::Status;
+
+void sync_uses_from_schematic(DesignFile& doc, const Schematic& sch) {
+  std::set<fmcad::CellViewKey> masters;
+  for (const auto& inst : sch.instances) {
+    masters.insert({inst.master_cell, inst.master_view});
+  }
+  doc.uses.assign(masters.begin(), masters.end());
+}
+
+Status SchematicTool::validate(const DesignFile& doc) const {
+  if (doc.viewtype != viewtype()) {
+    return support::fail(Errc::invalid_argument, "not a schematic document");
+  }
+  auto sch = Schematic::parse(doc.payload);
+  if (!sch.ok()) return Status(sch.error());
+  if (auto st = sch->validate(); !st.ok()) return st;
+  // The envelope must advertise exactly the masters the netlist uses;
+  // the hierarchy binder depends on it.
+  DesignFile expected = doc;
+  sync_uses_from_schematic(expected, *sch);
+  std::set<fmcad::CellViewKey> actual(doc.uses.begin(), doc.uses.end());
+  std::set<fmcad::CellViewKey> wanted(expected.uses.begin(), expected.uses.end());
+  if (actual != wanted) {
+    return support::fail(Errc::consistency_violation,
+                         "envelope uses-list does not match instantiated masters");
+  }
+  return {};
+}
+
+Result<DesignFile> SchematicTool::apply(const DesignFile& doc, const std::string& command,
+                                        const std::vector<std::string>& args) const {
+  auto fail = [](Errc code, std::string msg) {
+    return Result<DesignFile>::failure(code, std::move(msg));
+  };
+  auto parsed = Schematic::parse(doc.payload);
+  if (!parsed.ok()) return fail(parsed.error().code, parsed.error().message);
+  Schematic sch = std::move(*parsed);
+
+  if (command == "add-port") {
+    if (args.size() != 2) return fail(Errc::invalid_argument, "add-port <name> <in|out|inout>");
+    auto dir = port_dir_from(args[1]);
+    if (!dir.ok()) return fail(dir.error().code, dir.error().message);
+    if (sch.find_port(args[0]) != nullptr) {
+      return fail(Errc::already_exists, "port " + args[0]);
+    }
+    sch.ports.push_back({args[0], *dir});
+    if (!sch.has_net(args[0])) sch.nets.push_back(args[0]);
+  } else if (command == "add-net") {
+    if (args.size() != 1) return fail(Errc::invalid_argument, "add-net <name>");
+    if (sch.has_net(args[0])) return fail(Errc::already_exists, "net " + args[0]);
+    sch.nets.push_back(args[0]);
+  } else if (command == "add-prim") {
+    if (args.size() != 2) return fail(Errc::invalid_argument, "add-prim <name> <gate>");
+    if (!is_known_gate(args[1])) return fail(Errc::invalid_argument, "unknown gate " + args[1]);
+    if (sch.find_primitive(args[0]) != nullptr || sch.find_instance(args[0]) != nullptr) {
+      return fail(Errc::already_exists, "element " + args[0]);
+    }
+    sch.primitives.push_back({args[0], args[1]});
+  } else if (command == "add-instance") {
+    if (args.size() != 3) return fail(Errc::invalid_argument, "add-instance <name> <cell> <view>");
+    if (sch.find_primitive(args[0]) != nullptr || sch.find_instance(args[0]) != nullptr) {
+      return fail(Errc::already_exists, "element " + args[0]);
+    }
+    if (args[1] == doc.cell) {
+      return fail(Errc::consistency_violation, "a cell cannot instantiate itself");
+    }
+    sch.instances.push_back({args[0], args[1], args[2]});
+  } else if (command == "remove-instance") {
+    if (args.size() != 1) return fail(Errc::invalid_argument, "remove-instance <name>");
+    auto it = std::find_if(sch.instances.begin(), sch.instances.end(),
+                           [&](const SchInstance& i) { return i.name == args[0]; });
+    if (it == sch.instances.end()) return fail(Errc::not_found, "instance " + args[0]);
+    sch.instances.erase(it);
+    sch.connections.erase(std::remove_if(sch.connections.begin(), sch.connections.end(),
+                                         [&](const Connection& c) {
+                                           return c.element == args[0];
+                                         }),
+                          sch.connections.end());
+  } else if (command == "connect") {
+    if (args.size() != 3) return fail(Errc::invalid_argument, "connect <net> <element> <pin>");
+    if (!sch.has_net(args[0])) return fail(Errc::not_found, "net " + args[0]);
+    if (sch.find_primitive(args[1]) == nullptr && sch.find_instance(args[1]) == nullptr) {
+      return fail(Errc::not_found, "element " + args[1]);
+    }
+    if (sch.net_of(args[1], args[2]).has_value()) {
+      return fail(Errc::already_exists, "pin " + args[1] + "." + args[2] + " already connected");
+    }
+    sch.connections.push_back({args[0], args[1], args[2]});
+  } else if (command == "disconnect") {
+    if (args.size() != 3) return fail(Errc::invalid_argument, "disconnect <net> <element> <pin>");
+    auto it = std::find_if(sch.connections.begin(), sch.connections.end(),
+                           [&](const Connection& c) {
+                             return c.net == args[0] && c.element == args[1] && c.pin == args[2];
+                           });
+    if (it == sch.connections.end()) return fail(Errc::not_found, "no such connection");
+    sch.connections.erase(it);
+  } else if (command == "rename-net") {
+    if (args.size() != 2) return fail(Errc::invalid_argument, "rename-net <old> <new>");
+    auto it = std::find(sch.nets.begin(), sch.nets.end(), args[0]);
+    if (it == sch.nets.end()) return fail(Errc::not_found, "net " + args[0]);
+    if (sch.has_net(args[1])) return fail(Errc::already_exists, "net " + args[1]);
+    if (sch.find_port(args[0]) != nullptr) {
+      return fail(Errc::consistency_violation, "cannot rename a port net");
+    }
+    *it = args[1];
+    for (auto& c : sch.connections) {
+      if (c.net == args[0]) c.net = args[1];
+    }
+  } else {
+    return fail(Errc::not_found, "schematic tool: unknown command " + command);
+  }
+
+  DesignFile updated = doc;
+  updated.payload = sch.serialize();
+  sync_uses_from_schematic(updated, sch);
+  return updated;
+}
+
+}  // namespace jfm::tools

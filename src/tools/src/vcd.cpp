@@ -1,0 +1,83 @@
+#include "jfm/tools/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace jfm::tools {
+
+namespace {
+/// VCD identifier codes: printable ASCII starting at '!'.
+std::string code_for(std::size_t index) {
+  std::string out;
+  do {
+    out.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return out;
+}
+
+char vcd_value(Logic v) {
+  switch (v) {
+    case Logic::L0: return '0';
+    case Logic::L1: return '1';
+    case Logic::X: return 'x';
+    case Logic::Z: return 'z';
+  }
+  return 'x';
+}
+}  // namespace
+
+std::string to_vcd(const Simulator& sim, const std::vector<std::string>& signals) {
+  const Circuit& circuit = sim.circuit();
+  // Selected signal ids -> VCD identifier codes.
+  std::map<int, std::string> codes;
+  std::vector<int> selected;
+  if (signals.empty()) {
+    for (std::size_t i = 0; i < circuit.signal_count(); ++i) {
+      selected.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& name : signals) {
+      int id = circuit.find_signal(name);
+      if (id >= 0) selected.push_back(id);
+    }
+  }
+  for (std::size_t i = 0; i < selected.size(); ++i) codes[selected[i]] = code_for(i);
+
+  std::string out;
+  out += "$date simulated $end\n";
+  out += "$version jfm digital_simulator $end\n";
+  out += "$timescale 1ns $end\n";
+  out += "$scope module dut $end\n";
+  for (int id : selected) {
+    // VCD identifiers must not contain whitespace; hierarchical paths
+    // use '/' which viewers accept inside reference names.
+    out += "$var wire 1 " + codes[id] + " " +
+           circuit.signal_names[static_cast<std::size_t>(id)] + " $end\n";
+  }
+  out += "$upscope $end\n";
+  out += "$enddefinitions $end\n";
+  out += "$dumpvars\n";
+  for (int id : selected) {
+    out += 'x';
+    out += codes[id] + "\n";
+  }
+  out += "$end\n";
+
+  SimTime current = 0;
+  bool first_block = true;
+  for (const auto& change : sim.trace()) {
+    auto it = codes.find(change.signal);
+    if (it == codes.end()) continue;
+    if (first_block || change.time != current) {
+      out += '#' + std::to_string(change.time) + '\n';
+      current = change.time;
+      first_block = false;
+    }
+    out += vcd_value(change.value);
+    out += it->second + "\n";
+  }
+  return out;
+}
+
+}  // namespace jfm::tools

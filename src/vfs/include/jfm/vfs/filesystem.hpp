@@ -1,0 +1,105 @@
+#pragma once
+// In-memory UNIX-like file system with real byte payloads.
+//
+// This is the substrate both frameworks share (paper s2.1/s2.2): FMCAD
+// libraries are directories, JCF encapsulation copies design data
+// "to and from the database via the UNIX file system". Payloads are real
+// strings, so copying an N-byte design really moves N bytes -- the s3.6
+// size-scaling benchmark measures physical work, not a model.
+//
+// The file system also keeps I/O counters (bytes read / written /
+// copied) that the coupling layer and the benches use to attribute cost.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jfm/support/clock.hpp"
+#include "jfm/support/result.hpp"
+#include "jfm/vfs/path.hpp"
+
+namespace jfm::vfs {
+
+struct FileStat {
+  std::uint64_t size = 0;
+  support::Timestamp mtime = 0;
+  bool is_directory = false;
+};
+
+struct IoCounters {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_copied = 0;  ///< subset of read+written moved by copy ops
+  std::uint64_t files_copied = 0;
+};
+
+class FileSystem {
+ public:
+  /// The clock stamps mtimes; it is borrowed, not owned, so one clock
+  /// can drive the whole simulated environment.
+  explicit FileSystem(support::SimClock* clock);
+
+  // -- directories -------------------------------------------------------
+  support::Status mkdir(const Path& path);   ///< parent must exist
+  support::Status mkdirs(const Path& path);  ///< mkdir -p
+  /// Sorted names of entries in a directory.
+  support::Result<std::vector<std::string>> list(const Path& dir) const;
+
+  // -- files -------------------------------------------------------------
+  support::Status write_file(const Path& path, std::string data);  ///< create/overwrite
+  support::Status append_file(const Path& path, std::string_view data);
+  support::Result<std::string> read_file(const Path& path) const;
+
+  // -- shared ------------------------------------------------------------
+  bool exists(const Path& path) const;
+  bool is_directory(const Path& path) const;
+  support::Result<FileStat> stat(const Path& path) const;
+  support::Status remove(const Path& path, bool recursive = false);
+
+  /// Copy one file; dst parent must exist. This is the paper's
+  /// encapsulation data path, so it updates the copy counters.
+  support::Status copy_file(const Path& src, const Path& dst);
+  /// Recursively copy a directory tree (creates dst).
+  support::Status copy_tree(const Path& src, const Path& dst);
+
+  /// Total payload bytes under a path (file -> its size).
+  support::Result<std::uint64_t> tree_size(const Path& path) const;
+  /// All file paths under `root`, depth-first, sorted.
+  support::Result<std::vector<Path>> walk_files(const Path& root) const;
+
+  const IoCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = {}; }
+
+  /// Disk-capacity quota for failure injection: writes that would push
+  /// the total payload past `bytes` fail with Errc::io_error ("no space
+  /// left on device"). 0 = unlimited (default). Shrinking below current
+  /// usage only affects future growth.
+  void set_capacity(std::uint64_t bytes) noexcept { capacity_ = bytes; }
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t used_bytes() const noexcept { return used_bytes_; }
+
+ private:
+  struct Node {
+    bool dir = false;
+    std::string data;                                   // file payload
+    std::map<std::string, std::unique_ptr<Node>> children;  // dir entries, sorted
+    support::Timestamp mtime = 0;
+  };
+
+  const Node* find(const Path& path) const;
+  Node* find(const Path& path);
+  support::Status copy_tree_into(const Node& src, Node& dst_parent, const std::string& name);
+  /// Would growing usage by `delta` exceed the quota?
+  support::Status charge(std::uint64_t new_size, std::uint64_t old_size);
+  static std::uint64_t subtree_bytes(const Node& node);
+
+  support::SimClock* clock_;
+  Node root_;
+  mutable IoCounters counters_;  // mutable: reads are counted from const methods
+  std::uint64_t capacity_ = 0;   // 0 = unlimited
+  std::uint64_t used_bytes_ = 0;
+};
+
+}  // namespace jfm::vfs

@@ -1,0 +1,55 @@
+#pragma once
+// Normalized absolute UNIX-style paths for the virtual file system.
+//
+// Both frameworks live on "the UNIX file system" in the paper: FMCAD
+// libraries are directories with a .meta file, and JCF copies design
+// data to and from its database through files. Path is a value type,
+// always absolute, always normalized ("/", "/libs/alu/schematic").
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jfm/support/result.hpp"
+
+namespace jfm::vfs {
+
+class Path {
+ public:
+  /// The root path "/".
+  Path() = default;
+
+  /// Parse and normalize an absolute path. Rejects relative paths,
+  /// "." / ".." components and empty components ("//").
+  static support::Result<Path> parse(std::string_view text);
+
+  /// Append one component; the component must be a plain file name
+  /// (no '/'). Invalid components throw std::invalid_argument --
+  /// building paths from bad literals is a programming error.
+  Path child(std::string_view component) const;
+
+  /// Parent directory; parent of root is root.
+  Path parent() const;
+
+  const std::vector<std::string>& components() const noexcept { return components_; }
+  bool is_root() const noexcept { return components_.empty(); }
+  std::size_t depth() const noexcept { return components_.size(); }
+
+  /// Final component ("" for root).
+  std::string basename() const { return is_root() ? std::string() : components_.back(); }
+
+  /// Canonical text, e.g. "/libs/alu/sch.cv".
+  std::string str() const;
+
+  /// True if *this is `ancestor` or lies below it.
+  bool is_within(const Path& ancestor) const;
+
+  friend bool operator==(const Path& a, const Path& b) { return a.components_ == b.components_; }
+  friend bool operator!=(const Path& a, const Path& b) { return !(a == b); }
+  friend bool operator<(const Path& a, const Path& b) { return a.components_ < b.components_; }
+
+ private:
+  std::vector<std::string> components_;
+};
+
+}  // namespace jfm::vfs

@@ -1,0 +1,251 @@
+#include "jfm/vfs/filesystem.hpp"
+
+#include <cassert>
+
+namespace jfm::vfs {
+
+using support::Errc;
+using support::Result;
+using support::Status;
+
+FileSystem::FileSystem(support::SimClock* clock) : clock_(clock) {
+  assert(clock != nullptr);
+  root_.dir = true;
+}
+
+const FileSystem::Node* FileSystem::find(const Path& path) const {
+  const Node* node = &root_;
+  for (const auto& comp : path.components()) {
+    if (!node->dir) return nullptr;
+    auto it = node->children.find(comp);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+FileSystem::Node* FileSystem::find(const Path& path) {
+  return const_cast<Node*>(static_cast<const FileSystem*>(this)->find(path));
+}
+
+Status FileSystem::charge(std::uint64_t new_size, std::uint64_t old_size) {
+  if (capacity_ != 0 && new_size > old_size &&
+      used_bytes_ + (new_size - old_size) > capacity_) {
+    return support::fail(Errc::io_error, "no space left on device (quota " +
+                                             std::to_string(capacity_) + " bytes)");
+  }
+  used_bytes_ = used_bytes_ + new_size - old_size;
+  return {};
+}
+
+std::uint64_t FileSystem::subtree_bytes(const Node& node) {
+  if (!node.dir) return node.data.size();
+  std::uint64_t total = 0;
+  for (const auto& [name, child] : node.children) total += subtree_bytes(*child);
+  return total;
+}
+
+Status FileSystem::mkdir(const Path& path) {
+  if (path.is_root()) return support::fail(Errc::already_exists, "/ always exists");
+  Node* parent = find(path.parent());
+  if (parent == nullptr || !parent->dir) {
+    return support::fail(Errc::not_found, "no such directory: " + path.parent().str());
+  }
+  if (parent->children.contains(path.basename())) {
+    return support::fail(Errc::already_exists, path.str());
+  }
+  auto node = std::make_unique<Node>();
+  node->dir = true;
+  node->mtime = clock_->tick();
+  parent->children.emplace(path.basename(), std::move(node));
+  return {};
+}
+
+Status FileSystem::mkdirs(const Path& path) {
+  Path cur;
+  for (const auto& comp : path.components()) {
+    cur = cur.child(comp);
+    Node* node = find(cur);
+    if (node == nullptr) {
+      if (auto st = mkdir(cur); !st.ok()) return st;
+    } else if (!node->dir) {
+      return support::fail(Errc::invalid_argument, cur.str() + " is a file");
+    }
+  }
+  return {};
+}
+
+Result<std::vector<std::string>> FileSystem::list(const Path& dir) const {
+  const Node* node = find(dir);
+  if (node == nullptr) {
+    return Result<std::vector<std::string>>::failure(Errc::not_found, dir.str());
+  }
+  if (!node->dir) {
+    return Result<std::vector<std::string>>::failure(Errc::invalid_argument,
+                                                     dir.str() + " is not a directory");
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) names.push_back(name);
+  return names;
+}
+
+Status FileSystem::write_file(const Path& path, std::string data) {
+  if (path.is_root()) return support::fail(Errc::invalid_argument, "cannot write /");
+  Node* parent = find(path.parent());
+  if (parent == nullptr || !parent->dir) {
+    return support::fail(Errc::not_found, "no such directory: " + path.parent().str());
+  }
+  auto it = parent->children.find(path.basename());
+  Node* node;
+  if (it == parent->children.end()) {
+    if (auto st = charge(data.size(), 0); !st.ok()) return st;
+    auto owned = std::make_unique<Node>();
+    node = owned.get();
+    parent->children.emplace(path.basename(), std::move(owned));
+  } else {
+    node = it->second.get();
+    if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
+    if (auto st = charge(data.size(), node->data.size()); !st.ok()) return st;
+  }
+  counters_.bytes_written += data.size();
+  node->data = std::move(data);
+  node->mtime = clock_->tick();
+  return {};
+}
+
+Status FileSystem::append_file(const Path& path, std::string_view data) {
+  Node* node = find(path);
+  if (node == nullptr) return write_file(path, std::string(data));
+  if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
+  if (auto st = charge(node->data.size() + data.size(), node->data.size()); !st.ok()) return st;
+  counters_.bytes_written += data.size();
+  node->data.append(data);
+  node->mtime = clock_->tick();
+  return {};
+}
+
+Result<std::string> FileSystem::read_file(const Path& path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return Result<std::string>::failure(Errc::not_found, path.str());
+  if (node->dir) {
+    return Result<std::string>::failure(Errc::invalid_argument, path.str() + " is a directory");
+  }
+  counters_.bytes_read += node->data.size();
+  return node->data;
+}
+
+bool FileSystem::exists(const Path& path) const { return find(path) != nullptr; }
+
+bool FileSystem::is_directory(const Path& path) const {
+  const Node* node = find(path);
+  return node != nullptr && node->dir;
+}
+
+Result<FileStat> FileSystem::stat(const Path& path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return Result<FileStat>::failure(Errc::not_found, path.str());
+  FileStat st;
+  st.is_directory = node->dir;
+  st.size = node->dir ? 0 : node->data.size();
+  st.mtime = node->mtime;
+  return st;
+}
+
+Status FileSystem::remove(const Path& path, bool recursive) {
+  if (path.is_root()) return support::fail(Errc::invalid_argument, "cannot remove /");
+  Node* parent = find(path.parent());
+  if (parent == nullptr || !parent->dir) return support::fail(Errc::not_found, path.str());
+  auto it = parent->children.find(path.basename());
+  if (it == parent->children.end()) return support::fail(Errc::not_found, path.str());
+  if (it->second->dir && !it->second->children.empty() && !recursive) {
+    return support::fail(Errc::invalid_argument, path.str() + " is a non-empty directory");
+  }
+  used_bytes_ -= subtree_bytes(*it->second);
+  parent->children.erase(it);
+  return {};
+}
+
+Status FileSystem::copy_file(const Path& src, const Path& dst) {
+  const Node* from = find(src);
+  if (from == nullptr) return support::fail(Errc::not_found, src.str());
+  if (from->dir) return support::fail(Errc::invalid_argument, src.str() + " is a directory");
+  // Count the copy explicitly: one read + one write of the payload.
+  counters_.bytes_read += from->data.size();
+  counters_.bytes_copied += from->data.size();
+  counters_.files_copied += 1;
+  std::string payload = from->data;  // real byte movement
+  return write_file(dst, std::move(payload));
+}
+
+Status FileSystem::copy_tree_into(const Node& src, Node& dst_parent, const std::string& name) {
+  auto owned = std::make_unique<Node>();
+  Node* dst = owned.get();
+  dst->dir = src.dir;
+  dst->mtime = clock_->tick();
+  if (!src.dir) {
+    if (auto st = charge(src.data.size(), 0); !st.ok()) return st;
+    counters_.bytes_read += src.data.size();
+    counters_.bytes_written += src.data.size();
+    counters_.bytes_copied += src.data.size();
+    counters_.files_copied += 1;
+    dst->data = src.data;
+  }
+  dst_parent.children[name] = std::move(owned);
+  if (src.dir) {
+    for (const auto& [child_name, child] : src.children) {
+      if (auto st = copy_tree_into(*child, *dst, child_name); !st.ok()) return st;
+    }
+  }
+  return {};
+}
+
+Status FileSystem::copy_tree(const Path& src, const Path& dst) {
+  const Node* from = find(src);
+  if (from == nullptr) return support::fail(Errc::not_found, src.str());
+  if (dst.is_within(src)) {
+    return support::fail(Errc::invalid_argument, "cannot copy " + src.str() + " into itself");
+  }
+  Node* dst_parent = find(dst.parent());
+  if (dst_parent == nullptr || !dst_parent->dir) {
+    return support::fail(Errc::not_found, "no such directory: " + dst.parent().str());
+  }
+  if (dst_parent->children.contains(dst.basename())) {
+    return support::fail(Errc::already_exists, dst.str());
+  }
+  return copy_tree_into(*from, *dst_parent, dst.basename());
+}
+
+Result<std::uint64_t> FileSystem::tree_size(const Path& path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return Result<std::uint64_t>::failure(Errc::not_found, path.str());
+  struct Walker {
+    static std::uint64_t size_of(const Node& n) {
+      if (!n.dir) return n.data.size();
+      std::uint64_t total = 0;
+      for (const auto& [name, child] : n.children) total += size_of(*child);
+      return total;
+    }
+  };
+  return Walker::size_of(*node);
+}
+
+Result<std::vector<Path>> FileSystem::walk_files(const Path& root) const {
+  const Node* node = find(root);
+  if (node == nullptr) return Result<std::vector<Path>>::failure(Errc::not_found, root.str());
+  std::vector<Path> out;
+  struct Walker {
+    std::vector<Path>* out;
+    void visit(const Node& n, const Path& at) {
+      if (!n.dir) {
+        out->push_back(at);
+        return;
+      }
+      for (const auto& [name, child] : n.children) visit(*child, at.child(name));
+    }
+  } walker{&out};
+  walker.visit(*node, root);
+  return out;
+}
+
+}  // namespace jfm::vfs

@@ -1,0 +1,82 @@
+#include "jfm/vfs/path.hpp"
+
+#include <stdexcept>
+
+#include "jfm/support/strings.hpp"
+
+namespace jfm::vfs {
+
+using support::Errc;
+using support::Result;
+
+namespace {
+bool valid_component(std::string_view c) {
+  if (c.empty() || c == "." || c == "..") return false;
+  for (char ch : c) {
+    if (ch == '/' || ch == '\n' || ch == '\t') return false;
+  }
+  return true;
+}
+}  // namespace
+
+Result<Path> Path::parse(std::string_view text) {
+  if (text.empty() || text[0] != '/') {
+    return Result<Path>::failure(Errc::invalid_argument,
+                                 "path must be absolute: '" + std::string(text) + "'");
+  }
+  Path out;
+  std::size_t i = 1;
+  while (i <= text.size()) {
+    std::size_t end = text.find('/', i);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view comp = text.substr(i, end - i);
+    if (!comp.empty()) {
+      if (!valid_component(comp)) {
+        return Result<Path>::failure(Errc::invalid_argument,
+                                     "bad path component: '" + std::string(comp) + "'");
+      }
+      out.components_.emplace_back(comp);
+    } else if (end != text.size()) {
+      // interior empty component ("//") -- tolerate a trailing slash only
+      return Result<Path>::failure(Errc::invalid_argument,
+                                   "empty path component in '" + std::string(text) + "'");
+    }
+    i = end + 1;
+  }
+  return out;
+}
+
+Path Path::child(std::string_view component) const {
+  if (!valid_component(component)) {
+    throw std::invalid_argument("Path::child: bad component '" + std::string(component) + "'");
+  }
+  Path out = *this;
+  out.components_.emplace_back(component);
+  return out;
+}
+
+Path Path::parent() const {
+  Path out = *this;
+  if (!out.components_.empty()) out.components_.pop_back();
+  return out;
+}
+
+std::string Path::str() const {
+  if (components_.empty()) return "/";
+  std::string out;
+  for (const auto& c : components_) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+bool Path::is_within(const Path& ancestor) const {
+  if (ancestor.components_.size() > components_.size()) return false;
+  for (std::size_t i = 0; i < ancestor.components_.size(); ++i) {
+    if (components_[i] != ancestor.components_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace jfm::vfs

@@ -1,0 +1,53 @@
+#pragma once
+// Multi-user contention scenarios for the s3.1 evaluation.
+//
+// N scripted designers perform design operations against M cells and
+// we count how often the framework turns them away:
+//  * native FMCAD: checkout/edit/checkin against one library; the
+//    single .meta plus no automatic refresh produces stale-metadata
+//    rejections, and the one-checkout-per-cellview rule produces lock
+//    rejections (paper: "severe locking problems");
+//  * hybrid JCF-FMCAD: designers reserve whole cell versions into
+//    private workspaces; conflicts only occur when two designers want
+//    the same cell at the same moment, and new cell versions allow
+//    parallel work on the same design object.
+
+#include <cstdint>
+
+#include "jfm/support/result.hpp"
+
+namespace jfm::workload {
+
+struct ContentionParams {
+  int designers = 4;
+  int cells = 8;
+  int operations = 100;  ///< total operations across all designers
+  std::uint64_t seed = 42;
+  std::size_t payload_bytes = 256;
+};
+
+struct ContentionResult {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t lock_conflicts = 0;   ///< checkout/reservation denied
+  std::uint64_t stale_conflicts = 0;  ///< FMCAD stale .meta rejections
+  std::uint64_t refreshes = 0;        ///< manual coordination actions
+  /// How many designers could simultaneously hold an editable state of
+  /// the *same* design object (cellview) at the end of the run.
+  int parallel_editors_same_object = 0;
+
+  double conflict_rate() const {
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(lock_conflicts + stale_conflicts) /
+                     static_cast<double>(attempts);
+  }
+};
+
+/// Native FMCAD scenario (builds its own library).
+support::Result<ContentionResult> run_fmcad_contention(const ContentionParams& params);
+
+/// Hybrid JCF-FMCAD scenario (builds its own hybrid environment).
+support::Result<ContentionResult> run_hybrid_contention(const ContentionParams& params);
+
+}  // namespace jfm::workload

@@ -1,0 +1,60 @@
+#pragma once
+// Synthetic design generators used by tests, benches and examples.
+//
+// The paper evaluated on real Philips designs we do not have; these
+// generators produce structurally realistic substitutes: valid
+// netlists whose size is controllable (for the s3.6 size sweeps) and
+// hierarchical cell trees with controllable shape (for s3.3).
+
+#include <string>
+#include <vector>
+
+#include "jfm/coupling/hybrid.hpp"
+#include "jfm/support/rng.hpp"
+#include "jfm/tools/layout.hpp"
+#include "jfm/tools/schematic.hpp"
+
+namespace jfm::workload {
+
+/// A valid flat schematic: `gates` random primitives wired into a
+/// chain/tree with one clock-less combinational structure, ports in/out.
+tools::Schematic random_schematic(support::Rng& rng, std::size_t gates);
+
+/// A schematic whose serialized payload is >= `min_bytes` (size sweep).
+std::string schematic_payload_of_size(support::Rng& rng, std::size_t min_bytes);
+
+/// A valid layout with `rects` random rectangles on a few layers.
+tools::Layout random_layout(support::Rng& rng, std::size_t rects);
+
+std::string layout_payload_of_size(support::Rng& rng, std::size_t min_bytes);
+
+/// Shape of a generated hierarchical design.
+struct HierarchySpec {
+  int depth = 2;    ///< levels below the top cell
+  int fanout = 2;   ///< children per non-leaf cell
+  std::size_t leaf_gates = 4;
+  /// When false, the generated *layout* hierarchy skips one child per
+  /// non-leaf cell -- producing the non-isomorphic situation s3.3
+  /// rejects.
+  bool isomorphic = true;
+};
+
+/// Names of the cells a HierarchySpec produces, bottom-up (leaves
+/// first, top last). Top cell is the last entry.
+std::vector<std::string> hierarchy_cell_names(const HierarchySpec& spec);
+
+/// Build the full hierarchical design inside a hybrid project: creates
+/// every cell, declares the hierarchy via the desktop (manual mode) and
+/// runs the enter_schematic activity bottom-up. Returns the top cell.
+support::Result<std::string> build_hierarchical_design(coupling::HybridFramework& hybrid,
+                                                       const std::string& project,
+                                                       const HierarchySpec& spec,
+                                                       jcf::UserRef user);
+
+/// Build the same hierarchy directly in a native FMCAD library
+/// (schematic view only). Returns the top cell.
+support::Result<std::string> build_hierarchical_library(fmcad::DesignerSession& session,
+                                                        const HierarchySpec& spec,
+                                                        support::Rng& rng);
+
+}  // namespace jfm::workload

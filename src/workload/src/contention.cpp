@@ -1,0 +1,191 @@
+#include "jfm/workload/contention.hpp"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "jfm/fmcad/session.hpp"
+#include "jfm/workload/generators.hpp"
+
+namespace jfm::workload {
+
+using support::Errc;
+using support::Result;
+using support::Rng;
+
+Result<ContentionResult> run_fmcad_contention(const ContentionParams& params) {
+  support::SimClock clock;
+  vfs::FileSystem fs(&clock);
+  (void)fs.mkdirs(vfs::Path().child("libs"));
+  auto library = fmcad::Library::create(&fs, &clock, vfs::Path().child("libs"), "shared");
+  if (!library.ok()) {
+    return Result<ContentionResult>::failure(library.error().code, library.error().message);
+  }
+  fmcad::DesignerSession setup(*library, "admin");
+  if (auto st = setup.define_view("schematic", "schematic"); !st.ok()) {
+    return Result<ContentionResult>::failure(st.error().code, st.error().message);
+  }
+  std::vector<fmcad::CellViewKey> keys;
+  for (int c = 0; c < params.cells; ++c) {
+    const std::string cell = "c" + std::to_string(c);
+    if (auto st = setup.create_cell(cell); !st.ok()) {
+      return Result<ContentionResult>::failure(st.error().code, st.error().message);
+    }
+    fmcad::CellViewKey key{cell, "schematic"};
+    if (auto st = setup.create_cellview(key); !st.ok()) {
+      return Result<ContentionResult>::failure(st.error().code, st.error().message);
+    }
+    keys.push_back(key);
+  }
+
+  std::vector<std::unique_ptr<fmcad::DesignerSession>> designers;
+  for (int d = 0; d < params.designers; ++d) {
+    designers.push_back(
+        std::make_unique<fmcad::DesignerSession>(*library, "user" + std::to_string(d)));
+  }
+  // what each designer currently has checked out (-1 = nothing)
+  std::vector<int> holding(static_cast<std::size_t>(params.designers), -1);
+
+  ContentionResult result;
+  Rng rng(params.seed);
+  const std::string payload(params.payload_bytes, 'x');
+
+  for (int op = 0; op < params.operations; ++op) {
+    const std::size_t d = static_cast<std::size_t>(op) % designers.size();
+    fmcad::DesignerSession& session = *designers[d];
+    ++result.attempts;
+    if (holding[d] >= 0) {
+      const auto& key = keys[static_cast<std::size_t>(holding[d])];
+      if (rng.chance(0.6)) {
+        // finish the held edit: write + checkin
+        (void)session.write_working(key, payload);
+        auto version = session.checkin(key);
+        if (version.ok()) {
+          ++result.successes;
+          holding[d] = -1;
+        } else if (version.error().code == Errc::stale_metadata) {
+          ++result.stale_conflicts;
+          session.refresh();
+          ++result.refreshes;
+        }
+      } else {
+        // keep editing the working copy; local work always succeeds
+        (void)session.write_working(key, payload);
+        ++result.successes;
+      }
+      continue;
+    }
+    const std::size_t target = rng.below(keys.size());
+    auto checkout = session.checkout(keys[target]);
+    if (checkout.ok()) {
+      ++result.successes;
+      holding[d] = static_cast<int>(target);
+    } else if (checkout.error().code == Errc::locked) {
+      ++result.lock_conflicts;
+    } else if (checkout.error().code == Errc::stale_metadata) {
+      // The designer must notice by hand that the .meta moved on.
+      ++result.stale_conflicts;
+      session.refresh();
+      ++result.refreshes;
+    } else if (checkout.error().code == Errc::already_exists) {
+      // tried to re-checkout something they already hold
+    }
+  }
+
+  // Parallel-versions probe: how many designers can hold an editable
+  // state of cellview c0/schematic at once? (FMCAD: exactly one.)
+  // Release everything held during the run first.
+  for (std::size_t d = 0; d < designers.size(); ++d) {
+    if (holding[d] >= 0) {
+      (void)designers[d]->cancel_checkout(keys[static_cast<std::size_t>(holding[d])]);
+      holding[d] = -1;
+    }
+  }
+  for (auto& session : designers) {
+    if (session->stale()) session->refresh();
+  }
+  int parallel = 0;
+  for (auto& session : designers) {
+    auto checkout = session->checkout(keys[0]);
+    if (checkout.ok()) ++parallel;
+  }
+  result.parallel_editors_same_object = parallel;
+  return result;
+}
+
+Result<ContentionResult> run_hybrid_contention(const ContentionParams& params) {
+  coupling::HybridFramework hybrid;
+  if (auto st = hybrid.bootstrap(); !st.ok()) {
+    return Result<ContentionResult>::failure(st.error().code, st.error().message);
+  }
+  auto project = hybrid.create_project("shared");
+  if (!project.ok()) {
+    return Result<ContentionResult>::failure(project.error().code, project.error().message);
+  }
+  std::vector<jcf::UserRef> users;
+  for (int d = 0; d < params.designers; ++d) {
+    auto user = hybrid.add_designer("user" + std::to_string(d));
+    if (!user.ok()) {
+      return Result<ContentionResult>::failure(user.error().code, user.error().message);
+    }
+    users.push_back(*user);
+  }
+  std::vector<std::string> cells;
+  for (int c = 0; c < params.cells; ++c) {
+    const std::string cell = "c" + std::to_string(c);
+    if (auto st = hybrid.create_cell("shared", cell, users[0]); !st.ok()) {
+      return Result<ContentionResult>::failure(st.error().code, st.error().message);
+    }
+    cells.push_back(cell);
+  }
+
+  ContentionResult result;
+  Rng rng(params.seed);
+  std::vector<int> holding(users.size(), -1);
+  std::uint64_t edit_counter = 0;
+
+  for (int op = 0; op < params.operations; ++op) {
+    const std::size_t d = static_cast<std::size_t>(op) % users.size();
+    ++result.attempts;
+    if (holding[d] >= 0) {
+      const std::string& cell = cells[static_cast<std::size_t>(holding[d])];
+      std::vector<coupling::ToolCommand> edits{
+          {"add-net", {"op" + std::to_string(edit_counter++)}}};
+      auto run = hybrid.run_activity("shared", cell, "enter_schematic", users[d], edits);
+      if (run.ok()) ++result.successes;
+      if (rng.chance(0.6)) {
+        (void)hybrid.publish_cell("shared", cell, users[d]);
+        holding[d] = -1;
+      }
+      continue;
+    }
+    const std::size_t target = rng.below(cells.size());
+    auto st = hybrid.reserve_cell("shared", cells[target], users[d]);
+    if (st.ok()) {
+      ++result.successes;
+      holding[d] = static_cast<int>(target);
+    } else if (st.error().code == Errc::locked) {
+      ++result.lock_conflicts;
+    } else if (st.error().code == Errc::already_exists) {
+      // already in this designer's workspace
+    }
+  }
+
+  // Parallel-versions probe: every designer gets their own *cell
+  // version* of c0 and reserves it -- parallel work on the same design
+  // object, impossible in plain FMCAD (s3.1).
+  auto& jcf = hybrid.jcf();
+  auto cell0 = jcf.find_cell(*project, cells[0]);
+  if (cell0.ok()) {
+    int parallel = 0;
+    for (auto user : users) {
+      auto cv = jcf.create_cell_version(*cell0, user);
+      if (!cv.ok()) continue;
+      if (jcf.reserve(*cv, user).ok()) ++parallel;
+    }
+    result.parallel_editors_same_object = parallel;
+  }
+  return result;
+}
+
+}  // namespace jfm::workload

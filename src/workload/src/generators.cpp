@@ -1,0 +1,259 @@
+#include "jfm/workload/generators.hpp"
+
+#include <algorithm>
+
+namespace jfm::workload {
+
+using support::Errc;
+using support::Result;
+using support::Rng;
+using support::Status;
+
+namespace {
+const char* kBinaryGates[] = {"AND", "OR", "XOR", "NAND", "NOR"};
+}
+
+tools::Schematic random_schematic(Rng& rng, std::size_t gates) {
+  tools::Schematic sch;
+  sch.ports = {{"a", tools::PortDir::in}, {"b", tools::PortDir::in}, {"y", tools::PortDir::out}};
+  sch.nets = {"a", "b", "y"};
+  if (gates == 0) {
+    // Degenerate but valid: a single buffer from a to y.
+    sch.primitives.push_back({"g0", "BUF"});
+    sch.connections.push_back({"a", "g0", "a"});
+    sch.connections.push_back({"y", "g0", "y"});
+    return sch;
+  }
+  std::vector<std::string> sources = {"a", "b"};
+  for (std::size_t i = 0; i < gates; ++i) {
+    const std::string name = "g" + std::to_string(i);
+    const char* type = kBinaryGates[rng.below(std::size(kBinaryGates))];
+    sch.primitives.push_back({name, type});
+    sch.connections.push_back({rng.pick(sources), name, "a"});
+    sch.connections.push_back({rng.pick(sources), name, "b"});
+    std::string out_net;
+    if (i + 1 == gates) {
+      out_net = "y";
+    } else {
+      out_net = "n" + std::to_string(i);
+      sch.nets.push_back(out_net);
+      sources.push_back(out_net);
+    }
+    sch.connections.push_back({out_net, name, "y"});
+  }
+  return sch;
+}
+
+std::string schematic_payload_of_size(Rng& rng, std::size_t min_bytes) {
+  // A gate contributes ~60 bytes of payload; grow until large enough.
+  std::size_t gates = std::max<std::size_t>(1, min_bytes / 60);
+  for (;;) {
+    std::string payload = random_schematic(rng, gates).serialize();
+    if (payload.size() >= min_bytes) return payload;
+    gates += std::max<std::size_t>(1, gates / 4);
+  }
+}
+
+tools::Layout random_layout(Rng& rng, std::size_t rects) {
+  tools::Layout layout;
+  layout.layers = {"metal1", "metal2", "poly"};
+  for (std::size_t i = 0; i < rects; ++i) {
+    tools::Rect r;
+    r.layer = layout.layers[rng.below(layout.layers.size())];
+    r.x1 = rng.range(0, 10000);
+    r.y1 = rng.range(0, 10000);
+    r.x2 = r.x1 + rng.range(10, 200);
+    r.y2 = r.y1 + rng.range(10, 200);
+    r.net = "n" + std::to_string(rng.below(std::max<std::size_t>(1, rects / 4) + 1));
+    layout.rects.push_back(std::move(r));
+  }
+  return layout;
+}
+
+std::string layout_payload_of_size(Rng& rng, std::size_t min_bytes) {
+  std::size_t rects = std::max<std::size_t>(1, min_bytes / 40);
+  for (;;) {
+    std::string payload = random_layout(rng, rects).serialize();
+    if (payload.size() >= min_bytes) return payload;
+    rects += std::max<std::size_t>(1, rects / 4);
+  }
+}
+
+namespace {
+
+struct HierarchyPlan {
+  struct CellPlan {
+    std::string name;
+    std::vector<std::string> children;  ///< empty = leaf
+  };
+  std::vector<CellPlan> bottom_up;  ///< leaves first, top last
+};
+
+HierarchyPlan plan_hierarchy(const HierarchySpec& spec) {
+  HierarchyPlan plan;
+  // Generate level by level, then reverse so leaves come first.
+  struct Node {
+    std::string name;
+    int level;
+    std::vector<std::string> children;
+  };
+  std::vector<Node> nodes;
+  nodes.push_back({"top", 0, {}});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].level >= spec.depth) continue;
+    for (int k = 0; k < spec.fanout; ++k) {
+      std::string child =
+          "c" + std::to_string(nodes[i].level + 1) + "_" + std::to_string(nodes.size());
+      nodes[i].children.push_back(child);
+      nodes.push_back({child, nodes[i].level + 1, {}});
+    }
+  }
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    plan.bottom_up.push_back({it->name, it->children});
+  }
+  return plan;
+}
+
+/// Glue schematic for a non-leaf cell: instantiates every child and
+/// reduces their outputs to one port.
+tools::Schematic glue_schematic(const std::vector<std::string>& children) {
+  tools::Schematic sch;
+  sch.ports = {{"a", tools::PortDir::in}, {"b", tools::PortDir::in}, {"y", tools::PortDir::out}};
+  sch.nets = {"a", "b", "y"};
+  std::vector<std::string> outs;
+  for (std::size_t k = 0; k < children.size(); ++k) {
+    const std::string inst = "u" + std::to_string(k);
+    const std::string out_net = "n" + std::to_string(k);
+    sch.nets.push_back(out_net);
+    sch.instances.push_back({inst, children[k], "schematic"});
+    sch.connections.push_back({"a", inst, "a"});
+    sch.connections.push_back({"b", inst, "b"});
+    sch.connections.push_back({out_net, inst, "y"});
+    outs.push_back(out_net);
+  }
+  if (outs.size() == 1) {
+    sch.primitives.push_back({"gbuf", "BUF"});
+    sch.connections.push_back({outs[0], "gbuf", "a"});
+    sch.connections.push_back({"y", "gbuf", "y"});
+  } else {
+    std::string acc = outs[0];
+    for (std::size_t k = 1; k < outs.size(); ++k) {
+      const std::string gate = "gand" + std::to_string(k);
+      const bool last = (k + 1 == outs.size());
+      const std::string out_net = last ? "y" : "m" + std::to_string(k);
+      if (!last) sch.nets.push_back(out_net);
+      sch.primitives.push_back({gate, "AND"});
+      sch.connections.push_back({acc, gate, "a"});
+      sch.connections.push_back({outs[k], gate, "b"});
+      sch.connections.push_back({out_net, gate, "y"});
+      acc = out_net;
+    }
+  }
+  return sch;
+}
+
+std::vector<coupling::ToolCommand> schematic_commands(const tools::Schematic& sch) {
+  std::vector<coupling::ToolCommand> out;
+  for (const auto& p : sch.ports) {
+    out.push_back({"add-port", {p.name, std::string(tools::to_string(p.dir))}});
+  }
+  for (const auto& n : sch.nets) {
+    bool is_port_net = sch.find_port(n) != nullptr;
+    if (!is_port_net) out.push_back({"add-net", {n}});
+  }
+  for (const auto& g : sch.primitives) out.push_back({"add-prim", {g.name, g.gate}});
+  for (const auto& i : sch.instances) {
+    out.push_back({"add-instance", {i.name, i.master_cell, i.master_view}});
+  }
+  for (const auto& c : sch.connections) {
+    out.push_back({"connect", {c.net, c.element, c.pin}});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> hierarchy_cell_names(const HierarchySpec& spec) {
+  std::vector<std::string> out;
+  for (const auto& cell : plan_hierarchy(spec).bottom_up) out.push_back(cell.name);
+  return out;
+}
+
+Result<std::string> build_hierarchical_design(coupling::HybridFramework& hybrid,
+                                              const std::string& project,
+                                              const HierarchySpec& spec, jcf::UserRef user) {
+  Rng rng(0xC0FFEEu ^ static_cast<std::uint64_t>(spec.depth * 131 + spec.fanout));
+  HierarchyPlan plan = plan_hierarchy(spec);
+  // 1. register every cell in JCF + FMCAD ("defined and passed to JCF
+  //    first", paper s2.3)
+  for (const auto& cell : plan.bottom_up) {
+    if (auto st = hybrid.create_cell(project, cell.name, user); !st.ok()) {
+      return Result<std::string>::failure(st.error().code, st.error().message);
+    }
+  }
+  // 2. manual hierarchy declaration via the desktop -- unless the
+  //    future-work procedural interface is on, in which case the tools
+  //    submit the relations themselves during the runs below (s3.3)
+  if (!hybrid.config().procedural_hierarchy_interface) {
+    for (const auto& cell : plan.bottom_up) {
+      for (const auto& child : cell.children) {
+        if (auto st = hybrid.declare_child(project, cell.name, child); !st.ok()) {
+          return Result<std::string>::failure(st.error().code, st.error().message);
+        }
+      }
+    }
+  }
+  // 3. enter schematics bottom-up under flow control
+  for (const auto& cell : plan.bottom_up) {
+    tools::Schematic sch = cell.children.empty() ? random_schematic(rng, spec.leaf_gates)
+                                                 : glue_schematic(cell.children);
+    if (auto st = hybrid.reserve_cell(project, cell.name, user); !st.ok()) {
+      return Result<std::string>::failure(st.error().code, st.error().message);
+    }
+    auto run = hybrid.run_activity(project, cell.name, "enter_schematic", user,
+                                   schematic_commands(sch));
+    if (!run.ok()) {
+      return Result<std::string>::failure(run.error().code, run.error().message);
+    }
+    if (auto st = hybrid.publish_cell(project, cell.name, user); !st.ok()) {
+      return Result<std::string>::failure(st.error().code, st.error().message);
+    }
+  }
+  return plan.bottom_up.back().name;
+}
+
+Result<std::string> build_hierarchical_library(fmcad::DesignerSession& session,
+                                               const HierarchySpec& spec, Rng& rng) {
+  HierarchyPlan plan = plan_hierarchy(spec);
+  for (const auto& cell : plan.bottom_up) {
+    if (auto st = session.create_cell(cell.name); !st.ok()) {
+      return Result<std::string>::failure(st.error().code, st.error().message);
+    }
+    fmcad::CellViewKey key{cell.name, "schematic"};
+    if (auto st = session.create_cellview(key); !st.ok()) {
+      return Result<std::string>::failure(st.error().code, st.error().message);
+    }
+    tools::Schematic sch = cell.children.empty() ? random_schematic(rng, spec.leaf_gates)
+                                                 : glue_schematic(cell.children);
+    fmcad::DesignFile file;
+    file.cell = cell.name;
+    file.view = "schematic";
+    file.viewtype = "schematic";
+    file.payload = sch.serialize();
+    tools::sync_uses_from_schematic(file, sch);
+    auto work = session.checkout(key);
+    if (!work.ok()) {
+      return Result<std::string>::failure(work.error().code, work.error().message);
+    }
+    if (auto st = session.write_working(key, file.serialize()); !st.ok()) {
+      return Result<std::string>::failure(st.error().code, st.error().message);
+    }
+    auto version = session.checkin(key);
+    if (!version.ok()) {
+      return Result<std::string>::failure(version.error().code, version.error().message);
+    }
+  }
+  return plan.bottom_up.back().name;
+}
+
+}  // namespace jfm::workload

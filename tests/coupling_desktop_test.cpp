@@ -1,0 +1,142 @@
+// The JCF desktop as a scriptable command surface (s3.4).
+
+#include <gtest/gtest.h>
+
+#include "jfm/coupling/desktop.hpp"
+
+namespace jfm::coupling {
+namespace {
+
+using support::Errc;
+
+class DesktopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(hybrid.bootstrap().ok());
+    shell = std::make_unique<DesktopShell>(&hybrid);
+  }
+  HybridFramework hybrid;
+  std::unique_ptr<DesktopShell> shell;
+};
+
+TEST_F(DesktopTest, FullSessionScript) {
+  const char* script = R"(
+    # a complete design session from the desktop
+    designer alice
+    project demo
+    cell demo counter alice
+    reserve demo counter alice
+    edit add-port a in
+    edit add-port y out
+    edit add-prim g0 BUF
+    edit connect a g0 a
+    edit connect y g0 y
+    run demo counter enter_schematic alice
+    edit set-dut counter schematic
+    edit add-stim 1 a 1
+    edit add-watch y
+    edit run
+    run demo counter simulate alice
+    publish demo counter alice
+    derivations demo counter
+    check demo
+  )";
+  auto result = shell->run_script(script);
+  ASSERT_TRUE(result.ok()) << result.error().to_text();
+  EXPECT_EQ(result->commands_executed, 18u);  // each command line = one desktop step
+  // transcript carries the derivation row and a clean check
+  bool saw_derivation = false;
+  bool saw_clean_check = false;
+  for (const auto& line : result->transcript) {
+    if (line.find("simulate v1 <- schematic v1") != std::string::npos) saw_derivation = true;
+    if (line.find("demo: 0 consistency problem(s)") != std::string::npos) saw_clean_check = true;
+  }
+  EXPECT_TRUE(saw_derivation);
+  EXPECT_TRUE(saw_clean_check);
+}
+
+TEST_F(DesktopTest, ErrorsStopTheScriptByDefault) {
+  const char* script = R"(
+    designer alice
+    reserve nosuch cell alice
+    designer bob
+  )";
+  auto result = shell->run_script(script);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::not_found);
+  // bob was never created
+  EXPECT_FALSE(hybrid.jcf().find_user("bob").ok());
+  // keep_going mode pushes through
+  auto lenient = shell->run_script(script, /*keep_going=*/true);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(hybrid.jcf().find_user("bob").ok());
+}
+
+TEST_F(DesktopTest, UnknownAndMalformedCommands) {
+  DesktopResult result;
+  EXPECT_EQ(shell->execute_line("frobnicate x", result).code(), Errc::not_found);
+  EXPECT_EQ(shell->execute_line("designer", result).code(), Errc::invalid_argument);
+  EXPECT_EQ(shell->execute_line("run a b", result).code(), Errc::invalid_argument);
+  // comments and blanks execute as no-ops
+  EXPECT_TRUE(shell->execute_line("# comment", result).ok());
+  EXPECT_TRUE(shell->execute_line("   ", result).ok());
+  EXPECT_EQ(result.commands_executed, 3u);  // only real commands count
+}
+
+TEST_F(DesktopTest, CustomFlowThroughTheShell) {
+  const char* script = R"(
+    designer alice
+    project p
+    define-flow quick_flow enter_schematic,enter_layout enter_schematic>enter_layout
+    cell p blk alice
+    set-flow p blk quick_flow
+    reserve p blk alice
+    edit add-net n1
+    run p blk enter_schematic alice
+    edit add-layer m1
+    edit draw-rect m1 0 0 10 10
+    run p blk enter_layout alice
+  )";
+  auto result = shell->run_script(script);
+  ASSERT_TRUE(result.ok()) << result.error().to_text();
+}
+
+TEST_F(DesktopTest, ForcedRunReportsWindow) {
+  const char* script = R"(
+    designer alice
+    project p
+    cell p blk alice
+    reserve p blk alice
+    edit add-net n1
+    run p blk enter_schematic alice
+    edit add-layer m1
+    run p blk enter_layout alice force
+  )";
+  auto result = shell->run_script(script);
+  ASSERT_TRUE(result.ok()) << result.error().to_text();
+  bool saw_window = false;
+  for (const auto& line : result->transcript) {
+    if (line.find("[window]") != std::string::npos) saw_window = true;
+  }
+  EXPECT_TRUE(saw_window);
+}
+
+TEST_F(DesktopTest, EditsAreConsumedPerRun) {
+  DesktopResult result;
+  ASSERT_TRUE(shell->execute_line("designer alice", result).ok());
+  ASSERT_TRUE(shell->execute_line("project p", result).ok());
+  ASSERT_TRUE(shell->execute_line("cell p c alice", result).ok());
+  ASSERT_TRUE(shell->execute_line("reserve p c alice", result).ok());
+  ASSERT_TRUE(shell->execute_line("edit add-net n1", result).ok());
+  ASSERT_TRUE(shell->execute_line("run p c enter_schematic alice", result).ok());
+  // a second run has no queued edits: it just re-opens and checks in
+  ASSERT_TRUE(shell->execute_line("run p c enter_schematic alice", result).ok());
+  bool saw_zero_edits = false;
+  for (const auto& line : result.transcript) {
+    if (line.find("0 edits") != std::string::npos) saw_zero_edits = true;
+  }
+  EXPECT_TRUE(saw_zero_edits);
+}
+
+}  // namespace
+}  // namespace jfm::coupling

@@ -1,0 +1,197 @@
+// Table 1: the JCF <-> FMCAD data model mapping, including a randomized
+// lossless round-trip property (FMCAD -> JCF -> FMCAD).
+
+#include <gtest/gtest.h>
+
+#include "jfm/coupling/mapping.hpp"
+#include "jfm/support/rng.hpp"
+
+namespace jfm::coupling {
+namespace {
+
+using support::Errc;
+using support::Rng;
+
+TEST(MappingTable, MatchesThePaper) {
+  const auto& table = mapping_table();
+  ASSERT_EQ(table.size(), 5u);
+  EXPECT_EQ(table[0].jcf_object, "Project");
+  EXPECT_EQ(table[0].fmcad_object, "Library");
+  EXPECT_EQ(table[1].jcf_object, "CellVersion");
+  EXPECT_EQ(table[1].fmcad_object, "Cell");
+  EXPECT_EQ(table[2].jcf_object, "ViewType");
+  EXPECT_EQ(table[2].fmcad_object, "View");
+  EXPECT_EQ(table[3].jcf_object, "DesignObject");
+  EXPECT_EQ(table[3].fmcad_object, "Cellview");
+  EXPECT_EQ(table[4].jcf_object, "DesignObjectVersion");
+  EXPECT_EQ(table[4].fmcad_object, "Cellview Version");
+}
+
+class MapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs.mkdirs(vfs::Path().child("libs")).ok());
+    integrator = *jcf.create_user("integrator");
+    team = *jcf.create_team("designers");
+    ASSERT_TRUE(jcf.add_member(team, integrator).ok());
+    auto tool = *jcf.register_tool("t");
+    auto vt = *jcf.create_viewtype("any");
+    auto act = *jcf.create_activity("a", tool, {}, {vt});
+    flow = *jcf.create_flow("f", {act});
+    ASSERT_TRUE(jcf.freeze_flow(flow).ok());
+  }
+
+  std::shared_ptr<fmcad::Library> make_library(const std::string& name, Rng& rng,
+                                               int cells, int max_versions) {
+    auto lib = fmcad::Library::create(&fs, &clock, vfs::Path().child("libs"), name);
+    EXPECT_TRUE(lib.ok());
+    fmcad::DesignerSession session(*lib, "builder");
+    EXPECT_TRUE(session.define_view("schematic", "schematic").ok());
+    EXPECT_TRUE(session.define_view("layout", "layout").ok());
+    for (int c = 0; c < cells; ++c) {
+      const std::string cell = "cell" + std::to_string(c);
+      EXPECT_TRUE(session.create_cell(cell).ok());
+      for (const std::string view : {"schematic", "layout"}) {
+        if (rng.chance(0.3)) continue;
+        fmcad::CellViewKey key{cell, view};
+        EXPECT_TRUE(session.create_cellview(key).ok());
+        const int versions = static_cast<int>(rng.range(1, max_versions));
+        for (int v = 0; v < versions; ++v) {
+          EXPECT_TRUE(session.checkout(key).ok());
+          EXPECT_TRUE(session
+                          .write_working(key, "content " + cell + "/" + view + " rev " +
+                                                  std::to_string(v) + " " + rng.identifier(16))
+                          .ok());
+          EXPECT_TRUE(session.checkin(key).ok());
+        }
+      }
+    }
+    return *lib;
+  }
+
+  support::SimClock clock;
+  vfs::FileSystem fs{&clock};
+  jcf::JcfFramework jcf{&clock};
+  jcf::UserRef integrator;
+  jcf::TeamRef team;
+  jcf::FlowRef flow;
+};
+
+TEST_F(MapperTest, ImportCreatesTable1Objects) {
+  Rng rng(1);
+  auto lib = make_library("mylib", rng, 3, 3);
+  ModelMapper mapper(&jcf, integrator, team, flow);
+  MappingStats stats;
+  auto project = mapper.import_library(*lib, &stats);
+  ASSERT_TRUE(project.ok()) << project.error().to_text();
+  // Project <- Library
+  EXPECT_EQ(*jcf.name_of(project->id), "mylib");
+  // CellVersion <- Cell
+  EXPECT_EQ(jcf.cells(*project)->size(), lib->meta().cells.size());
+  EXPECT_EQ(stats.cells, lib->meta().cells.size());
+  EXPECT_EQ(stats.cellviews, lib->meta().cellviews.size());
+  // every imported design object version is readable (published)
+  auto reader = *jcf.create_user("reader");
+  auto cells = jcf.cells(*project);
+  ASSERT_TRUE(cells.ok());
+  for (auto cell : *cells) {
+    auto cv = *jcf.latest_cell_version(cell);
+    EXPECT_EQ(*jcf.version_number(cv), 1);
+    auto variant = *jcf.find_variant(cv, ModelMapper::import_variant());
+    auto dobjs = jcf.design_objects(variant);
+    ASSERT_TRUE(dobjs.ok());
+    for (auto dobj : *dobjs) {
+      auto dovs = jcf.dov_versions(dobj);
+      ASSERT_TRUE(dovs.ok());
+      for (auto dov : *dovs) {
+        EXPECT_TRUE(jcf.dov_data(dov, reader).ok());
+      }
+    }
+  }
+}
+
+TEST_F(MapperTest, RoundTripIsLossless) {
+  Rng rng(2);
+  auto original = make_library("original", rng, 4, 4);
+  ModelMapper mapper(&jcf, integrator, team, flow);
+  auto project = mapper.import_library(*original, nullptr);
+  ASSERT_TRUE(project.ok());
+  auto rebuilt =
+      mapper.export_project(*project, &fs, &clock, vfs::Path().child("libs"), "rebuilt", nullptr);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.error().to_text();
+  auto diffs = diff_libraries(*original, **rebuilt);
+  EXPECT_TRUE(diffs.empty()) << diffs[0];
+}
+
+TEST_F(MapperTest, DiffDetectsDivergence) {
+  Rng rng(3);
+  auto a = make_library("liba", rng, 2, 2);
+  Rng rng2(99);
+  auto b = make_library("libb", rng2, 3, 2);
+  auto diffs = diff_libraries(*a, *b);
+  EXPECT_FALSE(diffs.empty());
+}
+
+TEST_F(MapperTest, ImportTwiceCollides) {
+  Rng rng(4);
+  auto lib = make_library("dup", rng, 1, 1);
+  ModelMapper mapper(&jcf, integrator, team, flow);
+  ASSERT_TRUE(mapper.import_library(*lib, nullptr).ok());
+  auto again = mapper.import_library(*lib, nullptr);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, Errc::already_exists);
+}
+
+struct RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripProperty, RandomLibrariesSurvive) {
+  support::SimClock clock;
+  vfs::FileSystem fs(&clock);
+  ASSERT_TRUE(fs.mkdirs(vfs::Path().child("libs")).ok());
+  jcf::JcfFramework jcf(&clock);
+  auto integrator = *jcf.create_user("i");
+  auto team = *jcf.create_team("t");
+  ASSERT_TRUE(jcf.add_member(team, integrator).ok());
+  auto tool = *jcf.register_tool("tl");
+  auto vt = *jcf.create_viewtype("any");
+  auto act = *jcf.create_activity("a", tool, {}, {vt});
+  auto flow = *jcf.create_flow("f", {act});
+  ASSERT_TRUE(jcf.freeze_flow(flow).ok());
+
+  Rng rng(GetParam());
+  auto lib = fmcad::Library::create(&fs, &clock, vfs::Path().child("libs"), "src");
+  ASSERT_TRUE(lib.ok());
+  fmcad::DesignerSession session(*lib, "builder");
+  const int n_views = static_cast<int>(rng.range(1, 3));
+  for (int v = 0; v < n_views; ++v) {
+    ASSERT_TRUE(session.define_view("view" + std::to_string(v), "vt").ok());
+  }
+  const int n_cells = static_cast<int>(rng.range(1, 5));
+  for (int c = 0; c < n_cells; ++c) {
+    const std::string cell = "c" + std::to_string(c);
+    ASSERT_TRUE(session.create_cell(cell).ok());
+    for (int v = 0; v < n_views; ++v) {
+      if (rng.chance(0.4)) continue;
+      fmcad::CellViewKey key{cell, "view" + std::to_string(v)};
+      ASSERT_TRUE(session.create_cellview(key).ok());
+      for (int k = 0, n = static_cast<int>(rng.range(0, 3)); k < n; ++k) {
+        ASSERT_TRUE(session.checkout(key).ok());
+        ASSERT_TRUE(session.write_working(key, rng.identifier(32)).ok());
+        ASSERT_TRUE(session.checkin(key).ok());
+      }
+    }
+  }
+  ModelMapper mapper(&jcf, integrator, team, flow);
+  auto project = mapper.import_library(**lib, nullptr);
+  ASSERT_TRUE(project.ok()) << project.error().to_text();
+  auto rebuilt =
+      mapper.export_project(*project, &fs, &clock, vfs::Path().child("libs"), "dst", nullptr);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.error().to_text();
+  auto diffs = diff_libraries(**lib, **rebuilt);
+  EXPECT_TRUE(diffs.empty()) << diffs[0];
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty, ::testing::Range<std::uint64_t>(10, 22));
+
+}  // namespace
+}  // namespace jfm::coupling

@@ -1,0 +1,124 @@
+// The encapsulation data path (paper s2.1/s3.6): OMS <-> file system
+// transfers, staging copies, byte accounting, and the direct-access
+// ablation.
+
+#include <gtest/gtest.h>
+
+#include "jfm/coupling/transfer.hpp"
+
+namespace jfm::coupling {
+namespace {
+
+using support::Errc;
+
+class TransferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs.mkdirs(vfs::Path().child("out")).ok());
+    user = *jcf.create_user("alice");
+    team = *jcf.create_team("rtl");
+    ASSERT_TRUE(jcf.add_member(team, user).ok());
+    auto tool = *jcf.register_tool("t");
+    vt = *jcf.create_viewtype("schematic");
+    auto act = *jcf.create_activity("a", tool, {}, {vt});
+    auto flow = *jcf.create_flow("f", {act});
+    ASSERT_TRUE(jcf.freeze_flow(flow).ok());
+    auto project = *jcf.create_project("p", team);
+    auto cell = *jcf.create_cell(project, "c", flow, team);
+    cv = *jcf.create_cell_version(cell, user);
+    ASSERT_TRUE(jcf.reserve(cv, user).ok());
+    variant = *jcf.create_variant(cv, "work", user);
+    dobj = *jcf.create_design_object(variant, "schematic", vt, user);
+  }
+
+  support::SimClock clock;
+  vfs::FileSystem fs{&clock};
+  jcf::JcfFramework jcf{&clock};
+  jcf::UserRef user;
+  jcf::TeamRef team;
+  jcf::ViewTypeRef vt;
+  jcf::CellVersionRef cv;
+  jcf::VariantRef variant;
+  jcf::DesignObjectRef dobj;
+};
+
+TEST_F(TransferTest, ExportMaterializesDovContent) {
+  TransferEngine engine(&jcf, &fs, vfs::Path().child("xfer"), true);
+  auto dov = *jcf.create_dov(dobj, std::string(256, 'd'), user);
+  auto dst = vfs::Path().child("out").child("data");
+  ASSERT_TRUE(engine.export_dov(dov, user, dst).ok());
+  EXPECT_EQ(*fs.read_file(dst), std::string(256, 'd'));
+  EXPECT_EQ(engine.stats().exports, 1u);
+  EXPECT_EQ(engine.stats().bytes_exported, 256u);
+  EXPECT_EQ(engine.stats().staging_copies, 1u);
+}
+
+TEST_F(TransferTest, ImportCreatesNewDov) {
+  TransferEngine engine(&jcf, &fs, vfs::Path().child("xfer"), true);
+  auto src = vfs::Path().child("out").child("src");
+  ASSERT_TRUE(fs.write_file(src, "tool output").ok());
+  auto dov = engine.import_file(src, dobj, user);
+  ASSERT_TRUE(dov.ok());
+  EXPECT_EQ(*jcf.dov_data(*dov, user), "tool output");
+  EXPECT_EQ(*jcf.dov_number(*dov), 1);
+  EXPECT_EQ(engine.stats().imports, 1u);
+  EXPECT_EQ(engine.stats().bytes_imported, 11u);
+}
+
+TEST_F(TransferTest, StagingDoublesFileSystemTraffic) {
+  const std::string payload(10'000, 'p');
+  auto dov = *jcf.create_dov(dobj, payload, user);
+
+  // copy-through mode: payload crosses the fs twice on export
+  TransferEngine staged(&jcf, &fs, vfs::Path().child("xfer1"), true);
+  fs.reset_counters();
+  ASSERT_TRUE(staged.export_dov(dov, user, vfs::Path().child("out").child("a")).ok());
+  const auto with_staging = fs.counters().bytes_written;
+
+  TransferEngine direct(&jcf, &fs, vfs::Path().child("xfer2"), false);
+  fs.reset_counters();
+  ASSERT_TRUE(direct.export_dov(dov, user, vfs::Path().child("out").child("b")).ok());
+  const auto without_staging = fs.counters().bytes_written;
+
+  EXPECT_EQ(with_staging, 2 * without_staging);
+  EXPECT_EQ(direct.stats().staging_copies, 0u);
+  EXPECT_FALSE(direct.copies_through_filesystem());
+}
+
+TEST_F(TransferTest, WorkspaceRulesApplyToTransfers) {
+  auto dov = *jcf.create_dov(dobj, "private", user);
+  auto stranger = *jcf.create_user("eve");
+  TransferEngine engine(&jcf, &fs, vfs::Path().child("xfer"), true);
+  // unpublished data cannot be exported by another user
+  auto st = engine.export_dov(dov, stranger, vfs::Path().child("out").child("x"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::permission_denied);
+  // imports need the workspace
+  auto src = vfs::Path().child("out").child("src");
+  ASSERT_TRUE(fs.write_file(src, "x").ok());
+  auto denied = engine.import_file(src, dobj, stranger);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, Errc::permission_denied);
+}
+
+TEST_F(TransferTest, MissingSourceFileReported) {
+  TransferEngine engine(&jcf, &fs, vfs::Path().child("xfer"), true);
+  auto missing = engine.import_file(vfs::Path().child("out").child("ghost"), dobj, user);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, Errc::not_found);
+}
+
+TEST_F(TransferTest, RoundTripPreservesBytes) {
+  TransferEngine engine(&jcf, &fs, vfs::Path().child("xfer"), true);
+  std::string payload;
+  for (int i = 0; i < 1000; ++i) payload.push_back(static_cast<char>('a' + i % 26));
+  auto d1 = *jcf.create_dov(dobj, payload, user);
+  auto mid = vfs::Path().child("out").child("mid");
+  ASSERT_TRUE(engine.export_dov(d1, user, mid).ok());
+  auto d2 = engine.import_file(mid, dobj, user);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(*jcf.dov_data(*d2, user), payload);
+}
+
+}  // namespace
+}  // namespace jfm::coupling

@@ -1,0 +1,256 @@
+// The FMCAD extension language: reader, evaluator, builtins, host
+// bindings and the trigger mechanism the encapsulation relies on.
+
+#include <gtest/gtest.h>
+
+#include "jfm/extlang/interpreter.hpp"
+#include "jfm/extlang/reader.hpp"
+
+namespace jfm::extlang {
+namespace {
+
+using support::Errc;
+
+// ---------------- reader -----------------------------------------------
+
+TEST(Reader, Atoms) {
+  EXPECT_EQ(read_one("42")->as_int(), 42);
+  EXPECT_EQ(read_one("-7")->as_int(), -7);
+  EXPECT_EQ(read_one("3.5")->as_real(), 3.5);
+  EXPECT_EQ(read_one("\"hi\\n\"")->as_string(), "hi\n");
+  EXPECT_TRUE(read_one("#t")->as_bool());
+  EXPECT_FALSE(read_one("#f")->as_bool());
+  EXPECT_TRUE(read_one("nil")->is_nil());
+  EXPECT_EQ(read_one("foo-bar!")->as_symbol().name, "foo-bar!");
+}
+
+TEST(Reader, ListsAndQuote) {
+  auto v = read_one("(a (b 1) \"s\")");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_list());
+  EXPECT_EQ(v->as_list().size(), 3u);
+  EXPECT_EQ(v->as_list()[1].as_list()[1].as_int(), 1);
+  auto q = read_one("'x");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->as_list()[0].as_symbol().name, "quote");
+}
+
+TEST(Reader, CommentsSkipped) {
+  auto all = read_all("; header\n1 ; trailing\n2\n");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+}
+
+TEST(Reader, Errors) {
+  EXPECT_EQ(read_one("(a").code(), Errc::parse_error);
+  EXPECT_EQ(read_one(")").code(), Errc::parse_error);
+  EXPECT_EQ(read_one("\"open").code(), Errc::parse_error);
+  EXPECT_EQ(read_one("1 2").code(), Errc::parse_error);  // trailing
+  EXPECT_EQ(read_one("#q").code(), Errc::parse_error);
+}
+
+TEST(Reader, ReprRoundTrips) {
+  const char* exprs[] = {"(a 1 2.5 \"s\" #t nil)", "(quote (x y))", "(- 1)"};
+  for (const char* text : exprs) {
+    auto v = read_one(text);
+    ASSERT_TRUE(v.ok());
+    auto again = read_one(v->repr());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *v) << text;
+  }
+}
+
+// ---------------- evaluator ---------------------------------------------
+
+class Eval : public ::testing::Test {
+ protected:
+  Value run(const std::string& program) {
+    auto v = interp.eval_text(program);
+    EXPECT_TRUE(v.ok()) << program << " -> " << (v.ok() ? "" : v.error().to_text());
+    return v.ok() ? *v : Value::nil();
+  }
+  Errc run_err(const std::string& program) {
+    auto v = interp.eval_text(program);
+    EXPECT_FALSE(v.ok()) << program;
+    return v.ok() ? Errc::ok : v.error().code;
+  }
+  Interpreter interp;
+};
+
+TEST_F(Eval, Arithmetic) {
+  EXPECT_EQ(run("(+ 1 2 3)").as_int(), 6);
+  EXPECT_EQ(run("(- 10 3 2)").as_int(), 5);
+  EXPECT_EQ(run("(- 4)").as_int(), -4);
+  EXPECT_EQ(run("(* 2 3 4)").as_int(), 24);
+  EXPECT_EQ(run("(/ 10 2)").as_int(), 5);
+  EXPECT_EQ(run("(mod 10 3)").as_int(), 1);
+  EXPECT_EQ(run("(+ 1 0.5)").as_real(), 1.5);
+  EXPECT_EQ(run_err("(/ 1 0)"), Errc::invalid_argument);
+}
+
+TEST_F(Eval, ComparisonAndLogic) {
+  EXPECT_TRUE(run("(< 1 2 3)").as_bool());
+  EXPECT_FALSE(run("(< 1 3 2)").as_bool());
+  EXPECT_TRUE(run("(= 2 2 2)").as_bool());
+  EXPECT_TRUE(run("(>= 3 3 1)").as_bool());
+  EXPECT_FALSE(run("(not 5)").as_bool());
+  EXPECT_EQ(run("(and 1 2 3)").as_int(), 3);
+  EXPECT_FALSE(run("(and 1 #f 3)").truthy());
+  EXPECT_EQ(run("(or #f 7)").as_int(), 7);
+  EXPECT_FALSE(run("(or #f #f)").truthy());
+}
+
+TEST_F(Eval, SpecialForms) {
+  EXPECT_EQ(run("(if (> 2 1) 10 20)").as_int(), 10);
+  EXPECT_EQ(run("(if #f 10)").is_nil(), true);
+  EXPECT_EQ(run("(cond ((= 1 2) 'a) ((= 1 1) 'b) (else 'c))").as_symbol().name, "b");
+  EXPECT_EQ(run("(cond ((= 1 2) 'a) (else 'c))").as_symbol().name, "c");
+  EXPECT_EQ(run("(begin 1 2 3)").as_int(), 3);
+  EXPECT_EQ(run("(let ((x 2) (y 3)) (* x y))").as_int(), 6);
+  EXPECT_EQ(run("(quote (1 2))").as_list().size(), 2u);
+}
+
+TEST_F(Eval, DefineSetAndScopes) {
+  EXPECT_EQ(run("(define x 5) x").as_int(), 5);
+  EXPECT_EQ(run("(set! x 6) x").as_int(), 6);
+  EXPECT_EQ(run_err("(set! undefined_var 1)"), Errc::not_found);
+  // let does not leak
+  run("(let ((y 1)) y)");
+  EXPECT_EQ(run_err("y"), Errc::not_found);
+}
+
+TEST_F(Eval, LambdasAndClosures) {
+  EXPECT_EQ(run("((lambda (a b) (+ a b)) 2 3)").as_int(), 5);
+  EXPECT_EQ(run("(define (square n) (* n n)) (square 9)").as_int(), 81);
+  // closures capture their environment
+  EXPECT_EQ(run("(define (adder n) (lambda (m) (+ n m))) ((adder 10) 5)").as_int(), 15);
+  // recursion
+  EXPECT_EQ(run("(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1))))) (fact 10)").as_int(),
+            3628800);
+  EXPECT_EQ(run_err("((lambda (a) a) 1 2)"), Errc::invalid_argument);
+}
+
+TEST_F(Eval, WhileLoop) {
+  EXPECT_EQ(run("(define i 0) (define acc 0)"
+                "(while (< i 10) (set! acc (+ acc i)) (set! i (+ i 1))) acc")
+                .as_int(),
+            45);
+}
+
+TEST_F(Eval, ListBuiltins) {
+  EXPECT_EQ(run("(length (list 1 2 3))").as_int(), 3);
+  EXPECT_EQ(run("(nth 1 (list 'a 'b 'c))").as_symbol().name, "b");
+  EXPECT_EQ(run("(length (append (list 1) (list 2 3)))").as_int(), 3);
+  EXPECT_EQ(run("(car (cons 0 (list 1)))").as_int(), 0);
+  EXPECT_EQ(run("(length (cdr (list 1 2 3)))").as_int(), 2);
+  EXPECT_TRUE(run("(null? (list))").as_bool());
+  EXPECT_TRUE(run("(member 2 (list 1 2 3))").as_bool());
+  EXPECT_FALSE(run("(member 9 (list 1 2 3))").as_bool());
+  EXPECT_EQ(run("(nth 1 (map (lambda (x) (* x x)) (list 2 3 4)))").as_int(), 9);
+  EXPECT_EQ(run("(length (filter (lambda (x) (> x 1)) (list 0 1 2 3)))").as_int(), 2);
+  EXPECT_EQ(run_err("(nth 5 (list 1))"), Errc::invalid_argument);
+}
+
+TEST_F(Eval, StringsAndPredicates) {
+  EXPECT_EQ(run("(string-append \"a\" \"b\" 3)").as_string(), "ab3");
+  EXPECT_EQ(run("(to-string 42)").as_string(), "42");
+  EXPECT_EQ(run("(symbol->string 'abc)").as_string(), "abc");
+  EXPECT_TRUE(run("(number? 1.5)").as_bool());
+  EXPECT_TRUE(run("(string? \"x\")").as_bool());
+  EXPECT_TRUE(run("(symbol? 'x)").as_bool());
+  EXPECT_TRUE(run("(list? (list))").as_bool());
+  EXPECT_TRUE(run("(procedure? (lambda (x) x))").as_bool());
+}
+
+TEST_F(Eval, PrintCapturedAndErrors) {
+  run("(print \"hello\" 42)");
+  ASSERT_EQ(interp.output().size(), 1u);
+  EXPECT_EQ(interp.output()[0], "hello 42");
+  EXPECT_EQ(run_err("(error \"boom\")"), Errc::invalid_argument);
+  EXPECT_EQ(run_err("(assert (= 1 2) \"oops\")"), Errc::invalid_argument);
+  EXPECT_TRUE(run("(assert #t)").as_bool());
+  EXPECT_EQ(run_err("(unknown-fn 1)"), Errc::not_found);
+  EXPECT_EQ(run_err("(1 2)"), Errc::invalid_argument);  // not callable
+}
+
+TEST_F(Eval, HostBindings) {
+  interp.define_builtin("host-add",
+                        [](Interpreter&, ValueList& args) -> support::Result<Value> {
+                          return Value(args[0].as_int() + args[1].as_int());
+                        });
+  interp.define_global("host-var", Value(std::int64_t{100}));
+  EXPECT_EQ(run("(host-add host-var 1)").as_int(), 101);
+  EXPECT_TRUE(interp.global("host-var").ok());
+  EXPECT_FALSE(interp.global("missing").ok());
+}
+
+TEST_F(Eval, TriggersFireInOrderAndVeto) {
+  run("(define log (list))"
+      "(define (t1 x) (set! log (append log (list x))) #t)"
+      "(define (t2 x) (set! log (append log (list (* x 10)))) #t)");
+  interp.add_trigger("ev", *interp.global("t1"));
+  interp.add_trigger("ev", *interp.global("t2"));
+  EXPECT_EQ(interp.trigger_count("ev"), 2u);
+  ASSERT_TRUE(interp.fire("ev", {Value(std::int64_t{7})}).ok());
+  EXPECT_EQ(run("(nth 0 log)").as_int(), 7);
+  EXPECT_EQ(run("(nth 1 log)").as_int(), 70);
+
+  // vetoing trigger
+  run("(define (nope x) #f)");
+  interp.add_trigger("guarded", *interp.global("nope"));
+  auto st = interp.fire("guarded", {Value(std::int64_t{1})}, /*veto_on_false=*/true);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::permission_denied);
+  // without veto_on_false a #f return is fine
+  EXPECT_TRUE(interp.fire("guarded", {Value(std::int64_t{1})}).ok());
+  // unknown events are no-ops
+  EXPECT_TRUE(interp.fire("unknown", {}).ok());
+}
+
+TEST_F(Eval, ReprOfCallablesAndEquality) {
+  auto lambda = run("(define (named x) x) named");
+  EXPECT_EQ(lambda.repr(), "#<lambda named>");
+  EXPECT_EQ(run("(lambda (x) x)").repr(), "#<lambda anonymous>");
+  auto builtin = run("+");
+  EXPECT_EQ(builtin.repr(), "#<builtin +>");
+  // numeric equality crosses int/real
+  EXPECT_TRUE(run("(= 2 2.0)").as_bool());
+  // deep list equality
+  EXPECT_TRUE(Value::list({Value(1), Value::list({Value("x")})}) ==
+              Value::list({Value(1), Value::list({Value("x")})}));
+  EXPECT_FALSE(Value::list({Value(1)}) == Value::list({Value(2)}));
+  EXPECT_FALSE(Value(1) == Value("1"));
+}
+
+TEST_F(Eval, CondWithoutMatchAndEmptyForms) {
+  EXPECT_TRUE(run("(cond ((= 1 2) 'a))").is_nil());
+  EXPECT_TRUE(run("(begin)").is_nil());
+  EXPECT_EQ(run("(and)").as_bool(), true);
+  EXPECT_FALSE(run("(or)").truthy());
+  EXPECT_EQ(run_err("(while)"), Errc::invalid_argument);
+  EXPECT_EQ(run_err("(if 1)"), Errc::invalid_argument);
+  EXPECT_EQ(run_err("(quote)"), Errc::invalid_argument);
+  EXPECT_EQ(run_err("(lambda)"), Errc::invalid_argument);
+  EXPECT_EQ(run_err("(let (bad) 1)"), Errc::invalid_argument);
+}
+
+TEST_F(Eval, WhileIterationLimitGuards) {
+  EXPECT_EQ(run_err("(while #t 1)"), Errc::invalid_argument);
+}
+
+TEST_F(Eval, ScriptsRegisterTheirOwnTriggers) {
+  run("(define fired 0)"
+      "(register-trigger \"tool-open\" (lambda (cell) (set! fired (+ fired 1)) #t))"
+      "(register-trigger 'tool-open (lambda (cell) #t))");
+  EXPECT_EQ(interp.trigger_count("tool-open"), 2u);
+  ASSERT_TRUE(interp.fire("tool-open", {Value("alu")}).ok());
+  EXPECT_EQ(run("fired").as_int(), 1);
+  EXPECT_EQ(run_err("(register-trigger \"x\" 42)"), Errc::invalid_argument);
+}
+
+TEST_F(Eval, DepthLimitStopsRunaway) {
+  EXPECT_EQ(run_err("(define (inf n) (inf (+ n 1))) (inf 0)"), Errc::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jfm::extlang

@@ -1,0 +1,146 @@
+// The FMCAD concurrency model (paper s2.2): checkout/checkin versioning,
+// the one-writer-per-cellview rule, and the stale-.meta coordination
+// burden DesignerSession reproduces.
+
+#include <gtest/gtest.h>
+
+#include "jfm/fmcad/session.hpp"
+
+namespace jfm::fmcad {
+namespace {
+
+using support::Errc;
+
+class CheckoutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs.mkdirs(vfs::Path().child("libs")).ok());
+    auto lib = Library::create(&fs, &clock, vfs::Path().child("libs"), "work");
+    ASSERT_TRUE(lib.ok());
+    library = *lib;
+    ASSERT_TRUE(library->define_view("schematic", "schematic").ok());
+    ASSERT_TRUE(library->create_cell("alu").ok());
+    ASSERT_TRUE(library->create_cellview(key).ok());
+  }
+
+  support::SimClock clock;
+  vfs::FileSystem fs{&clock};
+  std::shared_ptr<Library> library;
+  CellViewKey key{"alu", "schematic"};
+};
+
+TEST_F(CheckoutTest, CheckinCreatesNumberedVersions) {
+  DesignerSession alice(library, "alice");
+  for (int expected = 1; expected <= 3; ++expected) {
+    ASSERT_TRUE(alice.checkout(key).ok());
+    ASSERT_TRUE(alice.write_working(key, "rev " + std::to_string(expected)).ok());
+    auto version = alice.checkin(key);
+    ASSERT_TRUE(version.ok());
+    EXPECT_EQ(*version, expected);
+  }
+  auto latest = alice.read_default(key);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, "rev 3");
+  auto first = alice.read_version(key, 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "rev 1");
+  EXPECT_EQ(alice.read_version(key, 9).code(), Errc::not_found);
+  EXPECT_EQ(alice.stats().checkins, 3u);
+}
+
+TEST_F(CheckoutTest, OnlyOneUserCanChangeACellviewAtATime) {
+  DesignerSession alice(library, "alice");
+  DesignerSession bob(library, "bob");
+  ASSERT_TRUE(alice.checkout(key).ok());
+  bob.refresh();
+  auto denied = bob.checkout(key);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, Errc::locked);
+  EXPECT_EQ(bob.stats().lock_rejections, 1u);
+  // bob cannot check in or write either
+  EXPECT_EQ(bob.write_working(key, "sneak").code(), Errc::permission_denied);
+  bob.refresh();
+  EXPECT_EQ(bob.checkin(key).code(), Errc::permission_denied);
+  // after alice checks in, bob can take over
+  ASSERT_TRUE(alice.write_working(key, "v1").ok());
+  ASSERT_TRUE(alice.checkin(key).ok());
+  bob.refresh();
+  EXPECT_TRUE(bob.checkout(key).ok());
+}
+
+TEST_F(CheckoutTest, WorkingCopyStartsFromDefaultVersion) {
+  DesignerSession alice(library, "alice");
+  ASSERT_TRUE(alice.checkout(key).ok());
+  ASSERT_TRUE(alice.write_working(key, "base").ok());
+  ASSERT_TRUE(alice.checkin(key).ok());
+  ASSERT_TRUE(alice.checkout(key).ok());
+  auto working = alice.read_working(key);
+  ASSERT_TRUE(working.ok());
+  EXPECT_EQ(*working, "base");
+  ASSERT_TRUE(alice.cancel_checkout(key).ok());
+  // cancel keeps the version count unchanged
+  EXPECT_EQ(library->meta().find_cellview(key)->versions.size(), 1u);
+}
+
+TEST_F(CheckoutTest, StaleMetadataBlocksMutationsUntilRefresh) {
+  DesignerSession alice(library, "alice");
+  DesignerSession bob(library, "bob");
+  // alice changes the library; bob's snapshot goes stale
+  ASSERT_TRUE(alice.create_cell("rom").ok());
+  EXPECT_TRUE(bob.stale());
+  auto denied = bob.checkout(key);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, Errc::stale_metadata);
+  EXPECT_EQ(bob.stats().stale_rejections, 1u);
+  bob.refresh();
+  EXPECT_FALSE(bob.stale());
+  EXPECT_TRUE(bob.checkout(key).ok());
+}
+
+TEST_F(CheckoutTest, StaleReadsSeeOldState) {
+  DesignerSession alice(library, "alice");
+  DesignerSession bob(library, "bob");
+  ASSERT_TRUE(alice.checkout(key).ok());
+  ASSERT_TRUE(alice.write_working(key, "new data").ok());
+  ASSERT_TRUE(alice.checkin(key).ok());
+  // bob's snapshot predates the version -- he cannot even see it
+  EXPECT_EQ(bob.read_default(key).code(), Errc::not_found);
+  bob.refresh();
+  EXPECT_EQ(*bob.read_default(key), "new data");
+}
+
+TEST_F(CheckoutTest, CheckinWithoutCheckoutFails) {
+  DesignerSession alice(library, "alice");
+  EXPECT_EQ(alice.checkin(key).code(), Errc::checkout_required);
+  EXPECT_EQ(alice.cancel_checkout(key).code(), Errc::checkout_required);
+  EXPECT_EQ(alice.write_working(key, "x").code(), Errc::checkout_required);
+}
+
+TEST_F(CheckoutTest, CheckoutOfMissingCellview) {
+  DesignerSession alice(library, "alice");
+  auto missing = alice.checkout({"nope", "schematic"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, Errc::not_found);
+}
+
+TEST_F(CheckoutTest, SessionMutationsKeepSnapshotFresh) {
+  DesignerSession alice(library, "alice");
+  ASSERT_TRUE(alice.create_cell("rom").ok());
+  EXPECT_FALSE(alice.stale());
+  ASSERT_TRUE(alice.create_cellview({"rom", "schematic"}).ok());
+  EXPECT_FALSE(alice.stale());
+  EXPECT_TRUE(alice.view().has_cell("rom"));
+}
+
+TEST_F(CheckoutTest, ConfigMutationsThroughSession) {
+  DesignerSession alice(library, "alice");
+  ASSERT_TRUE(alice.checkout(key).ok());
+  ASSERT_TRUE(alice.write_working(key, "x").ok());
+  ASSERT_TRUE(alice.checkin(key).ok());
+  ASSERT_TRUE(alice.create_config("golden").ok());
+  ASSERT_TRUE(alice.set_config_member("golden", key, 1).ok());
+  EXPECT_EQ(alice.view().find_config("golden")->members.at(key), 1);
+}
+
+}  // namespace
+}  // namespace jfm::fmcad

@@ -1,0 +1,259 @@
+// Design-file envelope, dynamic default-version hierarchy binding, and
+// non-isomorphic hierarchies (paper s2.2/s2.3).
+
+#include <gtest/gtest.h>
+
+#include "jfm/fmcad/hierarchy.hpp"
+#include "jfm/fmcad/session.hpp"
+
+namespace jfm::fmcad {
+namespace {
+
+using support::Errc;
+
+TEST(DesignFile, SerializeParseRoundTrip) {
+  DesignFile file;
+  file.cell = "alu";
+  file.view = "schematic";
+  file.viewtype = "schematic";
+  file.uses = {{"adder", "schematic"}, {"shifter", "schematic"}};
+  file.payload = "line1\nline2\n";
+  auto parsed = DesignFile::parse(file.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->cell, "alu");
+  EXPECT_EQ(parsed->view, "schematic");
+  EXPECT_EQ(parsed->viewtype, "schematic");
+  ASSERT_EQ(parsed->uses.size(), 2u);
+  EXPECT_EQ(parsed->uses[1].cell, "shifter");
+  EXPECT_EQ(parsed->payload, "line1\nline2\n");
+}
+
+TEST(DesignFile, ParseErrors) {
+  EXPECT_EQ(DesignFile::parse("garbage").code(), Errc::parse_error);
+  EXPECT_EQ(DesignFile::parse("cvfile 1\npayload\n").code(), Errc::parse_error);  // no cellview
+  EXPECT_EQ(DesignFile::parse("cvfile 1\ncellview a b c\n").code(),
+            Errc::parse_error);  // no payload marker
+  EXPECT_EQ(DesignFile::parse("cvfile 1\ncellview a b c\nbogus line\npayload\n").code(),
+            Errc::parse_error);
+}
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs.mkdirs(vfs::Path().child("libs")).ok());
+    auto lib = Library::create(&fs, &clock, vfs::Path().child("libs"), "work");
+    ASSERT_TRUE(lib.ok());
+    library = *lib;
+    session = std::make_unique<DesignerSession>(library, "u");
+    ASSERT_TRUE(session->define_view("schematic", "schematic").ok());
+    ASSERT_TRUE(session->define_view("layout", "layout").ok());
+  }
+
+  void put(const std::string& cell, const std::string& view,
+           const std::vector<CellViewKey>& uses) {
+    if (!library->meta().has_cell(cell)) {
+      ASSERT_TRUE(session->create_cell(cell).ok());
+    }
+    CellViewKey key{cell, view};
+    if (library->meta().find_cellview(key) == nullptr) {
+      ASSERT_TRUE(session->create_cellview(key).ok());
+    }
+    DesignFile file;
+    file.cell = cell;
+    file.view = view;
+    file.viewtype = view;
+    file.uses = uses;
+    file.payload = "payload of " + cell + "/" + view + "\n";
+    ASSERT_TRUE(session->checkout(key).ok());
+    ASSERT_TRUE(session->write_working(key, file.serialize()).ok());
+    ASSERT_TRUE(session->checkin(key).ok());
+  }
+
+  support::SimClock clock;
+  vfs::FileSystem fs{&clock};
+  std::shared_ptr<Library> library;
+  std::unique_ptr<DesignerSession> session;
+};
+
+TEST_F(BinderTest, ExpandsTreeWithDefaultVersions) {
+  put("leaf1", "schematic", {});
+  put("leaf2", "schematic", {});
+  put("mid", "schematic", {{"leaf1", "schematic"}, {"leaf2", "schematic"}});
+  put("top", "schematic", {{"mid", "schematic"}, {"leaf1", "schematic"}});
+
+  HierarchyBinder binder(library.get());
+  auto bound = binder.expand({"top", "schematic"});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->dangling.empty());
+  EXPECT_EQ(bound->root.node_count(), 5u);
+  EXPECT_EQ(bound->root.depth(), 3);
+  EXPECT_EQ(bound->root.children.size(), 2u);
+  EXPECT_EQ(bound->root.bound_version, 1);
+}
+
+TEST_F(BinderTest, DynamicBindingFollowsLatestVersion) {
+  put("leaf1", "schematic", {});
+  put("top", "schematic", {{"leaf1", "schematic"}});
+  // new leaf version changes what the same top binds to
+  put("leaf1", "schematic", {});  // checkin -> version 2
+  HierarchyBinder binder(library.get());
+  auto bound = binder.expand({"top", "schematic"});
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->root.children.size(), 1u);
+  EXPECT_EQ(bound->root.children[0].bound_version, 2);  // default = latest
+}
+
+TEST_F(BinderTest, DanglingReferencesTolerated) {
+  put("top", "schematic", {{"ghost", "schematic"}});
+  HierarchyBinder binder(library.get());
+  auto bound = binder.expand({"top", "schematic"});
+  ASSERT_TRUE(bound.ok());  // FMCAD's lax consistency: no failure...
+  ASSERT_EQ(bound->dangling.size(), 1u);  // ...but the hole is reported
+  EXPECT_EQ(bound->dangling[0], "ghost/schematic");
+  EXPECT_EQ(bound->root.children[0].bound_version, 0);
+}
+
+TEST_F(BinderTest, CycleDetected) {
+  put("a", "schematic", {{"b", "schematic"}});
+  put("b", "schematic", {{"a", "schematic"}});
+  HierarchyBinder binder(library.get());
+  auto bound = binder.expand({"a", "schematic"});
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.error().code, Errc::consistency_violation);
+}
+
+TEST_F(BinderTest, SignatureIgnoresChildOrder) {
+  put("x", "schematic", {});
+  put("y", "schematic", {});
+  put("p1", "schematic", {{"x", "schematic"}, {"y", "schematic"}});
+  put("p2", "schematic", {{"y", "schematic"}, {"x", "schematic"}});
+  HierarchyBinder binder(library.get());
+  auto s1 = binder.signature({"p1", "schematic"});
+  auto s2 = binder.signature({"p2", "schematic"});
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  // same children, different order: same *structure* below, only the
+  // root cell name differs
+  EXPECT_EQ(s1->substr(s1->find(' ')), s2->substr(s2->find(' ')));
+}
+
+TEST_F(BinderTest, IsomorphicAndNonIsomorphicViews) {
+  put("sub", "schematic", {});
+  put("sub", "layout", {});
+  put("other", "schematic", {});
+  put("other", "layout", {});
+  // isomorphic: both views of top use {sub}
+  put("top", "schematic", {{"sub", "schematic"}});
+  put("top", "layout", {{"sub", "layout"}});
+  auto same = isomorphic(*library, "top", "schematic", "layout");
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same);
+  // now the layout hierarchy diverges (FMCAD supports this, s2.2)
+  put("top", "layout", {{"sub", "layout"}, {"other", "layout"}});
+  same = isomorphic(*library, "top", "schematic", "layout");
+  ASSERT_TRUE(same.ok());
+  EXPECT_FALSE(*same);
+}
+
+class LibrarySetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs.mkdirs(vfs::Path().child("libs")).ok());
+    stdcells = make_library("stdcells");
+    design = make_library("design");
+    // standard cells: inv and nand2
+    put(*stdcells, "inv", {});
+    put(*stdcells, "nand2", {});
+    // the design instantiates standard cells across the library boundary
+    put(*design, "alu",
+        {{"inv", "schematic"}, {"nand2", "schematic"}, {"nand2", "schematic"}});
+  }
+
+  std::shared_ptr<Library> make_library(const std::string& name) {
+    auto lib = Library::create(&fs, &clock, vfs::Path().child("libs"), name);
+    EXPECT_TRUE(lib.ok());
+    DesignerSession admin(*lib, "admin");
+    EXPECT_TRUE(admin.define_view("schematic", "schematic").ok());
+    return *lib;
+  }
+
+  void put(Library& lib, const std::string& cell, const std::vector<CellViewKey>& uses) {
+    DesignerSession session(
+        std::shared_ptr<Library>(&lib, [](Library*) {}), "builder");
+    if (!lib.meta().has_cell(cell)) ASSERT_TRUE(session.create_cell(cell).ok());
+    CellViewKey key{cell, "schematic"};
+    if (lib.meta().find_cellview(key) == nullptr) {
+      ASSERT_TRUE(session.create_cellview(key).ok());
+    }
+    DesignFile file;
+    file.cell = cell;
+    file.view = "schematic";
+    file.viewtype = "schematic";
+    file.uses = uses;
+    file.payload = "payload " + cell + "\n";
+    ASSERT_TRUE(session.checkout(key).ok());
+    ASSERT_TRUE(session.write_working(key, file.serialize()).ok());
+    ASSERT_TRUE(session.checkin(key).ok());
+  }
+
+  support::SimClock clock;
+  vfs::FileSystem fs{&clock};
+  std::shared_ptr<Library> stdcells;
+  std::shared_ptr<Library> design;
+};
+
+TEST_F(LibrarySetTest, OwnerLookupSearchesInOrder) {
+  LibrarySet path;
+  path.add(design.get());
+  path.add(stdcells.get());
+  EXPECT_EQ(path.owner_of({"alu", "schematic"}), design.get());
+  EXPECT_EQ(path.owner_of({"inv", "schematic"}), stdcells.get());
+  EXPECT_EQ(path.owner_of({"ghost", "schematic"}), nullptr);
+  auto text = path.read_default_text({"inv", "schematic"});
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("payload inv"), std::string::npos);
+  EXPECT_EQ(path.read_default_text({"ghost", "schematic"}).code(), Errc::not_found);
+}
+
+TEST_F(LibrarySetTest, BinderCrossesLibraryBoundaries) {
+  LibrarySet path;
+  path.add(design.get());
+  path.add(stdcells.get());
+  HierarchyBinder binder(&path);
+  auto bound = binder.expand({"alu", "schematic"});
+  ASSERT_TRUE(bound.ok()) << bound.error().to_text();
+  EXPECT_TRUE(bound->dangling.empty());
+  EXPECT_EQ(bound->root.node_count(), 4u);  // alu + inv + 2x nand2
+  // without the stdcell library the same references dangle (and FMCAD
+  // shrugs, as usual)
+  LibrarySet lonely(design.get());
+  HierarchyBinder narrow(&lonely);
+  auto partial = narrow.expand({"alu", "schematic"});
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->dangling.size(), 3u);
+}
+
+TEST_F(LibrarySetTest, ShadowingFollowsSearchOrder) {
+  // the design library gains its own 'inv': it must shadow the stdcell
+  put(*design, "inv", {});
+  LibrarySet path;
+  path.add(design.get());
+  path.add(stdcells.get());
+  EXPECT_EQ(path.owner_of({"inv", "schematic"}), design.get());
+  // reversed order prefers the stdcell version
+  LibrarySet reversed;
+  reversed.add(stdcells.get());
+  reversed.add(design.get());
+  EXPECT_EQ(reversed.owner_of({"inv", "schematic"}), stdcells.get());
+}
+
+TEST_F(BinderTest, ExpandOfEmptyCellviewFails) {
+  ASSERT_TRUE(session->create_cell("empty").ok());
+  ASSERT_TRUE(session->create_cellview({"empty", "schematic"}).ok());
+  HierarchyBinder binder(library.get());
+  auto bound = binder.expand({"empty", "schematic"});
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.error().code, Errc::not_found);
+}
+
+}  // namespace
+}  // namespace jfm::fmcad

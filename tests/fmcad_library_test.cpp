@@ -1,0 +1,148 @@
+// Library lifecycle: directory + .meta on the virtual UNIX file system,
+// the Figure-2 object set, and configurations.
+
+#include <gtest/gtest.h>
+
+#include "jfm/fmcad/session.hpp"
+
+namespace jfm::fmcad {
+namespace {
+
+using support::Errc;
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs.mkdirs(libs()).ok());
+    auto lib = Library::create(&fs, &clock, libs(), "work");
+    ASSERT_TRUE(lib.ok());
+    library = *lib;
+  }
+  vfs::Path libs() { return vfs::Path().child("libs"); }
+
+  support::SimClock clock;
+  vfs::FileSystem fs{&clock};
+  std::shared_ptr<Library> library;
+};
+
+TEST_F(LibraryTest, CreateWritesDirectoryAndMeta) {
+  EXPECT_TRUE(fs.is_directory(*vfs::Path::parse("/libs/work")));
+  EXPECT_TRUE(fs.exists(*vfs::Path::parse("/libs/work/.meta")));
+  EXPECT_EQ(library->name(), "work");
+  EXPECT_EQ(Library::create(&fs, &clock, libs(), "work").code(), Errc::already_exists);
+  EXPECT_EQ(Library::create(&fs, &clock, libs(), "bad name").code(), Errc::invalid_argument);
+}
+
+TEST_F(LibraryTest, OpenReadsExistingMeta) {
+  ASSERT_TRUE(library->define_view("schematic", "schematic").ok());
+  ASSERT_TRUE(library->create_cell("alu").ok());
+  auto reopened = Library::open(&fs, &clock, *vfs::Path::parse("/libs/work"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->meta().has_cell("alu"));
+  EXPECT_EQ((*reopened)->generation(), library->generation());
+  EXPECT_EQ(Library::open(&fs, &clock, *vfs::Path::parse("/libs/none")).code(),
+            Errc::not_found);
+}
+
+TEST_F(LibraryTest, EveryCommitBumpsGenerationAndRewritesMeta) {
+  auto g0 = library->generation();
+  auto meta_before = fs.stat(*vfs::Path::parse("/libs/work/.meta"))->mtime;
+  ASSERT_TRUE(library->create_cell("alu").ok());
+  EXPECT_EQ(library->generation(), g0 + 1);
+  EXPECT_GT(fs.stat(*vfs::Path::parse("/libs/work/.meta"))->mtime, meta_before);
+}
+
+TEST_F(LibraryTest, CellViewRequiresCellAndView) {
+  EXPECT_EQ(library->create_cellview({"alu", "schematic"}).code(), Errc::not_found);
+  ASSERT_TRUE(library->create_cell("alu").ok());
+  EXPECT_EQ(library->create_cellview({"alu", "schematic"}).code(), Errc::not_found);
+  ASSERT_TRUE(library->define_view("schematic", "schematic").ok());
+  EXPECT_TRUE(library->create_cellview({"alu", "schematic"}).ok());
+  EXPECT_EQ(library->create_cellview({"alu", "schematic"}).code(), Errc::already_exists);
+  EXPECT_TRUE(fs.is_directory(*vfs::Path::parse("/libs/work/alu/schematic")));
+}
+
+TEST_F(LibraryTest, DuplicateNamesRejected) {
+  ASSERT_TRUE(library->create_cell("alu").ok());
+  EXPECT_EQ(library->create_cell("alu").code(), Errc::already_exists);
+  ASSERT_TRUE(library->define_view("v", "t").ok());
+  EXPECT_EQ(library->define_view("v", "t2").code(), Errc::already_exists);
+  ASSERT_TRUE(library->create_config("cfg").ok());
+  EXPECT_EQ(library->create_config("cfg").code(), Errc::already_exists);
+}
+
+TEST_F(LibraryTest, ConfigHoldsAtMostOneVersionPerCellview) {
+  ASSERT_TRUE(library->define_view("schematic", "schematic").ok());
+  ASSERT_TRUE(library->create_cell("alu").ok());
+  CellViewKey key{"alu", "schematic"};
+  ASSERT_TRUE(library->create_cellview(key).ok());
+  // make two versions
+  for (int i = 0; i < 2; ++i) {
+    auto work = library->checkout(key, "u");
+    ASSERT_TRUE(work.ok());
+    ASSERT_TRUE(fs.write_file(*work, "content " + std::to_string(i)).ok());
+    ASSERT_TRUE(library->checkin(key, "u").ok());
+  }
+  ASSERT_TRUE(library->create_config("cfg").ok());
+  EXPECT_EQ(library->set_config_member("cfg", key, 9).code(), Errc::not_found);
+  ASSERT_TRUE(library->set_config_member("cfg", key, 1).ok());
+  // replacing the version keeps a single entry
+  ASSERT_TRUE(library->set_config_member("cfg", key, 2).ok());
+  EXPECT_EQ(library->meta().find_config("cfg")->members.size(), 1u);
+  EXPECT_EQ(library->meta().find_config("cfg")->members.at(key), 2);
+  ASSERT_TRUE(library->remove_config_member("cfg", key).ok());
+  EXPECT_EQ(library->remove_config_member("cfg", key).code(), Errc::not_found);
+}
+
+TEST_F(LibraryTest, FullStateSurvivesReopen) {
+  // Everything the .meta records -- versions, configs, live checkouts --
+  // must survive closing and reopening the library (a new tool session
+  // finding the directory on disk).
+  ASSERT_TRUE(library->define_view("schematic", "schematic").ok());
+  ASSERT_TRUE(library->create_cell("alu").ok());
+  CellViewKey key{"alu", "schematic"};
+  ASSERT_TRUE(library->create_cellview(key).ok());
+  auto work = library->checkout(key, "anna");
+  ASSERT_TRUE(work.ok());
+  ASSERT_TRUE(fs.write_file(*work, "v1 content").ok());
+  ASSERT_TRUE(library->checkin(key, "anna").ok());
+  ASSERT_TRUE(library->create_config("golden").ok());
+  ASSERT_TRUE(library->set_config_member("golden", key, 1).ok());
+  // leave a live checkout behind
+  ASSERT_TRUE(library->checkout(key, "ben").ok());
+
+  auto reopened = Library::open(&fs, &clock, *vfs::Path::parse("/libs/work"));
+  ASSERT_TRUE(reopened.ok());
+  DesignerSession carol(*reopened, "carol");
+  // the stored version reads back
+  auto content = carol.read_version(key, 1);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "v1 content");
+  // the config survived
+  EXPECT_EQ(carol.view().find_config("golden")->members.at(key), 1);
+  // ben's checkout still holds: carol is locked out
+  auto denied = carol.checkout(key);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, support::Errc::locked);
+  // ben can finish through the reopened library
+  DesignerSession ben(*reopened, "ben");
+  ASSERT_TRUE(ben.write_working(key, "v2 content").ok());
+  auto version = ben.checkin(key);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 2);
+}
+
+TEST_F(LibraryTest, DesignBytesExcludesMeta) {
+  ASSERT_TRUE(library->define_view("schematic", "schematic").ok());
+  ASSERT_TRUE(library->create_cell("alu").ok());
+  CellViewKey key{"alu", "schematic"};
+  ASSERT_TRUE(library->create_cellview(key).ok());
+  auto work = library->checkout(key, "u");
+  ASSERT_TRUE(work.ok());
+  ASSERT_TRUE(fs.write_file(*work, std::string(500, 'x')).ok());
+  ASSERT_TRUE(library->checkin(key, "u").ok());
+  EXPECT_EQ(library->design_bytes(), 500u);
+}
+
+}  // namespace
+}  // namespace jfm::fmcad

@@ -1,0 +1,275 @@
+// End-to-end integration of the hybrid JCF-FMCAD framework: the full
+// paper scenario -- bootstrap, hierarchical design entry under flow
+// control, simulation out of the JCF database, layout entry, derivation
+// queries and consistency checks.
+
+#include <gtest/gtest.h>
+
+#include "jfm/coupling/hybrid.hpp"
+#include "jfm/workload/generators.hpp"
+
+namespace jfm {
+namespace {
+
+using coupling::HybridFramework;
+using coupling::ToolCommand;
+
+class HybridScenario : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(hybrid.bootstrap().ok());
+    auto alice_r = hybrid.add_designer("alice");
+    ASSERT_TRUE(alice_r.ok());
+    alice = *alice_r;
+    auto bob_r = hybrid.add_designer("bob");
+    ASSERT_TRUE(bob_r.ok());
+    bob = *bob_r;
+    ASSERT_TRUE(hybrid.create_project("asic").ok());
+  }
+
+  // Enter a half adder: sum = a XOR b, carry = a AND b.
+  std::vector<ToolCommand> half_adder_commands() {
+    return {
+        {"add-port", {"a", "in"}},
+        {"add-port", {"b", "in"}},
+        {"add-port", {"sum", "out"}},
+        {"add-port", {"carry", "out"}},
+        {"add-prim", {"x1", "XOR"}},
+        {"add-prim", {"a1", "AND"}},
+        {"connect", {"a", "x1", "a"}},
+        {"connect", {"b", "x1", "b"}},
+        {"connect", {"sum", "x1", "y"}},
+        {"connect", {"a", "a1", "a"}},
+        {"connect", {"b", "a1", "b"}},
+        {"connect", {"carry", "a1", "y"}},
+    };
+  }
+
+  HybridFramework hybrid;
+  jcf::UserRef alice;
+  jcf::UserRef bob;
+};
+
+TEST_F(HybridScenario, FullFlowProducesSimulationResultsAndDerivations) {
+  ASSERT_TRUE(hybrid.create_cell("asic", "halfadder", alice).ok());
+  ASSERT_TRUE(hybrid.reserve_cell("asic", "halfadder", alice).ok());
+
+  // 1. schematic entry (first activity of the prescribed flow)
+  auto sch_run =
+      hybrid.run_activity("asic", "halfadder", "enter_schematic", alice, half_adder_commands());
+  ASSERT_TRUE(sch_run.ok()) << sch_run.error().to_text();
+  EXPECT_GT(sch_run->fmcad_version, 0);
+  EXPECT_TRUE(sch_run->output.valid());
+
+  // 2. simulate: stimulate a=1 b=1, expect sum=0 carry=1
+  std::vector<ToolCommand> sim_edits = {
+      {"set-dut", {"halfadder", "schematic"}},
+      {"add-stim", {"1", "a", "1"}},
+      {"add-stim", {"1", "b", "1"}},
+      {"add-watch", {"sum"}},
+      {"add-watch", {"carry"}},
+      {"set-runtime", {"50"}},
+      {"run", {}},
+  };
+  auto sim_run = hybrid.run_activity("asic", "halfadder", "simulate", alice, sim_edits);
+  ASSERT_TRUE(sim_run.ok()) << sim_run.error().to_text();
+
+  // inspect the simulation results stored in OMS
+  auto tb_text = hybrid.open_read_only("asic", "halfadder", "simulate", alice);
+  ASSERT_TRUE(tb_text.ok());
+  auto file = fmcad::DesignFile::parse(*tb_text);
+  ASSERT_TRUE(file.ok());
+  auto tb = tools::Testbench::parse(file->payload);
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(tb->has_results);
+  ASSERT_EQ(tb->results.size(), 2u);
+  EXPECT_EQ(tb->results[0].first, "sum");
+  EXPECT_EQ(tools::to_char(tb->results[0].second), '0');
+  EXPECT_EQ(tb->results[1].first, "carry");
+  EXPECT_EQ(tools::to_char(tb->results[1].second), '1');
+
+  // 3. layout entry (final activity)
+  std::vector<ToolCommand> lay_edits = {
+      {"add-layer", {"metal1"}},
+      {"draw-rect", {"metal1", "0", "0", "100", "20", "a"}},
+      {"draw-rect", {"metal1", "0", "40", "100", "60", "b"}},
+  };
+  auto lay_run = hybrid.run_activity("asic", "halfadder", "enter_layout", alice, lay_edits);
+  ASSERT_TRUE(lay_run.ok()) << lay_run.error().to_text();
+
+  // 4. derivation relations recorded by JCF (s3.5): simulate and layout
+  //    outputs both derive from the schematic version
+  auto rows = hybrid.derivation_report("asic", "halfadder");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], "layout v1 <- schematic v1");
+  EXPECT_EQ((*rows)[1], "simulate v1 <- schematic v1");
+
+  // 5. publish and verify project consistency
+  ASSERT_TRUE(hybrid.publish_cell("asic", "halfadder", alice).ok());
+  auto problems = hybrid.check_consistency("asic");
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty());
+}
+
+TEST_F(HybridScenario, FlowOrderIsEnforcedAndForceShowsConsistencyWindow) {
+  ASSERT_TRUE(hybrid.create_cell("asic", "blk", alice).ok());
+  ASSERT_TRUE(hybrid.reserve_cell("asic", "blk", alice).ok());
+
+  // layout before schematic/simulate violates the flow
+  auto bad = hybrid.run_activity("asic", "blk", "enter_layout", alice,
+                                 {{"add-layer", {"metal1"}}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, support::Errc::flow_violation);
+
+  // schematic first...
+  ASSERT_TRUE(
+      hybrid.run_activity("asic", "blk", "enter_schematic", alice, half_adder_commands()).ok());
+  // ...then layout with force: allowed, but a consistency window appears
+  auto forced = hybrid.run_activity("asic", "blk", "enter_layout", alice,
+                                    {{"add-layer", {"metal1"}}}, /*force=*/true);
+  ASSERT_TRUE(forced.ok()) << forced.error().to_text();
+  ASSERT_FALSE(forced->consistency_windows.empty());
+  EXPECT_NE(forced->consistency_windows[0].find("predecessor"), std::string::npos);
+}
+
+TEST_F(HybridScenario, WorkspaceIsolationBetweenDesigners) {
+  ASSERT_TRUE(hybrid.create_cell("asic", "shared", alice).ok());
+  ASSERT_TRUE(hybrid.reserve_cell("asic", "shared", alice).ok());
+  // bob cannot reserve or run activities on alice's workspace
+  auto st = hybrid.reserve_cell("asic", "shared", bob);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, support::Errc::locked);
+  auto run = hybrid.run_activity("asic", "shared", "enter_schematic", bob,
+                                 half_adder_commands());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.error().code, support::Errc::permission_denied);
+}
+
+TEST_F(HybridScenario, HierarchicalDesignBuildsAndSimulates) {
+  workload::HierarchySpec spec;
+  spec.depth = 2;
+  spec.fanout = 2;
+  spec.leaf_gates = 3;
+  auto top = workload::build_hierarchical_design(hybrid, "asic", spec, alice);
+  ASSERT_TRUE(top.ok()) << top.error().to_text();
+  EXPECT_EQ(*top, "top");
+
+  // 7 cells were created (1 + 2 + 4)
+  EXPECT_EQ(workload::hierarchy_cell_names(spec).size(), 7u);
+
+  // the manual desktop steps were counted
+  EXPECT_EQ(hybrid.hierarchy().stats().desktop_steps, 6u);
+
+  // simulate the hierarchical top out of the JCF database
+  ASSERT_TRUE(hybrid.reserve_cell("asic", "top", alice).ok());
+  std::vector<ToolCommand> sim_edits = {
+      {"set-dut", {"top", "schematic"}},   {"add-stim", {"1", "a", "1"}},
+      {"add-stim", {"1", "b", "0"}},       {"add-watch", {"y"}},
+      {"set-runtime", {"200"}},            {"run", {}},
+  };
+  auto run = hybrid.run_activity("asic", "top", "simulate", alice, sim_edits);
+  ASSERT_TRUE(run.ok()) << run.error().to_text();
+}
+
+TEST_F(HybridScenario, UndeclaredHierarchyChildIsVetoedInManualMode) {
+  ASSERT_TRUE(hybrid.create_cell("asic", "leafcell", alice).ok());
+  ASSERT_TRUE(hybrid.create_cell("asic", "parent", alice).ok());
+  ASSERT_TRUE(hybrid.reserve_cell("asic", "parent", alice).ok());
+  // no declare_child("parent","leafcell") -- the menu guard must veto
+  std::vector<ToolCommand> edits = {
+      {"add-port", {"a", "in"}},
+      {"add-port", {"b", "in"}},
+      {"add-port", {"y", "out"}},
+      {"add-instance", {"u0", "leafcell", "schematic"}},
+  };
+  auto run = hybrid.run_activity("asic", "parent", "enter_schematic", alice, edits);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.error().code, support::Errc::permission_denied);
+  ASSERT_FALSE(hybrid.consistency_log().empty());
+  EXPECT_NE(hybrid.consistency_log().back().find("declare the child"), std::string::npos);
+}
+
+TEST_F(HybridScenario, VariantExplorationSelectsTheOptimalSolution) {
+  // Paper s2.1: variants inside one cell version store alternative
+  // solutions of the same flow; the designer picks the best one.
+  ASSERT_TRUE(hybrid.create_cell("asic", "mux", alice).ok());
+  ASSERT_TRUE(hybrid.reserve_cell("asic", "mux", alice).ok());
+  ASSERT_TRUE(hybrid.create_variant("asic", "mux", "opt_fast", alice).ok());
+  ASSERT_TRUE(hybrid.create_variant("asic", "mux", "opt_small", alice).ok());
+  // same name twice is refused
+  EXPECT_EQ(hybrid.create_variant("asic", "mux", "opt_fast", alice).code(),
+            support::Errc::already_exists);
+
+  // alternative 1: two gates; alternative 2: one gate
+  std::vector<ToolCommand> fast = {
+      {"add-port", {"a", "in"}},   {"add-port", {"y", "out"}},  {"add-net", {"m"}},
+      {"add-prim", {"g0", "NOT"}}, {"add-prim", {"g1", "NOT"}},
+      {"connect", {"a", "g0", "a"}}, {"connect", {"m", "g0", "y"}},
+      {"connect", {"m", "g1", "a"}}, {"connect", {"y", "g1", "y"}},
+  };
+  std::vector<ToolCommand> small = {
+      {"add-port", {"a", "in"}},  {"add-port", {"y", "out"}},
+      {"add-prim", {"g0", "BUF"}},
+      {"connect", {"a", "g0", "a"}}, {"connect", {"y", "g0", "y"}},
+  };
+  auto run_fast =
+      hybrid.run_activity_in_variant("asic", "mux", "opt_fast", "enter_schematic", alice, fast);
+  ASSERT_TRUE(run_fast.ok()) << run_fast.error().to_text();
+  auto run_small = hybrid.run_activity_in_variant("asic", "mux", "opt_small", "enter_schematic",
+                                                  alice, small);
+  ASSERT_TRUE(run_small.ok()) << run_small.error().to_text();
+
+  // each variant carries its own design objects and flow progress
+  auto& jcf = hybrid.jcf();
+  auto project = *jcf.find_project("asic");
+  auto cell = *jcf.find_cell(project, "mux");
+  auto cv = *jcf.latest_cell_version(cell);
+  auto v_fast = *jcf.find_variant(cv, "opt_fast");
+  auto v_small = *jcf.find_variant(cv, "opt_small");
+  auto enter = *jcf.find_activity("enter_schematic");
+  EXPECT_EQ(*jcf.activity_progress(v_fast, enter), jcf::ActivityProgress::done);
+  EXPECT_EQ(*jcf.activity_progress(v_small, enter), jcf::ActivityProgress::done);
+  auto d_fast = *jcf.find_design_object(v_fast, "schematic");
+  auto d_small = *jcf.find_design_object(v_small, "schematic");
+  auto data_fast = *jcf.dov_data(*jcf.latest_dov(d_fast), alice);
+  auto data_small = *jcf.dov_data(*jcf.latest_dov(d_small), alice);
+  EXPECT_NE(data_fast, data_small);
+
+  // select the winner: freeze it in a configuration
+  auto golden = *jcf.create_config(cv, "selected");
+  ASSERT_TRUE(jcf.add_config_member(golden, *jcf.latest_dov(d_small)).ok());
+  EXPECT_EQ(jcf.config_members(golden)->size(), 1u);
+  ASSERT_TRUE(hybrid.publish_cell("asic", "mux", alice).ok());
+}
+
+TEST_F(HybridScenario, MissingVariantReported) {
+  ASSERT_TRUE(hybrid.create_cell("asic", "c", alice).ok());
+  ASSERT_TRUE(hybrid.reserve_cell("asic", "c", alice).ok());
+  auto run = hybrid.run_activity_in_variant("asic", "c", "nosuch_variant", "enter_schematic",
+                                            alice, {});
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.error().code, support::Errc::not_found);
+  // creating a variant requires the reservation
+  EXPECT_EQ(hybrid.create_variant("asic", "c", "v", bob).code(),
+            support::Errc::permission_denied);
+}
+
+TEST_F(HybridScenario, ReadOnlyAccessStillCopiesData) {
+  ASSERT_TRUE(hybrid.create_cell("asic", "blk", alice).ok());
+  ASSERT_TRUE(hybrid.reserve_cell("asic", "blk", alice).ok());
+  ASSERT_TRUE(
+      hybrid.run_activity("asic", "blk", "enter_schematic", alice, half_adder_commands()).ok());
+
+  const auto before = hybrid.transfer().stats();
+  auto content = hybrid.open_read_only("asic", "blk", "schematic", alice);
+  ASSERT_TRUE(content.ok());
+  const auto after = hybrid.transfer().stats();
+  EXPECT_EQ(after.exports, before.exports + 1);
+  EXPECT_GT(after.bytes_exported, before.bytes_exported);
+  // staging doubles the movement in copy-through-filesystem mode
+  EXPECT_EQ(after.staging_copies, before.staging_copies + 1);
+}
+
+}  // namespace
+}  // namespace jfm

@@ -1,0 +1,187 @@
+// JCF flow management and derivation recording (paper s2.1/s3.5): the
+// prescribed activity order is enforced, needs are checked, and every
+// completed execution records output-derived-from-input relations.
+
+#include <gtest/gtest.h>
+
+#include "jfm/jcf/framework.hpp"
+
+namespace jfm::jcf {
+namespace {
+
+using support::Errc;
+
+class FlowEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    user = *jcf.create_user("alice");
+    team = *jcf.create_team("rtl");
+    ASSERT_TRUE(jcf.add_member(team, user).ok());
+    auto tool = *jcf.register_tool("t");
+    vt_sch = *jcf.create_viewtype("schematic");
+    vt_sim = *jcf.create_viewtype("simulate");
+    vt_lay = *jcf.create_viewtype("layout");
+    enter = *jcf.create_activity("enter", tool, {}, {vt_sch});
+    simulate = *jcf.create_activity("simulate", tool, {vt_sch}, {vt_sim});
+    layout = *jcf.create_activity("layout", tool, {vt_sch}, {vt_lay});
+    flow = *jcf.create_flow("f", {enter, simulate, layout});
+    ASSERT_TRUE(jcf.add_precedence(flow, enter, simulate).ok());
+    ASSERT_TRUE(jcf.add_precedence(flow, simulate, layout).ok());
+    ASSERT_TRUE(jcf.freeze_flow(flow).ok());
+    project = *jcf.create_project("chip", team);
+    cell = *jcf.create_cell(project, "alu", flow, team);
+    cv = *jcf.create_cell_version(cell, user);
+    ASSERT_TRUE(jcf.reserve(cv, user).ok());
+    variant = *jcf.create_variant(cv, "work", user);
+  }
+
+  DovRef make_dov(const std::string& dobj_name, ViewTypeRef vt, const std::string& data) {
+    auto dobj = jcf.find_design_object(variant, dobj_name);
+    DesignObjectRef ref;
+    if (dobj.ok()) {
+      ref = *dobj;
+    } else {
+      ref = *jcf.create_design_object(variant, dobj_name, vt, user);
+    }
+    return *jcf.create_dov(ref, data, user);
+  }
+
+  support::SimClock clock;
+  JcfFramework jcf{&clock};
+  UserRef user;
+  TeamRef team;
+  ViewTypeRef vt_sch, vt_sim, vt_lay;
+  ActivityRef enter, simulate, layout;
+  FlowRef flow;
+  ProjectRef project;
+  CellRef cell;
+  CellVersionRef cv;
+  VariantRef variant;
+};
+
+TEST_F(FlowEngineTest, HappyPathRecordsDerivations) {
+  // enter: no needs
+  auto e1 = jcf.start_activity(variant, enter, user);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*jcf.exec_state(*e1), ExecState::running);
+  EXPECT_EQ(*jcf.activity_progress(variant, enter), ActivityProgress::running);
+  auto sch = make_dov("schematic", vt_sch, "netlist v1");
+  ASSERT_TRUE(jcf.complete_activity(*e1, {sch}).ok());
+  EXPECT_EQ(*jcf.activity_progress(variant, enter), ActivityProgress::done);
+
+  // simulate: needs schematic, creates simulate
+  auto e2 = jcf.start_activity(variant, simulate, user);
+  ASSERT_TRUE(e2.ok()) << e2.error().to_text();
+  auto inputs = jcf.exec_inputs(*e2);
+  ASSERT_TRUE(inputs.ok());
+  ASSERT_EQ(inputs->size(), 1u);
+  EXPECT_EQ((*inputs)[0], sch);
+  auto sim = make_dov("sim_results", vt_sim, "waveforms");
+  ASSERT_TRUE(jcf.complete_activity(*e2, {sim}).ok());
+
+  // derivation recorded
+  auto sources = jcf.derivation_sources(sim);
+  ASSERT_TRUE(sources.ok());
+  ASSERT_EQ(sources->size(), 1u);
+  EXPECT_EQ((*sources)[0], sch);
+  auto derived = jcf.derived_from_this(sch);
+  ASSERT_TRUE(derived.ok());
+  ASSERT_EQ(derived->size(), 1u);
+  EXPECT_EQ((*derived)[0], sim);
+}
+
+TEST_F(FlowEngineTest, ActivityOutsideFlowRejected) {
+  auto tool = *jcf.register_tool("other_tool");
+  auto rogue = *jcf.create_activity("rogue", tool, {}, {vt_sch});
+  auto denied = jcf.start_activity(variant, rogue, user);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, Errc::flow_violation);
+}
+
+TEST_F(FlowEngineTest, PredecessorEnforcedUnlessForced) {
+  // simulate before enter completes
+  auto denied = jcf.start_activity(variant, simulate, user);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, Errc::flow_violation);
+  EXPECT_NE(denied.error().message.find("predecessor"), std::string::npos);
+  // needs still enforced even when forced
+  auto forced = jcf.start_activity(variant, simulate, user, /*force=*/true);
+  ASSERT_FALSE(forced.ok());
+  EXPECT_EQ(forced.error().code, Errc::flow_violation);  // no schematic exists yet
+  // with the need satisfied, force works
+  (void)make_dov("schematic", vt_sch, "netlist");
+  auto forced2 = jcf.start_activity(variant, simulate, user, /*force=*/true);
+  EXPECT_TRUE(forced2.ok());
+}
+
+TEST_F(FlowEngineTest, MissingNeedReported) {
+  auto e1 = *jcf.start_activity(variant, enter, user);
+  auto sch = make_dov("schematic", vt_sch, "n");
+  ASSERT_TRUE(jcf.complete_activity(e1, {sch}).ok());
+  // destroy the schematic's only version sneakily via store to simulate
+  // a hole -- simpler: new variant with no data
+  auto variant2 = *jcf.create_variant(cv, "fresh", user);
+  auto denied = jcf.start_activity(variant2, simulate, user, /*force=*/true);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, Errc::flow_violation);
+  EXPECT_NE(denied.error().message.find("needs"), std::string::npos);
+}
+
+TEST_F(FlowEngineTest, WorkspaceRequiredToStart) {
+  ASSERT_TRUE(jcf.publish(cv, user).ok());  // releases the reservation
+  auto denied = jcf.start_activity(variant, enter, user);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, Errc::permission_denied);
+}
+
+TEST_F(FlowEngineTest, OutputViewtypeMustMatchCreates) {
+  auto e1 = *jcf.start_activity(variant, enter, user);
+  auto wrong = make_dov("lay", vt_lay, "geometry");
+  auto st = jcf.complete_activity(e1, {wrong});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::consistency_violation);
+}
+
+TEST_F(FlowEngineTest, ExecLifecycle) {
+  auto e1 = *jcf.start_activity(variant, enter, user);
+  ASSERT_TRUE(jcf.abort_activity(e1).ok());
+  EXPECT_EQ(*jcf.exec_state(e1), ExecState::aborted);
+  EXPECT_EQ(jcf.abort_activity(e1).code(), Errc::invalid_argument);
+  EXPECT_EQ(jcf.complete_activity(e1, {}).code(), Errc::invalid_argument);
+  EXPECT_EQ(*jcf.activity_progress(variant, enter), ActivityProgress::not_started);
+  // a fresh exec after abort works
+  auto e2 = *jcf.start_activity(variant, enter, user);
+  auto sch = make_dov("schematic", vt_sch, "n");
+  EXPECT_TRUE(jcf.complete_activity(e2, {sch}).ok());
+}
+
+TEST_F(FlowEngineTest, LatestInputVersionIsPicked) {
+  auto e1 = *jcf.start_activity(variant, enter, user);
+  auto sch1 = make_dov("schematic", vt_sch, "v1");
+  ASSERT_TRUE(jcf.complete_activity(e1, {sch1}).ok());
+  auto e1b = *jcf.start_activity(variant, enter, user);
+  auto sch2 = make_dov("schematic", vt_sch, "v2");
+  ASSERT_TRUE(jcf.complete_activity(e1b, {sch2}).ok());
+
+  auto e2 = *jcf.start_activity(variant, simulate, user);
+  auto inputs = jcf.exec_inputs(e2);
+  ASSERT_TRUE(inputs.ok());
+  ASSERT_EQ(inputs->size(), 1u);
+  EXPECT_EQ((*inputs)[0], sch2);  // latest version wins
+}
+
+TEST_F(FlowEngineTest, MultiOutputActivityDerivesAll) {
+  auto e1 = *jcf.start_activity(variant, enter, user);
+  auto sch = make_dov("schematic", vt_sch, "n");
+  ASSERT_TRUE(jcf.complete_activity(e1, {sch}).ok());
+  auto e2 = *jcf.start_activity(variant, simulate, user);
+  auto sim1 = make_dov("waves", vt_sim, "w");
+  auto sim2 = make_dov("report", vt_sim, "r");
+  ASSERT_TRUE(jcf.complete_activity(e2, {sim1, sim2}).ok());
+  EXPECT_EQ(jcf.derivation_sources(sim1)->size(), 1u);
+  EXPECT_EQ(jcf.derivation_sources(sim2)->size(), 1u);
+  EXPECT_EQ(jcf.derived_from_this(sch)->size(), 2u);
+}
+
+}  // namespace
+}  // namespace jfm::jcf

@@ -1,0 +1,188 @@
+// JCF project data: cells, two-level versioning (cell versions +
+// variants), design objects, configurations, the CompOf hierarchy and
+// equivalence relations (Figure 1).
+
+#include <gtest/gtest.h>
+
+#include "jfm/jcf/framework.hpp"
+
+namespace jfm::jcf {
+namespace {
+
+using support::Errc;
+
+class ProjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    user = *jcf.create_user("alice");
+    team = *jcf.create_team("rtl");
+    ASSERT_TRUE(jcf.add_member(team, user).ok());
+    tool = *jcf.register_tool("t");
+    vt_sch = *jcf.create_viewtype("schematic");
+    vt_lay = *jcf.create_viewtype("layout");
+    auto act = *jcf.create_activity("a", tool, {}, {vt_sch});
+    flow = *jcf.create_flow("f", {act});
+    ASSERT_TRUE(jcf.freeze_flow(flow).ok());
+    project = *jcf.create_project("chip", team);
+  }
+
+  /// cell + version + reserved workspace + one variant
+  std::pair<CellVersionRef, VariantRef> make_cv(const std::string& name) {
+    auto cell = *jcf.create_cell(project, name, flow, team);
+    auto cv = *jcf.create_cell_version(cell, user);
+    EXPECT_TRUE(jcf.reserve(cv, user).ok());
+    auto variant = *jcf.create_variant(cv, "work", user);
+    return {cv, variant};
+  }
+
+  support::SimClock clock;
+  JcfFramework jcf{&clock};
+  UserRef user;
+  TeamRef team;
+  ToolRef tool;
+  ViewTypeRef vt_sch, vt_lay;
+  FlowRef flow;
+  ProjectRef project;
+};
+
+TEST_F(ProjectTest, CellsAreScopedToProjects) {
+  auto cell = jcf.create_cell(project, "alu", flow, team);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(jcf.create_cell(project, "alu", flow, team).code(), Errc::already_exists);
+  auto other = *jcf.create_project("chip2", team);
+  EXPECT_TRUE(jcf.create_cell(other, "alu", flow, team).ok());  // same name, other project
+  EXPECT_EQ(*jcf.find_cell(project, "alu"), *cell);
+  EXPECT_EQ(jcf.find_cell(other, "ghost").code(), Errc::not_found);
+  EXPECT_EQ(jcf.cells(project)->size(), 1u);
+}
+
+TEST_F(ProjectTest, UnfrozenFlowCannotDriveCells) {
+  auto act = *jcf.create_activity("x", tool, {}, {vt_sch});
+  auto loose = *jcf.create_flow("loose", {act});
+  EXPECT_EQ(jcf.create_cell(project, "c", loose, team).code(), Errc::invalid_argument);
+}
+
+TEST_F(ProjectTest, CellVersionNumberingAndPrecedes) {
+  auto cell = *jcf.create_cell(project, "alu", flow, team);
+  auto v1 = *jcf.create_cell_version(cell, user);
+  auto v2 = *jcf.create_cell_version(cell, user);
+  auto v3 = *jcf.create_cell_version(cell, user);
+  EXPECT_EQ(*jcf.version_number(v1), 1);
+  EXPECT_EQ(*jcf.version_number(v3), 3);
+  EXPECT_EQ(*jcf.latest_cell_version(cell), v3);
+  EXPECT_EQ(jcf.cell_versions(cell)->size(), 3u);
+  EXPECT_EQ(*jcf.cell_of(v2), cell);
+  // precedes chain recorded in the store
+  EXPECT_TRUE(jcf.store().linked(rel::cv_precedes, v1.id, v2.id));
+  EXPECT_TRUE(jcf.store().linked(rel::cv_precedes, v2.id, v3.id));
+  EXPECT_FALSE(jcf.store().linked(rel::cv_precedes, v1.id, v3.id));
+}
+
+TEST_F(ProjectTest, VersionCreationRequiresTeamMembership) {
+  auto outsider = *jcf.create_user("eve");
+  auto cell = *jcf.create_cell(project, "alu", flow, team);
+  auto denied = jcf.create_cell_version(cell, outsider);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, Errc::permission_denied);
+}
+
+TEST_F(ProjectTest, PerVersionFlowAndTeamOverrides) {
+  auto [cv, variant] = make_cv("alu");
+  EXPECT_EQ(*jcf.effective_flow(cv), flow);
+  EXPECT_EQ(*jcf.effective_team(cv), team);
+  auto act = *jcf.create_activity("alt", tool, {}, {vt_sch});
+  auto flow2 = *jcf.create_flow("f2", {act});
+  ASSERT_TRUE(jcf.freeze_flow(flow2).ok());
+  ASSERT_TRUE(jcf.override_flow(cv, flow2).ok());
+  EXPECT_EQ(*jcf.effective_flow(cv), flow2);
+  auto team2 = *jcf.create_team("backend");
+  ASSERT_TRUE(jcf.override_team(cv, team2).ok());
+  EXPECT_EQ(*jcf.effective_team(cv), team2);
+  // the cell's own attachments are untouched
+  auto cv2 = jcf.create_cell_version(*jcf.find_cell(project, "alu"), user);
+  ASSERT_TRUE(cv2.ok());
+  EXPECT_EQ(*jcf.effective_flow(*cv2), flow);
+}
+
+TEST_F(ProjectTest, VariantsNeedWorkspaceAndUniqueNames) {
+  auto cell = *jcf.create_cell(project, "alu", flow, team);
+  auto cv = *jcf.create_cell_version(cell, user);
+  // not reserved yet
+  EXPECT_EQ(jcf.create_variant(cv, "v", user).code(), Errc::permission_denied);
+  ASSERT_TRUE(jcf.reserve(cv, user).ok());
+  auto v1 = jcf.create_variant(cv, "v", user);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(jcf.create_variant(cv, "v", user).code(), Errc::already_exists);
+  auto v2 = jcf.create_variant(cv, "v2", user);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(jcf.variants(cv)->size(), 2u);
+  EXPECT_EQ(*jcf.find_variant(cv, "v2"), *v2);
+  EXPECT_EQ(*jcf.cell_version_of(*v2), cv);
+}
+
+TEST_F(ProjectTest, DesignObjectsAndVersions) {
+  auto [cv, variant] = make_cv("alu");
+  auto dobj = jcf.create_design_object(variant, "schematic", vt_sch, user);
+  ASSERT_TRUE(dobj.ok());
+  EXPECT_EQ(jcf.create_design_object(variant, "schematic", vt_sch, user).code(),
+            Errc::already_exists);
+  EXPECT_EQ(*jcf.viewtype_of(*dobj), vt_sch);
+  EXPECT_EQ(jcf.latest_dov(*dobj).code(), Errc::not_found);
+
+  auto d1 = jcf.create_dov(*dobj, "rev one", user);
+  auto d2 = jcf.create_dov(*dobj, "rev two", user);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(*jcf.dov_number(*d1), 1);
+  EXPECT_EQ(*jcf.dov_number(*d2), 2);
+  EXPECT_EQ(*jcf.latest_dov(*dobj), *d2);
+  EXPECT_EQ(*jcf.design_object_of(*d2), *dobj);
+  EXPECT_TRUE(jcf.store().linked(rel::dov_precedes, d1->id, d2->id));
+  EXPECT_EQ(*jcf.dov_data(*d2, user), "rev two");
+}
+
+TEST_F(ProjectTest, EquivalenceIsSymmetric) {
+  auto [cv, variant] = make_cv("alu");
+  auto dobj = *jcf.create_design_object(variant, "schematic", vt_sch, user);
+  auto d1 = *jcf.create_dov(dobj, "a", user);
+  auto d2 = *jcf.create_dov(dobj, "b", user);
+  ASSERT_TRUE(jcf.set_equivalent(d1, d2).ok());
+  EXPECT_TRUE(*jcf.is_equivalent(d1, d2));
+  EXPECT_TRUE(*jcf.is_equivalent(d2, d1));
+  EXPECT_EQ(jcf.set_equivalent(d1, d1).code(), Errc::invalid_argument);
+}
+
+TEST_F(ProjectTest, CompOfHierarchyStaysAcyclic) {
+  auto [top_cv, tv] = make_cv("top");
+  auto [mid_cv, mv] = make_cv("mid");
+  auto [leaf_cv, lv] = make_cv("leaf");
+  ASSERT_TRUE(jcf.add_child(top_cv, mid_cv).ok());
+  ASSERT_TRUE(jcf.add_child(mid_cv, leaf_cv).ok());
+  EXPECT_EQ(jcf.add_child(leaf_cv, top_cv).code(), Errc::consistency_violation);
+  EXPECT_EQ(jcf.add_child(top_cv, top_cv).code(), Errc::consistency_violation);
+  EXPECT_EQ(jcf.children(top_cv)->size(), 1u);
+  EXPECT_EQ(jcf.parents(leaf_cv)->size(), 1u);
+  ASSERT_TRUE(jcf.remove_child(mid_cv, leaf_cv).ok());
+  EXPECT_TRUE(jcf.children(mid_cv)->empty());
+  // with the mid->leaf edge gone, leaf->top no longer closes a cycle
+  EXPECT_TRUE(jcf.add_child(leaf_cv, top_cv).ok());
+}
+
+TEST_F(ProjectTest, ConfigurationHoldsOneVersionPerDesignObject) {
+  auto [cv, variant] = make_cv("alu");
+  auto dobj = *jcf.create_design_object(variant, "schematic", vt_sch, user);
+  auto d1 = *jcf.create_dov(dobj, "a", user);
+  auto d2 = *jcf.create_dov(dobj, "b", user);
+  auto config = jcf.create_config(cv, "golden");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(jcf.create_config(cv, "golden").code(), Errc::already_exists);
+  ASSERT_TRUE(jcf.add_config_member(*config, d1).ok());
+  EXPECT_EQ(jcf.add_config_member(*config, d2).code(), Errc::consistency_violation);
+  EXPECT_EQ(jcf.config_members(*config)->size(), 1u);
+  // nested configurations
+  auto sub = *jcf.create_config(cv, "sub");
+  ASSERT_TRUE(jcf.add_config_child(*config, sub).ok());
+  EXPECT_EQ(jcf.add_config_child(*config, *config).code(), Errc::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jfm::jcf

@@ -1,0 +1,138 @@
+// JCF resources: users, teams, tools, viewtypes, activities and frozen
+// flows (the metadata the framework administrator defines in advance,
+// paper s2.1).
+
+#include <gtest/gtest.h>
+
+#include "jfm/jcf/framework.hpp"
+
+namespace jfm::jcf {
+namespace {
+
+using support::Errc;
+
+class ResourcesTest : public ::testing::Test {
+ protected:
+  support::SimClock clock;
+  JcfFramework jcf{&clock};
+};
+
+TEST_F(ResourcesTest, UsersAndTeams) {
+  auto alice = jcf.create_user("alice");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(jcf.create_user("alice").code(), Errc::already_exists);
+  EXPECT_EQ(jcf.create_user("").code(), Errc::invalid_argument);
+  auto team = jcf.create_team("rtl");
+  ASSERT_TRUE(team.ok());
+  ASSERT_TRUE(jcf.add_member(*team, *alice).ok());
+  EXPECT_TRUE(*jcf.is_member(*team, *alice));
+  auto bob = jcf.create_user("bob");
+  EXPECT_FALSE(*jcf.is_member(*team, *bob));
+  // name lookups
+  EXPECT_EQ(*jcf.find_user("alice"), *alice);
+  EXPECT_EQ(jcf.find_user("ghost").code(), Errc::not_found);
+  EXPECT_EQ(*jcf.name_of(*alice), "alice");
+}
+
+TEST_F(ResourcesTest, RefTypeMismatchCaught) {
+  auto alice = jcf.create_user("alice");
+  auto team = jcf.create_team("rtl");
+  ASSERT_TRUE(alice.ok() && team.ok());
+  // a user handle where a team is expected
+  TeamRef fake_team(alice->id);
+  auto st = jcf.add_member(fake_team, *alice);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::invalid_argument);
+  // dangling
+  auto st2 = jcf.add_member(TeamRef(oms::ObjectId(9999)), *alice);
+  EXPECT_EQ(st2.error().code, Errc::not_found);
+}
+
+TEST_F(ResourcesTest, ActivitiesCarryNeedsAndCreates) {
+  auto tool = jcf.register_tool("sim");
+  auto sch = jcf.create_viewtype("schematic");
+  auto res = jcf.create_viewtype("results");
+  ASSERT_TRUE(tool.ok() && sch.ok() && res.ok());
+  auto act = jcf.create_activity("simulate", *tool, {*sch}, {*res});
+  ASSERT_TRUE(act.ok());
+  auto needs = jcf.activity_needs(*act);
+  ASSERT_TRUE(needs.ok());
+  ASSERT_EQ(needs->size(), 1u);
+  EXPECT_EQ((*needs)[0], *sch);
+  auto creates = jcf.activity_creates(*act);
+  ASSERT_TRUE(creates.ok());
+  EXPECT_EQ((*creates)[0], *res);
+  EXPECT_EQ(*jcf.activity_tool(*act), *tool);
+  // an activity must create something
+  EXPECT_EQ(jcf.create_activity("noop", *tool, {}, {}).code(), Errc::invalid_argument);
+}
+
+class FlowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tool = *jcf.register_tool("t");
+    vt = *jcf.create_viewtype("v");
+    a = *jcf.create_activity("a", tool, {}, {vt});
+    b = *jcf.create_activity("b", tool, {}, {vt});
+    c = *jcf.create_activity("c", tool, {}, {vt});
+  }
+  support::SimClock clock;
+  JcfFramework jcf{&clock};
+  ToolRef tool;
+  ViewTypeRef vt;
+  ActivityRef a, b, c;
+};
+
+TEST_F(FlowTest, CreateAndFreeze) {
+  auto flow = jcf.create_flow("f", {a, b, c});
+  ASSERT_TRUE(flow.ok());
+  EXPECT_FALSE(*jcf.flow_frozen(*flow));
+  ASSERT_TRUE(jcf.add_precedence(*flow, a, b).ok());
+  ASSERT_TRUE(jcf.add_precedence(*flow, b, c).ok());
+  ASSERT_TRUE(jcf.freeze_flow(*flow).ok());
+  EXPECT_TRUE(*jcf.flow_frozen(*flow));
+  // frozen flows cannot be modified (s2.1: "Flows are fixed")
+  EXPECT_EQ(jcf.add_precedence(*flow, a, c).code(), Errc::permission_denied);
+  auto preds = jcf.predecessors(*flow, c);
+  ASSERT_TRUE(preds.ok());
+  ASSERT_EQ(preds->size(), 1u);
+  EXPECT_EQ((*preds)[0], b);
+  EXPECT_TRUE(jcf.predecessors(*flow, a)->empty());
+  auto acts = jcf.flow_activities(*flow);
+  ASSERT_TRUE(acts.ok());
+  EXPECT_EQ(acts->size(), 3u);
+}
+
+TEST_F(FlowTest, CyclicPrecedenceRejectedAtFreeze) {
+  auto flow = jcf.create_flow("f", {a, b});
+  ASSERT_TRUE(flow.ok());
+  ASSERT_TRUE(jcf.add_precedence(*flow, a, b).ok());
+  ASSERT_TRUE(jcf.add_precedence(*flow, b, a).ok());
+  auto st = jcf.freeze_flow(*flow);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::consistency_violation);
+}
+
+TEST_F(FlowTest, PrecedenceValidation) {
+  auto flow = jcf.create_flow("f", {a, b});
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(jcf.add_precedence(*flow, a, a).code(), Errc::invalid_argument);
+  EXPECT_EQ(jcf.add_precedence(*flow, a, c).code(), Errc::invalid_argument);  // c not in flow
+  EXPECT_EQ(jcf.create_flow("empty", {}).code(), Errc::invalid_argument);
+  EXPECT_EQ(jcf.create_flow("dup", {a, a}).code(), Errc::already_exists);
+}
+
+TEST_F(FlowTest, DiamondFlowFreezes) {
+  auto d = *jcf.create_activity("d", tool, {}, {vt});
+  auto flow = jcf.create_flow("diamond", {a, b, c, d});
+  ASSERT_TRUE(flow.ok());
+  ASSERT_TRUE(jcf.add_precedence(*flow, a, b).ok());
+  ASSERT_TRUE(jcf.add_precedence(*flow, a, c).ok());
+  ASSERT_TRUE(jcf.add_precedence(*flow, b, d).ok());
+  ASSERT_TRUE(jcf.add_precedence(*flow, c, d).ok());
+  EXPECT_TRUE(jcf.freeze_flow(*flow).ok());
+  EXPECT_EQ(jcf.predecessors(*flow, d)->size(), 2u);
+}
+
+}  // namespace
+}  // namespace jfm::jcf

@@ -1,0 +1,146 @@
+// Inter-project data sharing -- the s3.1 future-work extension ("it
+// would be helpful to also provide access to cells of other projects")
+// plus framework checkpoint/restore through the OMS dump.
+
+#include <gtest/gtest.h>
+
+#include "jfm/jcf/framework.hpp"
+
+namespace jfm::jcf {
+namespace {
+
+using support::Errc;
+
+class SharingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    user = *jcf.create_user("alice");
+    team = *jcf.create_team("rtl");
+    ASSERT_TRUE(jcf.add_member(team, user).ok());
+    auto tool = *jcf.register_tool("t");
+    vt = *jcf.create_viewtype("schematic");
+    auto act = *jcf.create_activity("a", tool, {}, {vt});
+    flow = *jcf.create_flow("f", {act});
+    ASSERT_TRUE(jcf.freeze_flow(flow).ok());
+    ip_library = *jcf.create_project("ip_library", team);
+    soc = *jcf.create_project("soc", team);
+  }
+
+  CellRef published_cell(ProjectRef project, const std::string& name) {
+    auto cell = *jcf.create_cell(project, name, flow, team);
+    auto cv = *jcf.create_cell_version(cell, user);
+    EXPECT_TRUE(jcf.reserve(cv, user).ok());
+    auto variant = *jcf.create_variant(cv, "work", user);
+    auto dobj = *jcf.create_design_object(variant, "schematic", vt, user);
+    (void)*jcf.create_dov(dobj, "ip data", user);
+    EXPECT_TRUE(jcf.publish(cv, user).ok());
+    return cell;
+  }
+
+  support::SimClock clock;
+  JcfFramework jcf{&clock};
+  UserRef user;
+  TeamRef team;
+  ViewTypeRef vt;
+  FlowRef flow;
+  ProjectRef ip_library, soc;
+};
+
+TEST_F(SharingTest, SharedCellVisibleInBorrowingProject) {
+  auto cell = published_cell(ip_library, "uart");
+  EXPECT_EQ(jcf.find_cell(soc, "uart").code(), Errc::not_found);
+  ASSERT_TRUE(jcf.share_cell(soc, cell).ok());
+  auto found = jcf.find_cell(soc, "uart");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, cell);
+  // ownership is unchanged
+  EXPECT_EQ(*jcf.project_of(cell), ip_library);
+  auto shared = jcf.shared_cells(soc);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_EQ(shared->size(), 1u);
+  // own cells list does not grow
+  EXPECT_TRUE(jcf.cells(soc)->empty());
+}
+
+TEST_F(SharingTest, OnlyPublishedCellsCanBeShared) {
+  auto cell = *jcf.create_cell(ip_library, "wip", flow, team);
+  (void)*jcf.create_cell_version(cell, user);  // never published
+  auto st = jcf.share_cell(soc, cell);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::permission_denied);
+  // a cell with no versions at all
+  auto bare = *jcf.create_cell(ip_library, "bare", flow, team);
+  EXPECT_EQ(jcf.share_cell(soc, bare).code(), Errc::not_found);
+}
+
+TEST_F(SharingTest, CannotShareIntoOwnProjectOrTwice) {
+  auto cell = published_cell(ip_library, "uart");
+  EXPECT_EQ(jcf.share_cell(ip_library, cell).code(), Errc::invalid_argument);
+  ASSERT_TRUE(jcf.share_cell(soc, cell).ok());
+  EXPECT_EQ(jcf.share_cell(soc, cell).code(), Errc::already_exists);
+}
+
+TEST_F(SharingTest, SharedDataReadableAcrossProjects) {
+  auto cell = published_cell(ip_library, "uart");
+  ASSERT_TRUE(jcf.share_cell(soc, cell).ok());
+  auto found = *jcf.find_cell(soc, "uart");
+  auto cv = *jcf.latest_cell_version(found);
+  auto variant = *jcf.find_variant(cv, "work");
+  auto dobj = *jcf.find_design_object(variant, "schematic");
+  auto dov = *jcf.latest_dov(dobj);
+  auto stranger = *jcf.create_user("bob");
+  auto data = jcf.dov_data(dov, stranger);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "ip data");
+}
+
+TEST_F(SharingTest, OwnCellShadowsSharedOnLookup) {
+  auto ip_cell = published_cell(ip_library, "uart");
+  ASSERT_TRUE(jcf.share_cell(soc, ip_cell).ok());
+  auto own = *jcf.create_cell(soc, "uart", flow, team);
+  auto found = jcf.find_cell(soc, "uart");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, own);  // project_cell searched before project_shared
+}
+
+TEST_F(SharingTest, CheckpointRestoreRoundTrip) {
+  auto cell = published_cell(ip_library, "uart");
+  ASSERT_TRUE(jcf.share_cell(soc, cell).ok());
+  vfs::FileSystem fs(&clock);
+  ASSERT_TRUE(fs.mkdirs(vfs::Path().child("db")).ok());
+  auto file = vfs::Path().child("db").child("jcf.oms");
+  ASSERT_TRUE(jcf.checkpoint(fs, file).ok());
+
+  JcfFramework restored(&clock);
+  ASSERT_TRUE(restored.restore(fs, file).ok());
+  // the full object graph survives, ids included
+  auto project = restored.find_project("ip_library");
+  ASSERT_TRUE(project.ok());
+  auto found = restored.find_cell(*restored.find_project("soc"), "uart");
+  ASSERT_TRUE(found.ok());
+  auto cv = *restored.latest_cell_version(*found);
+  auto variant = *restored.find_variant(cv, "work");
+  auto dobj = *restored.find_design_object(variant, "schematic");
+  auto dov = *restored.latest_dov(dobj);
+  auto reader = restored.find_user("alice");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*restored.dov_data(dov, *reader), "ip data");
+  // restoring into a non-empty framework is refused
+  EXPECT_EQ(restored.restore(fs, file).code(), Errc::invalid_argument);
+}
+
+TEST_F(SharingTest, CheckpointIsStable) {
+  (void)published_cell(ip_library, "uart");
+  vfs::FileSystem fs(&clock);
+  ASSERT_TRUE(fs.mkdirs(vfs::Path().child("db")).ok());
+  auto f1 = vfs::Path().child("db").child("a.oms");
+  auto f2 = vfs::Path().child("db").child("b.oms");
+  ASSERT_TRUE(jcf.checkpoint(fs, f1).ok());
+  JcfFramework restored(&clock);
+  ASSERT_TRUE(restored.restore(fs, f1).ok());
+  ASSERT_TRUE(restored.checkpoint(fs, f2).ok());
+  EXPECT_EQ(*fs.read_file(f1), *fs.read_file(f2));
+}
+
+}  // namespace
+}  // namespace jfm::jcf

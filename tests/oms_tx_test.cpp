@@ -1,0 +1,151 @@
+// Transaction semantics, including a randomized property test: any
+// sequence of mutations followed by abort() must restore the store to a
+// state indistinguishable from the pre-transaction snapshot (compared
+// through the canonical dump).
+
+#include <gtest/gtest.h>
+
+#include "jfm/oms/dump.hpp"
+#include "jfm/oms/store.hpp"
+#include "jfm/support/rng.hpp"
+
+namespace jfm::oms {
+namespace {
+
+using support::Errc;
+
+Schema tx_schema() {
+  Schema schema;
+  EXPECT_TRUE(schema
+                  .define_class({"Node",
+                                 "",
+                                 {{"label", AttrType::text}, {"weight", AttrType::integer}}})
+                  .ok());
+  EXPECT_TRUE(schema.define_relation({"edge", "Node", "Node", Cardinality::many_to_many}).ok());
+  return schema;
+}
+
+class TxTest : public ::testing::Test {
+ protected:
+  support::SimClock clock;
+  Store store{tx_schema(), &clock};
+};
+
+TEST_F(TxTest, CommitKeepsChanges) {
+  ASSERT_TRUE(store.begin().ok());
+  auto id = *store.create("Node");
+  ASSERT_TRUE(store.set(id, "label", AttrValue(std::string("x"))).ok());
+  ASSERT_TRUE(store.commit().ok());
+  EXPECT_TRUE(store.exists(id));
+  EXPECT_EQ(*store.get_text(id, "label"), "x");
+}
+
+TEST_F(TxTest, AbortRollsBackCreation) {
+  ASSERT_TRUE(store.begin().ok());
+  auto id = *store.create("Node");
+  ASSERT_TRUE(store.abort().ok());
+  EXPECT_FALSE(store.exists(id));
+  EXPECT_EQ(store.object_count(), 0u);
+}
+
+TEST_F(TxTest, AbortRestoresDestroyedObjectWithLinks) {
+  auto a = *store.create("Node");
+  auto b = *store.create("Node");
+  ASSERT_TRUE(store.set(a, "label", AttrValue(std::string("keep"))).ok());
+  ASSERT_TRUE(store.link("edge", a, b).ok());
+  ASSERT_TRUE(store.begin().ok());
+  ASSERT_TRUE(store.destroy(a).ok());
+  EXPECT_FALSE(store.exists(a));
+  ASSERT_TRUE(store.abort().ok());
+  ASSERT_TRUE(store.exists(a));
+  EXPECT_EQ(*store.get_text(a, "label"), "keep");
+  EXPECT_TRUE(store.linked("edge", a, b));
+}
+
+TEST_F(TxTest, AbortRestoresAttributeValues) {
+  auto id = *store.create("Node");
+  ASSERT_TRUE(store.set(id, "weight", AttrValue(std::int64_t{1})).ok());
+  ASSERT_TRUE(store.begin().ok());
+  ASSERT_TRUE(store.set(id, "weight", AttrValue(std::int64_t{99})).ok());
+  ASSERT_TRUE(store.set(id, "label", AttrValue(std::string("new"))).ok());
+  ASSERT_TRUE(store.abort().ok());
+  EXPECT_EQ(*store.get_int(id, "weight"), 1);
+  EXPECT_EQ(store.get(id, "label").code(), Errc::not_found);
+}
+
+TEST_F(TxTest, AbortRestoresLinks) {
+  auto a = *store.create("Node");
+  auto b = *store.create("Node");
+  auto c = *store.create("Node");
+  ASSERT_TRUE(store.link("edge", a, b).ok());
+  ASSERT_TRUE(store.begin().ok());
+  ASSERT_TRUE(store.unlink("edge", a, b).ok());
+  ASSERT_TRUE(store.link("edge", a, c).ok());
+  ASSERT_TRUE(store.abort().ok());
+  EXPECT_TRUE(store.linked("edge", a, b));
+  EXPECT_FALSE(store.linked("edge", a, c));
+}
+
+TEST_F(TxTest, NestedBeginRejected) {
+  ASSERT_TRUE(store.begin().ok());
+  EXPECT_EQ(store.begin().code(), Errc::invalid_argument);
+  ASSERT_TRUE(store.commit().ok());
+  EXPECT_EQ(store.commit().code(), Errc::invalid_argument);
+  EXPECT_EQ(store.abort().code(), Errc::invalid_argument);
+}
+
+// ---------------- property test: abort == time machine -------------------
+
+struct AbortProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbortProperty, RandomMutationsAbortRestoresDump) {
+  support::SimClock clock;
+  Store store(tx_schema(), &clock);
+  support::Rng rng(GetParam());
+
+  // a random base population, committed
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 20; ++i) {
+    auto id = *store.create("Node");
+    (void)store.set(id, "label", AttrValue(rng.identifier(6)));
+    (void)store.set(id, "weight", AttrValue(rng.range(0, 100)));
+    ids.push_back(id);
+  }
+  for (int i = 0; i < 30; ++i) {
+    (void)store.link("edge", rng.pick(ids), rng.pick(ids));
+  }
+  const std::string snapshot = Dump::to_text(store);
+
+  ASSERT_TRUE(store.begin().ok());
+  for (int i = 0; i < 200; ++i) {
+    switch (rng.below(5)) {
+      case 0: {
+        auto id = store.create("Node");
+        if (id.ok()) ids.push_back(*id);
+        break;
+      }
+      case 1: {
+        ObjectId id = rng.pick(ids);
+        if (store.exists(id)) (void)store.destroy(id);
+        break;
+      }
+      case 2:
+        (void)store.set(rng.pick(ids), "weight", AttrValue(rng.range(0, 1000)));
+        break;
+      case 3:
+        (void)store.link("edge", rng.pick(ids), rng.pick(ids));
+        break;
+      case 4:
+        (void)store.unlink("edge", rng.pick(ids), rng.pick(ids));
+        break;
+    }
+  }
+  ASSERT_TRUE(store.abort().ok());
+  EXPECT_EQ(Dump::to_text(store), snapshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbortProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+}  // namespace
+}  // namespace jfm::oms

@@ -1,0 +1,171 @@
+// Analysis utilities: static timing (critical path) and LVS-lite.
+
+#include <gtest/gtest.h>
+
+#include "jfm/tools/lvs.hpp"
+#include "jfm/tools/timing.hpp"
+
+namespace jfm::tools {
+namespace {
+
+using support::Errc;
+
+// ---------------- timing ------------------------------------------------
+
+TEST(Timing, ChainDelayAccumulates) {
+  Circuit c;
+  int in = c.add_signal("in");
+  int prev = in;
+  for (int i = 0; i < 4; ++i) {
+    int out = c.add_signal("s" + std::to_string(i));
+    c.gates.push_back({"NOT", {prev}, out, static_cast<SimTime>(i + 1)});  // delays 1..4
+    prev = out;
+  }
+  auto report = analyze_timing(c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->critical_delay, 1u + 2 + 3 + 4);
+  ASSERT_EQ(report->critical_path.size(), 5u);
+  EXPECT_EQ(report->critical_path.front(), in);
+  EXPECT_EQ(report->critical_path.back(), prev);
+  EXPECT_NE(report->describe(c).find("(delay 10)"), std::string::npos);
+}
+
+TEST(Timing, PicksTheSlowerBranch) {
+  // in splits into a fast buffer (1) and a slow 3-stage chain (3+3+3),
+  // converging on an AND
+  Circuit c;
+  int in = c.add_signal("in");
+  int fast = c.add_signal("fast");
+  c.gates.push_back({"BUF", {in}, fast, 1});
+  int prev = in;
+  for (int i = 0; i < 3; ++i) {
+    int out = c.add_signal("slow" + std::to_string(i));
+    c.gates.push_back({"NOT", {prev}, out, 3});
+    prev = out;
+  }
+  int y = c.add_signal("y");
+  c.gates.push_back({"AND", {fast, prev}, y, 2});
+  auto report = analyze_timing(c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->critical_delay, 9u + 2);
+  // the path goes through the slow branch
+  bool through_slow = false;
+  for (int s : report->critical_path) {
+    if (c.signal_names[static_cast<std::size_t>(s)] == "slow1") through_slow = true;
+  }
+  EXPECT_TRUE(through_slow);
+}
+
+TEST(Timing, DffCutsPaths) {
+  // in -(2)-> d -[DFF]-> q -(5)-> y : two separate cones, max is 5
+  Circuit c;
+  int in = c.add_signal("in");
+  int d = c.add_signal("d");
+  int clk = c.add_signal("clk");
+  int q = c.add_signal("q");
+  int y = c.add_signal("y");
+  c.gates.push_back({"BUF", {in}, d, 2});
+  c.gates.push_back({"DFF", {d, clk}, q, 1});
+  c.gates.push_back({"NOT", {q}, y, 5});
+  auto report = analyze_timing(c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->critical_delay, 5u);
+  EXPECT_EQ(report->arrival[static_cast<std::size_t>(d)], 2u);
+  EXPECT_EQ(report->arrival[static_cast<std::size_t>(q)], 0u);  // launch point
+}
+
+TEST(Timing, SequentialLoopIsFine) {
+  // q feeds back to d through an inverter: legal (the DFF cuts it)
+  Circuit c;
+  int d = c.add_signal("d");
+  int clk = c.add_signal("clk");
+  int q = c.add_signal("q");
+  c.gates.push_back({"DFF", {d, clk}, q, 1});
+  c.gates.push_back({"NOT", {q}, d, 4});
+  auto report = analyze_timing(c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->critical_delay, 4u);
+}
+
+TEST(Timing, CombinationalCycleRejected) {
+  Circuit c;
+  int a = c.add_signal("a");
+  int b = c.add_signal("b");
+  c.gates.push_back({"NOT", {a}, b, 1});
+  c.gates.push_back({"NOT", {b}, a, 1});
+  auto report = analyze_timing(c);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, Errc::consistency_violation);
+}
+
+TEST(Timing, EmptyCircuit) {
+  Circuit c;
+  (void)c.add_signal("lonely");
+  auto report = analyze_timing(c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->critical_delay, 0u);
+  EXPECT_TRUE(report->critical_path.empty());
+}
+
+// ---------------- LVS ------------------------------------------------------
+
+Schematic lvs_schematic() {
+  Schematic sch;
+  sch.ports = {{"a", PortDir::in}, {"y", PortDir::out}};
+  sch.nets = {"a", "y", "mid"};
+  sch.primitives = {{"g", "BUF"}};
+  sch.instances = {{"u0", "adder", "schematic"}, {"u1", "adder", "schematic"}};
+  sch.connections = {{"a", "g", "a"}, {"mid", "g", "y"}};
+  return sch;
+}
+
+Layout lvs_layout() {
+  Layout lay;
+  lay.layers = {"m1"};
+  lay.rects = {{"m1", 0, 0, 10, 10, "a"},
+               {"m1", 20, 0, 30, 10, "y"},
+               {"m1", 40, 0, 50, 10, "mid"}};
+  lay.placements = {{"i0", "adder", "layout", 0, 0}, {"i1", "adder", "layout", 100, 0}};
+  return lay;
+}
+
+TEST(Lvs, CleanWhenViewsAgree) {
+  auto report = lvs_compare(lvs_schematic(), lvs_layout());
+  EXPECT_TRUE(report.clean()) << report.describe()[0];
+  EXPECT_EQ(report.violation_count(), 0u);
+}
+
+TEST(Lvs, MissingNetAndExtraLabel) {
+  Layout lay = lvs_layout();
+  lay.rects[2].net = "typo_net";  // mid lost, typo introduced
+  auto report = lvs_compare(lvs_schematic(), lay);
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.nets_missing_in_layout.size(), 1u);
+  EXPECT_EQ(report.nets_missing_in_layout[0], "mid");
+  ASSERT_EQ(report.nets_unknown_to_schematic.size(), 1u);
+  EXPECT_EQ(report.nets_unknown_to_schematic[0], "typo_net");
+  EXPECT_EQ(report.violation_count(), 2u);
+  EXPECT_EQ(report.describe().size(), 2u);
+}
+
+TEST(Lvs, InstanceCountsAreCompared) {
+  Layout lay = lvs_layout();
+  lay.placements.pop_back();  // only one adder placed
+  auto report = lvs_compare(lvs_schematic(), lay);
+  ASSERT_EQ(report.instances_missing_in_layout.size(), 1u);
+  EXPECT_EQ(report.instances_missing_in_layout[0], "adder");
+  // an extra foreign placement is flagged the other way
+  lay.placements.push_back({"ix", "rogue", "layout", 0, 0});
+  report = lvs_compare(lvs_schematic(), lay);
+  ASSERT_EQ(report.placements_unknown_to_schematic.size(), 1u);
+  EXPECT_EQ(report.placements_unknown_to_schematic[0], "rogue");
+}
+
+TEST(Lvs, UnlabeledGeometryIgnored) {
+  Layout lay = lvs_layout();
+  lay.rects.push_back({"m1", 60, 0, 70, 10, ""});  // filler, no net
+  EXPECT_TRUE(lvs_compare(lvs_schematic(), lay).clean());
+}
+
+}  // namespace
+}  // namespace jfm::tools

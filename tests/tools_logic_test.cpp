@@ -1,0 +1,119 @@
+// Four-valued gate evaluation, exhaustively via parameterized sweeps.
+
+#include <gtest/gtest.h>
+
+#include "jfm/tools/logic.hpp"
+
+namespace jfm::tools {
+namespace {
+
+const Logic kAll[] = {Logic::L0, Logic::L1, Logic::X, Logic::Z};
+
+TEST(Logic, CharConversion) {
+  EXPECT_EQ(to_char(Logic::L0), '0');
+  EXPECT_EQ(to_char(Logic::L1), '1');
+  EXPECT_EQ(to_char(Logic::X), 'X');
+  EXPECT_EQ(to_char(Logic::Z), 'Z');
+  for (Logic v : kAll) {
+    auto back = logic_from(to_char(v));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+  EXPECT_TRUE(logic_from('x').ok());
+  EXPECT_FALSE(logic_from('q').ok());
+}
+
+TEST(Logic, NormalizeZ) {
+  EXPECT_EQ(normalize_input(Logic::Z), Logic::X);
+  EXPECT_EQ(normalize_input(Logic::L1), Logic::L1);
+}
+
+TEST(Logic, NotTruthTable) {
+  EXPECT_EQ(eval_not(Logic::L0), Logic::L1);
+  EXPECT_EQ(eval_not(Logic::L1), Logic::L0);
+  EXPECT_EQ(eval_not(Logic::X), Logic::X);
+  EXPECT_EQ(eval_not(Logic::Z), Logic::X);
+}
+
+// Exhaustive 4x4 sweeps over every binary gate.
+struct BinaryGateCase {
+  const char* gate;
+  // expected[a][b] indexed by Logic enum value
+  char expected[4][4];
+};
+
+class BinaryGates : public ::testing::TestWithParam<BinaryGateCase> {};
+
+TEST_P(BinaryGates, TruthTable) {
+  const auto& param = GetParam();
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      auto v = eval_gate(param.gate, {a, b});
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(to_char(*v),
+                param.expected[static_cast<int>(a)][static_cast<int>(b)])
+          << param.gate << "(" << to_char(a) << "," << to_char(b) << ")";
+    }
+  }
+}
+
+// rows/cols: 0, 1, X, Z
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, BinaryGates,
+    ::testing::Values(
+        BinaryGateCase{"AND",
+                       {{'0', '0', '0', '0'},
+                        {'0', '1', 'X', 'X'},
+                        {'0', 'X', 'X', 'X'},
+                        {'0', 'X', 'X', 'X'}}},
+        BinaryGateCase{"OR",
+                       {{'0', '1', 'X', 'X'},
+                        {'1', '1', '1', '1'},
+                        {'X', '1', 'X', 'X'},
+                        {'X', '1', 'X', 'X'}}},
+        BinaryGateCase{"NAND",
+                       {{'1', '1', '1', '1'},
+                        {'1', '0', 'X', 'X'},
+                        {'1', 'X', 'X', 'X'},
+                        {'1', 'X', 'X', 'X'}}},
+        BinaryGateCase{"NOR",
+                       {{'1', '0', 'X', 'X'},
+                        {'0', '0', '0', '0'},
+                        {'X', '0', 'X', 'X'},
+                        {'X', '0', 'X', 'X'}}},
+        BinaryGateCase{"XOR",
+                       {{'0', '1', 'X', 'X'},
+                        {'1', '0', 'X', 'X'},
+                        {'X', 'X', 'X', 'X'},
+                        {'X', 'X', 'X', 'X'}}},
+        BinaryGateCase{"XNOR",
+                       {{'1', '0', 'X', 'X'},
+                        {'0', '1', 'X', 'X'},
+                        {'X', 'X', 'X', 'X'},
+                        {'X', 'X', 'X', 'X'}}}),
+    [](const ::testing::TestParamInfo<BinaryGateCase>& info) {
+      return info.param.gate;
+    });
+
+TEST(Logic, UnaryGatesThroughEvalGate) {
+  EXPECT_EQ(*eval_gate("NOT", {Logic::L0}), Logic::L1);
+  EXPECT_EQ(*eval_gate("BUF", {Logic::L1}), Logic::L1);
+  EXPECT_EQ(*eval_gate("BUF", {Logic::Z}), Logic::X);
+}
+
+TEST(Logic, EvalGateErrors) {
+  EXPECT_FALSE(eval_gate("AND", {Logic::L1}).ok());          // arity
+  EXPECT_FALSE(eval_gate("NOT", {Logic::L1, Logic::L0}).ok());
+  EXPECT_FALSE(eval_gate("FROB", {Logic::L1, Logic::L0}).ok());
+}
+
+TEST(Logic, MultiInputReducersDominance) {
+  EXPECT_EQ(eval_and({Logic::L1, Logic::X, Logic::L0}), Logic::L0);  // 0 dominates X
+  EXPECT_EQ(eval_or({Logic::L0, Logic::X, Logic::L1}), Logic::L1);   // 1 dominates X
+  EXPECT_EQ(eval_and({}), Logic::L1);
+  EXPECT_EQ(eval_or({}), Logic::L0);
+  EXPECT_EQ(eval_xor({Logic::L1, Logic::L1, Logic::L1}), Logic::L1);
+}
+
+}  // namespace
+}  // namespace jfm::tools

@@ -1,0 +1,182 @@
+// Schematic model and the schematic entry tool.
+
+#include <gtest/gtest.h>
+
+#include "jfm/tools/schematic_tool.hpp"
+
+namespace jfm::tools {
+namespace {
+
+using support::Errc;
+
+Schematic buffer_schematic() {
+  Schematic sch;
+  sch.ports = {{"a", PortDir::in}, {"y", PortDir::out}};
+  sch.nets = {"a", "y"};
+  sch.primitives = {{"g0", "BUF"}};
+  sch.connections = {{"a", "g0", "a"}, {"y", "g0", "y"}};
+  return sch;
+}
+
+TEST(Schematic, SerializeParseRoundTrip) {
+  Schematic sch = buffer_schematic();
+  sch.instances = {{"u0", "child", "schematic"}};
+  auto parsed = Schematic::parse(sch.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->serialize(), sch.serialize());
+  EXPECT_EQ(parsed->ports.size(), 2u);
+  EXPECT_EQ(parsed->instances[0].master_cell, "child");
+}
+
+TEST(Schematic, ParseErrors) {
+  EXPECT_EQ(Schematic::parse("bogus line").code(), Errc::parse_error);
+  EXPECT_EQ(Schematic::parse("port x sideways").code(), Errc::parse_error);
+  // comments and blanks are fine
+  EXPECT_TRUE(Schematic::parse("# comment\n\nnet n1\n").ok());
+}
+
+TEST(Schematic, Lookups) {
+  Schematic sch = buffer_schematic();
+  EXPECT_NE(sch.find_port("a"), nullptr);
+  EXPECT_EQ(sch.find_port("zz"), nullptr);
+  EXPECT_NE(sch.find_primitive("g0"), nullptr);
+  EXPECT_TRUE(sch.has_net("y"));
+  ASSERT_TRUE(sch.net_of("g0", "a").has_value());
+  EXPECT_EQ(*sch.net_of("g0", "a"), "a");
+  EXPECT_FALSE(sch.net_of("g0", "b").has_value());
+}
+
+TEST(Schematic, ValidateCatchesProblems) {
+  EXPECT_TRUE(buffer_schematic().validate().ok());
+  {
+    Schematic s = buffer_schematic();
+    s.nets.erase(s.nets.begin());  // port a has no net
+    EXPECT_EQ(s.validate().code(), Errc::consistency_violation);
+  }
+  {
+    Schematic s = buffer_schematic();
+    s.primitives.push_back({"g1", "FROB"});
+    EXPECT_EQ(s.validate().code(), Errc::invalid_argument);
+  }
+  {
+    Schematic s = buffer_schematic();
+    s.connections.push_back({"missing", "g0", "a"});
+    EXPECT_EQ(s.validate().code(), Errc::consistency_violation);
+  }
+  {
+    Schematic s = buffer_schematic();
+    s.connections.push_back({"y", "ghost", "a"});
+    EXPECT_EQ(s.validate().code(), Errc::consistency_violation);
+  }
+  {
+    Schematic s = buffer_schematic();
+    s.connections.push_back({"y", "g0", "a"});  // pin connected twice
+    EXPECT_EQ(s.validate().code(), Errc::consistency_violation);
+  }
+  {
+    Schematic s = buffer_schematic();
+    s.connections.push_back({"y", "g0", "weird_pin"});
+    EXPECT_EQ(s.validate().code(), Errc::invalid_argument);
+  }
+  {
+    Schematic s = buffer_schematic();
+    s.primitives.push_back({"g0", "AND"});  // duplicate element name
+    EXPECT_EQ(s.validate().code(), Errc::already_exists);
+  }
+}
+
+TEST(GateInfo, PinConventions) {
+  EXPECT_TRUE(is_known_gate("NAND"));
+  EXPECT_FALSE(is_known_gate("TRI"));
+  EXPECT_EQ(gate_input_pins("NOT"), std::vector<std::string>{"a"});
+  EXPECT_EQ(gate_input_pins("DFF"), (std::vector<std::string>{"d", "clk"}));
+  EXPECT_EQ(gate_input_pins("XOR"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(gate_output_pin("DFF"), "q");
+  EXPECT_EQ(gate_output_pin("AND"), "y");
+}
+
+class SchematicToolTest : public ::testing::Test {
+ protected:
+  fmcad::DesignFile doc() {
+    fmcad::DesignFile d;
+    d.cell = "alu";
+    d.view = "schematic";
+    d.viewtype = "schematic";
+    return d;
+  }
+  fmcad::DesignFile apply_ok(fmcad::DesignFile d, const std::string& cmd,
+                             const std::vector<std::string>& args) {
+    auto out = tool.apply(d, cmd, args);
+    EXPECT_TRUE(out.ok()) << cmd << ": " << (out.ok() ? "" : out.error().to_text());
+    return out.ok() ? *out : d;
+  }
+  SchematicTool tool;
+};
+
+TEST_F(SchematicToolTest, BuildsValidDocument) {
+  auto d = doc();
+  d = apply_ok(d, "add-port", {"a", "in"});
+  d = apply_ok(d, "add-port", {"y", "out"});
+  d = apply_ok(d, "add-prim", {"g0", "NOT"});
+  d = apply_ok(d, "connect", {"a", "g0", "a"});
+  d = apply_ok(d, "connect", {"y", "g0", "y"});
+  EXPECT_TRUE(tool.validate(d).ok());
+  auto sch = Schematic::parse(d.payload);
+  ASSERT_TRUE(sch.ok());
+  EXPECT_EQ(sch->primitives.size(), 1u);
+}
+
+TEST_F(SchematicToolTest, UsesListTracksInstances) {
+  auto d = doc();
+  d = apply_ok(d, "add-instance", {"u0", "child", "schematic"});
+  ASSERT_EQ(d.uses.size(), 1u);
+  EXPECT_EQ(d.uses[0].cell, "child");
+  d = apply_ok(d, "add-instance", {"u1", "child", "schematic"});
+  EXPECT_EQ(d.uses.size(), 1u);  // same master once
+  d = apply_ok(d, "remove-instance", {"u0"});
+  EXPECT_EQ(d.uses.size(), 1u);  // u1 still uses it
+  d = apply_ok(d, "remove-instance", {"u1"});
+  EXPECT_TRUE(d.uses.empty());
+}
+
+TEST_F(SchematicToolTest, ValidateChecksUsesSync) {
+  auto d = doc();
+  d = apply_ok(d, "add-instance", {"u0", "child", "schematic"});
+  d.uses.clear();  // sabotage the envelope
+  auto st = tool.validate(d);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::consistency_violation);
+}
+
+TEST_F(SchematicToolTest, CommandErrors) {
+  auto d = doc();
+  EXPECT_EQ(tool.apply(d, "add-port", {"p", "weird"}).code(), Errc::parse_error);
+  EXPECT_EQ(tool.apply(d, "add-prim", {"g", "FROB"}).code(), Errc::invalid_argument);
+  EXPECT_EQ(tool.apply(d, "connect", {"nope", "g", "a"}).code(), Errc::not_found);
+  EXPECT_EQ(tool.apply(d, "frobnicate", {}).code(), Errc::not_found);
+  EXPECT_EQ(tool.apply(d, "add-instance", {"u0", "alu", "schematic"}).code(),
+            Errc::consistency_violation);  // self-instantiation
+  d = apply_ok(d, "add-net", {"n"});
+  EXPECT_EQ(tool.apply(d, "add-net", {"n"}).code(), Errc::already_exists);
+  EXPECT_EQ(tool.apply(d, "remove-instance", {"ghost"}).code(), Errc::not_found);
+  EXPECT_EQ(tool.apply(d, "disconnect", {"n", "g", "a"}).code(), Errc::not_found);
+}
+
+TEST_F(SchematicToolTest, RenameNetUpdatesConnections) {
+  auto d = doc();
+  d = apply_ok(d, "add-net", {"old"});
+  d = apply_ok(d, "add-prim", {"g0", "BUF"});
+  d = apply_ok(d, "connect", {"old", "g0", "a"});
+  d = apply_ok(d, "rename-net", {"old", "new"});
+  auto sch = Schematic::parse(d.payload);
+  ASSERT_TRUE(sch.ok());
+  EXPECT_TRUE(sch->has_net("new"));
+  EXPECT_FALSE(sch->has_net("old"));
+  EXPECT_EQ(*sch->net_of("g0", "a"), "new");
+  // port nets cannot be renamed
+  d = apply_ok(d, "add-port", {"p", "in"});
+  EXPECT_EQ(tool.apply(d, "rename-net", {"p", "q"}).code(), Errc::consistency_violation);
+}
+
+}  // namespace
+}  // namespace jfm::tools

@@ -1,0 +1,183 @@
+// The event-driven simulator kernel: scheduling, propagation delays,
+// DFF edge behaviour, traces and determinism.
+
+#include <gtest/gtest.h>
+
+#include "jfm/tools/simulator.hpp"
+
+namespace jfm::tools {
+namespace {
+
+using support::Errc;
+
+Circuit inverter_chain(int stages) {
+  Circuit c;
+  int in = c.add_signal("in");
+  int prev = in;
+  for (int i = 0; i < stages; ++i) {
+    int out = c.add_signal("s" + std::to_string(i));
+    c.gates.push_back({"NOT", {prev}, out, 1});
+    prev = out;
+  }
+  return c;
+}
+
+TEST(Circuit, SignalManagement) {
+  Circuit c;
+  int a = c.add_signal("a");
+  EXPECT_EQ(c.add_signal("a"), a);  // idempotent
+  EXPECT_EQ(c.find_signal("a"), a);
+  EXPECT_EQ(c.find_signal("zz"), -1);
+  EXPECT_EQ(c.signal_count(), 1u);
+}
+
+TEST(Circuit, UndrivenSignalsAndSingleDriver) {
+  Circuit c = inverter_chain(2);
+  auto undriven = c.undriven_signals();
+  ASSERT_EQ(undriven.size(), 1u);
+  EXPECT_EQ(c.signal_names[static_cast<std::size_t>(undriven[0])], "in");
+  EXPECT_TRUE(c.check_single_driver().ok());
+  // add a second driver onto s0
+  c.gates.push_back({"BUF", {c.find_signal("in")}, c.find_signal("s0"), 1});
+  EXPECT_EQ(c.check_single_driver().code(), Errc::consistency_violation);
+}
+
+TEST(Simulator, CombinationalPropagationWithDelay) {
+  Simulator sim(inverter_chain(3));
+  ASSERT_TRUE(sim.inject(0, "in", Logic::L0).ok());
+  ASSERT_TRUE(sim.run(100).ok());
+  // in=0 -> s0=1 at t1 -> s1=0 at t2 -> s2=1 at t3
+  EXPECT_EQ(*sim.value("s0"), Logic::L1);
+  EXPECT_EQ(*sim.value("s1"), Logic::L0);
+  EXPECT_EQ(*sim.value("s2"), Logic::L1);
+  EXPECT_EQ(sim.stats().last_event_time, 3u);
+}
+
+TEST(Simulator, RunStopsAtDeadline) {
+  Simulator sim(inverter_chain(10));
+  ASSERT_TRUE(sim.inject(0, "in", Logic::L1).ok());
+  ASSERT_TRUE(sim.run(4).ok());
+  // only 4 stages settled; later stages still X
+  EXPECT_EQ(*sim.value("s3"), Logic::L1);
+  EXPECT_EQ(*sim.value("s5"), Logic::X);
+}
+
+TEST(Simulator, InjectValidation) {
+  Simulator sim(inverter_chain(1));
+  EXPECT_EQ(sim.inject(0, "ghost", Logic::L0).code(), Errc::not_found);
+  EXPECT_EQ(sim.inject(0, 99, Logic::L0).code(), Errc::not_found);
+  ASSERT_TRUE(sim.inject(5, "in", Logic::L1).ok());
+  ASSERT_TRUE(sim.run(10).ok());
+  EXPECT_EQ(sim.inject(2, "in", Logic::L0).code(), Errc::invalid_argument);  // past
+}
+
+TEST(Simulator, TraceRecordsTransitionsInOrder) {
+  Simulator sim(inverter_chain(1));
+  ASSERT_TRUE(sim.inject(0, "in", Logic::L0).ok());
+  ASSERT_TRUE(sim.inject(10, "in", Logic::L1).ok());
+  ASSERT_TRUE(sim.run(100).ok());
+  const auto& trace = sim.trace();
+  ASSERT_EQ(trace.size(), 4u);  // in:0, s0:1, in:1, s0:0
+  EXPECT_EQ(trace[0].time, 0u);
+  EXPECT_EQ(trace[1].time, 1u);
+  EXPECT_EQ(trace[2].time, 10u);
+  EXPECT_EQ(trace[3].time, 11u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].time, trace[i].time);
+  }
+}
+
+TEST(Simulator, RedundantEventsSuppressed) {
+  Simulator sim(inverter_chain(1));
+  ASSERT_TRUE(sim.inject(0, "in", Logic::L0).ok());
+  ASSERT_TRUE(sim.inject(5, "in", Logic::L0).ok());  // no change
+  ASSERT_TRUE(sim.run(100).ok());
+  EXPECT_EQ(sim.trace().size(), 2u);  // in once, s0 once
+}
+
+TEST(Simulator, DffSamplesOnRisingEdgeOnly) {
+  Circuit c;
+  int d = c.add_signal("d");
+  int clk = c.add_signal("clk");
+  int q = c.add_signal("q");
+  c.gates.push_back({"DFF", {d, clk}, q, 1});
+  Simulator sim(std::move(c));
+  ASSERT_TRUE(sim.inject(0, "clk", Logic::L0).ok());
+  ASSERT_TRUE(sim.inject(0, "d", Logic::L1).ok());
+  ASSERT_TRUE(sim.inject(10, "clk", Logic::L1).ok());  // rising: q <- 1
+  ASSERT_TRUE(sim.inject(20, "d", Logic::L0).ok());    // no edge: q stays
+  ASSERT_TRUE(sim.inject(30, "clk", Logic::L0).ok());  // falling: q stays
+  ASSERT_TRUE(sim.run(50).ok());
+  EXPECT_EQ(*sim.value("q"), Logic::L1);
+  // next rising edge captures the new d
+  ASSERT_TRUE(sim.inject(60, "clk", Logic::L1).ok());
+  ASSERT_TRUE(sim.run(70).ok());
+  EXPECT_EQ(*sim.value("q"), Logic::L0);
+}
+
+TEST(Simulator, DffIgnoresXToOneClockTransition) {
+  Circuit c;
+  int d = c.add_signal("d");
+  int clk = c.add_signal("clk");
+  int q = c.add_signal("q");
+  c.gates.push_back({"DFF", {d, clk}, q, 1});
+  Simulator sim(std::move(c));
+  ASSERT_TRUE(sim.inject(0, "d", Logic::L1).ok());
+  ASSERT_TRUE(sim.inject(5, "clk", Logic::L1).ok());  // X -> 1 is not a clean edge
+  ASSERT_TRUE(sim.run(20).ok());
+  EXPECT_EQ(*sim.value("q"), Logic::X);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim(inverter_chain(8));
+    (void)sim.inject(0, "in", Logic::L0);
+    (void)sim.inject(7, "in", Logic::L1);
+    (void)sim.inject(13, "in", Logic::L0);
+    (void)sim.run(1000);
+    std::string out;
+    for (const auto& change : sim.trace()) {
+      out += std::to_string(change.time) + ":" + std::to_string(change.signal) +
+             to_char(change.value) + ";";
+    }
+    return out;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Simulator, OscillatorHitsEventLimit) {
+  // a NOT gate feeding itself oscillates forever
+  Circuit c;
+  int s = c.add_signal("s");
+  c.gates.push_back({"NOT", {s}, s, 1});
+  Simulator sim(std::move(c));
+  ASSERT_TRUE(sim.inject(0, "s", Logic::L0).ok());
+  auto result = sim.run(std::numeric_limits<SimTime>::max());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::internal);
+}
+
+TEST(Simulator, GlitchPropagation) {
+  // two paths of different delay into an XOR create a transient pulse
+  Circuit c;
+  int in = c.add_signal("in");
+  int slow = c.add_signal("slow");
+  int out = c.add_signal("out");
+  c.gates.push_back({"BUF", {in}, slow, 3});
+  c.gates.push_back({"XOR", {in, slow}, out, 1});
+  Simulator sim(std::move(c));
+  ASSERT_TRUE(sim.inject(0, "in", Logic::L0).ok());
+  ASSERT_TRUE(sim.run(10).ok());
+  ASSERT_TRUE(sim.inject(20, "in", Logic::L1).ok());
+  ASSERT_TRUE(sim.run(100).ok());
+  // the glitch: out went 1 (in changed) then back 0 (slow caught up)
+  int pulses = 0;
+  for (const auto& change : sim.trace()) {
+    if (change.signal == 2 && change.value == Logic::L1) ++pulses;
+  }
+  EXPECT_EQ(pulses, 1);
+  EXPECT_EQ(*sim.value("out"), Logic::L0);
+}
+
+}  // namespace
+}  // namespace jfm::tools

@@ -1,0 +1,141 @@
+// Property suite for the virtual file system: a random operation
+// sequence applied to both the vfs and a simple reference model
+// (path -> content map) must agree on every observable.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "jfm/support/rng.hpp"
+#include "jfm/vfs/filesystem.hpp"
+
+namespace jfm::vfs {
+namespace {
+
+struct Model {
+  std::set<std::string> dirs{"/"};
+  std::map<std::string, std::string> files;
+
+  static std::string parent_of(const std::string& path) {
+    auto pos = path.rfind('/');
+    return pos == 0 ? "/" : path.substr(0, pos);
+  }
+  bool exists(const std::string& path) const {
+    return dirs.contains(path) || files.contains(path);
+  }
+};
+
+struct VfsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VfsProperty, AgreesWithReferenceModel) {
+  support::SimClock clock;
+  FileSystem fs(&clock);
+  Model model;
+  support::Rng rng(GetParam());
+
+  // a small namespace of candidate paths keeps collisions frequent
+  std::vector<std::string> names = {"a", "b", "c", "d"};
+  auto random_path = [&] {
+    std::string path;
+    int depth = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < depth; ++i) path += "/" + names[rng.below(names.size())];
+    return path;
+  };
+
+  for (int op = 0; op < 400; ++op) {
+    const std::string path = random_path();
+    const Path vpath = *Path::parse(path);
+    switch (rng.below(5)) {
+      case 0: {  // mkdir
+        bool parent_ok = model.dirs.contains(Model::parent_of(path));
+        bool free = !model.exists(path);
+        auto st = fs.mkdir(vpath);
+        EXPECT_EQ(st.ok(), parent_ok && free) << "mkdir " << path << " op " << op;
+        if (st.ok()) model.dirs.insert(path);
+        break;
+      }
+      case 1: {  // write
+        bool parent_ok = model.dirs.contains(Model::parent_of(path));
+        bool not_dir = !model.dirs.contains(path);
+        std::string content = rng.identifier(1 + rng.below(16));
+        auto st = fs.write_file(vpath, content);
+        EXPECT_EQ(st.ok(), parent_ok && not_dir) << "write " << path << " op " << op;
+        if (st.ok()) model.files[path] = content;
+        break;
+      }
+      case 2: {  // read
+        auto content = fs.read_file(vpath);
+        auto it = model.files.find(path);
+        EXPECT_EQ(content.ok(), it != model.files.end()) << "read " << path << " op " << op;
+        if (content.ok()) EXPECT_EQ(*content, it->second);
+        break;
+      }
+      case 3: {  // remove (non-recursive)
+        bool is_file = model.files.contains(path);
+        bool is_empty_dir = model.dirs.contains(path) && [&] {
+          for (const auto& d : model.dirs) {
+            if (d != path && d.starts_with(path + "/")) return false;
+          }
+          for (const auto& [f, c] : model.files) {
+            if (f.starts_with(path + "/")) return false;
+          }
+          return true;
+        }();
+        auto st = fs.remove(vpath);
+        EXPECT_EQ(st.ok(), is_file || is_empty_dir) << "remove " << path << " op " << op;
+        if (st.ok()) {
+          model.files.erase(path);
+          model.dirs.erase(path);
+        }
+        break;
+      }
+      case 4: {  // stat / exists
+        EXPECT_EQ(fs.exists(vpath), model.exists(path)) << path;
+        auto st = fs.stat(vpath);
+        if (model.files.contains(path)) {
+          ASSERT_TRUE(st.ok());
+          EXPECT_FALSE(st->is_directory);
+          EXPECT_EQ(st->size, model.files[path].size());
+        } else if (model.dirs.contains(path)) {
+          ASSERT_TRUE(st.ok());
+          EXPECT_TRUE(st->is_directory);
+        } else {
+          EXPECT_FALSE(st.ok());
+        }
+        break;
+      }
+    }
+  }
+
+  // final sweep: every model file readable with exact content; listings
+  // contain exactly the model's children
+  for (const auto& [path, content] : model.files) {
+    auto read = fs.read_file(*Path::parse(path));
+    ASSERT_TRUE(read.ok()) << path;
+    EXPECT_EQ(*read, content);
+  }
+  for (const auto& dir : model.dirs) {
+    auto names_in_dir = fs.list(*Path::parse(dir));
+    ASSERT_TRUE(names_in_dir.ok()) << dir;
+    std::set<std::string> expected;
+    const std::string prefix = dir == "/" ? "/" : dir + "/";
+    for (const auto& d : model.dirs) {
+      if (d != dir && d.starts_with(prefix) && d.find('/', prefix.size()) == std::string::npos) {
+        expected.insert(d.substr(prefix.size()));
+      }
+    }
+    for (const auto& [f, c] : model.files) {
+      if (f.starts_with(prefix) && f.find('/', prefix.size()) == std::string::npos) {
+        expected.insert(f.substr(prefix.size()));
+      }
+    }
+    std::set<std::string> actual(names_in_dir->begin(), names_in_dir->end());
+    EXPECT_EQ(actual, expected) << dir;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VfsProperty, ::testing::Range<std::uint64_t>(300, 312));
+
+}  // namespace
+}  // namespace jfm::vfs

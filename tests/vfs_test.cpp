@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "jfm/vfs/filesystem.hpp"
+
+namespace jfm::vfs {
+namespace {
+
+using support::Errc;
+
+TEST(Path, ParseAndNormalize) {
+  auto p = Path::parse("/a/b/c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->str(), "/a/b/c");
+  EXPECT_EQ(p->basename(), "c");
+  EXPECT_EQ(p->depth(), 3u);
+  EXPECT_EQ(p->parent().str(), "/a/b");
+  auto trailing = Path::parse("/a/b/");
+  ASSERT_TRUE(trailing.ok());
+  EXPECT_EQ(trailing->str(), "/a/b");
+}
+
+TEST(Path, RejectsBadInput) {
+  EXPECT_FALSE(Path::parse("relative").ok());
+  EXPECT_FALSE(Path::parse("").ok());
+  EXPECT_FALSE(Path::parse("/a//b").ok());
+  EXPECT_FALSE(Path::parse("/a/../b").ok());
+  EXPECT_FALSE(Path::parse("/a/./b").ok());
+}
+
+TEST(Path, RootProperties) {
+  Path root;
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.str(), "/");
+  EXPECT_EQ(root.parent(), root);
+  EXPECT_EQ(root.basename(), "");
+}
+
+TEST(Path, ChildAndWithin) {
+  Path p = Path().child("a").child("b");
+  EXPECT_EQ(p.str(), "/a/b");
+  EXPECT_TRUE(p.is_within(Path().child("a")));
+  EXPECT_TRUE(p.is_within(p));
+  EXPECT_FALSE(Path().child("a").is_within(p));
+  EXPECT_THROW(Path().child("x/y"), std::invalid_argument);
+  EXPECT_THROW(Path().child(".."), std::invalid_argument);
+}
+
+class FsTest : public ::testing::Test {
+ protected:
+  support::SimClock clock;
+  FileSystem fs{&clock};
+  Path p(const char* text) { return *Path::parse(text); }
+};
+
+TEST_F(FsTest, MkdirRequiresParent) {
+  EXPECT_EQ(fs.mkdir(p("/a/b")).code(), Errc::not_found);
+  EXPECT_TRUE(fs.mkdir(p("/a")).ok());
+  EXPECT_TRUE(fs.mkdir(p("/a/b")).ok());
+  EXPECT_EQ(fs.mkdir(p("/a")).code(), Errc::already_exists);
+  EXPECT_TRUE(fs.is_directory(p("/a/b")));
+}
+
+TEST_F(FsTest, MkdirsCreatesChain) {
+  EXPECT_TRUE(fs.mkdirs(p("/x/y/z")).ok());
+  EXPECT_TRUE(fs.is_directory(p("/x/y/z")));
+  EXPECT_TRUE(fs.mkdirs(p("/x/y/z")).ok());  // idempotent
+}
+
+TEST_F(FsTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/f"), "hello").ok());
+  auto content = fs.read_file(p("/d/f"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello");
+  ASSERT_TRUE(fs.write_file(p("/d/f"), "replaced").ok());
+  EXPECT_EQ(*fs.read_file(p("/d/f")), "replaced");
+}
+
+TEST_F(FsTest, AppendCreatesOrExtends) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.append_file(p("/d/log"), "a").ok());
+  ASSERT_TRUE(fs.append_file(p("/d/log"), "b").ok());
+  EXPECT_EQ(*fs.read_file(p("/d/log")), "ab");
+}
+
+TEST_F(FsTest, StatReportsSizeAndMtimeOrder) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/a"), "12345").ok());
+  ASSERT_TRUE(fs.write_file(p("/d/b"), "x").ok());
+  auto sa = fs.stat(p("/d/a"));
+  auto sb = fs.stat(p("/d/b"));
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_EQ(sa->size, 5u);
+  EXPECT_FALSE(sa->is_directory);
+  EXPECT_LT(sa->mtime, sb->mtime);
+  EXPECT_EQ(fs.stat(p("/nope")).code(), Errc::not_found);
+}
+
+TEST_F(FsTest, ListSorted) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/z"), "").ok());
+  ASSERT_TRUE(fs.write_file(p("/d/a"), "").ok());
+  auto names = fs.list(p("/d"));
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 2u);
+  EXPECT_EQ((*names)[0], "a");
+  EXPECT_EQ((*names)[1], "z");
+  EXPECT_EQ(fs.list(p("/d/a")).code(), Errc::invalid_argument);
+}
+
+TEST_F(FsTest, RemoveSemantics) {
+  ASSERT_TRUE(fs.mkdirs(p("/d/sub")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/sub/f"), "x").ok());
+  EXPECT_EQ(fs.remove(p("/d")).code(), Errc::invalid_argument);  // non-empty
+  EXPECT_TRUE(fs.remove(p("/d"), /*recursive=*/true).ok());
+  EXPECT_FALSE(fs.exists(p("/d")));
+  EXPECT_EQ(fs.remove(p("/d")).code(), Errc::not_found);
+}
+
+TEST_F(FsTest, CopyFileMovesBytesAndCounts) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/src"), std::string(1000, 'q')).ok());
+  fs.reset_counters();
+  ASSERT_TRUE(fs.copy_file(p("/d/src"), p("/d/dst")).ok());
+  EXPECT_EQ(*fs.read_file(p("/d/dst")), std::string(1000, 'q'));
+  EXPECT_EQ(fs.counters().bytes_copied, 1000u);
+  EXPECT_EQ(fs.counters().files_copied, 1u);
+}
+
+TEST_F(FsTest, CopyTreeRecursive) {
+  ASSERT_TRUE(fs.mkdirs(p("/src/a/b")).ok());
+  ASSERT_TRUE(fs.write_file(p("/src/a/f1"), "one").ok());
+  ASSERT_TRUE(fs.write_file(p("/src/a/b/f2"), "two").ok());
+  ASSERT_TRUE(fs.copy_tree(p("/src"), p("/dst")).ok());
+  EXPECT_EQ(*fs.read_file(p("/dst/a/f1")), "one");
+  EXPECT_EQ(*fs.read_file(p("/dst/a/b/f2")), "two");
+  // copying into itself is refused
+  EXPECT_EQ(fs.copy_tree(p("/src"), p("/src/a/clone")).code(), Errc::invalid_argument);
+  // destination must not exist
+  EXPECT_EQ(fs.copy_tree(p("/src"), p("/dst")).code(), Errc::already_exists);
+}
+
+TEST_F(FsTest, TreeSizeAndWalk) {
+  ASSERT_TRUE(fs.mkdirs(p("/t/x")).ok());
+  ASSERT_TRUE(fs.write_file(p("/t/a"), "1234").ok());
+  ASSERT_TRUE(fs.write_file(p("/t/x/b"), "56").ok());
+  auto size = fs.tree_size(p("/t"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 6u);
+  auto files = fs.walk_files(p("/t"));
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 2u);
+  EXPECT_EQ((*files)[0].str(), "/t/a");
+  EXPECT_EQ((*files)[1].str(), "/t/x/b");
+}
+
+TEST_F(FsTest, QuotaEnforcedOnGrowth) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  fs.set_capacity(100);
+  ASSERT_TRUE(fs.write_file(p("/d/a"), std::string(60, 'x')).ok());
+  EXPECT_EQ(fs.used_bytes(), 60u);
+  // 60 + 50 > 100
+  auto st = fs.write_file(p("/d/b"), std::string(50, 'y'));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::io_error);
+  EXPECT_FALSE(fs.exists(p("/d/b")));  // no partial file
+  // shrinking an existing file always works, and frees space
+  ASSERT_TRUE(fs.write_file(p("/d/a"), std::string(10, 'x')).ok());
+  EXPECT_EQ(fs.used_bytes(), 10u);
+  EXPECT_TRUE(fs.write_file(p("/d/b"), std::string(50, 'y')).ok());
+  // append past the quota fails without corrupting the file
+  auto ap = fs.append_file(p("/d/b"), std::string(60, 'z'));
+  ASSERT_FALSE(ap.ok());
+  EXPECT_EQ(fs.read_file(p("/d/b"))->size(), 50u);
+  // remove releases quota
+  ASSERT_TRUE(fs.remove(p("/d/b")).ok());
+  EXPECT_EQ(fs.used_bytes(), 10u);
+  // copies are charged too
+  ASSERT_TRUE(fs.write_file(p("/d/big"), std::string(80, 'q')).ok());
+  EXPECT_EQ(fs.copy_file(p("/d/big"), p("/d/big2")).code(), Errc::io_error);
+  // lifting the quota unblocks everything
+  fs.set_capacity(0);
+  EXPECT_TRUE(fs.copy_file(p("/d/big"), p("/d/big2")).ok());
+}
+
+TEST_F(FsTest, ReadCountsBytes) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/f"), std::string(128, 'a')).ok());
+  fs.reset_counters();
+  (void)fs.read_file(p("/d/f"));
+  EXPECT_EQ(fs.counters().bytes_read, 128u);
+}
+
+}  // namespace
+}  // namespace jfm::vfs
