@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s31_concurrency.dir/bench_s31_concurrency.cpp.o"
+  "CMakeFiles/bench_s31_concurrency.dir/bench_s31_concurrency.cpp.o.d"
+  "bench_s31_concurrency"
+  "bench_s31_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s31_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

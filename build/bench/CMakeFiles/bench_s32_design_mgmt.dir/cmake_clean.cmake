@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s32_design_mgmt.dir/bench_s32_design_mgmt.cpp.o"
+  "CMakeFiles/bench_s32_design_mgmt.dir/bench_s32_design_mgmt.cpp.o.d"
+  "bench_s32_design_mgmt"
+  "bench_s32_design_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s32_design_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s32_design_mgmt.
+# This may be replaced when dependencies are built.

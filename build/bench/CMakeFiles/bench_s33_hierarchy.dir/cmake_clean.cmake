@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s33_hierarchy.dir/bench_s33_hierarchy.cpp.o"
+  "CMakeFiles/bench_s33_hierarchy.dir/bench_s33_hierarchy.cpp.o.d"
+  "bench_s33_hierarchy"
+  "bench_s33_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s33_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s34_ui_burden.dir/bench_s34_ui_burden.cpp.o"
+  "CMakeFiles/bench_s34_ui_burden.dir/bench_s34_ui_burden.cpp.o.d"
+  "bench_s34_ui_burden"
+  "bench_s34_ui_burden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s34_ui_burden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s34_ui_burden.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s35_flow_derivation.dir/bench_s35_flow_derivation.cpp.o"
+  "CMakeFiles/bench_s35_flow_derivation.dir/bench_s35_flow_derivation.cpp.o.d"
+  "bench_s35_flow_derivation"
+  "bench_s35_flow_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s35_flow_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

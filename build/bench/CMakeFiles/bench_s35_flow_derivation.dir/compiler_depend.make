@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_s35_flow_derivation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s36_copy_overhead.dir/bench_s36_copy_overhead.cpp.o"
+  "CMakeFiles/bench_s36_copy_overhead.dir/bench_s36_copy_overhead.cpp.o.d"
+  "bench_s36_copy_overhead"
+  "bench_s36_copy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s36_copy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_team.dir/concurrent_team.cpp.o"
+  "CMakeFiles/concurrent_team.dir/concurrent_team.cpp.o.d"
+  "concurrent_team"
+  "concurrent_team.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

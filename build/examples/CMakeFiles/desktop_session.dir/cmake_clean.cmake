@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desktop_session.dir/desktop_session.cpp.o"
+  "CMakeFiles/desktop_session.dir/desktop_session.cpp.o.d"
+  "desktop_session"
+  "desktop_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desktop_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_admin.dir/framework_admin.cpp.o"
+  "CMakeFiles/framework_admin.dir/framework_admin.cpp.o.d"
+  "framework_admin"
+  "framework_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

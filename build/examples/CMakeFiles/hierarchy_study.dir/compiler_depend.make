@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hierarchy_study.
+# This may be replaced when dependencies are built.

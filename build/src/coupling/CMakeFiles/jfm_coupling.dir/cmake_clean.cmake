@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_coupling.dir/src/desktop.cpp.o"
+  "CMakeFiles/jfm_coupling.dir/src/desktop.cpp.o.d"
+  "CMakeFiles/jfm_coupling.dir/src/hierarchy_sync.cpp.o"
+  "CMakeFiles/jfm_coupling.dir/src/hierarchy_sync.cpp.o.d"
+  "CMakeFiles/jfm_coupling.dir/src/hybrid.cpp.o"
+  "CMakeFiles/jfm_coupling.dir/src/hybrid.cpp.o.d"
+  "CMakeFiles/jfm_coupling.dir/src/mapping.cpp.o"
+  "CMakeFiles/jfm_coupling.dir/src/mapping.cpp.o.d"
+  "CMakeFiles/jfm_coupling.dir/src/resolvers.cpp.o"
+  "CMakeFiles/jfm_coupling.dir/src/resolvers.cpp.o.d"
+  "CMakeFiles/jfm_coupling.dir/src/transfer.cpp.o"
+  "CMakeFiles/jfm_coupling.dir/src/transfer.cpp.o.d"
+  "libjfm_coupling.a"
+  "libjfm_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjfm_coupling.a"
+)

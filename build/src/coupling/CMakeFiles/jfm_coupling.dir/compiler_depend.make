@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jfm_coupling.
+# This may be replaced when dependencies are built.

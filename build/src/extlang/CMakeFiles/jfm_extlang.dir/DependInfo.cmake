@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extlang/src/builtins.cpp" "src/extlang/CMakeFiles/jfm_extlang.dir/src/builtins.cpp.o" "gcc" "src/extlang/CMakeFiles/jfm_extlang.dir/src/builtins.cpp.o.d"
+  "/root/repo/src/extlang/src/interpreter.cpp" "src/extlang/CMakeFiles/jfm_extlang.dir/src/interpreter.cpp.o" "gcc" "src/extlang/CMakeFiles/jfm_extlang.dir/src/interpreter.cpp.o.d"
+  "/root/repo/src/extlang/src/reader.cpp" "src/extlang/CMakeFiles/jfm_extlang.dir/src/reader.cpp.o" "gcc" "src/extlang/CMakeFiles/jfm_extlang.dir/src/reader.cpp.o.d"
+  "/root/repo/src/extlang/src/value.cpp" "src/extlang/CMakeFiles/jfm_extlang.dir/src/value.cpp.o" "gcc" "src/extlang/CMakeFiles/jfm_extlang.dir/src/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_extlang.dir/src/builtins.cpp.o"
+  "CMakeFiles/jfm_extlang.dir/src/builtins.cpp.o.d"
+  "CMakeFiles/jfm_extlang.dir/src/interpreter.cpp.o"
+  "CMakeFiles/jfm_extlang.dir/src/interpreter.cpp.o.d"
+  "CMakeFiles/jfm_extlang.dir/src/reader.cpp.o"
+  "CMakeFiles/jfm_extlang.dir/src/reader.cpp.o.d"
+  "CMakeFiles/jfm_extlang.dir/src/value.cpp.o"
+  "CMakeFiles/jfm_extlang.dir/src/value.cpp.o.d"
+  "libjfm_extlang.a"
+  "libjfm_extlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_extlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmcad/src/hierarchy.cpp" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/hierarchy.cpp.o" "gcc" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/hierarchy.cpp.o.d"
+  "/root/repo/src/fmcad/src/itc.cpp" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/itc.cpp.o" "gcc" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/itc.cpp.o.d"
+  "/root/repo/src/fmcad/src/library.cpp" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/library.cpp.o" "gcc" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/library.cpp.o.d"
+  "/root/repo/src/fmcad/src/meta.cpp" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/meta.cpp.o" "gcc" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/meta.cpp.o.d"
+  "/root/repo/src/fmcad/src/session.cpp" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/session.cpp.o" "gcc" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/session.cpp.o.d"
+  "/root/repo/src/fmcad/src/tool.cpp" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/tool.cpp.o" "gcc" "src/fmcad/CMakeFiles/jfm_fmcad.dir/src/tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/jfm_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/extlang/CMakeFiles/jfm_extlang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

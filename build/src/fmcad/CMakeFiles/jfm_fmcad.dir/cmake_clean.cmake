@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_fmcad.dir/src/hierarchy.cpp.o"
+  "CMakeFiles/jfm_fmcad.dir/src/hierarchy.cpp.o.d"
+  "CMakeFiles/jfm_fmcad.dir/src/itc.cpp.o"
+  "CMakeFiles/jfm_fmcad.dir/src/itc.cpp.o.d"
+  "CMakeFiles/jfm_fmcad.dir/src/library.cpp.o"
+  "CMakeFiles/jfm_fmcad.dir/src/library.cpp.o.d"
+  "CMakeFiles/jfm_fmcad.dir/src/meta.cpp.o"
+  "CMakeFiles/jfm_fmcad.dir/src/meta.cpp.o.d"
+  "CMakeFiles/jfm_fmcad.dir/src/session.cpp.o"
+  "CMakeFiles/jfm_fmcad.dir/src/session.cpp.o.d"
+  "CMakeFiles/jfm_fmcad.dir/src/tool.cpp.o"
+  "CMakeFiles/jfm_fmcad.dir/src/tool.cpp.o.d"
+  "libjfm_fmcad.a"
+  "libjfm_fmcad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_fmcad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

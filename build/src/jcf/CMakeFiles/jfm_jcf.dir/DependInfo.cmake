@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jcf/src/consistency.cpp" "src/jcf/CMakeFiles/jfm_jcf.dir/src/consistency.cpp.o" "gcc" "src/jcf/CMakeFiles/jfm_jcf.dir/src/consistency.cpp.o.d"
+  "/root/repo/src/jcf/src/flow.cpp" "src/jcf/CMakeFiles/jfm_jcf.dir/src/flow.cpp.o" "gcc" "src/jcf/CMakeFiles/jfm_jcf.dir/src/flow.cpp.o.d"
+  "/root/repo/src/jcf/src/project.cpp" "src/jcf/CMakeFiles/jfm_jcf.dir/src/project.cpp.o" "gcc" "src/jcf/CMakeFiles/jfm_jcf.dir/src/project.cpp.o.d"
+  "/root/repo/src/jcf/src/resources.cpp" "src/jcf/CMakeFiles/jfm_jcf.dir/src/resources.cpp.o" "gcc" "src/jcf/CMakeFiles/jfm_jcf.dir/src/resources.cpp.o.d"
+  "/root/repo/src/jcf/src/schema.cpp" "src/jcf/CMakeFiles/jfm_jcf.dir/src/schema.cpp.o" "gcc" "src/jcf/CMakeFiles/jfm_jcf.dir/src/schema.cpp.o.d"
+  "/root/repo/src/jcf/src/workspace.cpp" "src/jcf/CMakeFiles/jfm_jcf.dir/src/workspace.cpp.o" "gcc" "src/jcf/CMakeFiles/jfm_jcf.dir/src/workspace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/oms/CMakeFiles/jfm_oms.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/jfm_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_jcf.dir/src/consistency.cpp.o"
+  "CMakeFiles/jfm_jcf.dir/src/consistency.cpp.o.d"
+  "CMakeFiles/jfm_jcf.dir/src/flow.cpp.o"
+  "CMakeFiles/jfm_jcf.dir/src/flow.cpp.o.d"
+  "CMakeFiles/jfm_jcf.dir/src/project.cpp.o"
+  "CMakeFiles/jfm_jcf.dir/src/project.cpp.o.d"
+  "CMakeFiles/jfm_jcf.dir/src/resources.cpp.o"
+  "CMakeFiles/jfm_jcf.dir/src/resources.cpp.o.d"
+  "CMakeFiles/jfm_jcf.dir/src/schema.cpp.o"
+  "CMakeFiles/jfm_jcf.dir/src/schema.cpp.o.d"
+  "CMakeFiles/jfm_jcf.dir/src/workspace.cpp.o"
+  "CMakeFiles/jfm_jcf.dir/src/workspace.cpp.o.d"
+  "libjfm_jcf.a"
+  "libjfm_jcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_jcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

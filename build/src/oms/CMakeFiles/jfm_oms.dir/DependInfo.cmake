@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oms/src/dump.cpp" "src/oms/CMakeFiles/jfm_oms.dir/src/dump.cpp.o" "gcc" "src/oms/CMakeFiles/jfm_oms.dir/src/dump.cpp.o.d"
+  "/root/repo/src/oms/src/schema.cpp" "src/oms/CMakeFiles/jfm_oms.dir/src/schema.cpp.o" "gcc" "src/oms/CMakeFiles/jfm_oms.dir/src/schema.cpp.o.d"
+  "/root/repo/src/oms/src/store.cpp" "src/oms/CMakeFiles/jfm_oms.dir/src/store.cpp.o" "gcc" "src/oms/CMakeFiles/jfm_oms.dir/src/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/jfm_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

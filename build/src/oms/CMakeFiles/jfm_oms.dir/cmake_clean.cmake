@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_oms.dir/src/dump.cpp.o"
+  "CMakeFiles/jfm_oms.dir/src/dump.cpp.o.d"
+  "CMakeFiles/jfm_oms.dir/src/schema.cpp.o"
+  "CMakeFiles/jfm_oms.dir/src/schema.cpp.o.d"
+  "CMakeFiles/jfm_oms.dir/src/store.cpp.o"
+  "CMakeFiles/jfm_oms.dir/src/store.cpp.o.d"
+  "libjfm_oms.a"
+  "libjfm_oms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_oms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/src/clock.cpp" "src/support/CMakeFiles/jfm_support.dir/src/clock.cpp.o" "gcc" "src/support/CMakeFiles/jfm_support.dir/src/clock.cpp.o.d"
+  "/root/repo/src/support/src/error.cpp" "src/support/CMakeFiles/jfm_support.dir/src/error.cpp.o" "gcc" "src/support/CMakeFiles/jfm_support.dir/src/error.cpp.o.d"
+  "/root/repo/src/support/src/log.cpp" "src/support/CMakeFiles/jfm_support.dir/src/log.cpp.o" "gcc" "src/support/CMakeFiles/jfm_support.dir/src/log.cpp.o.d"
+  "/root/repo/src/support/src/rng.cpp" "src/support/CMakeFiles/jfm_support.dir/src/rng.cpp.o" "gcc" "src/support/CMakeFiles/jfm_support.dir/src/rng.cpp.o.d"
+  "/root/repo/src/support/src/strings.cpp" "src/support/CMakeFiles/jfm_support.dir/src/strings.cpp.o" "gcc" "src/support/CMakeFiles/jfm_support.dir/src/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_support.dir/src/clock.cpp.o"
+  "CMakeFiles/jfm_support.dir/src/clock.cpp.o.d"
+  "CMakeFiles/jfm_support.dir/src/error.cpp.o"
+  "CMakeFiles/jfm_support.dir/src/error.cpp.o.d"
+  "CMakeFiles/jfm_support.dir/src/log.cpp.o"
+  "CMakeFiles/jfm_support.dir/src/log.cpp.o.d"
+  "CMakeFiles/jfm_support.dir/src/rng.cpp.o"
+  "CMakeFiles/jfm_support.dir/src/rng.cpp.o.d"
+  "CMakeFiles/jfm_support.dir/src/strings.cpp.o"
+  "CMakeFiles/jfm_support.dir/src/strings.cpp.o.d"
+  "libjfm_support.a"
+  "libjfm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

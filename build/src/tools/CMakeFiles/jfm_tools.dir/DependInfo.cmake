@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/src/elaborate.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/elaborate.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/elaborate.cpp.o.d"
+  "/root/repo/src/tools/src/layout.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/layout.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/layout.cpp.o.d"
+  "/root/repo/src/tools/src/layout_tool.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/layout_tool.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/layout_tool.cpp.o.d"
+  "/root/repo/src/tools/src/logic.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/logic.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/logic.cpp.o.d"
+  "/root/repo/src/tools/src/lvs.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/lvs.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/lvs.cpp.o.d"
+  "/root/repo/src/tools/src/schematic.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/schematic.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/schematic.cpp.o.d"
+  "/root/repo/src/tools/src/schematic_tool.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/schematic_tool.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/schematic_tool.cpp.o.d"
+  "/root/repo/src/tools/src/sim_tool.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/sim_tool.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/sim_tool.cpp.o.d"
+  "/root/repo/src/tools/src/simulator.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/simulator.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/simulator.cpp.o.d"
+  "/root/repo/src/tools/src/timing.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/timing.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/timing.cpp.o.d"
+  "/root/repo/src/tools/src/vcd.cpp" "src/tools/CMakeFiles/jfm_tools.dir/src/vcd.cpp.o" "gcc" "src/tools/CMakeFiles/jfm_tools.dir/src/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmcad/CMakeFiles/jfm_fmcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/jfm_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/extlang/CMakeFiles/jfm_extlang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

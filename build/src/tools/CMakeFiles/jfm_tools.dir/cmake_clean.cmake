@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_tools.dir/src/elaborate.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/elaborate.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/layout.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/layout.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/layout_tool.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/layout_tool.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/logic.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/logic.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/lvs.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/lvs.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/schematic.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/schematic.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/schematic_tool.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/schematic_tool.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/sim_tool.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/sim_tool.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/simulator.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/timing.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/timing.cpp.o.d"
+  "CMakeFiles/jfm_tools.dir/src/vcd.cpp.o"
+  "CMakeFiles/jfm_tools.dir/src/vcd.cpp.o.d"
+  "libjfm_tools.a"
+  "libjfm_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_vfs.dir/src/filesystem.cpp.o"
+  "CMakeFiles/jfm_vfs.dir/src/filesystem.cpp.o.d"
+  "CMakeFiles/jfm_vfs.dir/src/path.cpp.o"
+  "CMakeFiles/jfm_vfs.dir/src/path.cpp.o.d"
+  "libjfm_vfs.a"
+  "libjfm_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

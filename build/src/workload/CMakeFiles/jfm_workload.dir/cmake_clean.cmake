@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfm_workload.dir/src/contention.cpp.o"
+  "CMakeFiles/jfm_workload.dir/src/contention.cpp.o.d"
+  "CMakeFiles/jfm_workload.dir/src/generators.cpp.o"
+  "CMakeFiles/jfm_workload.dir/src/generators.cpp.o.d"
+  "libjfm_workload.a"
+  "libjfm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

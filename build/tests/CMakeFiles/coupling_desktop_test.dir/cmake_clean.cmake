@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_desktop_test.dir/coupling_desktop_test.cpp.o"
+  "CMakeFiles/coupling_desktop_test.dir/coupling_desktop_test.cpp.o.d"
+  "coupling_desktop_test"
+  "coupling_desktop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_desktop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

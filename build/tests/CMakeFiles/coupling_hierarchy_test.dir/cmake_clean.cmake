@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_hierarchy_test.dir/coupling_hierarchy_test.cpp.o"
+  "CMakeFiles/coupling_hierarchy_test.dir/coupling_hierarchy_test.cpp.o.d"
+  "coupling_hierarchy_test"
+  "coupling_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

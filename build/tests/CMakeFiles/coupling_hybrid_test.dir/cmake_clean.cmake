@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_hybrid_test.dir/coupling_hybrid_test.cpp.o"
+  "CMakeFiles/coupling_hybrid_test.dir/coupling_hybrid_test.cpp.o.d"
+  "coupling_hybrid_test"
+  "coupling_hybrid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

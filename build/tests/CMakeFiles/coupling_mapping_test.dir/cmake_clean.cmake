@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_mapping_test.dir/coupling_mapping_test.cpp.o"
+  "CMakeFiles/coupling_mapping_test.dir/coupling_mapping_test.cpp.o.d"
+  "coupling_mapping_test"
+  "coupling_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

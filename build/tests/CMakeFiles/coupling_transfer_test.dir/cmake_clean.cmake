@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_transfer_test.dir/coupling_transfer_test.cpp.o"
+  "CMakeFiles/coupling_transfer_test.dir/coupling_transfer_test.cpp.o.d"
+  "coupling_transfer_test"
+  "coupling_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extlang_test.dir/extlang_test.cpp.o"
+  "CMakeFiles/extlang_test.dir/extlang_test.cpp.o.d"
+  "extlang_test"
+  "extlang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extlang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

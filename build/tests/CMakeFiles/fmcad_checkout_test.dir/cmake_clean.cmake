@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmcad_checkout_test.dir/fmcad_checkout_test.cpp.o"
+  "CMakeFiles/fmcad_checkout_test.dir/fmcad_checkout_test.cpp.o.d"
+  "fmcad_checkout_test"
+  "fmcad_checkout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmcad_checkout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

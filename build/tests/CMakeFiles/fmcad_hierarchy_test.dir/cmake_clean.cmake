@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmcad_hierarchy_test.dir/fmcad_hierarchy_test.cpp.o"
+  "CMakeFiles/fmcad_hierarchy_test.dir/fmcad_hierarchy_test.cpp.o.d"
+  "fmcad_hierarchy_test"
+  "fmcad_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmcad_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmcad_library_test.dir/fmcad_library_test.cpp.o"
+  "CMakeFiles/fmcad_library_test.dir/fmcad_library_test.cpp.o.d"
+  "fmcad_library_test"
+  "fmcad_library_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmcad_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmcad_meta_test.dir/fmcad_meta_test.cpp.o"
+  "CMakeFiles/fmcad_meta_test.dir/fmcad_meta_test.cpp.o.d"
+  "fmcad_meta_test"
+  "fmcad_meta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmcad_meta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

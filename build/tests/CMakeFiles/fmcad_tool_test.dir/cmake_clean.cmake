@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmcad_tool_test.dir/fmcad_tool_test.cpp.o"
+  "CMakeFiles/fmcad_tool_test.dir/fmcad_tool_test.cpp.o.d"
+  "fmcad_tool_test"
+  "fmcad_tool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmcad_tool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

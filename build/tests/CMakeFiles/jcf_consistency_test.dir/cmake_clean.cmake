@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcf_consistency_test.dir/jcf_consistency_test.cpp.o"
+  "CMakeFiles/jcf_consistency_test.dir/jcf_consistency_test.cpp.o.d"
+  "jcf_consistency_test"
+  "jcf_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcf_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcf_flow_test.dir/jcf_flow_test.cpp.o"
+  "CMakeFiles/jcf_flow_test.dir/jcf_flow_test.cpp.o.d"
+  "jcf_flow_test"
+  "jcf_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcf_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcf_project_test.dir/jcf_project_test.cpp.o"
+  "CMakeFiles/jcf_project_test.dir/jcf_project_test.cpp.o.d"
+  "jcf_project_test"
+  "jcf_project_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcf_project_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcf_resources_test.dir/jcf_resources_test.cpp.o"
+  "CMakeFiles/jcf_resources_test.dir/jcf_resources_test.cpp.o.d"
+  "jcf_resources_test"
+  "jcf_resources_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcf_resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcf_sharing_test.dir/jcf_sharing_test.cpp.o"
+  "CMakeFiles/jcf_sharing_test.dir/jcf_sharing_test.cpp.o.d"
+  "jcf_sharing_test"
+  "jcf_sharing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcf_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcf_workspace_test.dir/jcf_workspace_test.cpp.o"
+  "CMakeFiles/jcf_workspace_test.dir/jcf_workspace_test.cpp.o.d"
+  "jcf_workspace_test"
+  "jcf_workspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcf_workspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

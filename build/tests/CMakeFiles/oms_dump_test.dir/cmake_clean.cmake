@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oms_dump_test.dir/oms_dump_test.cpp.o"
+  "CMakeFiles/oms_dump_test.dir/oms_dump_test.cpp.o.d"
+  "oms_dump_test"
+  "oms_dump_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oms_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/oms_store_test.cpp" "tests/CMakeFiles/oms_store_test.dir/oms_store_test.cpp.o" "gcc" "tests/CMakeFiles/oms_store_test.dir/oms_store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/jfm_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/oms/CMakeFiles/jfm_oms.dir/DependInfo.cmake"
+  "/root/repo/build/src/extlang/CMakeFiles/jfm_extlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmcad/CMakeFiles/jfm_fmcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/jfm_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/jcf/CMakeFiles/jfm_jcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/coupling/CMakeFiles/jfm_coupling.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jfm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oms_store_test.dir/oms_store_test.cpp.o"
+  "CMakeFiles/oms_store_test.dir/oms_store_test.cpp.o.d"
+  "oms_store_test"
+  "oms_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oms_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

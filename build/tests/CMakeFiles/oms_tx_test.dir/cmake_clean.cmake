@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oms_tx_test.dir/oms_tx_test.cpp.o"
+  "CMakeFiles/oms_tx_test.dir/oms_tx_test.cpp.o.d"
+  "oms_tx_test"
+  "oms_tx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oms_tx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_elaborate_test.dir/tools_elaborate_test.cpp.o"
+  "CMakeFiles/tools_elaborate_test.dir/tools_elaborate_test.cpp.o.d"
+  "tools_elaborate_test"
+  "tools_elaborate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_elaborate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

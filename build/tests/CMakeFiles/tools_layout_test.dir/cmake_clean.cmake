@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_layout_test.dir/tools_layout_test.cpp.o"
+  "CMakeFiles/tools_layout_test.dir/tools_layout_test.cpp.o.d"
+  "tools_layout_test"
+  "tools_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_sim_property_test.dir/tools_sim_property_test.cpp.o"
+  "CMakeFiles/tools_sim_property_test.dir/tools_sim_property_test.cpp.o.d"
+  "tools_sim_property_test"
+  "tools_sim_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_sim_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

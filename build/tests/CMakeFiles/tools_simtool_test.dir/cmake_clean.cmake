@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_simtool_test.dir/tools_simtool_test.cpp.o"
+  "CMakeFiles/tools_simtool_test.dir/tools_simtool_test.cpp.o.d"
+  "tools_simtool_test"
+  "tools_simtool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_simtool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_simulator_test.dir/tools_simulator_test.cpp.o"
+  "CMakeFiles/tools_simulator_test.dir/tools_simulator_test.cpp.o.d"
+  "tools_simulator_test"
+  "tools_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_vcd_test.dir/tools_vcd_test.cpp.o"
+  "CMakeFiles/tools_vcd_test.dir/tools_vcd_test.cpp.o.d"
+  "tools_vcd_test"
+  "tools_vcd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_vcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_property_test.dir/vfs_property_test.cpp.o"
+  "CMakeFiles/vfs_property_test.dir/vfs_property_test.cpp.o.d"
+  "vfs_property_test"
+  "vfs_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
