@@ -19,6 +19,7 @@
 //   share <to-project> <from-project> <cell>
 //   edit <tool-command> [args...]        (queued for the next run)
 //   run <project> <cell> <activity> <designer> [force]
+//   checkout <project> <cell> <designer>   (batched hierarchy export)
 //   derivations <project> <cell>
 //   check <project>
 //   echo <text...>

@@ -44,6 +44,12 @@ namespace jfm::coupling {
 struct HybridConfig {
   /// Paper behaviour: stage every transfer through the file system.
   bool copy_through_filesystem = true;
+  /// This repo's fix for the s3.6 read-only copy tax: content-addressed
+  /// transfer cache -- re-opening an unchanged design object version
+  /// moves zero bytes. Off by default so the paper's measured behaviour
+  /// stays the baseline; bench_s36 reports the ablation.
+  bool content_addressed_cache = false;
+  std::size_t transfer_cache_capacity = 128;
   /// Future work (s3.3): tools pass hierarchy to JCF procedurally.
   bool procedural_hierarchy_interface = false;
   /// Future JCF releases: accept non-isomorphic hierarchies.
@@ -159,9 +165,29 @@ class HybridFramework {
 
   /// Read the latest data of (cell, view) through the hybrid: the data
   /// are copied out of OMS even though nothing is modified (s3.6).
+  /// With content_addressed_cache enabled, a repeated open of an
+  /// unchanged version skips the copy entirely.
   support::Result<std::string> open_read_only(const std::string& project,
                                               const std::string& cell, const std::string& view,
                                               jcf::UserRef user);
+
+  /// Batched checkout of a whole CompOf hierarchy: every view of
+  /// `root_cell` and its transitive children is exported into
+  /// `dst_dir/<cell>_<view>` through TransferEngine::export_batch's
+  /// worker pool -- one call instead of one desktop round-trip per
+  /// cellview.
+  struct CheckoutReport {
+    std::size_t cells = 0;           ///< cells visited (root + children)
+    std::size_t requested = 0;       ///< cellviews with data to export
+    std::size_t exported = 0;        ///< successful exports
+    std::uint64_t bytes_exported = 0;
+    std::uint64_t cache_hits = 0;    ///< exports served without moving bytes
+    std::vector<std::string> failures;  ///< "cell/view: message"
+  };
+  support::Result<CheckoutReport> checkout_hierarchy(const std::string& project,
+                                                     const std::string& root_cell,
+                                                     jcf::UserRef user, const vfs::Path& dst_dir,
+                                                     std::size_t workers = 4);
 
   // -- analysis on the master's data ---------------------------------------
   /// Layout-versus-schematic comparison of a cell's two views, read out

@@ -12,6 +12,29 @@
 // destination, so each access moves the data twice. false is the
 // ablation: a hypothetical direct interface (which JCF 3.0's closed
 // architecture did not offer).
+//
+// content_addressed_cache = true is this repo's answer to the s3.6
+// bottleneck: exports are keyed by (design object version, FNV-1a
+// content hash). When an unchanged version is re-exported to a
+// destination that still holds the same bytes (verified by a cheap
+// hash, never a copy), the staging copy and the destination write are
+// skipped entirely. Entries are invalidated the moment import_file --
+// or anyone else -- publishes a new version of the design object
+// (JcfFramework::add_dov_created_listener).
+//
+// Thread-safety: one TransferEngine serializes its OMS/file-system
+// work behind an internal mutex, so export_batch may fan requests out
+// across a worker pool while an importer runs concurrently. The
+// underlying JcfFramework/FileSystem stay single-threaded; the engine
+// is their gatekeeper. Distinct engines sharing one framework must not
+// be driven from different threads at once.
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "jfm/fmcad/session.hpp"
 #include "jfm/jcf/framework.hpp"
@@ -25,34 +48,99 @@ struct TransferStats {
   std::uint64_t bytes_exported = 0;
   std::uint64_t bytes_imported = 0;
   std::uint64_t staging_copies = 0;  ///< extra copies through the transfer dir
+  // content-addressed cache accounting
+  std::uint64_t cache_hits = 0;          ///< exports served without moving bytes
+  std::uint64_t cache_misses = 0;        ///< cache consulted, copy still required
+  std::uint64_t cache_evictions = 0;     ///< entries dropped by the LRU bound
+  std::uint64_t cache_invalidations = 0; ///< entries dropped by version change
+  std::uint64_t bytes_saved = 0;         ///< payload bytes a hit did NOT move
+};
+
+struct TransferOptions {
+  bool copy_through_filesystem = true;   ///< paper behaviour (s2.1)
+  bool content_addressed_cache = false;  ///< skip re-exports of unchanged DOVs
+  std::size_t cache_capacity = 128;      ///< max cached (dov, dst) entries
+};
+
+/// One export request for the batched API.
+struct ExportRequest {
+  jcf::DovRef dov;
+  jcf::UserRef reader;
+  vfs::Path dst;
 };
 
 class TransferEngine {
  public:
   TransferEngine(jcf::JcfFramework* jcf, vfs::FileSystem* fs, vfs::Path transfer_dir,
                  bool copy_through_filesystem);
+  TransferEngine(jcf::JcfFramework* jcf, vfs::FileSystem* fs, vfs::Path transfer_dir,
+                 TransferOptions options);
+  ~TransferEngine();
+  TransferEngine(const TransferEngine&) = delete;
+  TransferEngine& operator=(const TransferEngine&) = delete;
 
   /// OMS -> file: materialize a design object version at `dst`.
   /// The caller provides the reading user (workspace rules apply).
   support::Status export_dov(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst);
 
+  /// Batched export: fan `items` out across a small worker pool and
+  /// return one Status per item (same order). The desktop/hybrid layer
+  /// uses this to check out a whole hierarchy in one call.
+  std::vector<support::Status> export_batch(std::span<const ExportRequest> items,
+                                            std::size_t workers = 4);
+
   /// file -> OMS: store `src`'s content as a new version of `dobj`.
   support::Result<jcf::DovRef> import_file(const vfs::Path& src, jcf::DesignObjectRef dobj,
                                            jcf::UserRef writer);
 
+  /// Not safe to call while an export_batch/import is in flight on
+  /// another thread; use stats_snapshot() there.
   const TransferStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
-  bool copies_through_filesystem() const noexcept { return copy_through_filesystem_; }
+  TransferStats stats_snapshot() const;
+  void reset_stats();
+  bool copies_through_filesystem() const noexcept {
+    return options_.copy_through_filesystem;
+  }
+  const TransferOptions& options() const noexcept { return options_; }
+  std::size_t cache_size() const;
+  void clear_cache();
 
  private:
+  struct CacheEntry {
+    std::uint64_t content_hash = 0;
+    std::uint64_t bytes = 0;
+    oms::ObjectId dobj;      // owning design object, for invalidation
+    std::uint64_t last_used = 0;
+  };
+  using CacheKey = std::pair<oms::ObjectId, std::string>;  // (dov, dst path)
+
   vfs::Path staging_file(const std::string& tag);
+  support::Status export_locked(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst);
+  /// True when (dov, dst) is cached with `hash` and dst still holds
+  /// those bytes. Takes cache_mu_; caller holds mu_.
+  bool cache_probe(jcf::DovRef dov, const vfs::Path& dst, std::uint64_t hash,
+                   std::uint64_t size);
+  void cache_store(jcf::DovRef dov, const vfs::Path& dst, std::uint64_t hash,
+                   std::uint64_t size);
+  void invalidate_dobj(oms::ObjectId dobj);
 
   jcf::JcfFramework* jcf_;
   vfs::FileSystem* fs_;
   vfs::Path transfer_dir_;
-  bool copy_through_filesystem_;
+  TransferOptions options_;
+  std::uint64_t listener_token_ = 0;
+
+  // mu_ serializes all OMS/file-system traffic plus the transfer
+  // counters; cache_mu_ guards only the cache map and its counters so
+  // the jcf invalidation hook (which may fire while mu_ is held by an
+  // import on this or another engine) never needs mu_. Lock order:
+  // mu_ before cache_mu_, never the reverse.
+  mutable std::mutex mu_;
+  mutable std::mutex cache_mu_;
   TransferStats stats_;
   std::uint64_t stage_counter_ = 0;
+  std::map<CacheKey, CacheEntry> cache_;
+  std::uint64_t cache_tick_ = 0;
 };
 
 }  // namespace jfm::coupling

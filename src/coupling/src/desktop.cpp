@@ -142,6 +142,21 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     for (const auto& window : run->consistency_windows) say("  [window] " + window);
     return {};
   }
+  if (cmd == "checkout") {
+    if (words.size() != 4) return usage("checkout <project> <cell> <designer>");
+    auto user = hybrid_->jcf().find_user(words[3]);
+    if (!user.ok()) return Status(user.error());
+    vfs::Path dst = vfs::Path().child("scratch").child("checkout_" + words[2]);
+    auto report = hybrid_->checkout_hierarchy(words[1], words[2], *user, dst);
+    if (!report.ok()) return Status(report.error());
+    say("checked out " + words[2] + " hierarchy: " + std::to_string(report->exported) + "/" +
+        std::to_string(report->requested) + " cellviews from " +
+        std::to_string(report->cells) + " cell(s), " +
+        std::to_string(report->bytes_exported) + " bytes, " +
+        std::to_string(report->cache_hits) + " cache hit(s)");
+    for (const auto& failure : report->failures) say("  [failed] " + failure);
+    return {};
+  }
   if (cmd == "derivations") {
     if (words.size() != 3) return usage("derivations <project> <cell>");
     auto rows = hybrid_->derivation_report(words[1], words[2]);

@@ -33,8 +33,12 @@ HybridFramework::HybridFramework(HybridConfig config)
   (void)fs_.mkdirs(root_path("fmcad"));
   (void)fs_.mkdirs(root_path("transfer"));
   (void)fs_.mkdirs(root_path("scratch"));
+  TransferOptions transfer_options;
+  transfer_options.copy_through_filesystem = config_.copy_through_filesystem;
+  transfer_options.content_addressed_cache = config_.content_addressed_cache;
+  transfer_options.cache_capacity = config_.transfer_cache_capacity;
   transfer_ = std::make_unique<TransferEngine>(&jcf_, &fs_, root_path("transfer"),
-                                               config_.copy_through_filesystem);
+                                               transfer_options);
   hierarchy_ = std::make_unique<HierarchySubmitter>(
       &jcf_, config_.procedural_hierarchy_interface, config_.allow_non_isomorphic);
   auto sch = std::make_shared<tools::SchematicTool>();
@@ -755,8 +759,74 @@ Result<std::string> HybridFramework::open_read_only(const std::string& project,
     return forward_error<std::string>(st.error());
   }
   auto content = fs_.read_file(scratch);
-  (void)fs_.remove(scratch);
+  // With the cache on, the materialized file IS the cache body for the
+  // next open of this version; without it, mimic the paper and clean up.
+  if (!config_.content_addressed_cache) (void)fs_.remove(scratch);
   return content;
+}
+
+Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
+    const std::string& project, const std::string& root_cell, jcf::UserRef user,
+    const vfs::Path& dst_dir, std::size_t workers) {
+  using Report = Result<CheckoutReport>;
+  const ProjectCtx* ctx = project_ctx(project);
+  if (ctx == nullptr) return Report::failure(Errc::not_found, "project " + project);
+  auto root = jcf_.find_cell(ctx->ref, root_cell);
+  if (!root.ok()) return forward_error<CheckoutReport>(root.error());
+  if (auto st = fs_.mkdirs(dst_dir); !st.ok()) return forward_error<CheckoutReport>(st.error());
+
+  // Collect the CompOf closure: root cell + transitive children, each
+  // cell once (diamonds are legal in the hierarchy).
+  std::vector<std::string> cells;
+  std::set<std::string> seen;
+  std::vector<jcf::CellRef> frontier{*root};
+  while (!frontier.empty()) {
+    jcf::CellRef cell = frontier.back();
+    frontier.pop_back();
+    auto name = jcf_.name_of(cell.id);
+    if (!name.ok() || !seen.insert(*name).second) continue;
+    cells.push_back(*name);
+    auto cv = jcf_.latest_cell_version(cell);
+    if (!cv.ok()) continue;
+    auto kids = jcf_.children(*cv);
+    if (!kids.ok()) continue;
+    for (auto kid : *kids) {
+      auto kid_cell = jcf_.cell_of(kid);
+      if (kid_cell.ok()) frontier.push_back(*kid_cell);
+    }
+  }
+
+  CheckoutReport report;
+  report.cells = cells.size();
+  std::vector<ExportRequest> requests;
+  std::vector<std::string> labels;
+  for (const auto& cell : cells) {
+    auto variant = work_variant(project, cell);
+    if (!variant.ok()) continue;
+    for (const auto& view : standard_views()) {
+      auto dobj = jcf_.find_design_object(*variant, view);
+      if (!dobj.ok()) continue;
+      auto dov = jcf_.latest_dov(*dobj);
+      if (!dov.ok()) continue;  // view declared but never populated
+      requests.push_back({*dov, user, dst_dir.child(cell + "_" + view)});
+      labels.push_back(cell + "/" + view);
+    }
+  }
+  report.requested = requests.size();
+
+  const TransferStats before = transfer_->stats_snapshot();
+  auto statuses = transfer_->export_batch(requests, workers);
+  const TransferStats after = transfer_->stats_snapshot();
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) {
+      ++report.exported;
+    } else {
+      report.failures.push_back(labels[i] + ": " + statuses[i].error().to_text());
+    }
+  }
+  report.bytes_exported = after.bytes_exported - before.bytes_exported;
+  report.cache_hits = after.cache_hits - before.cache_hits;
+  return report;
 }
 
 Result<tools::LvsReport> HybridFramework::run_lvs(const std::string& project,

@@ -1,5 +1,8 @@
 #include "jfm/coupling/transfer.hpp"
 
+#include <atomic>
+#include <thread>
+
 namespace jfm::coupling {
 
 using support::Errc;
@@ -8,23 +11,114 @@ using support::Status;
 
 TransferEngine::TransferEngine(jcf::JcfFramework* jcf, vfs::FileSystem* fs,
                                vfs::Path transfer_dir, bool copy_through_filesystem)
-    : jcf_(jcf),
-      fs_(fs),
-      transfer_dir_(std::move(transfer_dir)),
-      copy_through_filesystem_(copy_through_filesystem) {
+    : TransferEngine(jcf, fs, std::move(transfer_dir),
+                     TransferOptions{.copy_through_filesystem = copy_through_filesystem}) {}
+
+TransferEngine::TransferEngine(jcf::JcfFramework* jcf, vfs::FileSystem* fs,
+                               vfs::Path transfer_dir, TransferOptions options)
+    : jcf_(jcf), fs_(fs), transfer_dir_(std::move(transfer_dir)), options_(options) {
   (void)fs_->mkdirs(transfer_dir_);
+  if (options_.content_addressed_cache) {
+    listener_token_ = jcf_->add_dov_created_listener(
+        [this](jcf::DesignObjectRef dobj, jcf::DovRef) { invalidate_dobj(dobj.id); });
+  }
+}
+
+TransferEngine::~TransferEngine() {
+  if (listener_token_ != 0) jcf_->remove_dov_created_listener(listener_token_);
 }
 
 vfs::Path TransferEngine::staging_file(const std::string& tag) {
   return transfer_dir_.child(tag + "_" + std::to_string(++stage_counter_) + ".xfer");
 }
 
+void TransferEngine::invalidate_dobj(oms::ObjectId dobj) {
+  std::lock_guard lock(cache_mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.dobj == dobj) {
+      it = cache_.erase(it);
+      ++stats_.cache_invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool TransferEngine::cache_probe(jcf::DovRef dov, const vfs::Path& dst, std::uint64_t hash,
+                                 std::uint64_t size) {
+  std::unique_lock lock(cache_mu_);
+  auto it = cache_.find(CacheKey(dov.id, dst.str()));
+  if (it == cache_.end() || it->second.content_hash != hash) {
+    ++stats_.cache_misses;
+    return false;
+  }
+  // The entry claims dst already holds these bytes; verify with a hash
+  // (O(size) at worst, O(1) when the fs has it memoized), never a copy.
+  // Anyone may have scribbled over dst since we materialized it.
+  lock.unlock();
+  auto on_disk = fs_->content_hash(dst);
+  lock.lock();
+  if (!on_disk.ok() || *on_disk != hash) {
+    cache_.erase(CacheKey(dov.id, dst.str()));
+    ++stats_.cache_misses;
+    return false;
+  }
+  it = cache_.find(CacheKey(dov.id, dst.str()));
+  if (it != cache_.end()) it->second.last_used = ++cache_tick_;
+  ++stats_.cache_hits;
+  stats_.bytes_saved += size;
+  return true;
+}
+
+void TransferEngine::cache_store(jcf::DovRef dov, const vfs::Path& dst, std::uint64_t hash,
+                                 std::uint64_t size) {
+  auto dobj = jcf_->design_object_of(dov);
+  std::lock_guard lock(cache_mu_);
+  CacheEntry entry;
+  entry.content_hash = hash;
+  entry.bytes = size;
+  if (dobj.ok()) entry.dobj = dobj->id;
+  entry.last_used = ++cache_tick_;
+  cache_[CacheKey(dov.id, dst.str())] = entry;
+  while (cache_.size() > options_.cache_capacity) {
+    auto victim = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    cache_.erase(victim);
+    ++stats_.cache_evictions;
+  }
+}
+
 Status TransferEngine::export_dov(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst) {
+  std::lock_guard lock(mu_);
+  return export_locked(dov, reader, dst);
+}
+
+Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
+                                     const vfs::Path& dst) {
   auto data = jcf_->dov_data(dov, reader);
   if (!data.ok()) return Status(data.error());
   ++stats_.exports;
   stats_.bytes_exported += data->size();
-  if (copy_through_filesystem_) {
+  if (options_.content_addressed_cache) {
+    const std::uint64_t hash = vfs::fnv1a(*data);
+    const std::uint64_t size = data->size();
+    if (cache_probe(dov, dst, hash, size)) return {};  // dst is already current
+    Status st;
+    if (options_.copy_through_filesystem) {
+      vfs::Path stage = staging_file("out");
+      if (auto ws = fs_->write_file(stage, std::move(*data)); !ws.ok()) return ws;
+      ++stats_.staging_copies;
+      st = fs_->copy_file(stage, dst);
+      (void)fs_->remove(stage);
+    } else {
+      st = fs_->write_file(dst, std::move(*data));
+    }
+    if (st.ok()) cache_store(dov, dst, hash, size);
+    return st;
+  }
+  if (options_.copy_through_filesystem) {
     // Stage in the transfer directory, then copy to the destination --
     // the payload crosses the file system twice, as in the paper.
     vfs::Path stage = staging_file("out");
@@ -37,12 +131,41 @@ Status TransferEngine::export_dov(jcf::DovRef dov, jcf::UserRef reader, const vf
   return fs_->write_file(dst, std::move(*data));
 }
 
+std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> items,
+                                                 std::size_t workers) {
+  std::vector<Status> results(items.size());
+  if (items.empty()) return results;
+  const std::size_t pool = std::min(workers == 0 ? std::size_t{1} : workers, items.size());
+  if (pool == 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      results[i] = export_dov(items[i].dov, items[i].reader, items[i].dst);
+    }
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size()) return;
+      // Each worker owns its result slot; the engine mutex serializes
+      // the shared OMS/file-system state underneath.
+      results[i] = export_dov(items[i].dov, items[i].reader, items[i].dst);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+  return results;
+}
+
 Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
                                                 jcf::DesignObjectRef dobj,
                                                 jcf::UserRef writer) {
+  std::lock_guard lock(mu_);
   vfs::Path read_from = src;
   vfs::Path stage;
-  if (copy_through_filesystem_) {
+  if (options_.copy_through_filesystem) {
     stage = staging_file("in");
     if (auto st = fs_->copy_file(src, stage); !st.ok()) {
       return Result<jcf::DovRef>::failure(st.error().code, st.error().message);
@@ -51,11 +174,33 @@ Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
     read_from = stage;
   }
   auto data = fs_->read_file(read_from);
-  if (copy_through_filesystem_) (void)fs_->remove(stage);
+  if (options_.copy_through_filesystem) (void)fs_->remove(stage);
   if (!data.ok()) return Result<jcf::DovRef>::failure(data.error().code, data.error().message);
   ++stats_.imports;
   stats_.bytes_imported += data->size();
+  // create_dov fires the version-change listeners, which invalidate the
+  // superseded cache entries (ours and any sibling engine's).
   return jcf_->create_dov(dobj, std::move(*data), writer);
+}
+
+TransferStats TransferEngine::stats_snapshot() const {
+  std::scoped_lock lock(mu_, cache_mu_);
+  return stats_;
+}
+
+void TransferEngine::reset_stats() {
+  std::scoped_lock lock(mu_, cache_mu_);
+  stats_ = {};
+}
+
+std::size_t TransferEngine::cache_size() const {
+  std::lock_guard lock(cache_mu_);
+  return cache_.size();
+}
+
+void TransferEngine::clear_cache() {
+  std::lock_guard lock(cache_mu_);
+  cache_.clear();
 }
 
 }  // namespace jfm::coupling

@@ -29,6 +29,15 @@ class Environment : public std::enable_shared_from_this<Environment> {
   /// Assign to the nearest scope that binds `name`; fails if unbound.
   support::Status assign(const std::string& name, Value value);
 
+  /// Drop every binding and the parent link. Lambdas close over their
+  /// defining environment while environments hold the lambdas that were
+  /// defined in them -- a reference cycle shared_ptr cannot collect.
+  /// The owning Interpreter calls this on teardown to break the cycles.
+  void clear_bindings() {
+    vars_.clear();
+    parent_.reset();
+  }
+
  private:
   std::map<std::string, Value, std::less<>> vars_;
   std::shared_ptr<Environment> parent_;
@@ -37,6 +46,9 @@ class Environment : public std::enable_shared_from_this<Environment> {
 class Interpreter {
  public:
   Interpreter();
+  ~Interpreter();
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
 
   /// Evaluate a whole program; returns the value of the last expression.
   support::Result<Value> eval_text(std::string_view program);
@@ -79,7 +91,12 @@ class Interpreter {
                                     int depth);
   support::Result<Value> apply_depth(const Value& callable, ValueList args, int depth);
 
+  /// Create a scope and remember it (weakly) so ~Interpreter can break
+  /// closure/environment reference cycles.
+  std::shared_ptr<Environment> make_env(std::shared_ptr<Environment> parent);
+
   std::shared_ptr<Environment> global_;
+  std::vector<std::weak_ptr<Environment>> env_registry_;
   std::map<std::string, std::vector<Value>, std::less<>> triggers_;
   std::vector<std::string> output_;
 };

@@ -41,7 +41,27 @@ Status Environment::assign(const std::string& name, Value value) {
 }
 
 Interpreter::Interpreter() : global_(std::make_shared<Environment>()) {
+  env_registry_.push_back(global_);
   install_core_builtins(*this);  // defined in builtins.cpp
+}
+
+Interpreter::~Interpreter() {
+  // Break closure<->environment cycles so every environment frees.
+  triggers_.clear();
+  for (auto& weak : env_registry_) {
+    if (auto env = weak.lock()) env->clear_bindings();
+  }
+}
+
+std::shared_ptr<Environment> Interpreter::make_env(std::shared_ptr<Environment> parent) {
+  auto env = std::make_shared<Environment>(std::move(parent));
+  // Amortized pruning keeps the registry proportional to the number of
+  // environments still alive, not the number ever created.
+  if (env_registry_.size() == env_registry_.capacity()) {
+    std::erase_if(env_registry_, [](const auto& weak) { return weak.expired(); });
+  }
+  env_registry_.push_back(env);
+  return env;
 }
 
 Result<Value> Interpreter::eval_text(std::string_view program) {
@@ -183,7 +203,7 @@ Result<Value> Interpreter::eval_list(const ValueList& form,
       if (form.size() < 3 || !form[1].is_list()) {
         return error(Errc::invalid_argument, "let expects bindings and a body");
       }
-      auto scope = std::make_shared<Environment>(env);
+      auto scope = make_env(env);
       for (const auto& binding : form[1].as_list()) {
         if (!binding.is_list() || binding.as_list().size() != 2 ||
             !binding.as_list()[0].is_symbol()) {
@@ -277,7 +297,7 @@ Result<Value> Interpreter::apply_depth(const Value& callable, ValueList args, in
                        " expects " + std::to_string(lambda.params.size()) + " arguments, got " +
                        std::to_string(args.size()));
     }
-    auto scope = std::make_shared<Environment>(lambda.closure);
+    auto scope = make_env(lambda.closure);
     for (std::size_t i = 0; i < args.size(); ++i) {
       scope->define(lambda.params[i], std::move(args[i]));
     }

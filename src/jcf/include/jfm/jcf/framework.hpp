@@ -17,8 +17,10 @@
 //
 // All metadata and design data live in one OMS store.
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "jfm/jcf/refs.hpp"
@@ -143,6 +145,15 @@ class JcfFramework {
 
   /// Store design data as a new version of `dobj` (workspace required).
   support::Result<DovRef> create_dov(DesignObjectRef dobj, std::string data, UserRef user);
+  /// Version-change notification: invoked after every successful
+  /// create_dov with the design object and its new version. The
+  /// coupling layer's transfer cache uses this to invalidate entries
+  /// the moment a new version supersedes the cached one. Listeners are
+  /// called synchronously on the creating thread; registration is not
+  /// thread-safe (register during setup, before concurrent use).
+  using DovCreatedListener = std::function<void(DesignObjectRef, DovRef)>;
+  std::uint64_t add_dov_created_listener(DovCreatedListener listener);
+  void remove_dov_created_listener(std::uint64_t token);
   support::Result<std::vector<DovRef>> dov_versions(DesignObjectRef dobj) const;
   support::Result<DovRef> latest_dov(DesignObjectRef dobj) const;
   support::Result<int> dov_number(DovRef dov) const;
@@ -216,6 +227,8 @@ class JcfFramework {
   oms::Store store_;
   support::SimClock* clock_;
   WorkspaceStats ws_stats_;
+  std::vector<std::pair<std::uint64_t, DovCreatedListener>> dov_listeners_;
+  std::uint64_t next_listener_token_ = 0;
 };
 
 }  // namespace jfm::jcf

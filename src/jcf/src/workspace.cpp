@@ -102,7 +102,18 @@ Result<DovRef> JcfFramework::create_dov(DesignObjectRef dobj, std::string data, 
   if (!existing->empty()) {
     (void)store_.link(rel::dov_precedes, existing->back(), *id);
   }
+  for (const auto& [token, listener] : dov_listeners_) listener(dobj, DovRef(*id));
   return DovRef(*id);
+}
+
+std::uint64_t JcfFramework::add_dov_created_listener(DovCreatedListener listener) {
+  const std::uint64_t token = ++next_listener_token_;
+  dov_listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void JcfFramework::remove_dov_created_listener(std::uint64_t token) {
+  std::erase_if(dov_listeners_, [token](const auto& entry) { return entry.first == token; });
 }
 
 Result<std::vector<DovRef>> JcfFramework::dov_versions(DesignObjectRef dobj) const {

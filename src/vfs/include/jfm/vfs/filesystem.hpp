@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "jfm/support/clock.hpp"
@@ -21,6 +22,21 @@
 #include "jfm/vfs/path.hpp"
 
 namespace jfm::vfs {
+
+/// FNV-1a over a byte span: the framework's content-hash primitive.
+/// Cheap (one pass, no allocation) and deterministic across platforms,
+/// which is all content addressing in the transfer layer needs.
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnv1aOffset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
 
 struct FileStat {
   std::uint64_t size = 0;
@@ -33,6 +49,8 @@ struct IoCounters {
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_copied = 0;  ///< subset of read+written moved by copy ops
   std::uint64_t files_copied = 0;
+  std::uint64_t hash_ops = 0;      ///< content_hash() calls answered
+  std::uint64_t hash_bytes = 0;    ///< bytes actually hashed (cache misses only)
 };
 
 class FileSystem {
@@ -56,6 +74,10 @@ class FileSystem {
   bool exists(const Path& path) const;
   bool is_directory(const Path& path) const;
   support::Result<FileStat> stat(const Path& path) const;
+  /// FNV-1a hash of a file's payload. The hash is memoized per node and
+  /// invalidated by writes, so repeated calls on an unchanged file cost
+  /// O(1); `hash_ops` counts every call, `hash_bytes` only real work.
+  support::Result<std::uint64_t> content_hash(const Path& path) const;
   support::Status remove(const Path& path, bool recursive = false);
 
   /// Copy one file; dst parent must exist. This is the paper's
@@ -86,6 +108,8 @@ class FileSystem {
     std::string data;                                   // file payload
     std::map<std::string, std::unique_ptr<Node>> children;  // dir entries, sorted
     support::Timestamp mtime = 0;
+    mutable std::uint64_t cached_hash = 0;  // memoized fnv1a(data)
+    mutable bool hash_valid = false;
   };
 
   const Node* find(const Path& path) const;

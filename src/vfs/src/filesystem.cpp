@@ -110,6 +110,7 @@ Status FileSystem::write_file(const Path& path, std::string data) {
   }
   counters_.bytes_written += data.size();
   node->data = std::move(data);
+  node->hash_valid = false;
   node->mtime = clock_->tick();
   return {};
 }
@@ -121,6 +122,7 @@ Status FileSystem::append_file(const Path& path, std::string_view data) {
   if (auto st = charge(node->data.size() + data.size(), node->data.size()); !st.ok()) return st;
   counters_.bytes_written += data.size();
   node->data.append(data);
+  node->hash_valid = false;
   node->mtime = clock_->tick();
   return {};
 }
@@ -140,6 +142,22 @@ bool FileSystem::exists(const Path& path) const { return find(path) != nullptr; 
 bool FileSystem::is_directory(const Path& path) const {
   const Node* node = find(path);
   return node != nullptr && node->dir;
+}
+
+Result<std::uint64_t> FileSystem::content_hash(const Path& path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return Result<std::uint64_t>::failure(Errc::not_found, path.str());
+  if (node->dir) {
+    return Result<std::uint64_t>::failure(Errc::invalid_argument,
+                                          path.str() + " is a directory");
+  }
+  ++counters_.hash_ops;
+  if (!node->hash_valid) {
+    node->cached_hash = fnv1a(node->data);
+    node->hash_valid = true;
+    counters_.hash_bytes += node->data.size();
+  }
+  return node->cached_hash;
 }
 
 Result<FileStat> FileSystem::stat(const Path& path) const {

@@ -138,5 +138,44 @@ TEST_F(DesktopTest, EditsAreConsumedPerRun) {
   EXPECT_TRUE(saw_zero_edits);
 }
 
+TEST_F(DesktopTest, CheckoutCommandExportsHierarchyInOneStep) {
+  const char* script = R"(
+    designer alice
+    project p
+    cell p top alice
+    cell p leaf alice
+    reserve p top alice
+    reserve p leaf alice
+    edit add-net n1
+    run p top enter_schematic alice
+    edit add-net n2
+    run p leaf enter_schematic alice
+    declare-child p top leaf
+    checkout p top alice
+  )";
+  auto result = shell->run_script(script);
+  ASSERT_TRUE(result.ok()) << result.error().to_text();
+  bool saw_checkout = false;
+  for (const auto& line : result->transcript) {
+    if (line.find("checked out top hierarchy: 2/2 cellviews from 2 cell(s)") !=
+        std::string::npos) {
+      saw_checkout = true;
+    }
+  }
+  EXPECT_TRUE(saw_checkout);
+  // the batch really materialized both cells' schematics
+  auto& fs = hybrid.fs();
+  auto dir = vfs::Path().child("scratch").child("checkout_top");
+  EXPECT_TRUE(fs.exists(dir.child("top_schematic")));
+  EXPECT_TRUE(fs.exists(dir.child("leaf_schematic")));
+}
+
+TEST_F(DesktopTest, CheckoutCommandUsageErrors) {
+  DesktopResult result;
+  auto st = shell->execute_line("checkout p", result);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::invalid_argument);
+}
+
 }  // namespace
 }  // namespace jfm::coupling

@@ -523,5 +523,71 @@ TEST(MultiLibraryResolver, SimulatesAcrossLibrarySearchPath) {
   EXPECT_EQ(*sim.value("out"), tools::Logic::L1);
 }
 
+TEST_F(HybridTest, CheckoutHierarchyExportsWholeCompOfClosure) {
+  HybridConfig config;
+  config.content_addressed_cache = true;
+  init(config);
+  for (const char* cell : {"top", "alu", "regfile"}) {
+    ASSERT_TRUE(hybrid->create_cell("p", cell, alice).ok());
+    ASSERT_TRUE(hybrid->reserve_cell("p", cell, alice).ok());
+    auto run = hybrid->run_activity("p", cell, "enter_schematic", alice, tiny_schematic());
+    ASSERT_TRUE(run.ok()) << run.error().to_text();
+  }
+  ASSERT_TRUE(hybrid->declare_child("p", "top", "alu").ok());
+  ASSERT_TRUE(hybrid->declare_child("p", "top", "regfile").ok());
+
+  auto dst = vfs::Path().child("scratch").child("co");
+  auto report = hybrid->checkout_hierarchy("p", "top", alice, dst);
+  ASSERT_TRUE(report.ok()) << report.error().to_text();
+  EXPECT_EQ(report->cells, 3u);
+  EXPECT_EQ(report->requested, 3u);  // one schematic per cell, other views empty
+  EXPECT_EQ(report->exported, 3u);
+  EXPECT_TRUE(report->failures.empty());
+  EXPECT_GT(report->bytes_exported, 0u);
+  for (const char* cell : {"top", "alu", "regfile"}) {
+    auto content = hybrid->fs().read_file(dst.child(std::string(cell) + "_schematic"));
+    ASSERT_TRUE(content.ok()) << cell;
+    EXPECT_FALSE(content->empty());
+  }
+
+  // A second checkout of the unchanged hierarchy is all cache hits:
+  // zero bytes are copied through the file system.
+  hybrid->fs().reset_counters();
+  auto warm = hybrid->checkout_hierarchy("p", "top", alice, dst);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->cache_hits, 3u);
+  EXPECT_EQ(hybrid->fs().counters().bytes_copied, 0u);
+  EXPECT_EQ(hybrid->fs().counters().bytes_written, 0u);
+}
+
+TEST_F(HybridTest, CachedReadOnlyOpenSkipsTheSecondCopy) {
+  HybridConfig config;
+  config.content_addressed_cache = true;
+  init(config);
+  ASSERT_TRUE(hybrid->create_cell("p", "c", alice).ok());
+  ASSERT_TRUE(hybrid->reserve_cell("p", "c", alice).ok());
+  auto run = hybrid->run_activity("p", "c", "enter_schematic", alice, tiny_schematic());
+  ASSERT_TRUE(run.ok()) << run.error().to_text();
+
+  auto cold = hybrid->open_read_only("p", "c", "schematic", alice);
+  ASSERT_TRUE(cold.ok());
+  hybrid->fs().reset_counters();
+  auto warm = hybrid->open_read_only("p", "c", "schematic", alice);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(*warm, *cold);
+  EXPECT_EQ(hybrid->fs().counters().bytes_copied, 0u);
+  EXPECT_EQ(hybrid->fs().counters().bytes_written, 0u);
+  EXPECT_EQ(hybrid->transfer().stats().cache_hits, 1u);
+
+  // After a new version lands, the next open re-copies the fresh bytes.
+  auto run2 = hybrid->run_activity("p", "c", "enter_schematic", alice,
+                                   {{"add-net", {"extra"}}});
+  ASSERT_TRUE(run2.ok()) << run2.error().to_text();
+  auto fresh = hybrid->open_read_only("p", "c", "schematic", alice);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(*fresh, *cold);
+  EXPECT_NE(fresh->find("extra"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace jfm::coupling

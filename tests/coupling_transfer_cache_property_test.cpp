@@ -1,0 +1,114 @@
+// Property test: the content-addressed transfer cache never serves
+// stale bytes. Randomized interleavings of export_dov / import_file
+// over many design objects; after any import that creates a new
+// version, the next export of that design object's latest version must
+// equal the imported payload byte-for-byte, and exports of OLD versions
+// must still reproduce exactly the bytes that version was created with.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jfm/coupling/transfer.hpp"
+#include "jfm/support/rng.hpp"
+
+namespace jfm::coupling {
+namespace {
+
+class TransferCachePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs.mkdirs(vfs::Path().child("out")).ok());
+    user = *jcf.create_user("alice");
+    auto team = *jcf.create_team("rtl");
+    ASSERT_TRUE(jcf.add_member(team, user).ok());
+    auto tool = *jcf.register_tool("t");
+    auto made = *jcf.create_viewtype("made");  // activities must create a viewtype
+    auto act = *jcf.create_activity("a", tool, {}, {made});
+    auto flow = *jcf.create_flow("f", {act});
+    ASSERT_TRUE(jcf.freeze_flow(flow).ok());
+    auto project = *jcf.create_project("p", team);
+    auto cell = *jcf.create_cell(project, "c", flow, team);
+    auto cv = *jcf.create_cell_version(cell, user);
+    ASSERT_TRUE(jcf.reserve(cv, user).ok());
+    auto variant = *jcf.create_variant(cv, "work", user);
+    for (int i = 0; i < kObjects; ++i) {
+      auto vt = *jcf.create_viewtype("view" + std::to_string(i));
+      dobjs.push_back(*jcf.create_design_object(variant, "do" + std::to_string(i), vt, user));
+    }
+  }
+
+  // Small alphabet + small length pool: identical payloads (and thus
+  // identical content hashes) across versions and design objects are
+  // common, which is exactly where a buggy cache would confuse entries.
+  std::string random_payload(support::Rng& rng) {
+    const std::size_t len = 1 + rng.below(64) * (1 + rng.below(32));
+    std::string payload(len, '\0');
+    for (auto& c : payload) c = static_cast<char>('a' + rng.below(3));
+    return payload;
+  }
+
+  static constexpr int kObjects = 8;
+  support::SimClock clock;
+  vfs::FileSystem fs{&clock};
+  jcf::JcfFramework jcf{&clock};
+  jcf::UserRef user;
+  std::vector<jcf::DesignObjectRef> dobjs;
+};
+
+TEST_P(TransferCachePropertyTest, RandomInterleavingsNeverServeStaleBytes) {
+  support::Rng rng(GetParam());
+  TransferOptions options;
+  options.copy_through_filesystem = true;
+  options.content_addressed_cache = true;
+  options.cache_capacity = 8;  // tight: force evictions mid-run
+  TransferEngine engine(&jcf, &fs, vfs::Path().child("xfer"), options);
+
+  // Model state, maintained independently of the engine.
+  std::map<int, std::string> latest;                         // dobj index -> payload
+  std::vector<std::pair<jcf::DovRef, std::string>> history;  // every version ever made
+  const auto out = vfs::Path().child("out");
+
+  for (int step = 0; step < 400; ++step) {
+    const int which = static_cast<int>(rng.below(kObjects));
+    // A handful of shared destinations, so different design objects
+    // overwrite each other's materializations (the overwrite-detection
+    // path) as well as their own.
+    const vfs::Path dst = out.child("dst" + std::to_string(rng.below(5)));
+    const double dice = rng.uniform();
+    if (dice < 0.4 || !latest.contains(which)) {
+      // import a fresh payload as a new version
+      const std::string payload = random_payload(rng);
+      const vfs::Path src = out.child("src");
+      ASSERT_TRUE(fs.write_file(src, payload).ok());
+      auto dov = engine.import_file(src, dobjs[which], user);
+      ASSERT_TRUE(dov.ok()) << "step " << step;
+      latest[which] = payload;
+      history.emplace_back(*dov, payload);
+    } else if (dice < 0.85) {
+      // export the latest version: must match the last import exactly
+      auto dov = jcf.latest_dov(dobjs[which]);
+      ASSERT_TRUE(dov.ok());
+      ASSERT_TRUE(engine.export_dov(*dov, user, dst).ok()) << "step " << step;
+      EXPECT_EQ(*fs.read_file(dst), latest[which]) << "stale bytes at step " << step;
+    } else {
+      // export a random historical version: old versions are immutable
+      const auto& [dov, payload] = history[rng.below(history.size())];
+      ASSERT_TRUE(engine.export_dov(dov, user, dst).ok()) << "step " << step;
+      EXPECT_EQ(*fs.read_file(dst), payload) << "stale bytes at step " << step;
+    }
+  }
+
+  const auto stats = engine.stats_snapshot();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.exports);
+  EXPECT_GT(stats.cache_hits, 0u) << "workload never hit the cache; property vacuous";
+  EXPECT_GT(stats.cache_invalidations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransferCachePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 0xDA7Eu, 0xC0FFEEu));
+
+}  // namespace
+}  // namespace jfm::coupling

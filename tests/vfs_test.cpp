@@ -191,5 +191,36 @@ TEST_F(FsTest, ReadCountsBytes) {
   EXPECT_EQ(fs.counters().bytes_read, 128u);
 }
 
+TEST_F(FsTest, ContentHashIsMemoizedAndInvalidatedByWrites) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/f"), "hello").ok());
+  fs.reset_counters();
+  auto h1 = fs.content_hash(p("/d/f"));
+  ASSERT_TRUE(h1.ok());
+  EXPECT_EQ(*h1, fnv1a("hello"));
+  EXPECT_EQ(fs.counters().hash_ops, 1u);
+  EXPECT_EQ(fs.counters().hash_bytes, 5u);
+  // second call: answered from the memo, no bytes rehashed
+  auto h2 = fs.content_hash(p("/d/f"));
+  EXPECT_EQ(*h2, *h1);
+  EXPECT_EQ(fs.counters().hash_ops, 2u);
+  EXPECT_EQ(fs.counters().hash_bytes, 5u);
+  // identical content elsewhere hashes identically
+  ASSERT_TRUE(fs.write_file(p("/d/g"), "hello").ok());
+  EXPECT_EQ(*fs.content_hash(p("/d/g")), *h1);
+  // overwrite invalidates
+  ASSERT_TRUE(fs.write_file(p("/d/f"), "world").ok());
+  EXPECT_EQ(*fs.content_hash(p("/d/f")), fnv1a("world"));
+  // append invalidates
+  ASSERT_TRUE(fs.append_file(p("/d/f"), "!").ok());
+  EXPECT_EQ(*fs.content_hash(p("/d/f")), fnv1a("world!"));
+  // a copied file hashes like its source
+  ASSERT_TRUE(fs.copy_file(p("/d/f"), p("/d/h")).ok());
+  EXPECT_EQ(*fs.content_hash(p("/d/h")), fnv1a("world!"));
+  // errors: missing file, directory
+  EXPECT_EQ(fs.content_hash(p("/d/ghost")).code(), Errc::not_found);
+  EXPECT_EQ(fs.content_hash(p("/d")).code(), Errc::invalid_argument);
+}
+
 }  // namespace
 }  // namespace jfm::vfs
