@@ -77,6 +77,11 @@ void print_report() {
   benchutil::header("s3.6 fix: content-addressed cache, cold vs warm read-only open");
   std::printf("  %-14s | %14s | %14s | %11s | %12s\n", "design size", "cold bytes",
               "warm bytes", "reduction", "bytes saved");
+  // Per-engine stats summed across the sweep; checked below against the
+  // process-wide registry counters the engines fold into.
+  std::uint64_t agg_hits = 0;
+  std::uint64_t agg_misses = 0;
+  std::uint64_t agg_saved = 0;
   for (std::size_t size : {1u << 10, 1u << 14, 1u << 18, 1u << 20}) {
     support::Rng rng(size);
     const std::string payload = workload::schematic_payload_of_size(rng, size);
@@ -105,6 +110,9 @@ void print_report() {
     if (!env.hybrid.open_read_only("proj", "c", "schematic", env.alice).ok()) std::abort();
     const std::uint64_t warm = moved();
     const auto stats = env.hybrid.transfer().stats_snapshot();
+    agg_hits += stats.cache_hits;
+    agg_misses += stats.cache_misses;
+    agg_saved += stats.bytes_saved;
     std::printf("  %10zu B | %12llu B | %12llu B | %10.1fx | %10llu B\n", payload.size(),
                 static_cast<unsigned long long>(cold), static_cast<unsigned long long>(warm),
                 warm == 0 ? 0.0 : static_cast<double>(cold) / static_cast<double>(warm),
@@ -113,6 +121,23 @@ void print_report() {
   benchutil::row("");
   benchutil::row("cold ~= 4x size (DB export + stage + copy + read); warm ~= 1x size (hash");
   benchutil::row("check + final read only): the repeat copy tax of s3.6 is gone (>= 2x).");
+
+  // Cross-check: the registry's process-wide cache counters must agree
+  // with the per-engine TransferStats summed over the sweep (this
+  // section is the only cache-enabled transfer traffic in the process).
+  auto& registry = support::telemetry::Registry::global();
+  const std::uint64_t reg_hits = registry.counter("coupling.transfer.cache.hit.count").value();
+  const std::uint64_t reg_misses =
+      registry.counter("coupling.transfer.cache.miss.count").value();
+  const std::uint64_t reg_saved =
+      registry.counter("coupling.transfer.cache.saved.bytes").value();
+  const bool agree = reg_hits == agg_hits && reg_misses == agg_misses && reg_saved == agg_saved;
+  benchutil::row("");
+  benchutil::row("registry vs TransferStats: hits " + std::to_string(reg_hits) + "/" +
+                 std::to_string(agg_hits) + ", misses " + std::to_string(reg_misses) + "/" +
+                 std::to_string(agg_misses) + ", saved " + std::to_string(reg_saved) + "/" +
+                 std::to_string(agg_saved) + " B -> " + (agree ? "AGREE" : "MISMATCH"));
+  if (!agree) std::abort();
 }
 
 // ---- timing sweeps ---------------------------------------------------------

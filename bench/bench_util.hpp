@@ -9,6 +9,7 @@
 #include <string>
 
 #include "jfm/coupling/hybrid.hpp"
+#include "jfm/support/telemetry.hpp"
 
 namespace jfm::benchutil {
 
@@ -17,6 +18,16 @@ inline void header(const std::string& title) {
 }
 
 inline void row(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// One machine-readable line per bench run: the full metrics registry as
+/// JSON, tagged with the binary name so harness scripts can split a
+/// combined log back into per-bench blobs.
+inline void emit_metrics_json(const char* argv0) {
+  std::string name(argv0 != nullptr ? argv0 : "bench");
+  if (auto slash = name.rfind('/'); slash != std::string::npos) name = name.substr(slash + 1);
+  auto snapshot = support::telemetry::Registry::global().snapshot();
+  std::printf("\nJFM_METRICS %s %s\n", name.c_str(), snapshot.to_json().c_str());
+}
 
 /// A ready-to-use hybrid environment with one project and one designer.
 struct HybridEnv {
@@ -102,7 +113,9 @@ inline std::vector<char*> with_default_min_time(int argc, char** argv,
 }
 }  // namespace jfm::benchutil
 
-/// Each bench defines `void print_report();` and uses this main.
+/// Each bench defines `void print_report();` and uses this main. After
+/// the report and the micro-timings, the registry snapshot goes out as a
+/// single JFM_METRICS line (see docs/observability.md).
 #define JFM_BENCH_MAIN(print_report_fn)                                   \
   int main(int argc, char** argv) {                                      \
     print_report_fn();                                                   \
@@ -114,5 +127,6 @@ inline std::vector<char*> with_default_min_time(int argc, char** argv,
     if (::benchmark::ReportUnrecognizedArguments(jfm_argc, jfm_args.data())) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                               \
     ::benchmark::Shutdown();                                             \
+    ::jfm::benchutil::emit_metrics_json(argc > 0 ? argv[0] : nullptr);   \
     return 0;                                                            \
   }

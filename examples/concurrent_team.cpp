@@ -9,6 +9,7 @@
 
 #include "jfm/coupling/hybrid.hpp"
 #include "jfm/fmcad/session.hpp"
+#include "jfm/support/telemetry.hpp"
 #include "jfm/workload/contention.hpp"
 
 using namespace jfm;
@@ -113,5 +114,13 @@ int main() {
                   100.0 * fmcad->conflict_rate(), 100.0 * hybrid->conflict_rate());
     }
   }
+
+  // The registry accumulated across all three acts: workspace traffic,
+  // FMCAD lock conflicts and transfer bytes in one uniform table.
+  std::printf("\n== telemetry registry (whole run) ==\n");
+  auto snapshot = support::telemetry::Registry::global().snapshot();
+  std::printf("%s", snapshot.to_table("jcf.workspace.").c_str());
+  std::printf("%s", snapshot.to_table("fmcad.library.").c_str());
+  std::printf("%s", snapshot.to_table("coupling.transfer.").c_str());
   return 0;
 }

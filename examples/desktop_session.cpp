@@ -20,6 +20,7 @@ int main() {
 
   const char* script = R"(
     echo -- session start --
+    trace on
     designer fred
     project demo
     cell demo toggler fred
@@ -52,8 +53,14 @@ int main() {
     run demo toggler simulate fred
 
     publish demo toggler fred
+    checkout demo toggler fred
     derivations demo toggler
     check demo
+
+    # what the framework measured along the way (s3.6 made visible)
+    stats coupling.transfer.
+    trace dump
+    trace off
     echo -- session end --
   )";
 

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "jfm/coupling/hybrid.hpp"
+#include "jfm/support/telemetry.hpp"
 
 using namespace jfm;
 
@@ -88,10 +89,9 @@ int main() {
   if (auto st = hybrid.publish_cell("demo", "halfadder", *alice); !st.ok()) fail(st.error());
   auto problems = hybrid.check_consistency("demo");
   std::printf("   consistency sweep: %zu problem(s)\n", problems.ok() ? problems->size() : 99);
-  std::printf("   bytes through the encapsulation: %llu out, %llu in (staging copies: %llu)\n",
-              static_cast<unsigned long long>(hybrid.transfer().stats().bytes_exported),
-              static_cast<unsigned long long>(hybrid.transfer().stats().bytes_imported),
-              static_cast<unsigned long long>(hybrid.transfer().stats().staging_copies));
+  say("   transfer traffic (from the telemetry registry):");
+  auto snapshot = support::telemetry::Registry::global().snapshot();
+  std::printf("%s", snapshot.to_table("coupling.transfer.").c_str());
   say("\ndone.");
   return 0;
 }

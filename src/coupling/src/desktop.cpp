@@ -1,6 +1,7 @@
 #include "jfm/coupling/desktop.hpp"
 
 #include "jfm/support/strings.hpp"
+#include "jfm/support/telemetry.hpp"
 
 namespace jfm::coupling {
 
@@ -172,6 +173,55 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     say(words[1] + ": " + std::to_string(problems->size()) + " consistency problem(s)");
     for (const auto& p : *problems) say("  " + p);
     return {};
+  }
+  if (cmd == "stats") {
+    // stats [json] [prefix] -- dump the process-wide metrics registry.
+    if (words.size() > 3) return usage("stats [json] [prefix]");
+    namespace telemetry = support::telemetry;
+    auto snapshot = telemetry::Registry::global().snapshot();
+    const bool json = words.size() >= 2 && words[1] == "json";
+    if (json) {
+      say(snapshot.to_json());
+      return {};
+    }
+    const std::string prefix = words.size() == 2 ? words[1]
+                               : words.size() == 3 ? words[2]
+                                                   : std::string();
+    for (const auto& line : support::split(snapshot.to_table(prefix), '\n')) {
+      if (!line.empty()) say(line);
+    }
+    return {};
+  }
+  if (cmd == "trace") {
+    if (words.size() < 2 || words.size() > 3) return usage("trace on|off|dump [json]");
+    namespace telemetry = support::telemetry;
+    auto& tracer = telemetry::Tracer::global();
+    const std::string& sub = words[1];
+    if (sub == "on") {
+      tracer.enable();
+      say("tracing enabled (ring capacity " + std::to_string(tracer.capacity()) + " spans)");
+      return {};
+    }
+    if (sub == "off") {
+      tracer.disable();
+      say("tracing disabled");
+      return {};
+    }
+    if (sub == "dump") {
+      auto spans = tracer.snapshot();
+      const bool json = words.size() == 3 && words[2] == "json";
+      if (json) {
+        say(telemetry::Tracer::to_json(spans, tracer.dropped()));
+        return {};
+      }
+      say(std::to_string(spans.size()) + " span(s), " + std::to_string(tracer.dropped()) +
+          " dropped");
+      for (const auto& line : support::split(telemetry::Tracer::to_tree(spans), '\n')) {
+        if (!line.empty()) say(line);
+      }
+      return {};
+    }
+    return usage("trace on|off|dump [json]");
   }
   return support::fail(Errc::not_found, "unknown desktop command '" + cmd + "'");
 }

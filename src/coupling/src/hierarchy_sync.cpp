@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <set>
 
+#include "jfm/support/telemetry.hpp"
+
 namespace jfm::coupling {
 
 using support::Errc;
 using support::Result;
 using support::Status;
+
+namespace {
+// Registry mirror of HierarchyStats; counters are process-wide.
+support::telemetry::Counter& hier_counter(const char* which) {
+  return support::telemetry::Registry::global().counter(
+      std::string("coupling.hierarchy.") + which + ".count");
+}
+}  // namespace
 
 Status HierarchySubmitter::check_isomorphic(fmcad::Library& library, const std::string& cell,
                                             const std::vector<std::string>& views) {
@@ -28,6 +38,7 @@ Status HierarchySubmitter::check_isomorphic(fmcad::Library& library, const std::
     if (*sig != reference_sig) {
       if (allow_non_isomorphic_) continue;  // future JCF releases support this
       ++stats_.non_isomorphic_rejections;
+      hier_counter("non_isomorphic_rejection").add(1);
       return support::fail(Errc::not_supported,
                            "non-isomorphic hierarchies: view " + view + " of cell " + cell +
                                " differs from view " + reference_view +
@@ -78,7 +89,10 @@ Status HierarchySubmitter::submit(fmcad::Library& library, const fmcad::CellView
                          "hierarchy submission: parent cell " + root.cell +
                              " is not registered in JCF: " + parent_cv.error().message);
   }
-  if (procedural_interface_) ++stats_.procedural_calls;
+  if (procedural_interface_) {
+    ++stats_.procedural_calls;
+    hier_counter("procedural_call").add(1);
+  }
   for (const auto& child : *child_cells) {
     auto child_cv = latest_cv(project, child);
     if (!child_cv.ok()) {
@@ -96,17 +110,21 @@ Status HierarchySubmitter::submit(fmcad::Library& library, const fmcad::CellView
       // relation (paper s3.3: "all hierarchical manipulations must be
       // done manually via the JCF desktop").
       ++stats_.desktop_steps;
+      hier_counter("desktop_step").add(1);
     }
     if (auto st = jcf_->add_child(*parent_cv, *child_cv); !st.ok()) return st;
     ++stats_.relations_submitted;
+    hier_counter("relation_submitted").add(1);
   }
   return {};
 }
 
 Status HierarchySubmitter::declare(jcf::CellVersionRef parent, jcf::CellVersionRef child) {
   ++stats_.desktop_steps;
+  hier_counter("desktop_step").add(1);
   if (auto st = jcf_->add_child(parent, child); !st.ok()) return st;
   ++stats_.relations_submitted;
+  hier_counter("relation_submitted").add(1);
   return {};
 }
 
@@ -120,6 +138,7 @@ Status HierarchySubmitter::submit_children(jcf::ProjectRef project,
   auto parent_cv = latest_cv(project, parent_cell);
   if (!parent_cv.ok()) return Status(parent_cv.error());
   ++stats_.procedural_calls;
+  hier_counter("procedural_call").add(1);
   for (const auto& child : child_cells) {
     auto child_cv = latest_cv(project, child);
     if (!child_cv.ok()) {
@@ -132,6 +151,7 @@ Status HierarchySubmitter::submit_children(jcf::ProjectRef project,
     if (present) continue;
     if (auto st = jcf_->add_child(*parent_cv, *child_cv); !st.ok()) return st;
     ++stats_.relations_submitted;
+    hier_counter("relation_submitted").add(1);
   }
   return {};
 }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <set>
 
+#include <chrono>
+
 #include "jfm/coupling/resolvers.hpp"
 #include "jfm/support/strings.hpp"
+#include "jfm/support/telemetry.hpp"
 
 namespace jfm::coupling {
 
@@ -13,6 +16,8 @@ using support::Result;
 using support::Status;
 
 namespace {
+namespace telemetry = support::telemetry;
+
 vfs::Path root_path(const char* name) {
   return vfs::Path().child(name);
 }
@@ -460,6 +465,22 @@ Result<ActivityRunReport> HybridFramework::run_activity_on(
     const std::string& activity_name, jcf::UserRef user, const std::vector<ToolCommand>& edits,
     bool force) {
   using Report = Result<ActivityRunReport>;
+  JFM_SPAN("coupling", "run_activity");
+  const auto run_started = std::chrono::steady_clock::now();
+  static auto& runs = telemetry::Registry::global().counter("coupling.activity.run.count");
+  static auto& run_micros =
+      telemetry::Registry::global().latency_histogram("coupling.activity.run.micros");
+  runs.add(1);
+  struct RunTimer {
+    std::chrono::steady_clock::time_point start;
+    telemetry::Histogram* hist;
+    ~RunTimer() {
+      hist->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
+  } run_timer{run_started, &run_micros};
   auto uname = jcf_.name_of(user.id);
   if (!uname.ok()) return forward_error<ActivityRunReport>(uname.error());
   auto act = jcf_.find_activity(activity_name);
@@ -752,6 +773,7 @@ Result<std::string> HybridFramework::open_read_only(const std::string& project,
   if (!dobj.ok()) return forward_error<std::string>(dobj.error());
   auto dov = jcf_.latest_dov(*dobj);
   if (!dov.ok()) return forward_error<std::string>(dov.error());
+  JFM_SPAN("coupling", "open_read_only");
   // Even a read-only access copies the data out of the database and
   // through the file system (s3.6).
   vfs::Path scratch = root_path("scratch").child("ro_" + cell + "_" + view);
@@ -769,6 +791,7 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
     const std::string& project, const std::string& root_cell, jcf::UserRef user,
     const vfs::Path& dst_dir, std::size_t workers) {
   using Report = Result<CheckoutReport>;
+  JFM_SPAN("coupling", "checkout_hierarchy");
   const ProjectCtx* ctx = project_ctx(project);
   if (ctx == nullptr) return Report::failure(Errc::not_found, "project " + project);
   auto root = jcf_.find_cell(ctx->ref, root_cell);
@@ -778,41 +801,53 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
   // Collect the CompOf closure: root cell + transitive children, each
   // cell once (diamonds are legal in the hierarchy).
   std::vector<std::string> cells;
-  std::set<std::string> seen;
-  std::vector<jcf::CellRef> frontier{*root};
-  while (!frontier.empty()) {
-    jcf::CellRef cell = frontier.back();
-    frontier.pop_back();
-    auto name = jcf_.name_of(cell.id);
-    if (!name.ok() || !seen.insert(*name).second) continue;
-    cells.push_back(*name);
-    auto cv = jcf_.latest_cell_version(cell);
-    if (!cv.ok()) continue;
-    auto kids = jcf_.children(*cv);
-    if (!kids.ok()) continue;
-    for (auto kid : *kids) {
-      auto kid_cell = jcf_.cell_of(kid);
-      if (kid_cell.ok()) frontier.push_back(*kid_cell);
-    }
-  }
-
-  CheckoutReport report;
-  report.cells = cells.size();
   std::vector<ExportRequest> requests;
   std::vector<std::string> labels;
-  for (const auto& cell : cells) {
-    auto variant = work_variant(project, cell);
-    if (!variant.ok()) continue;
-    for (const auto& view : standard_views()) {
-      auto dobj = jcf_.find_design_object(*variant, view);
-      if (!dobj.ok()) continue;
-      auto dov = jcf_.latest_dov(*dobj);
-      if (!dov.ok()) continue;  // view declared but never populated
-      requests.push_back({*dov, user, dst_dir.child(cell + "_" + view)});
-      labels.push_back(cell + "/" + view);
+  CheckoutReport report;
+  {
+    JFM_SPAN("coupling", "hierarchy_closure");
+    std::set<std::string> seen;
+    std::vector<jcf::CellRef> frontier{*root};
+    while (!frontier.empty()) {
+      jcf::CellRef cell = frontier.back();
+      frontier.pop_back();
+      auto name = jcf_.name_of(cell.id);
+      if (!name.ok() || !seen.insert(*name).second) continue;
+      cells.push_back(*name);
+      auto cv = jcf_.latest_cell_version(cell);
+      if (!cv.ok()) continue;
+      auto kids = jcf_.children(*cv);
+      if (!kids.ok()) continue;
+      for (auto kid : *kids) {
+        auto kid_cell = jcf_.cell_of(kid);
+        if (kid_cell.ok()) frontier.push_back(*kid_cell);
+      }
+    }
+
+    report.cells = cells.size();
+    for (const auto& cell : cells) {
+      auto variant = work_variant(project, cell);
+      if (!variant.ok()) continue;
+      for (const auto& view : standard_views()) {
+        auto dobj = jcf_.find_design_object(*variant, view);
+        if (!dobj.ok()) continue;
+        auto dov = jcf_.latest_dov(*dobj);
+        if (!dov.ok()) continue;  // view declared but never populated
+        requests.push_back({*dov, user, dst_dir.child(cell + "_" + view)});
+        labels.push_back(cell + "/" + view);
+      }
     }
   }
   report.requested = requests.size();
+  static auto& checkouts =
+      telemetry::Registry::global().counter("coupling.checkout.count");
+  static auto& checkout_cells =
+      telemetry::Registry::global().counter("coupling.checkout.cells.count");
+  static auto& checkout_files =
+      telemetry::Registry::global().counter("coupling.checkout.files.count");
+  checkouts.add(1);
+  checkout_cells.add(report.cells);
+  checkout_files.add(report.requested);
 
   const TransferStats before = transfer_->stats_snapshot();
   auto statuses = transfer_->export_batch(requests, workers);

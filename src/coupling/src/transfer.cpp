@@ -1,13 +1,33 @@
 #include "jfm/coupling/transfer.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
+
+#include "jfm/support/telemetry.hpp"
 
 namespace jfm::coupling {
 
 using support::Errc;
 using support::Result;
 using support::Status;
+
+namespace {
+namespace telemetry = support::telemetry;
+
+// The registry mirrors of TransferStats. Counters are process-wide (all
+// engines fold into the same names); stats_ stays per-engine. Cached
+// references are safe: the registry never erases metrics.
+telemetry::Counter& xfer_counter(const char* which) {
+  return telemetry::Registry::global().counter(std::string("coupling.transfer.") + which);
+}
+
+telemetry::Histogram& export_latency() {
+  static auto& h =
+      telemetry::Registry::global().latency_histogram("coupling.transfer.export.micros");
+  return h;
+}
+}  // namespace
 
 TransferEngine::TransferEngine(jcf::JcfFramework* jcf, vfs::FileSystem* fs,
                                vfs::Path transfer_dir, bool copy_through_filesystem)
@@ -38,6 +58,8 @@ void TransferEngine::invalidate_dobj(oms::ObjectId dobj) {
     if (it->second.dobj == dobj) {
       it = cache_.erase(it);
       ++stats_.cache_invalidations;
+      static auto& invalidations = xfer_counter("cache.invalidation.count");
+      invalidations.add(1);
     } else {
       ++it;
     }
@@ -47,9 +69,13 @@ void TransferEngine::invalidate_dobj(oms::ObjectId dobj) {
 bool TransferEngine::cache_probe(jcf::DovRef dov, const vfs::Path& dst, std::uint64_t hash,
                                  std::uint64_t size) {
   std::unique_lock lock(cache_mu_);
+  static auto& hits = xfer_counter("cache.hit.count");
+  static auto& misses = xfer_counter("cache.miss.count");
+  static auto& saved = xfer_counter("cache.saved.bytes");
   auto it = cache_.find(CacheKey(dov.id, dst.str()));
   if (it == cache_.end() || it->second.content_hash != hash) {
     ++stats_.cache_misses;
+    misses.add(1);
     return false;
   }
   // The entry claims dst already holds these bytes; verify with a hash
@@ -61,12 +87,15 @@ bool TransferEngine::cache_probe(jcf::DovRef dov, const vfs::Path& dst, std::uin
   if (!on_disk.ok() || *on_disk != hash) {
     cache_.erase(CacheKey(dov.id, dst.str()));
     ++stats_.cache_misses;
+    misses.add(1);
     return false;
   }
   it = cache_.find(CacheKey(dov.id, dst.str()));
   if (it != cache_.end()) it->second.last_used = ++cache_tick_;
   ++stats_.cache_hits;
   stats_.bytes_saved += size;
+  hits.add(1);
+  saved.add(size);
   return true;
 }
 
@@ -87,12 +116,21 @@ void TransferEngine::cache_store(jcf::DovRef dov, const vfs::Path& dst, std::uin
     }
     cache_.erase(victim);
     ++stats_.cache_evictions;
+    static auto& evictions = xfer_counter("cache.eviction.count");
+    evictions.add(1);
   }
 }
 
 Status TransferEngine::export_dov(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst) {
+  JFM_SPAN("coupling", "transfer.export");
+  const auto started = std::chrono::steady_clock::now();
   std::lock_guard lock(mu_);
-  return export_locked(dov, reader, dst);
+  Status st = export_locked(dov, reader, dst);
+  export_latency().record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            started)
+          .count()));
+  return st;
 }
 
 Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
@@ -101,6 +139,10 @@ Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
   if (!data.ok()) return Status(data.error());
   ++stats_.exports;
   stats_.bytes_exported += data->size();
+  static auto& exports = xfer_counter("export.count");
+  static auto& export_bytes = xfer_counter("export.bytes");
+  exports.add(1);
+  export_bytes.add(data->size());
   if (options_.content_addressed_cache) {
     const std::uint64_t hash = vfs::fnv1a(*data);
     const std::uint64_t size = data->size();
@@ -110,6 +152,7 @@ Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
       vfs::Path stage = staging_file("out");
       if (auto ws = fs_->write_file(stage, std::move(*data)); !ws.ok()) return ws;
       ++stats_.staging_copies;
+      xfer_counter("staging.count").add(1);
       st = fs_->copy_file(stage, dst);
       (void)fs_->remove(stage);
     } else {
@@ -124,6 +167,7 @@ Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
     vfs::Path stage = staging_file("out");
     if (auto st = fs_->write_file(stage, std::move(*data)); !st.ok()) return st;
     ++stats_.staging_copies;
+    xfer_counter("staging.count").add(1);
     auto st = fs_->copy_file(stage, dst);
     (void)fs_->remove(stage);
     return st;
@@ -133,6 +177,7 @@ Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
 
 std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> items,
                                                  std::size_t workers) {
+  telemetry::ScopedSpan batch("coupling", "transfer.export_batch");
   std::vector<Status> results(items.size());
   if (items.empty()) return results;
   const std::size_t pool = std::min(workers == 0 ? std::size_t{1} : workers, items.size());
@@ -143,7 +188,11 @@ std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> 
     return results;
   }
   std::atomic<std::size_t> next{0};
+  // Worker threads start with an empty span context; parent their spans
+  // to the batch span explicitly so the trace keeps a single tree.
+  const std::uint64_t batch_span = batch.id();
   auto worker = [&]() {
+    telemetry::ScopedSpan lane("coupling", "transfer.worker", batch_span);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= items.size()) return;
@@ -162,6 +211,7 @@ std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> 
 Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
                                                 jcf::DesignObjectRef dobj,
                                                 jcf::UserRef writer) {
+  JFM_SPAN("coupling", "transfer.import");
   std::lock_guard lock(mu_);
   vfs::Path read_from = src;
   vfs::Path stage;
@@ -171,6 +221,7 @@ Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
       return Result<jcf::DovRef>::failure(st.error().code, st.error().message);
     }
     ++stats_.staging_copies;
+    xfer_counter("staging.count").add(1);
     read_from = stage;
   }
   auto data = fs_->read_file(read_from);
@@ -178,6 +229,10 @@ Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
   if (!data.ok()) return Result<jcf::DovRef>::failure(data.error().code, data.error().message);
   ++stats_.imports;
   stats_.bytes_imported += data->size();
+  static auto& imports = xfer_counter("import.count");
+  static auto& import_bytes = xfer_counter("import.bytes");
+  imports.add(1);
+  import_bytes.add(data->size());
   // create_dov fires the version-change listeners, which invalidate the
   // superseded cache entries (ours and any sibling engine's).
   return jcf_->create_dov(dobj, std::move(*data), writer);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "jfm/support/telemetry.hpp"
+
 namespace jfm::fmcad {
 
 ItcBus::SubscriptionId ItcBus::subscribe(const std::string& topic, Handler handler) {
@@ -18,6 +20,7 @@ void ItcBus::unsubscribe(SubscriptionId id) {
 }
 
 std::size_t ItcBus::publish(const ItcMessage& message) {
+  JFM_SPAN("fmcad", "itc.publish");
   history_.push_back(message);
   // Copy matching handlers first: a handler may subscribe/unsubscribe.
   std::vector<Handler> matched;
@@ -25,6 +28,12 @@ std::size_t ItcBus::publish(const ItcMessage& message) {
     if (s.topic == message.topic) matched.push_back(s.handler);
   }
   for (const auto& h : matched) h(message);
+  static auto& published =
+      support::telemetry::Registry::global().counter("fmcad.itc.publish.count");
+  static auto& delivered =
+      support::telemetry::Registry::global().counter("fmcad.itc.delivery.count");
+  published.add(1);
+  delivered.add(matched.size());
   return matched.size();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "jfm/support/strings.hpp"
+#include "jfm/support/telemetry.hpp"
 
 namespace jfm::fmcad {
 
@@ -12,7 +13,12 @@ using support::Status;
 
 namespace {
 const char* kMetaFile = ".meta";
+
+support::telemetry::Counter& lib_counter(const char* which) {
+  return support::telemetry::Registry::global().counter(
+      std::string("fmcad.library.") + which + ".count");
 }
+}  // namespace
 
 Result<std::shared_ptr<Library>> Library::create(vfs::FileSystem* fs, support::SimClock* clock,
                                                  const vfs::Path& parent,
@@ -131,11 +137,13 @@ Status Library::remove_config_member(const std::string& config, const CellViewKe
 }
 
 Result<vfs::Path> Library::checkout(const CellViewKey& key, const std::string& user) {
+  JFM_SPAN("fmcad", "library.checkout");
   CellViewRecord* record = meta_.find_cellview(key);
   if (record == nullptr) {
     return Result<vfs::Path>::failure(Errc::not_found, "cellview " + key.str());
   }
   if (record->checkout) {
+    lib_counter("checkout.conflict").add(1);
     if (record->checkout->user == user) {
       return Result<vfs::Path>::failure(Errc::already_exists,
                                         "cellview " + key.str() +
@@ -163,10 +171,12 @@ Result<vfs::Path> Library::checkout(const CellViewKey& key, const std::string& u
   if (auto st = commit(); !st.ok()) {
     return Result<vfs::Path>::failure(st.error().code, st.error().message);
   }
+  lib_counter("checkout").add(1);
   return work;
 }
 
 Result<int> Library::checkin(const CellViewKey& key, const std::string& user) {
+  JFM_SPAN("fmcad", "library.checkin");
   CellViewRecord* record = meta_.find_cellview(key);
   if (record == nullptr) return Result<int>::failure(Errc::not_found, "cellview " + key.str());
   if (!record->checkout) {
@@ -196,6 +206,7 @@ Result<int> Library::checkin(const CellViewKey& key, const std::string& user) {
   if (auto st = commit(); !st.ok()) {
     return Result<int>::failure(st.error().code, st.error().message);
   }
+  lib_counter("checkin").add(1);
   return next;
 }
 
@@ -212,6 +223,7 @@ Status Library::cancel_checkout(const CellViewKey& key, const std::string& user)
   }
   (void)fs_->remove(cellview_dir(key).child(record->checkout->work_file));
   record->checkout.reset();
+  lib_counter("checkout.cancel").add(1);
   return commit();
 }
 

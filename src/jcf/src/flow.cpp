@@ -1,4 +1,5 @@
 #include "internal.hpp"
+#include "jfm/support/telemetry.hpp"
 
 namespace jfm::jcf {
 
@@ -7,6 +8,13 @@ using support::Errc;
 using support::Result;
 using support::Status;
 
+namespace {
+jfm::support::telemetry::Counter& exec_counter(const char* which) {
+  return jfm::support::telemetry::Registry::global().counter(
+      std::string("jcf.activity.") + which + ".count");
+}
+}  // namespace
+
 // Flow management (paper s2.1/s3.5): flows are fixed; the user must
 // follow the flow constraints. Every activity execution records which
 // design object versions it consumed and produced, yielding the
@@ -14,6 +22,7 @@ using support::Status;
 
 Result<ExecRef> JcfFramework::start_activity(VariantRef variant, ActivityRef activity,
                                              UserRef user, bool force) {
+  JFM_SPAN("jcf", "activity.start");
   if (auto st = expect(store_, variant, cls::Variant); !st.ok()) {
     return Result<ExecRef>::failure(st.error().code, st.error().message);
   }
@@ -36,6 +45,7 @@ Result<ExecRef> JcfFramework::start_activity(VariantRef variant, ActivityRef act
   if (!flow.ok()) return Result<ExecRef>::failure(flow.error().code, flow.error().message);
   if (!store_.linked(rel::flow_activity, flow->id, activity.id)) {
     auto aname = name_of(activity.id);
+    exec_counter("flow_violation").add(1);
     return Result<ExecRef>::failure(Errc::flow_violation,
                                     "activity " + (aname.ok() ? *aname : "?") +
                                         " is not part of the prescribed flow");
@@ -53,6 +63,7 @@ Result<ExecRef> JcfFramework::start_activity(VariantRef variant, ActivityRef act
       }
       if (*progress != ActivityProgress::done) {
         auto pname = name_of(pred.id);
+        exec_counter("flow_violation").add(1);
         return Result<ExecRef>::failure(Errc::flow_violation,
                                         "predecessor activity " + (pname.ok() ? *pname : "?") +
                                             " has not completed");
@@ -90,10 +101,12 @@ Result<ExecRef> JcfFramework::start_activity(VariantRef variant, ActivityRef act
   (void)store_.link(rel::exec_activity, *id, activity.id);
   (void)store_.link(rel::exec_user, *id, user.id);
   for (auto input : inputs) (void)store_.link(rel::exec_inputs, *id, input.id);
+  exec_counter("start").add(1);
   return ExecRef(*id);
 }
 
 Status JcfFramework::complete_activity(ExecRef exec, const std::vector<DovRef>& outputs) {
+  JFM_SPAN("jcf", "activity.complete");
   if (auto st = expect(store_, exec, cls::Exec); !st.ok()) return st;
   auto state = exec_state(exec);
   if (!state.ok()) return Status(state.error());
@@ -131,6 +144,7 @@ Status JcfFramework::complete_activity(ExecRef exec, const std::vector<DovRef>& 
     }
     (void)store_.link(rel::exec_outputs, exec.id, out.id);
   }
+  exec_counter("complete").add(1);
   return store_.set(exec.id, "state", oms::AttrValue(std::string(to_string(ExecState::done))));
 }
 
@@ -141,6 +155,7 @@ Status JcfFramework::abort_activity(ExecRef exec) {
   if (*state != ExecState::running) {
     return support::fail(Errc::invalid_argument, "activity execution is not running");
   }
+  exec_counter("abort").add(1);
   return store_.set(exec.id, "state",
                     oms::AttrValue(std::string(to_string(ExecState::aborted))));
 }

@@ -1,4 +1,5 @@
 #include "internal.hpp"
+#include "jfm/support/telemetry.hpp"
 
 namespace jfm::jcf {
 
@@ -7,12 +8,22 @@ using support::Errc;
 using support::Result;
 using support::Status;
 
+namespace {
+namespace telemetry = support::telemetry;
+
+telemetry::Counter& ws_counter(const char* which) {
+  return telemetry::Registry::global().counter(std::string("jcf.workspace.") + which +
+                                               ".count");
+}
+}  // namespace
+
 // The JCF workspace concept (paper s2.1): "the workspace concept of JCF
 // allows only one user to work on a particular cell version if this
 // cell version is reserved in his private workspace. Other users are
 // only allowed to read the published parts of the design data."
 
 Status JcfFramework::reserve(CellVersionRef cv, UserRef user) {
+  JFM_SPAN("jcf", "workspace.reserve");
   if (auto st = expect(store_, cv, cls::CellVersion); !st.ok()) return st;
   if (auto st = expect(store_, user, cls::User); !st.ok()) return st;
   auto uname = name_of(user.id);
@@ -21,6 +32,7 @@ Status JcfFramework::reserve(CellVersionRef cv, UserRef user) {
   if (!team.ok()) return Status(team.error());
   if (!store_.linked(rel::team_member, team->id, user.id)) {
     ++ws_stats_.reservation_conflicts;
+    ws_counter("reserve.conflict").add(1);
     return support::fail(Errc::permission_denied,
                          *uname + " is not a member of the cell version's team");
   }
@@ -28,16 +40,19 @@ Status JcfFramework::reserve(CellVersionRef cv, UserRef user) {
   if (!holder.ok()) return Status(holder.error());
   if (!holder->empty()) {
     ++ws_stats_.reservation_conflicts;
+    ws_counter("reserve.conflict").add(1);
     if (*holder == *uname) {
       return support::fail(Errc::already_exists, "cell version already in your workspace");
     }
     return support::fail(Errc::locked, "cell version is reserved by " + *holder);
   }
   ++ws_stats_.reservations;
+  ws_counter("reserve").add(1);
   return store_.set(cv.id, "reserved_by", oms::AttrValue(*uname));
 }
 
 Status JcfFramework::publish(CellVersionRef cv, UserRef user) {
+  JFM_SPAN("jcf", "workspace.publish");
   if (auto st = expect(store_, cv, cls::CellVersion); !st.ok()) return st;
   auto uname = name_of(user.id);
   if (!uname.ok()) return Status(uname.error());
@@ -64,6 +79,7 @@ Status JcfFramework::publish(CellVersionRef cv, UserRef user) {
   }
   (void)store_.set(cv.id, "published", oms::AttrValue(true));
   ++ws_stats_.publishes;
+  ws_counter("publish").add(1);
   return store_.set(cv.id, "reserved_by", oms::AttrValue(std::string()));
 }
 
@@ -145,6 +161,7 @@ Result<DesignObjectRef> JcfFramework::design_object_of(DovRef dov) const {
 }
 
 Result<std::string> JcfFramework::dov_data(DovRef dov, UserRef reader) {
+  JFM_SPAN("jcf", "dov_data");
   if (auto st = expect(store_, dov, cls::Dov); !st.ok()) {
     return Result<std::string>::failure(st.error().code, st.error().message);
   }
@@ -164,11 +181,22 @@ Result<std::string> JcfFramework::dov_data(DovRef dov, UserRef reader) {
     auto uname = name_of(reader.id);
     if (!holder.ok() || !uname.ok() || *holder != *uname) {
       ++ws_stats_.read_denials;
+      ws_counter("read_denial").add(1);
       return Result<std::string>::failure(Errc::permission_denied,
                                           "design data not published yet");
     }
   }
-  return store_.get_text(dov.id, "data");
+  // The actual design-data fetch out of the OMS database: the oms leaf
+  // of a checkout trace.
+  JFM_SPAN("oms", "read_blob");
+  auto data = store_.get_text(dov.id, "data");
+  if (data.ok()) {
+    static auto& reads = telemetry::Registry::global().counter("jcf.dov.read.count");
+    static auto& bytes = telemetry::Registry::global().counter("jcf.dov.read.bytes");
+    reads.add(1);
+    bytes.add(data->size());
+  }
+  return data;
 }
 
 }  // namespace jfm::jcf

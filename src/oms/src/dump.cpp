@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "jfm/support/strings.hpp"
+#include "jfm/support/telemetry.hpp"
 
 namespace jfm::oms {
 
@@ -182,12 +183,23 @@ Status Dump::from_text(Store& store, const std::string& text) {
 }
 
 Status Dump::export_store(const Store& store, vfs::FileSystem& fs, const vfs::Path& file) {
-  return fs.write_file(file, to_text(store));
+  JFM_SPAN("oms", "dump.export");
+  std::string text = to_text(store);
+  static auto& dumps = support::telemetry::Registry::global().counter("oms.dump.export.count");
+  static auto& bytes = support::telemetry::Registry::global().counter("oms.dump.export.bytes");
+  dumps.add(1);
+  bytes.add(text.size());
+  return fs.write_file(file, std::move(text));
 }
 
 Status Dump::import_store(Store& store, const vfs::FileSystem& fs, const vfs::Path& file) {
+  JFM_SPAN("oms", "dump.import");
   auto text = fs.read_file(file);
   if (!text.ok()) return Status(text.error());
+  static auto& loads = support::telemetry::Registry::global().counter("oms.dump.import.count");
+  static auto& bytes = support::telemetry::Registry::global().counter("oms.dump.import.bytes");
+  loads.add(1);
+  bytes.add(text->size());
   return from_text(store, *text);
 }
 

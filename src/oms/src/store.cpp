@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <cassert>
 
+#include "jfm/support/telemetry.hpp"
+
 namespace jfm::oms {
 
 using support::Errc;
 using support::Result;
 using support::Status;
+
+namespace {
+namespace telemetry = support::telemetry;
+
+telemetry::Counter& tx_counter(const char* which) {
+  return telemetry::Registry::global().counter(std::string("oms.tx.") + which + ".count");
+}
+}  // namespace
 
 Store::Store(Schema schema, support::SimClock* clock)
     : schema_(std::move(schema)), clock_(clock) {
@@ -287,6 +297,8 @@ std::optional<ObjectId> Store::find_one(std::string_view class_name, std::string
 
 Status Store::begin() {
   if (tx_open_) return support::fail(Errc::invalid_argument, "transaction already open");
+  static auto& begins = tx_counter("begin");
+  begins.add(1);
   tx_open_ = true;
   undo_log_.clear();
   return {};
@@ -294,6 +306,9 @@ Status Store::begin() {
 
 Status Store::commit() {
   if (!tx_open_) return support::fail(Errc::invalid_argument, "no open transaction");
+  JFM_SPAN("oms", "tx.commit");
+  static auto& commits = tx_counter("commit");
+  commits.add(1);
   tx_open_ = false;
   undo_log_.clear();
   return {};
@@ -301,6 +316,11 @@ Status Store::commit() {
 
 Status Store::abort() {
   if (!tx_open_) return support::fail(Errc::invalid_argument, "no open transaction");
+  JFM_SPAN("oms", "tx.abort");
+  static auto& aborts = tx_counter("abort");
+  aborts.add(1);
+  static auto& undone = telemetry::Registry::global().counter("oms.tx.undo.count");
+  undone.add(undo_log_.size());
   // Undo closures may journal again if they call mutators; close the
   // transaction first so replay is not re-journaled.
   tx_open_ = false;

@@ -2,11 +2,45 @@
 
 #include <cassert>
 
+#include "jfm/support/telemetry.hpp"
+
 namespace jfm::vfs {
 
 using support::Errc;
 using support::Result;
 using support::Status;
+
+namespace {
+// The vfs leaves of a trace: per-file copy and hash spans, plus byte
+// counters mirroring IoCounters into the process-wide registry so one
+// snapshot correlates file traffic with the layers above.
+namespace telemetry = support::telemetry;
+
+telemetry::Counter& read_bytes_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.file.read.bytes");
+  return c;
+}
+telemetry::Counter& write_bytes_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.file.write.bytes");
+  return c;
+}
+telemetry::Counter& copy_bytes_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.file.copy.bytes");
+  return c;
+}
+telemetry::Counter& copy_files_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.file.copy.count");
+  return c;
+}
+telemetry::Counter& hash_ops_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.hash.op.count");
+  return c;
+}
+telemetry::Counter& hash_bytes_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.hash.bytes");
+  return c;
+}
+}  // namespace
 
 FileSystem::FileSystem(support::SimClock* clock) : clock_(clock) {
   assert(clock != nullptr);
@@ -109,6 +143,7 @@ Status FileSystem::write_file(const Path& path, std::string data) {
     if (auto st = charge(data.size(), node->data.size()); !st.ok()) return st;
   }
   counters_.bytes_written += data.size();
+  write_bytes_counter().add(data.size());
   node->data = std::move(data);
   node->hash_valid = false;
   node->mtime = clock_->tick();
@@ -121,6 +156,7 @@ Status FileSystem::append_file(const Path& path, std::string_view data) {
   if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
   if (auto st = charge(node->data.size() + data.size(), node->data.size()); !st.ok()) return st;
   counters_.bytes_written += data.size();
+  write_bytes_counter().add(data.size());
   node->data.append(data);
   node->hash_valid = false;
   node->mtime = clock_->tick();
@@ -134,6 +170,7 @@ Result<std::string> FileSystem::read_file(const Path& path) const {
     return Result<std::string>::failure(Errc::invalid_argument, path.str() + " is a directory");
   }
   counters_.bytes_read += node->data.size();
+  read_bytes_counter().add(node->data.size());
   return node->data;
 }
 
@@ -151,11 +188,14 @@ Result<std::uint64_t> FileSystem::content_hash(const Path& path) const {
     return Result<std::uint64_t>::failure(Errc::invalid_argument,
                                           path.str() + " is a directory");
   }
+  JFM_SPAN("vfs", "content_hash");
   ++counters_.hash_ops;
+  hash_ops_counter().add(1);
   if (!node->hash_valid) {
     node->cached_hash = fnv1a(node->data);
     node->hash_valid = true;
     counters_.hash_bytes += node->data.size();
+    hash_bytes_counter().add(node->data.size());
   }
   return node->cached_hash;
 }
@@ -185,6 +225,7 @@ Status FileSystem::remove(const Path& path, bool recursive) {
 }
 
 Status FileSystem::copy_file(const Path& src, const Path& dst) {
+  JFM_SPAN("vfs", "copy_file");
   const Node* from = find(src);
   if (from == nullptr) return support::fail(Errc::not_found, src.str());
   if (from->dir) return support::fail(Errc::invalid_argument, src.str() + " is a directory");
@@ -192,6 +233,9 @@ Status FileSystem::copy_file(const Path& src, const Path& dst) {
   counters_.bytes_read += from->data.size();
   counters_.bytes_copied += from->data.size();
   counters_.files_copied += 1;
+  read_bytes_counter().add(from->data.size());
+  copy_bytes_counter().add(from->data.size());
+  copy_files_counter().add(1);
   std::string payload = from->data;  // real byte movement
   return write_file(dst, std::move(payload));
 }
