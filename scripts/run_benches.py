@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Run every bench binary and collect its metrics into BENCH_*.json.
+
+Each bench prints a human-readable report table, optional
+machine-readable ``JFM_PARALLEL_CHECKOUT`` lines, and one
+``JFM_METRICS <name> <json>`` line carrying the full telemetry
+registry snapshot (counters / gauges / histograms). This harness:
+
+1. discovers ``bench_*`` executables under ``<build-dir>/bench``;
+2. runs each one (``--quick`` skips the google-benchmark micro-timings
+   so the whole sweep finishes in seconds);
+3. writes one ``BENCH_<name>.json`` blob per binary into the repo root
+   (the blobs are checked in: EXPERIMENTS.md cites them);
+4. with ``--check-scaling``, gates on the parallel-checkout bench: the
+   8-worker cold-cache speedup must reach the scaling threshold.
+
+The threshold is core-aware: demanding 2x from a single-core container
+is physics, not a regression, so the effective bar is
+``min(--min-scaling, 0.5 * cores)``. On >= 4 cores that is the full
+--min-scaling; on 1 core it degrades to 0.5x, which still catches a
+true serialization bug (worker fan-out that *slows down* checkout).
+
+Exit status 0 = all benches ran (and the gate passed); 1 otherwise.
+stdlib only.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+METRICS_RE = re.compile(r"^JFM_METRICS\s+(\S+)\s+(\{.*\})\s*$")
+CHECKOUT_RE = re.compile(
+    r"^JFM_PARALLEL_CHECKOUT\s+workers=(\d+)\s+mode=(\w+)\s+wall_us=(\d+)"
+    r"\s+bytes=(\d+)\s+speedup=([\d.]+)\s*$")
+META_RE = re.compile(
+    r"^JFM_PARALLEL_CHECKOUT_META\s+cores=(\d+)\s+dovs=(\d+)"
+    r"\s+payload_bytes=(\d+)\s+exclusive8_cold_us=(\d+)\s*$")
+
+
+def discover(build_dir):
+    bench_dir = os.path.join(build_dir, "bench")
+    if not os.path.isdir(bench_dir):
+        return []
+    found = []
+    for entry in sorted(os.listdir(bench_dir)):
+        path = os.path.join(bench_dir, entry)
+        if entry.startswith("bench_") and os.path.isfile(path) and os.access(path, os.X_OK):
+            found.append(path)
+    return found
+
+
+def run_bench(path, quick):
+    argv = [path]
+    if quick:
+        # a filter nothing matches: the report table and the metrics
+        # line still print, the micro-timings are skipped
+        argv.append("--benchmark_filter=__quick_skip__")
+    proc = subprocess.run(argv, capture_output=True, text=True, cwd=REPO)
+    return proc
+
+
+def parse_output(text):
+    """Split a bench's stdout into (metrics dict, checkout rows, meta)."""
+    metrics = None
+    rows = []
+    meta = None
+    for line in text.splitlines():
+        m = METRICS_RE.match(line)
+        if m:
+            try:
+                metrics = json.loads(m.group(2))
+            except json.JSONDecodeError:
+                metrics = None
+            continue
+        m = CHECKOUT_RE.match(line)
+        if m:
+            rows.append({
+                "workers": int(m.group(1)),
+                "mode": m.group(2),
+                "wall_us": int(m.group(3)),
+                "bytes": int(m.group(4)),
+                "speedup": float(m.group(5)),
+            })
+            continue
+        m = META_RE.match(line)
+        if m:
+            meta = {
+                "cores": int(m.group(1)),
+                "dovs": int(m.group(2)),
+                "payload_bytes": int(m.group(3)),
+                "exclusive8_cold_us": int(m.group(4)),
+            }
+    return metrics, rows, meta
+
+
+def scaling_threshold(min_scaling, cores):
+    return min(min_scaling, 0.5 * max(1, cores))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip google-benchmark micro-timings")
+    parser.add_argument("--check-scaling", action="store_true",
+                        help="fail unless 8-worker cold checkout reaches the scaling bar")
+    parser.add_argument("--min-scaling", type=float, default=2.0,
+                        help="required 8-worker cold speedup on >=4 cores (default: 2.0)")
+    parser.add_argument("--out-dir", default=REPO,
+                        help="where BENCH_*.json blobs go (default: repo root)")
+    args = parser.parse_args()
+
+    build_dir = args.build_dir if os.path.isabs(args.build_dir) \
+        else os.path.join(REPO, args.build_dir)
+    benches = discover(build_dir)
+    if not benches:
+        print(f"run_benches: no bench_* executables under {build_dir}/bench "
+              f"(build with -DJFM_BUILD_BENCHES=ON)", file=sys.stderr)
+        return 1
+
+    failures = []
+    checkout_rows, checkout_meta = [], None
+    for path in benches:
+        name = os.path.basename(path)
+        proc = run_bench(path, args.quick)
+        if proc.returncode != 0:
+            failures.append(f"{name}: exit {proc.returncode}")
+            sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+            continue
+        metrics, rows, meta = parse_output(proc.stdout)
+        blob = {
+            "bench": name,
+            "quick": args.quick,
+            "metrics": metrics,
+        }
+        if rows:
+            blob["parallel_checkout"] = {"runs": rows, "meta": meta}
+            checkout_rows, checkout_meta = rows, meta
+        out = os.path.join(args.out_dir, f"BENCH_{name}.json")
+        with open(out, "w") as fh:
+            json.dump(blob, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"run_benches: {name} ok -> {os.path.relpath(out, REPO)}")
+
+    if args.check_scaling:
+        if not checkout_rows:
+            failures.append("scaling gate: no JFM_PARALLEL_CHECKOUT output found")
+        else:
+            cores = checkout_meta["cores"] if checkout_meta else 1
+            bar = scaling_threshold(args.min_scaling, cores)
+            cold8 = [r for r in checkout_rows
+                     if r["workers"] == 8 and r["mode"] == "cold"]
+            if not cold8:
+                failures.append("scaling gate: no workers=8 cold run")
+            elif cold8[0]["speedup"] < bar:
+                failures.append(
+                    f"scaling gate: 8-worker cold speedup {cold8[0]['speedup']:.2f}x "
+                    f"< required {bar:.2f}x (cores={cores})")
+            else:
+                print(f"run_benches: scaling gate ok "
+                      f"({cold8[0]['speedup']:.2f}x >= {bar:.2f}x on {cores} cores)")
+
+    for failure in failures:
+        print(f"run_benches: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,16 +22,27 @@
 // or anyone else -- publishes a new version of the design object
 // (JcfFramework::add_dov_created_listener).
 //
-// Thread-safety: one TransferEngine serializes its OMS/file-system
-// work behind an internal mutex, so export_batch may fan requests out
-// across a worker pool while an importer runs concurrently. The
-// underlying JcfFramework/FileSystem stay single-threaded; the engine
-// is their gatekeeper. Distinct engines sharing one framework must not
-// be driven from different threads at once.
+// Thread-safety (docs/concurrency.md): the engine carries a reader-
+// writer lock. Read-only export paths (export_dov / export_batch,
+// including cache probes and staging traffic through per-operation
+// staging files) take SHARED access and run genuinely concurrently --
+// the FileSystem and the OMS store underneath carry their own reader
+// locks, so an 8-worker checkout scales with the hardware instead of
+// funneling through one mutex. import_file takes EXCLUSIVE access:
+// while an import publishes a new version, no export is in flight on
+// this engine. All transfer counters are atomics, so stats_snapshot()
+// is always safe, torn-value free, and never blocks the data path.
+// Lock order: engine lock before cache_mu_, never the reverse.
+//
+// exclusive_transfers = true restores the pre-reader-writer behaviour
+// (every transfer takes the exclusive lock) and exists as the
+// serialization ablation for bench_parallel_checkout.
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,6 +53,10 @@
 
 namespace jfm::coupling {
 
+/// Point-in-time copy of the transfer accounting; the engine's live
+/// counters are atomics and stats_snapshot() materializes one of
+/// these. (The old `const TransferStats& stats()` accessor raced with
+/// in-flight batches and is gone.)
 struct TransferStats {
   std::uint64_t exports = 0;        ///< OMS -> FMCAD
   std::uint64_t imports = 0;        ///< FMCAD -> OMS
@@ -60,6 +75,9 @@ struct TransferOptions {
   bool copy_through_filesystem = true;   ///< paper behaviour (s2.1)
   bool content_addressed_cache = false;  ///< skip re-exports of unchanged DOVs
   std::size_t cache_capacity = 128;      ///< max cached (dov, dst) entries
+  /// Serialization ablation: exports take the exclusive lock as they
+  /// did before the reader-writer split. Only benches should set this.
+  bool exclusive_transfers = false;
 };
 
 /// One export request for the batched API.
@@ -81,21 +99,25 @@ class TransferEngine {
 
   /// OMS -> file: materialize a design object version at `dst`.
   /// The caller provides the reading user (workspace rules apply).
+  /// Takes shared engine access: concurrent exports proceed in
+  /// parallel, imports exclude them.
   support::Status export_dov(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst);
 
   /// Batched export: fan `items` out across a small worker pool and
   /// return one Status per item (same order). The desktop/hybrid layer
-  /// uses this to check out a whole hierarchy in one call.
+  /// uses this to check out a whole hierarchy in one call. Workers
+  /// share the engine's reader lock, so throughput scales with cores
+  /// until the file system's short exclusive publish sections dominate.
   std::vector<support::Status> export_batch(std::span<const ExportRequest> items,
                                             std::size_t workers = 4);
 
   /// file -> OMS: store `src`'s content as a new version of `dobj`.
+  /// Takes exclusive engine access (single writer).
   support::Result<jcf::DovRef> import_file(const vfs::Path& src, jcf::DesignObjectRef dobj,
                                            jcf::UserRef writer);
 
-  /// Not safe to call while an export_batch/import is in flight on
-  /// another thread; use stats_snapshot() there.
-  const TransferStats& stats() const noexcept { return stats_; }
+  /// Coherent copy of the counters; safe at any time, even while
+  /// batches and imports are in flight.
   TransferStats stats_snapshot() const;
   void reset_stats();
   bool copies_through_filesystem() const noexcept {
@@ -114,10 +136,25 @@ class TransferEngine {
   };
   using CacheKey = std::pair<oms::ObjectId, std::string>;  // (dov, dst path)
 
+  /// Atomic twin of TransferStats: bumped from shared-lock export paths.
+  struct AtomicTransferStats {
+    std::atomic<std::uint64_t> exports{0};
+    std::atomic<std::uint64_t> imports{0};
+    std::atomic<std::uint64_t> bytes_exported{0};
+    std::atomic<std::uint64_t> bytes_imported{0};
+    std::atomic<std::uint64_t> staging_copies{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> cache_evictions{0};
+    std::atomic<std::uint64_t> cache_invalidations{0};
+    std::atomic<std::uint64_t> bytes_saved{0};
+  };
+
   vfs::Path staging_file(const std::string& tag);
-  support::Status export_locked(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst);
+  support::Status export_shared(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst);
   /// True when (dov, dst) is cached with `hash` and dst still holds
-  /// those bytes. Takes cache_mu_; caller holds mu_.
+  /// those bytes. Takes cache_mu_; caller holds the engine lock
+  /// (shared is enough).
   bool cache_probe(jcf::DovRef dov, const vfs::Path& dst, std::uint64_t hash,
                    std::uint64_t size);
   void cache_store(jcf::DovRef dov, const vfs::Path& dst, std::uint64_t hash,
@@ -130,15 +167,15 @@ class TransferEngine {
   TransferOptions options_;
   std::uint64_t listener_token_ = 0;
 
-  // mu_ serializes all OMS/file-system traffic plus the transfer
-  // counters; cache_mu_ guards only the cache map and its counters so
-  // the jcf invalidation hook (which may fire while mu_ is held by an
-  // import on this or another engine) never needs mu_. Lock order:
-  // mu_ before cache_mu_, never the reverse.
-  mutable std::mutex mu_;
+  // mu_ is the engine's reader-writer gate: exports hold it shared,
+  // import_file (and reset_stats) exclusively. cache_mu_ guards only
+  // the cache map so the jcf invalidation hook (which may fire while
+  // mu_ is held by an import on this or another engine) never needs
+  // mu_. Lock order: mu_ before cache_mu_, never the reverse.
+  mutable std::shared_mutex mu_;
   mutable std::mutex cache_mu_;
-  TransferStats stats_;
-  std::uint64_t stage_counter_ = 0;
+  AtomicTransferStats stats_;
+  std::atomic<std::uint64_t> stage_counter_{0};
   std::map<CacheKey, CacheEntry> cache_;
   std::uint64_t cache_tick_ = 0;
 };

@@ -517,7 +517,7 @@ Result<ActivityRunReport> HybridFramework::run_activity_on(
   if (!exec.ok()) return forward_error<ActivityRunReport>(exec.error());
   report.exec = *exec;
 
-  const auto transfer_before = transfer_->stats();
+  const auto transfer_before = transfer_->stats_snapshot();
 
   // ---- copy required data from OMS into the slave library -----------------
   fmcad::DesignerSession* session = session_for(*ctx, *uname);
@@ -758,7 +758,7 @@ Result<ActivityRunReport> HybridFramework::run_activity_on(
     return forward_error<ActivityRunReport>(st.error());
   }
 
-  const auto transfer_after = transfer_->stats();
+  const auto transfer_after = transfer_->stats_snapshot();
   report.bytes_exported = transfer_after.bytes_exported - transfer_before.bytes_exported;
   report.bytes_imported = transfer_after.bytes_imported - transfer_before.bytes_imported;
   return report;

@@ -15,6 +15,8 @@ using support::Status;
 namespace {
 namespace telemetry = support::telemetry;
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 // The registry mirrors of TransferStats. Counters are process-wide (all
 // engines fold into the same names); stats_ stays per-engine. Cached
 // references are safe: the registry never erases metrics.
@@ -26,6 +28,22 @@ telemetry::Histogram& export_latency() {
   static auto& h =
       telemetry::Registry::global().latency_histogram("coupling.transfer.export.micros");
   return h;
+}
+
+// Time spent waiting to acquire the engine lock (shared or exclusive):
+// the serialization cost parallel checkout pays. bench_parallel_checkout
+// reports this histogram; under the reader-writer scheme it collapses
+// to near-zero for export-only workloads.
+telemetry::Histogram& lock_wait_histogram() {
+  static auto& h =
+      telemetry::Registry::global().latency_histogram("coupling.transfer.lock_wait.us");
+  return h;
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
 }
 }  // namespace
 
@@ -49,7 +67,10 @@ TransferEngine::~TransferEngine() {
 }
 
 vfs::Path TransferEngine::staging_file(const std::string& tag) {
-  return transfer_dir_.child(tag + "_" + std::to_string(++stage_counter_) + ".xfer");
+  // The counter is atomic: concurrent exports draw distinct staging
+  // files, so shared-lock workers never collide in the transfer dir.
+  const std::uint64_t n = stage_counter_.fetch_add(1, kRelaxed) + 1;
+  return transfer_dir_.child(tag + "_" + std::to_string(n) + ".xfer");
 }
 
 void TransferEngine::invalidate_dobj(oms::ObjectId dobj) {
@@ -57,7 +78,7 @@ void TransferEngine::invalidate_dobj(oms::ObjectId dobj) {
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->second.dobj == dobj) {
       it = cache_.erase(it);
-      ++stats_.cache_invalidations;
+      stats_.cache_invalidations.fetch_add(1, kRelaxed);
       static auto& invalidations = xfer_counter("cache.invalidation.count");
       invalidations.add(1);
     } else {
@@ -74,7 +95,7 @@ bool TransferEngine::cache_probe(jcf::DovRef dov, const vfs::Path& dst, std::uin
   static auto& saved = xfer_counter("cache.saved.bytes");
   auto it = cache_.find(CacheKey(dov.id, dst.str()));
   if (it == cache_.end() || it->second.content_hash != hash) {
-    ++stats_.cache_misses;
+    stats_.cache_misses.fetch_add(1, kRelaxed);
     misses.add(1);
     return false;
   }
@@ -86,14 +107,14 @@ bool TransferEngine::cache_probe(jcf::DovRef dov, const vfs::Path& dst, std::uin
   lock.lock();
   if (!on_disk.ok() || *on_disk != hash) {
     cache_.erase(CacheKey(dov.id, dst.str()));
-    ++stats_.cache_misses;
+    stats_.cache_misses.fetch_add(1, kRelaxed);
     misses.add(1);
     return false;
   }
   it = cache_.find(CacheKey(dov.id, dst.str()));
   if (it != cache_.end()) it->second.last_used = ++cache_tick_;
-  ++stats_.cache_hits;
-  stats_.bytes_saved += size;
+  stats_.cache_hits.fetch_add(1, kRelaxed);
+  stats_.bytes_saved.fetch_add(size, kRelaxed);
   hits.add(1);
   saved.add(size);
   return true;
@@ -115,7 +136,7 @@ void TransferEngine::cache_store(jcf::DovRef dov, const vfs::Path& dst, std::uin
       if (it->second.last_used < victim->second.last_used) victim = it;
     }
     cache_.erase(victim);
-    ++stats_.cache_evictions;
+    stats_.cache_evictions.fetch_add(1, kRelaxed);
     static auto& evictions = xfer_counter("cache.eviction.count");
     evictions.add(1);
   }
@@ -124,21 +145,29 @@ void TransferEngine::cache_store(jcf::DovRef dov, const vfs::Path& dst, std::uin
 Status TransferEngine::export_dov(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst) {
   JFM_SPAN("coupling", "transfer.export");
   const auto started = std::chrono::steady_clock::now();
-  std::lock_guard lock(mu_);
-  Status st = export_locked(dov, reader, dst);
-  export_latency().record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
-                                                            started)
-          .count()));
+  std::shared_lock shared(mu_, std::defer_lock);
+  std::unique_lock exclusive(mu_, std::defer_lock);
+  if (options_.exclusive_transfers) {
+    exclusive.lock();
+  } else {
+    shared.lock();
+  }
+  lock_wait_histogram().record(us_since(started));
+  Status st = export_shared(dov, reader, dst);
+  export_latency().record(us_since(started));
   return st;
 }
 
-Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
+Status TransferEngine::export_shared(jcf::DovRef dov, jcf::UserRef reader,
                                      const vfs::Path& dst) {
+  // Caller holds the engine lock (shared is enough): the OMS read, the
+  // hash and the staging copies below all run concurrently across
+  // export workers -- the store and the file system carry their own
+  // reader-writer locks.
   auto data = jcf_->dov_data(dov, reader);
   if (!data.ok()) return Status(data.error());
-  ++stats_.exports;
-  stats_.bytes_exported += data->size();
+  stats_.exports.fetch_add(1, kRelaxed);
+  stats_.bytes_exported.fetch_add(data->size(), kRelaxed);
   static auto& exports = xfer_counter("export.count");
   static auto& export_bytes = xfer_counter("export.bytes");
   exports.add(1);
@@ -151,7 +180,7 @@ Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
     if (options_.copy_through_filesystem) {
       vfs::Path stage = staging_file("out");
       if (auto ws = fs_->write_file(stage, std::move(*data)); !ws.ok()) return ws;
-      ++stats_.staging_copies;
+      stats_.staging_copies.fetch_add(1, kRelaxed);
       xfer_counter("staging.count").add(1);
       st = fs_->copy_file(stage, dst);
       (void)fs_->remove(stage);
@@ -166,7 +195,7 @@ Status TransferEngine::export_locked(jcf::DovRef dov, jcf::UserRef reader,
     // the payload crosses the file system twice, as in the paper.
     vfs::Path stage = staging_file("out");
     if (auto st = fs_->write_file(stage, std::move(*data)); !st.ok()) return st;
-    ++stats_.staging_copies;
+    stats_.staging_copies.fetch_add(1, kRelaxed);
     xfer_counter("staging.count").add(1);
     auto st = fs_->copy_file(stage, dst);
     (void)fs_->remove(stage);
@@ -196,8 +225,9 @@ std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> 
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= items.size()) return;
-      // Each worker owns its result slot; the engine mutex serializes
-      // the shared OMS/file-system state underneath.
+      // Each worker owns its result slot; workers share the engine's
+      // reader lock and the store/fs reader locks underneath, so the
+      // payload work of distinct items genuinely overlaps.
       results[i] = export_dov(items[i].dov, items[i].reader, items[i].dst);
     }
   };
@@ -212,7 +242,12 @@ Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
                                                 jcf::DesignObjectRef dobj,
                                                 jcf::UserRef writer) {
   JFM_SPAN("coupling", "transfer.import");
-  std::lock_guard lock(mu_);
+  const auto started = std::chrono::steady_clock::now();
+  // Exclusive: an import is the single writer; every in-flight export
+  // drains first and none starts until the new version is published
+  // and the stale cache entries are invalidated.
+  std::unique_lock lock(mu_);
+  lock_wait_histogram().record(us_since(started));
   vfs::Path read_from = src;
   vfs::Path stage;
   if (options_.copy_through_filesystem) {
@@ -220,15 +255,15 @@ Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
     if (auto st = fs_->copy_file(src, stage); !st.ok()) {
       return Result<jcf::DovRef>::failure(st.error().code, st.error().message);
     }
-    ++stats_.staging_copies;
+    stats_.staging_copies.fetch_add(1, kRelaxed);
     xfer_counter("staging.count").add(1);
     read_from = stage;
   }
   auto data = fs_->read_file(read_from);
   if (options_.copy_through_filesystem) (void)fs_->remove(stage);
   if (!data.ok()) return Result<jcf::DovRef>::failure(data.error().code, data.error().message);
-  ++stats_.imports;
-  stats_.bytes_imported += data->size();
+  stats_.imports.fetch_add(1, kRelaxed);
+  stats_.bytes_imported.fetch_add(data->size(), kRelaxed);
   static auto& imports = xfer_counter("import.count");
   static auto& import_bytes = xfer_counter("import.bytes");
   imports.add(1);
@@ -239,13 +274,35 @@ Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
 }
 
 TransferStats TransferEngine::stats_snapshot() const {
-  std::scoped_lock lock(mu_, cache_mu_);
-  return stats_;
+  // Pure atomic loads: safe concurrently with any batch or import, and
+  // never blocks the data path.
+  TransferStats s;
+  s.exports = stats_.exports.load(kRelaxed);
+  s.imports = stats_.imports.load(kRelaxed);
+  s.bytes_exported = stats_.bytes_exported.load(kRelaxed);
+  s.bytes_imported = stats_.bytes_imported.load(kRelaxed);
+  s.staging_copies = stats_.staging_copies.load(kRelaxed);
+  s.cache_hits = stats_.cache_hits.load(kRelaxed);
+  s.cache_misses = stats_.cache_misses.load(kRelaxed);
+  s.cache_evictions = stats_.cache_evictions.load(kRelaxed);
+  s.cache_invalidations = stats_.cache_invalidations.load(kRelaxed);
+  s.bytes_saved = stats_.bytes_saved.load(kRelaxed);
+  return s;
 }
 
 void TransferEngine::reset_stats() {
-  std::scoped_lock lock(mu_, cache_mu_);
-  stats_ = {};
+  // Quiesce the engine so a reset never interleaves mid-transfer.
+  std::unique_lock lock(mu_);
+  stats_.exports.store(0, kRelaxed);
+  stats_.imports.store(0, kRelaxed);
+  stats_.bytes_exported.store(0, kRelaxed);
+  stats_.bytes_imported.store(0, kRelaxed);
+  stats_.staging_copies.store(0, kRelaxed);
+  stats_.cache_hits.store(0, kRelaxed);
+  stats_.cache_misses.store(0, kRelaxed);
+  stats_.cache_evictions.store(0, kRelaxed);
+  stats_.cache_invalidations.store(0, kRelaxed);
+  stats_.bytes_saved.store(0, kRelaxed);
 }
 
 std::size_t TransferEngine::cache_size() const {

@@ -16,7 +16,16 @@
 //     of derivation relations.
 //
 // All metadata and design data live in one OMS store.
+//
+// Thread-safety (docs/concurrency.md): read paths (dov_data, the
+// find_*/name_of lookups, hierarchy queries) may run concurrently --
+// they ride the OMS store's reader lock and the workspace counters are
+// atomic. Mutations (create_*, reserve/publish, the flow engine) must
+// be driven by one writer at a time; TransferEngine enforces exactly
+// that for the encapsulation data path. Listener registration is
+// setup-time only, as documented on add_dov_created_listener.
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <string>
@@ -37,6 +46,10 @@ std::string_view to_string(ExecState state);
 /// Per-activity progress within one variant.
 enum class ActivityProgress { not_started, running, done };
 
+/// Point-in-time copy of the workspace accounting; workspace_stats()
+/// returns one by value. The live counters are atomics because the
+/// read path (dov_data) bumps read_denials while parallel exporters
+/// share the framework.
 struct WorkspaceStats {
   std::uint64_t reservations = 0;
   std::uint64_t reservation_conflicts = 0;
@@ -184,7 +197,14 @@ class JcfFramework {
   support::Status publish(CellVersionRef cv, UserRef user);
   /// Name of the reserving user, or "" when free.
   support::Result<std::string> reserved_by(CellVersionRef cv) const;
-  const WorkspaceStats& workspace_stats() const noexcept { return ws_stats_; }
+  WorkspaceStats workspace_stats() const noexcept {
+    WorkspaceStats s;
+    s.reservations = ws_stats_.reservations.load(std::memory_order_relaxed);
+    s.reservation_conflicts = ws_stats_.reservation_conflicts.load(std::memory_order_relaxed);
+    s.publishes = ws_stats_.publishes.load(std::memory_order_relaxed);
+    s.read_denials = ws_stats_.read_denials.load(std::memory_order_relaxed);
+    return s;
+  }
 
   // ======================= flow engine ====================================
   /// Start an activity execution in a variant. Enforces: workspace
@@ -224,9 +244,16 @@ class JcfFramework {
  private:
   friend struct FrameworkPrivate;  // shared helpers across the .cpp files
 
+  struct AtomicWorkspaceStats {
+    std::atomic<std::uint64_t> reservations{0};
+    std::atomic<std::uint64_t> reservation_conflicts{0};
+    std::atomic<std::uint64_t> publishes{0};
+    std::atomic<std::uint64_t> read_denials{0};
+  };
+
   oms::Store store_;
   support::SimClock* clock_;
-  WorkspaceStats ws_stats_;
+  AtomicWorkspaceStats ws_stats_;
   std::vector<std::pair<std::uint64_t, DovCreatedListener>> dov_listeners_;
   std::uint64_t next_listener_token_ = 0;
 };

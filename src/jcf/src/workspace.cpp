@@ -31,7 +31,7 @@ Status JcfFramework::reserve(CellVersionRef cv, UserRef user) {
   auto team = effective_team(cv);
   if (!team.ok()) return Status(team.error());
   if (!store_.linked(rel::team_member, team->id, user.id)) {
-    ++ws_stats_.reservation_conflicts;
+    ws_stats_.reservation_conflicts.fetch_add(1, std::memory_order_relaxed);
     ws_counter("reserve.conflict").add(1);
     return support::fail(Errc::permission_denied,
                          *uname + " is not a member of the cell version's team");
@@ -39,14 +39,14 @@ Status JcfFramework::reserve(CellVersionRef cv, UserRef user) {
   auto holder = store_.get_text(cv.id, "reserved_by");
   if (!holder.ok()) return Status(holder.error());
   if (!holder->empty()) {
-    ++ws_stats_.reservation_conflicts;
+    ws_stats_.reservation_conflicts.fetch_add(1, std::memory_order_relaxed);
     ws_counter("reserve.conflict").add(1);
     if (*holder == *uname) {
       return support::fail(Errc::already_exists, "cell version already in your workspace");
     }
     return support::fail(Errc::locked, "cell version is reserved by " + *holder);
   }
-  ++ws_stats_.reservations;
+  ws_stats_.reservations.fetch_add(1, std::memory_order_relaxed);
   ws_counter("reserve").add(1);
   return store_.set(cv.id, "reserved_by", oms::AttrValue(*uname));
 }
@@ -78,7 +78,7 @@ Status JcfFramework::publish(CellVersionRef cv, UserRef user) {
     }
   }
   (void)store_.set(cv.id, "published", oms::AttrValue(true));
-  ++ws_stats_.publishes;
+  ws_stats_.publishes.fetch_add(1, std::memory_order_relaxed);
   ws_counter("publish").add(1);
   return store_.set(cv.id, "reserved_by", oms::AttrValue(std::string()));
 }
@@ -180,7 +180,7 @@ Result<std::string> JcfFramework::dov_data(DovRef dov, UserRef reader) {
     auto holder = reserved_by(*cv);
     auto uname = name_of(reader.id);
     if (!holder.ok() || !uname.ok() || *holder != *uname) {
-      ++ws_stats_.read_denials;
+      ws_stats_.read_denials.fetch_add(1, std::memory_order_relaxed);
       ws_counter("read_denial").add(1);
       return Result<std::string>::failure(Errc::permission_denied,
                                           "design data not published yet");

@@ -13,11 +13,24 @@
 //
 // Mutations outside an explicit transaction auto-commit; inside a
 // transaction they are journaled and can be rolled back atomically.
+//
+// Read isolation (docs/concurrency.md): the store carries one
+// reader-writer lock. All const queries (get*/targets/sources/
+// objects_of/find*/linked/exists/class_of) take shared access so many
+// exporters can resolve DOV attributes concurrently; every mutation
+// and the transaction machinery take exclusive access. Readers that
+// interleave with a multi-operation transaction observe individual
+// committed operations (read-committed per call, not snapshot
+// isolation) -- the single-writer discipline of the framework layers
+// above keeps that sound. Dump (friend) locks the same mutex around
+// its whole-store walks.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -79,7 +92,9 @@ class Store {
   support::Status begin();
   support::Status commit();
   support::Status abort();  ///< roll back everything since begin()
-  bool in_transaction() const noexcept { return tx_open_; }
+  bool in_transaction() const noexcept {
+    return tx_open_.load(std::memory_order_relaxed);
+  }
 
   support::Timestamp created_at(ObjectId id) const;
 
@@ -102,14 +117,19 @@ class Store {
 
   void erase_object_links(ObjectId id);
   support::Status link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to);
+  // query bodies shared by the locking public wrappers; mu_ held
+  std::vector<ObjectId> find_locked(std::string_view class_name, std::string_view attr,
+                                    const AttrValue& value) const;
 
   Schema schema_;
   support::SimClock* clock_;
   support::IdAllocator<ObjectTag> ids_;
+  // shared for const queries, exclusive for mutations/transactions
+  mutable std::shared_mutex mu_;
   std::unordered_map<ObjectId, Object> objects_;
   std::map<std::string, RelationIndex, std::less<>> relations_;
   std::vector<std::function<void()>> undo_log_;
-  bool tx_open_ = false;
+  std::atomic<bool> tx_open_{false};
 };
 
 }  // namespace jfm::oms

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <charconv>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 
 #include "jfm/support/strings.hpp"
@@ -61,6 +63,9 @@ Result<AttrValue> value_from_text(AttrType type, const std::string& text) {
 }  // namespace
 
 std::string Dump::to_text(const Store& store) {
+  // Whole-store walk: hold the store's reader lock for the duration so
+  // a concurrent importer cannot mutate mid-serialization.
+  std::shared_lock lock(store.mu_);
   std::string out = "omsdump 1\n";
   // Objects in id order for a canonical dump.
   std::vector<ObjectId> ids;
@@ -97,7 +102,10 @@ std::string Dump::to_text(const Store& store) {
 }
 
 Status Dump::from_text(Store& store, const std::string& text) {
-  if (store.object_count() != 0) {
+  // Exclusive for the whole load; internal access below bypasses the
+  // public (self-locking) API, so use the members directly.
+  std::unique_lock lock(store.mu_);
+  if (!store.objects_.empty()) {
     return support::fail(Errc::invalid_argument, "import target store is not empty");
   }
   auto lines = support::split(text, '\n');

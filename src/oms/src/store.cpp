@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 #include "jfm/support/telemetry.hpp"
 
@@ -28,10 +29,12 @@ Store::Store(Schema schema, support::SimClock* clock)
 }
 
 void Store::journal(std::function<void()> undo) {
-  if (tx_open_) undo_log_.push_back(std::move(undo));
+  // Only called from mutators, which hold mu_ exclusively.
+  if (tx_open_.load(std::memory_order_relaxed)) undo_log_.push_back(std::move(undo));
 }
 
 Result<ObjectId> Store::create(std::string_view class_name) {
+  std::unique_lock lock(mu_);
   const ClassDef* def = schema_.find_class(class_name);
   if (def == nullptr) {
     return Result<ObjectId>::failure(Errc::not_found, "class " + std::string(class_name));
@@ -46,6 +49,7 @@ Result<ObjectId> Store::create(std::string_view class_name) {
 }
 
 Status Store::destroy(ObjectId id) {
+  std::unique_lock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) return support::fail(Errc::not_found, "no such object");
   erase_object_links(id);
@@ -92,17 +96,25 @@ void Store::erase_object_links(ObjectId id) {
   }
 }
 
-bool Store::exists(ObjectId id) const noexcept { return objects_.contains(id); }
+bool Store::exists(ObjectId id) const noexcept {
+  std::shared_lock lock(mu_);
+  return objects_.contains(id);
+}
 
 Result<std::string> Store::class_of(ObjectId id) const {
+  std::shared_lock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) return Result<std::string>::failure(Errc::not_found, "no such object");
   return it->second.class_name;
 }
 
-std::size_t Store::object_count() const noexcept { return objects_.size(); }
+std::size_t Store::object_count() const noexcept {
+  std::shared_lock lock(mu_);
+  return objects_.size();
+}
 
 Status Store::set(ObjectId id, std::string_view attr, AttrValue value) {
+  std::unique_lock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) return support::fail(Errc::not_found, "no such object");
   const AttributeDef* def = schema_.find_attribute(it->second.class_name, attr);
@@ -135,6 +147,7 @@ Status Store::set(ObjectId id, std::string_view attr, AttrValue value) {
 }
 
 Result<AttrValue> Store::get(ObjectId id, std::string_view attr) const {
+  std::shared_lock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) return Result<AttrValue>::failure(Errc::not_found, "no such object");
   auto ait = it->second.attrs.find(attr);
@@ -170,6 +183,7 @@ Result<double> Store::get_real(ObjectId id, std::string_view attr) const {
 }
 
 Status Store::link(std::string_view relation, ObjectId from, ObjectId to) {
+  std::unique_lock lock(mu_);
   const RelationDef* rel = schema_.find_relation(relation);
   if (rel == nullptr) return support::fail(Errc::not_found, "relation " + std::string(relation));
   auto fit = objects_.find(from);
@@ -220,6 +234,7 @@ Status Store::link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to) {
 }
 
 Status Store::unlink(std::string_view relation, ObjectId from, ObjectId to) {
+  std::unique_lock lock(mu_);
   const RelationDef* rel = schema_.find_relation(relation);
   if (rel == nullptr) return support::fail(Errc::not_found, "relation " + std::string(relation));
   RelationIndex& index = relations_[rel->name];
@@ -238,6 +253,7 @@ Status Store::unlink(std::string_view relation, ObjectId from, ObjectId to) {
 }
 
 bool Store::linked(std::string_view relation, ObjectId from, ObjectId to) const {
+  std::shared_lock lock(mu_);
   auto rit = relations_.find(relation);
   if (rit == relations_.end()) return false;
   auto fit = rit->second.forward.find(from);
@@ -246,6 +262,7 @@ bool Store::linked(std::string_view relation, ObjectId from, ObjectId to) const 
 }
 
 Result<std::vector<ObjectId>> Store::targets(std::string_view relation, ObjectId from) const {
+  std::shared_lock lock(mu_);
   auto rit = relations_.find(relation);
   if (rit == relations_.end()) {
     return Result<std::vector<ObjectId>>::failure(Errc::not_found,
@@ -257,6 +274,7 @@ Result<std::vector<ObjectId>> Store::targets(std::string_view relation, ObjectId
 }
 
 Result<std::vector<ObjectId>> Store::sources(std::string_view relation, ObjectId to) const {
+  std::shared_lock lock(mu_);
   auto rit = relations_.find(relation);
   if (rit == relations_.end()) {
     return Result<std::vector<ObjectId>>::failure(Errc::not_found,
@@ -268,6 +286,7 @@ Result<std::vector<ObjectId>> Store::sources(std::string_view relation, ObjectId
 }
 
 std::vector<ObjectId> Store::objects_of(std::string_view class_name) const {
+  std::shared_lock lock(mu_);
   std::vector<ObjectId> out;
   for (const auto& [id, obj] : objects_) {
     if (schema_.is_a(obj.class_name, class_name)) out.push_back(id);
@@ -278,6 +297,12 @@ std::vector<ObjectId> Store::objects_of(std::string_view class_name) const {
 
 std::vector<ObjectId> Store::find(std::string_view class_name, std::string_view attr,
                                   const AttrValue& value) const {
+  std::shared_lock lock(mu_);
+  return find_locked(class_name, attr, value);
+}
+
+std::vector<ObjectId> Store::find_locked(std::string_view class_name, std::string_view attr,
+                                         const AttrValue& value) const {
   std::vector<ObjectId> out;
   for (const auto& [id, obj] : objects_) {
     if (!schema_.is_a(obj.class_name, class_name)) continue;
@@ -290,32 +315,42 @@ std::vector<ObjectId> Store::find(std::string_view class_name, std::string_view 
 
 std::optional<ObjectId> Store::find_one(std::string_view class_name, std::string_view attr,
                                         const AttrValue& value) const {
-  auto all = find(class_name, attr, value);
+  std::shared_lock lock(mu_);
+  auto all = find_locked(class_name, attr, value);
   if (all.empty()) return std::nullopt;
   return all.front();
 }
 
 Status Store::begin() {
-  if (tx_open_) return support::fail(Errc::invalid_argument, "transaction already open");
+  std::unique_lock lock(mu_);
+  if (tx_open_.load(std::memory_order_relaxed)) {
+    return support::fail(Errc::invalid_argument, "transaction already open");
+  }
   static auto& begins = tx_counter("begin");
   begins.add(1);
-  tx_open_ = true;
+  tx_open_.store(true, std::memory_order_relaxed);
   undo_log_.clear();
   return {};
 }
 
 Status Store::commit() {
-  if (!tx_open_) return support::fail(Errc::invalid_argument, "no open transaction");
+  std::unique_lock lock(mu_);
+  if (!tx_open_.load(std::memory_order_relaxed)) {
+    return support::fail(Errc::invalid_argument, "no open transaction");
+  }
   JFM_SPAN("oms", "tx.commit");
   static auto& commits = tx_counter("commit");
   commits.add(1);
-  tx_open_ = false;
+  tx_open_.store(false, std::memory_order_relaxed);
   undo_log_.clear();
   return {};
 }
 
 Status Store::abort() {
-  if (!tx_open_) return support::fail(Errc::invalid_argument, "no open transaction");
+  std::unique_lock lock(mu_);
+  if (!tx_open_.load(std::memory_order_relaxed)) {
+    return support::fail(Errc::invalid_argument, "no open transaction");
+  }
   JFM_SPAN("oms", "tx.abort");
   static auto& aborts = tx_counter("abort");
   aborts.add(1);
@@ -323,13 +358,14 @@ Status Store::abort() {
   undone.add(undo_log_.size());
   // Undo closures may journal again if they call mutators; close the
   // transaction first so replay is not re-journaled.
-  tx_open_ = false;
+  tx_open_.store(false, std::memory_order_relaxed);
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) (*it)();
   undo_log_.clear();
   return {};
 }
 
 support::Timestamp Store::created_at(ObjectId id) const {
+  std::shared_lock lock(mu_);
   auto it = objects_.find(id);
   return it == objects_.end() ? 0 : it->second.created;
 }

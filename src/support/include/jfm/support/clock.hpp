@@ -5,7 +5,16 @@
 // modification times, workspace reservations) come from a SimClock so
 // that tests and benchmark workloads are fully reproducible. The clock
 // only moves when someone advances it.
+//
+// Thread-safety: one SimClock is shared by the file system, the OMS
+// store and every framework layer above them. Since those layers take
+// their own (distinct) locks, concurrent tick()/now() calls are normal
+// under parallel checkout; the counter is a relaxed atomic so they are
+// race-free. Timestamps stay unique per tick() but their order across
+// threads is whatever the interleaving produced -- deterministic runs
+// require single-threaded driving, exactly as before.
 
+#include <atomic>
 #include <cstdint>
 
 namespace jfm::support {
@@ -15,22 +24,21 @@ using Timestamp = std::uint64_t;
 class SimClock {
  public:
   /// Current logical time.
-  Timestamp now() const noexcept { return now_; }
+  Timestamp now() const noexcept { return now_.load(std::memory_order_relaxed); }
 
   /// Advance by `delta` ticks and return the new time.
   Timestamp advance(std::uint64_t delta = 1) noexcept {
-    now_ += delta;
-    return now_;
+    return now_.fetch_add(delta, std::memory_order_relaxed) + delta;
   }
 
   /// Advance by one tick and return the *new* time; the common way to
   /// stamp an event so that consecutive events get distinct timestamps.
   Timestamp tick() noexcept { return advance(1); }
 
-  void reset(Timestamp to = 0) noexcept { now_ = to; }
+  void reset(Timestamp to = 0) noexcept { now_.store(to, std::memory_order_relaxed); }
 
  private:
-  Timestamp now_ = 0;
+  std::atomic<Timestamp> now_{0};
 };
 
 }  // namespace jfm::support

@@ -9,10 +9,22 @@
 //
 // The file system also keeps I/O counters (bytes read / written /
 // copied) that the coupling layer and the benches use to attribute cost.
+//
+// Thread-safety (docs/concurrency.md): the tree is guarded by one
+// reader-writer lock. Read-only operations (read_file, stat,
+// content_hash, walk_files, tree_size, list, exists) take shared
+// access and run concurrently; mutations take exclusive access. The
+// I/O counters and the per-node memoized content hash are atomics so
+// concurrent readers never race, and copy_file splits its work into a
+// shared read phase and a short exclusive publish phase so parallel
+// checkout is not serialized on payload bytes.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +56,8 @@ struct FileStat {
   bool is_directory = false;
 };
 
+/// Point-in-time copy of the I/O accounting; counters() returns one by
+/// value so callers never observe a counter mid-update.
 struct IoCounters {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
@@ -77,11 +91,17 @@ class FileSystem {
   /// FNV-1a hash of a file's payload. The hash is memoized per node and
   /// invalidated by writes, so repeated calls on an unchanged file cost
   /// O(1); `hash_ops` counts every call, `hash_bytes` only real work.
+  /// Concurrent callers may both compute the (identical) hash; the
+  /// memo is an atomic publish, never a race.
   support::Result<std::uint64_t> content_hash(const Path& path) const;
   support::Status remove(const Path& path, bool recursive = false);
 
   /// Copy one file; dst parent must exist. This is the paper's
-  /// encapsulation data path, so it updates the copy counters.
+  /// encapsulation data path, so it updates the copy counters. The
+  /// destination inherits the source's memoized content hash, so a
+  /// post-copy content_hash(dst) is O(1) when the source's hash was
+  /// already known -- the transfer cache's verify-by-hash probe relies
+  /// on this.
   support::Status copy_file(const Path& src, const Path& dst);
   /// Recursively copy a directory tree (creates dst).
   support::Status copy_tree(const Path& src, const Path& dst);
@@ -91,16 +111,20 @@ class FileSystem {
   /// All file paths under `root`, depth-first, sorted.
   support::Result<std::vector<Path>> walk_files(const Path& root) const;
 
-  const IoCounters& counters() const noexcept { return counters_; }
-  void reset_counters() noexcept { counters_ = {}; }
+  IoCounters counters() const noexcept;
+  void reset_counters() noexcept;
 
   /// Disk-capacity quota for failure injection: writes that would push
   /// the total payload past `bytes` fail with Errc::io_error ("no space
   /// left on device"). 0 = unlimited (default). Shrinking below current
   /// usage only affects future growth.
-  void set_capacity(std::uint64_t bytes) noexcept { capacity_ = bytes; }
-  std::uint64_t capacity() const noexcept { return capacity_; }
-  std::uint64_t used_bytes() const noexcept { return used_bytes_; }
+  void set_capacity(std::uint64_t bytes) noexcept {
+    capacity_.store(bytes, std::memory_order_relaxed);
+  }
+  std::uint64_t capacity() const noexcept { return capacity_.load(std::memory_order_relaxed); }
+  std::uint64_t used_bytes() const noexcept {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Node {
@@ -108,12 +132,32 @@ class FileSystem {
     std::string data;                                   // file payload
     std::map<std::string, std::unique_ptr<Node>> children;  // dir entries, sorted
     support::Timestamp mtime = 0;
-    mutable std::uint64_t cached_hash = 0;  // memoized fnv1a(data)
-    mutable bool hash_valid = false;
+    // Memoized fnv1a(data). hash_valid is published with release order
+    // after cached_hash so shared-lock readers see a consistent pair.
+    mutable std::atomic<std::uint64_t> cached_hash{0};
+    mutable std::atomic<bool> hash_valid{false};
   };
 
+  /// Atomic twin of IoCounters: bumped from shared-lock read paths.
+  struct AtomicIoCounters {
+    std::atomic<std::uint64_t> bytes_read{0};
+    std::atomic<std::uint64_t> bytes_written{0};
+    std::atomic<std::uint64_t> bytes_copied{0};
+    std::atomic<std::uint64_t> files_copied{0};
+    std::atomic<std::uint64_t> hash_ops{0};
+    std::atomic<std::uint64_t> hash_bytes{0};
+  };
+
+  // All helpers below require mu_ to be held by the caller (shared is
+  // enough for the const ones, exclusive for the mutating ones).
   const Node* find(const Path& path) const;
   Node* find(const Path& path);
+  support::Status mkdir_locked(const Path& path);
+  /// create/overwrite `path` with `data`; when `known_hash` is set the
+  /// destination's hash memo is seeded instead of invalidated (the
+  /// copy-propagation fast path).
+  support::Status write_file_locked(const Path& path, std::string data,
+                                    std::optional<std::uint64_t> known_hash);
   support::Status copy_tree_into(const Node& src, Node& dst_parent, const std::string& name);
   /// Would growing usage by `delta` exceed the quota?
   support::Status charge(std::uint64_t new_size, std::uint64_t old_size);
@@ -121,9 +165,13 @@ class FileSystem {
 
   support::SimClock* clock_;
   Node root_;
-  mutable IoCounters counters_;  // mutable: reads are counted from const methods
-  std::uint64_t capacity_ = 0;   // 0 = unlimited
-  std::uint64_t used_bytes_ = 0;
+  // One lock for the whole tree: shared for reads, exclusive for
+  // mutations. Leaf metadata that reads must update (counters, hash
+  // memos, used bytes) is atomic instead of lock-protected.
+  mutable std::shared_mutex mu_;
+  mutable AtomicIoCounters counters_;
+  std::atomic<std::uint64_t> capacity_{0};  // 0 = unlimited
+  std::atomic<std::uint64_t> used_bytes_{0};
 };
 
 }  // namespace jfm::vfs

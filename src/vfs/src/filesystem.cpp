@@ -1,6 +1,7 @@
 #include "jfm/vfs/filesystem.hpp"
 
 #include <cassert>
+#include <mutex>
 
 #include "jfm/support/telemetry.hpp"
 
@@ -40,11 +41,33 @@ telemetry::Counter& hash_bytes_counter() {
   static auto& c = telemetry::Registry::global().counter("vfs.hash.bytes");
   return c;
 }
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
 
 FileSystem::FileSystem(support::SimClock* clock) : clock_(clock) {
   assert(clock != nullptr);
   root_.dir = true;
+}
+
+IoCounters FileSystem::counters() const noexcept {
+  IoCounters c;
+  c.bytes_read = counters_.bytes_read.load(kRelaxed);
+  c.bytes_written = counters_.bytes_written.load(kRelaxed);
+  c.bytes_copied = counters_.bytes_copied.load(kRelaxed);
+  c.files_copied = counters_.files_copied.load(kRelaxed);
+  c.hash_ops = counters_.hash_ops.load(kRelaxed);
+  c.hash_bytes = counters_.hash_bytes.load(kRelaxed);
+  return c;
+}
+
+void FileSystem::reset_counters() noexcept {
+  counters_.bytes_read.store(0, kRelaxed);
+  counters_.bytes_written.store(0, kRelaxed);
+  counters_.bytes_copied.store(0, kRelaxed);
+  counters_.files_copied.store(0, kRelaxed);
+  counters_.hash_ops.store(0, kRelaxed);
+  counters_.hash_bytes.store(0, kRelaxed);
 }
 
 const FileSystem::Node* FileSystem::find(const Path& path) const {
@@ -63,12 +86,13 @@ FileSystem::Node* FileSystem::find(const Path& path) {
 }
 
 Status FileSystem::charge(std::uint64_t new_size, std::uint64_t old_size) {
-  if (capacity_ != 0 && new_size > old_size &&
-      used_bytes_ + (new_size - old_size) > capacity_) {
+  const std::uint64_t capacity = capacity_.load(kRelaxed);
+  const std::uint64_t used = used_bytes_.load(kRelaxed);
+  if (capacity != 0 && new_size > old_size && used + (new_size - old_size) > capacity) {
     return support::fail(Errc::io_error, "no space left on device (quota " +
-                                             std::to_string(capacity_) + " bytes)");
+                                             std::to_string(capacity) + " bytes)");
   }
-  used_bytes_ = used_bytes_ + new_size - old_size;
+  used_bytes_.store(used + new_size - old_size, kRelaxed);
   return {};
 }
 
@@ -80,6 +104,11 @@ std::uint64_t FileSystem::subtree_bytes(const Node& node) {
 }
 
 Status FileSystem::mkdir(const Path& path) {
+  std::unique_lock lock(mu_);
+  return mkdir_locked(path);
+}
+
+Status FileSystem::mkdir_locked(const Path& path) {
   if (path.is_root()) return support::fail(Errc::already_exists, "/ always exists");
   Node* parent = find(path.parent());
   if (parent == nullptr || !parent->dir) {
@@ -96,12 +125,13 @@ Status FileSystem::mkdir(const Path& path) {
 }
 
 Status FileSystem::mkdirs(const Path& path) {
+  std::unique_lock lock(mu_);
   Path cur;
   for (const auto& comp : path.components()) {
     cur = cur.child(comp);
     Node* node = find(cur);
     if (node == nullptr) {
-      if (auto st = mkdir(cur); !st.ok()) return st;
+      if (auto st = mkdir_locked(cur); !st.ok()) return st;
     } else if (!node->dir) {
       return support::fail(Errc::invalid_argument, cur.str() + " is a file");
     }
@@ -110,6 +140,7 @@ Status FileSystem::mkdirs(const Path& path) {
 }
 
 Result<std::vector<std::string>> FileSystem::list(const Path& dir) const {
+  std::shared_lock lock(mu_);
   const Node* node = find(dir);
   if (node == nullptr) {
     return Result<std::vector<std::string>>::failure(Errc::not_found, dir.str());
@@ -125,6 +156,12 @@ Result<std::vector<std::string>> FileSystem::list(const Path& dir) const {
 }
 
 Status FileSystem::write_file(const Path& path, std::string data) {
+  std::unique_lock lock(mu_);
+  return write_file_locked(path, std::move(data), std::nullopt);
+}
+
+Status FileSystem::write_file_locked(const Path& path, std::string data,
+                                     std::optional<std::uint64_t> known_hash) {
   if (path.is_root()) return support::fail(Errc::invalid_argument, "cannot write /");
   Node* parent = find(path.parent());
   if (parent == nullptr || !parent->dir) {
@@ -142,46 +179,60 @@ Status FileSystem::write_file(const Path& path, std::string data) {
     if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
     if (auto st = charge(data.size(), node->data.size()); !st.ok()) return st;
   }
-  counters_.bytes_written += data.size();
+  counters_.bytes_written.fetch_add(data.size(), kRelaxed);
   write_bytes_counter().add(data.size());
   node->data = std::move(data);
-  node->hash_valid = false;
+  if (known_hash.has_value()) {
+    // Copy propagation: the caller hashed (or inherited) exactly these
+    // bytes, so the destination's memo starts valid.
+    node->cached_hash.store(*known_hash, kRelaxed);
+    node->hash_valid.store(true, std::memory_order_release);
+  } else {
+    node->hash_valid.store(false, kRelaxed);
+  }
   node->mtime = clock_->tick();
   return {};
 }
 
 Status FileSystem::append_file(const Path& path, std::string_view data) {
+  std::unique_lock lock(mu_);
   Node* node = find(path);
-  if (node == nullptr) return write_file(path, std::string(data));
+  if (node == nullptr) return write_file_locked(path, std::string(data), std::nullopt);
   if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
   if (auto st = charge(node->data.size() + data.size(), node->data.size()); !st.ok()) return st;
-  counters_.bytes_written += data.size();
+  counters_.bytes_written.fetch_add(data.size(), kRelaxed);
   write_bytes_counter().add(data.size());
   node->data.append(data);
-  node->hash_valid = false;
+  node->hash_valid.store(false, kRelaxed);
   node->mtime = clock_->tick();
   return {};
 }
 
 Result<std::string> FileSystem::read_file(const Path& path) const {
+  std::shared_lock lock(mu_);
   const Node* node = find(path);
   if (node == nullptr) return Result<std::string>::failure(Errc::not_found, path.str());
   if (node->dir) {
     return Result<std::string>::failure(Errc::invalid_argument, path.str() + " is a directory");
   }
-  counters_.bytes_read += node->data.size();
+  counters_.bytes_read.fetch_add(node->data.size(), kRelaxed);
   read_bytes_counter().add(node->data.size());
   return node->data;
 }
 
-bool FileSystem::exists(const Path& path) const { return find(path) != nullptr; }
+bool FileSystem::exists(const Path& path) const {
+  std::shared_lock lock(mu_);
+  return find(path) != nullptr;
+}
 
 bool FileSystem::is_directory(const Path& path) const {
+  std::shared_lock lock(mu_);
   const Node* node = find(path);
   return node != nullptr && node->dir;
 }
 
 Result<std::uint64_t> FileSystem::content_hash(const Path& path) const {
+  std::shared_lock lock(mu_);
   const Node* node = find(path);
   if (node == nullptr) return Result<std::uint64_t>::failure(Errc::not_found, path.str());
   if (node->dir) {
@@ -189,18 +240,24 @@ Result<std::uint64_t> FileSystem::content_hash(const Path& path) const {
                                           path.str() + " is a directory");
   }
   JFM_SPAN("vfs", "content_hash");
-  ++counters_.hash_ops;
+  counters_.hash_ops.fetch_add(1, kRelaxed);
   hash_ops_counter().add(1);
-  if (!node->hash_valid) {
-    node->cached_hash = fnv1a(node->data);
-    node->hash_valid = true;
-    counters_.hash_bytes += node->data.size();
-    hash_bytes_counter().add(node->data.size());
+  // Double-checked memo under the shared lock: the payload is immutable
+  // while we hold it, so concurrent callers at worst both compute the
+  // same hash and publish identical values.
+  if (node->hash_valid.load(std::memory_order_acquire)) {
+    return node->cached_hash.load(kRelaxed);
   }
-  return node->cached_hash;
+  const std::uint64_t h = fnv1a(node->data);
+  node->cached_hash.store(h, kRelaxed);
+  node->hash_valid.store(true, std::memory_order_release);
+  counters_.hash_bytes.fetch_add(node->data.size(), kRelaxed);
+  hash_bytes_counter().add(node->data.size());
+  return h;
 }
 
 Result<FileStat> FileSystem::stat(const Path& path) const {
+  std::shared_lock lock(mu_);
   const Node* node = find(path);
   if (node == nullptr) return Result<FileStat>::failure(Errc::not_found, path.str());
   FileStat st;
@@ -211,6 +268,7 @@ Result<FileStat> FileSystem::stat(const Path& path) const {
 }
 
 Status FileSystem::remove(const Path& path, bool recursive) {
+  std::unique_lock lock(mu_);
   if (path.is_root()) return support::fail(Errc::invalid_argument, "cannot remove /");
   Node* parent = find(path.parent());
   if (parent == nullptr || !parent->dir) return support::fail(Errc::not_found, path.str());
@@ -219,25 +277,39 @@ Status FileSystem::remove(const Path& path, bool recursive) {
   if (it->second->dir && !it->second->children.empty() && !recursive) {
     return support::fail(Errc::invalid_argument, path.str() + " is a non-empty directory");
   }
-  used_bytes_ -= subtree_bytes(*it->second);
+  used_bytes_.fetch_sub(subtree_bytes(*it->second), kRelaxed);
   parent->children.erase(it);
   return {};
 }
 
 Status FileSystem::copy_file(const Path& src, const Path& dst) {
   JFM_SPAN("vfs", "copy_file");
-  const Node* from = find(src);
-  if (from == nullptr) return support::fail(Errc::not_found, src.str());
-  if (from->dir) return support::fail(Errc::invalid_argument, src.str() + " is a directory");
-  // Count the copy explicitly: one read + one write of the payload.
-  counters_.bytes_read += from->data.size();
-  counters_.bytes_copied += from->data.size();
-  counters_.files_copied += 1;
-  read_bytes_counter().add(from->data.size());
-  copy_bytes_counter().add(from->data.size());
-  copy_files_counter().add(1);
-  std::string payload = from->data;  // real byte movement
-  return write_file(dst, std::move(payload));
+  // Phase 1 (shared): move the payload bytes out under read access so
+  // parallel checkouts copy concurrently. The source's hash memo rides
+  // along when it is already valid.
+  std::string payload;
+  std::optional<std::uint64_t> src_hash;
+  {
+    std::shared_lock lock(mu_);
+    const Node* from = find(src);
+    if (from == nullptr) return support::fail(Errc::not_found, src.str());
+    if (from->dir) return support::fail(Errc::invalid_argument, src.str() + " is a directory");
+    // Count the copy explicitly: one read + one write of the payload.
+    counters_.bytes_read.fetch_add(from->data.size(), kRelaxed);
+    counters_.bytes_copied.fetch_add(from->data.size(), kRelaxed);
+    counters_.files_copied.fetch_add(1, kRelaxed);
+    read_bytes_counter().add(from->data.size());
+    copy_bytes_counter().add(from->data.size());
+    copy_files_counter().add(1);
+    payload = from->data;  // real byte movement
+    if (from->hash_valid.load(std::memory_order_acquire)) {
+      src_hash = from->cached_hash.load(kRelaxed);
+    }
+  }
+  // Phase 2 (exclusive): publish. The critical section is O(1) in the
+  // payload size -- the bytes were copied under the shared lock.
+  std::unique_lock lock(mu_);
+  return write_file_locked(dst, std::move(payload), src_hash);
 }
 
 Status FileSystem::copy_tree_into(const Node& src, Node& dst_parent, const std::string& name) {
@@ -247,11 +319,15 @@ Status FileSystem::copy_tree_into(const Node& src, Node& dst_parent, const std::
   dst->mtime = clock_->tick();
   if (!src.dir) {
     if (auto st = charge(src.data.size(), 0); !st.ok()) return st;
-    counters_.bytes_read += src.data.size();
-    counters_.bytes_written += src.data.size();
-    counters_.bytes_copied += src.data.size();
-    counters_.files_copied += 1;
+    counters_.bytes_read.fetch_add(src.data.size(), kRelaxed);
+    counters_.bytes_written.fetch_add(src.data.size(), kRelaxed);
+    counters_.bytes_copied.fetch_add(src.data.size(), kRelaxed);
+    counters_.files_copied.fetch_add(1, kRelaxed);
     dst->data = src.data;
+    if (src.hash_valid.load(std::memory_order_acquire)) {
+      dst->cached_hash.store(src.cached_hash.load(kRelaxed), kRelaxed);
+      dst->hash_valid.store(true, std::memory_order_release);
+    }
   }
   dst_parent.children[name] = std::move(owned);
   if (src.dir) {
@@ -263,6 +339,7 @@ Status FileSystem::copy_tree_into(const Node& src, Node& dst_parent, const std::
 }
 
 Status FileSystem::copy_tree(const Path& src, const Path& dst) {
+  std::unique_lock lock(mu_);
   const Node* from = find(src);
   if (from == nullptr) return support::fail(Errc::not_found, src.str());
   if (dst.is_within(src)) {
@@ -279,20 +356,14 @@ Status FileSystem::copy_tree(const Path& src, const Path& dst) {
 }
 
 Result<std::uint64_t> FileSystem::tree_size(const Path& path) const {
+  std::shared_lock lock(mu_);
   const Node* node = find(path);
   if (node == nullptr) return Result<std::uint64_t>::failure(Errc::not_found, path.str());
-  struct Walker {
-    static std::uint64_t size_of(const Node& n) {
-      if (!n.dir) return n.data.size();
-      std::uint64_t total = 0;
-      for (const auto& [name, child] : n.children) total += size_of(*child);
-      return total;
-    }
-  };
-  return Walker::size_of(*node);
+  return subtree_bytes(*node);
 }
 
 Result<std::vector<Path>> FileSystem::walk_files(const Path& root) const {
+  std::shared_lock lock(mu_);
   const Node* node = find(root);
   if (node == nullptr) return Result<std::vector<Path>>::failure(Errc::not_found, root.str());
   std::vector<Path> out;

@@ -355,7 +355,7 @@ TEST_F(HybridTest, ViewerCrossProbesWithEditor) {
   // viewers are read-only
   EXPECT_EQ((*sch_viewer)->edit("add-net", {"x"}).code(), Errc::permission_denied);
   // browsing paid the OMS export copy (s3.6)
-  EXPECT_GE(hybrid->transfer().stats().exports, 2u);
+  EXPECT_GE(hybrid->transfer().stats_snapshot().exports, 2u);
 }
 
 TEST_F(HybridTest, CustomFlowsPerCell) {
@@ -460,7 +460,7 @@ TEST_F(HybridTest, DirectTransferAblationMovesFewerBytes) {
   ASSERT_TRUE(hybrid->create_cell("p", "c", alice).ok());
   ASSERT_TRUE(hybrid->reserve_cell("p", "c", alice).ok());
   ASSERT_TRUE(hybrid->run_activity("p", "c", "enter_schematic", alice, tiny_schematic()).ok());
-  EXPECT_EQ(hybrid->transfer().stats().staging_copies, 0u);
+  EXPECT_EQ(hybrid->transfer().stats_snapshot().staging_copies, 0u);
 }
 
 TEST(MultiLibraryResolver, SimulatesAcrossLibrarySearchPath) {
@@ -577,7 +577,7 @@ TEST_F(HybridTest, CachedReadOnlyOpenSkipsTheSecondCopy) {
   EXPECT_EQ(*warm, *cold);
   EXPECT_EQ(hybrid->fs().counters().bytes_copied, 0u);
   EXPECT_EQ(hybrid->fs().counters().bytes_written, 0u);
-  EXPECT_EQ(hybrid->transfer().stats().cache_hits, 1u);
+  EXPECT_EQ(hybrid->transfer().stats_snapshot().cache_hits, 1u);
 
   // After a new version lands, the next open re-copies the fresh bytes.
   auto run2 = hybrid->run_activity("p", "c", "enter_schematic", alice,

@@ -4,9 +4,10 @@
 // assertions check that no TransferStats count is torn and every
 // export either succeeded or failed cleanly.
 //
-// The underlying JcfFramework / FileSystem are single-threaded by
-// design; TransferEngine is their gatekeeper. All shared state the
-// test threads touch goes through the engine's API.
+// The FileSystem and the OMS store carry their own reader-writer
+// locks (docs/concurrency.md); TransferEngine layers the transfer-
+// level discipline (shared exports, exclusive imports) on top. All
+// shared state the test threads touch goes through the engine's API.
 
 #include <gtest/gtest.h>
 

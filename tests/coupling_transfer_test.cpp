@@ -48,9 +48,9 @@ TEST_F(TransferTest, ExportMaterializesDovContent) {
   auto dst = vfs::Path().child("out").child("data");
   ASSERT_TRUE(engine.export_dov(dov, user, dst).ok());
   EXPECT_EQ(*fs.read_file(dst), std::string(256, 'd'));
-  EXPECT_EQ(engine.stats().exports, 1u);
-  EXPECT_EQ(engine.stats().bytes_exported, 256u);
-  EXPECT_EQ(engine.stats().staging_copies, 1u);
+  EXPECT_EQ(engine.stats_snapshot().exports, 1u);
+  EXPECT_EQ(engine.stats_snapshot().bytes_exported, 256u);
+  EXPECT_EQ(engine.stats_snapshot().staging_copies, 1u);
 }
 
 TEST_F(TransferTest, ImportCreatesNewDov) {
@@ -61,8 +61,8 @@ TEST_F(TransferTest, ImportCreatesNewDov) {
   ASSERT_TRUE(dov.ok());
   EXPECT_EQ(*jcf.dov_data(*dov, user), "tool output");
   EXPECT_EQ(*jcf.dov_number(*dov), 1);
-  EXPECT_EQ(engine.stats().imports, 1u);
-  EXPECT_EQ(engine.stats().bytes_imported, 11u);
+  EXPECT_EQ(engine.stats_snapshot().imports, 1u);
+  EXPECT_EQ(engine.stats_snapshot().bytes_imported, 11u);
 }
 
 TEST_F(TransferTest, StagingDoublesFileSystemTraffic) {
@@ -81,7 +81,7 @@ TEST_F(TransferTest, StagingDoublesFileSystemTraffic) {
   const auto without_staging = fs.counters().bytes_written;
 
   EXPECT_EQ(with_staging, 2 * without_staging);
-  EXPECT_EQ(direct.stats().staging_copies, 0u);
+  EXPECT_EQ(direct.stats_snapshot().staging_copies, 0u);
   EXPECT_FALSE(direct.copies_through_filesystem());
 }
 
@@ -124,17 +124,17 @@ TEST_F(TransferTest, WarmExportOfUnchangedDovMovesZeroBytes) {
   ASSERT_TRUE(engine.export_dov(dov, user, dst).ok());
   EXPECT_EQ(fs.counters().bytes_copied, payload.size());
   EXPECT_EQ(fs.counters().bytes_written, 2 * payload.size());
-  EXPECT_EQ(engine.stats().staging_copies, 1u);
-  EXPECT_EQ(engine.stats().cache_misses, 1u);
+  EXPECT_EQ(engine.stats_snapshot().staging_copies, 1u);
+  EXPECT_EQ(engine.stats_snapshot().cache_misses, 1u);
 
   // Warm export: zero staging copies, zero bytes copied or written.
   fs.reset_counters();
   ASSERT_TRUE(engine.export_dov(dov, user, dst).ok());
   EXPECT_EQ(fs.counters().bytes_copied, 0u);
   EXPECT_EQ(fs.counters().bytes_written, 0u);
-  EXPECT_EQ(engine.stats().staging_copies, 1u);  // unchanged
-  EXPECT_EQ(engine.stats().cache_hits, 1u);
-  EXPECT_EQ(engine.stats().bytes_saved, payload.size());
+  EXPECT_EQ(engine.stats_snapshot().staging_copies, 1u);  // unchanged
+  EXPECT_EQ(engine.stats_snapshot().cache_hits, 1u);
+  EXPECT_EQ(engine.stats_snapshot().bytes_saved, payload.size());
   EXPECT_GE(fs.counters().hash_ops, 1u);  // verification is a hash, not a copy
   EXPECT_EQ(*fs.read_file(dst), payload);
 }
@@ -155,7 +155,7 @@ TEST_F(TransferTest, ImportInvalidatesCachedExport) {
   auto v2 = engine.import_file(src, dobj, user);
   ASSERT_TRUE(v2.ok());
   EXPECT_EQ(engine.cache_size(), 0u);
-  EXPECT_GE(engine.stats().cache_invalidations, 1u);
+  EXPECT_GE(engine.stats_snapshot().cache_invalidations, 1u);
 
   // The next export of the latest version delivers the imported bytes.
   ASSERT_TRUE(engine.export_dov(*v2, user, dst).ok());
@@ -186,8 +186,8 @@ TEST_F(TransferTest, TamperedDestinationIsDetectedAndRecopied) {
   // ...so the next export must NOT trust the cache entry.
   ASSERT_TRUE(engine.export_dov(dov, user, dst).ok());
   EXPECT_EQ(*fs.read_file(dst), "pristine bytes");
-  EXPECT_EQ(engine.stats().cache_hits, 0u);
-  EXPECT_EQ(engine.stats().cache_misses, 2u);
+  EXPECT_EQ(engine.stats_snapshot().cache_hits, 0u);
+  EXPECT_EQ(engine.stats_snapshot().cache_misses, 2u);
 }
 
 TEST_F(TransferTest, CacheEvictionIsBounded) {
@@ -201,7 +201,7 @@ TEST_F(TransferTest, CacheEvictionIsBounded) {
     ASSERT_TRUE(engine.export_dov(dov, user, dst).ok());
   }
   EXPECT_LE(engine.cache_size(), 2u);
-  EXPECT_EQ(engine.stats().cache_evictions, 3u);
+  EXPECT_EQ(engine.stats_snapshot().cache_evictions, 3u);
 }
 
 TEST_F(TransferTest, StatsAgreeAcrossCopyThroughDirectAndCachedModes) {

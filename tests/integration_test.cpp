@@ -261,10 +261,10 @@ TEST_F(HybridScenario, ReadOnlyAccessStillCopiesData) {
   ASSERT_TRUE(
       hybrid.run_activity("asic", "blk", "enter_schematic", alice, half_adder_commands()).ok());
 
-  const auto before = hybrid.transfer().stats();
+  const auto before = hybrid.transfer().stats_snapshot();
   auto content = hybrid.open_read_only("asic", "blk", "schematic", alice);
   ASSERT_TRUE(content.ok());
-  const auto after = hybrid.transfer().stats();
+  const auto after = hybrid.transfer().stats_snapshot();
   EXPECT_EQ(after.exports, before.exports + 1);
   EXPECT_GT(after.bytes_exported, before.bytes_exported);
   // staging doubles the movement in copy-through-filesystem mode

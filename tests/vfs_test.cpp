@@ -222,5 +222,37 @@ TEST_F(FsTest, ContentHashIsMemoizedAndInvalidatedByWrites) {
   EXPECT_EQ(fs.content_hash(p("/d")).code(), Errc::invalid_argument);
 }
 
+TEST_F(FsTest, CopyPropagatesMemoizedHash) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/src"), "payload-abc").ok());
+  // memoize the source hash, then copy
+  ASSERT_TRUE(fs.content_hash(p("/d/src")).ok());
+  ASSERT_TRUE(fs.copy_file(p("/d/src"), p("/d/dst")).ok());
+  fs.reset_counters();
+  // the copy carried the memo: hashing dst rehashes zero bytes
+  auto h = fs.content_hash(p("/d/dst"));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(*h, fnv1a("payload-abc"));
+  EXPECT_EQ(fs.counters().hash_ops, 1u);
+  EXPECT_EQ(fs.counters().hash_bytes, 0u);
+}
+
+TEST_F(FsTest, CopyWithoutMemoizedSourceLeavesDestinationCold) {
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/src"), "payload-xyz").ok());
+  // no content_hash(src) call: nothing to propagate
+  ASSERT_TRUE(fs.copy_file(p("/d/src"), p("/d/dst")).ok());
+  fs.reset_counters();
+  auto h = fs.content_hash(p("/d/dst"));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(*h, fnv1a("payload-xyz"));
+  EXPECT_EQ(fs.counters().hash_bytes, 11u);  // dst had to be hashed for real
+  // overwriting dst after a memo-carrying copy must invalidate the memo
+  ASSERT_TRUE(fs.content_hash(p("/d/src")).ok());
+  ASSERT_TRUE(fs.copy_file(p("/d/src"), p("/d/dst2")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/dst2"), "different").ok());
+  EXPECT_EQ(*fs.content_hash(p("/d/dst2")), fnv1a("different"));
+}
+
 }  // namespace
 }  // namespace jfm::vfs
