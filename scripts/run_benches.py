@@ -12,7 +12,12 @@ registry snapshot (counters / gauges / histograms). This harness:
 3. writes one ``BENCH_<name>.json`` blob per binary into the repo root
    (the blobs are checked in: EXPERIMENTS.md cites them);
 4. with ``--check-scaling``, gates on the parallel-checkout bench: the
-   8-worker cold-cache speedup must reach the scaling threshold.
+   8-worker cold-cache speedup must reach the scaling threshold;
+5. with ``--check-index-speedup``, gates on the OMS query bench: the
+   indexed ``find_one`` at 100k objects must beat the ``indexes_off``
+   ablation by ``--min-index-speedup`` (default 10x). Unlike the
+   scaling gate this bar is core-independent: both sides of the ratio
+   run single-threaded on the same machine.
 
 The threshold is core-aware: demanding 2x from a single-core container
 is physics, not a regression, so the effective bar is
@@ -40,6 +45,10 @@ CHECKOUT_RE = re.compile(
 META_RE = re.compile(
     r"^JFM_PARALLEL_CHECKOUT_META\s+cores=(\d+)\s+dovs=(\d+)"
     r"\s+payload_bytes=(\d+)\s+exclusive8_cold_us=(\d+)\s*$")
+OMS_QUERY_RE = re.compile(
+    r"^JFM_OMS_QUERY\s+size=(\d+)\s+mode=(\w+)\s+op=(\w+)\s+ns_per_op=(\d+)\s*$")
+OMS_QUERY_META_RE = re.compile(
+    r"^JFM_OMS_QUERY_META\s+sizes=(\d+)\s+find_one_speedup_100k=([\d.]+)\s*$")
 
 
 def discover(build_dir):
@@ -65,10 +74,12 @@ def run_bench(path, quick):
 
 
 def parse_output(text):
-    """Split a bench's stdout into (metrics dict, checkout rows, meta)."""
+    """Split a bench's stdout into its machine-readable pieces."""
     metrics = None
     rows = []
     meta = None
+    query_rows = []
+    query_meta = None
     for line in text.splitlines():
         m = METRICS_RE.match(line)
         if m:
@@ -95,7 +106,23 @@ def parse_output(text):
                 "payload_bytes": int(m.group(3)),
                 "exclusive8_cold_us": int(m.group(4)),
             }
-    return metrics, rows, meta
+            continue
+        m = OMS_QUERY_RE.match(line)
+        if m:
+            query_rows.append({
+                "size": int(m.group(1)),
+                "mode": m.group(2),
+                "op": m.group(3),
+                "ns_per_op": int(m.group(4)),
+            })
+            continue
+        m = OMS_QUERY_META_RE.match(line)
+        if m:
+            query_meta = {
+                "sizes": int(m.group(1)),
+                "find_one_speedup_100k": float(m.group(2)),
+            }
+    return metrics, rows, meta, query_rows, query_meta
 
 
 def scaling_threshold(min_scaling, cores):
@@ -112,6 +139,11 @@ def main():
                         help="fail unless 8-worker cold checkout reaches the scaling bar")
     parser.add_argument("--min-scaling", type=float, default=2.0,
                         help="required 8-worker cold speedup on >=4 cores (default: 2.0)")
+    parser.add_argument("--check-index-speedup", action="store_true",
+                        help="fail unless indexed find_one at 100k objects beats the "
+                             "indexes_off ablation by --min-index-speedup")
+    parser.add_argument("--min-index-speedup", type=float, default=10.0,
+                        help="required 100k find_one speedup over the ablation (default: 10.0)")
     parser.add_argument("--out-dir", default=REPO,
                         help="where BENCH_*.json blobs go (default: repo root)")
     args = parser.parse_args()
@@ -126,6 +158,7 @@ def main():
 
     failures = []
     checkout_rows, checkout_meta = [], None
+    oms_query_rows, oms_query_meta = [], None
     for path in benches:
         name = os.path.basename(path)
         proc = run_bench(path, args.quick)
@@ -133,7 +166,7 @@ def main():
             failures.append(f"{name}: exit {proc.returncode}")
             sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
             continue
-        metrics, rows, meta = parse_output(proc.stdout)
+        metrics, rows, meta, query_rows, query_meta = parse_output(proc.stdout)
         blob = {
             "bench": name,
             "quick": args.quick,
@@ -142,6 +175,9 @@ def main():
         if rows:
             blob["parallel_checkout"] = {"runs": rows, "meta": meta}
             checkout_rows, checkout_meta = rows, meta
+        if query_rows:
+            blob["oms_query"] = {"runs": query_rows, "meta": query_meta}
+            oms_query_rows, oms_query_meta = query_rows, query_meta
         out = os.path.join(args.out_dir, f"BENCH_{name}.json")
         with open(out, "w") as fh:
             json.dump(blob, fh, indent=2, sort_keys=True)
@@ -165,6 +201,24 @@ def main():
             else:
                 print(f"run_benches: scaling gate ok "
                       f"({cold8[0]['speedup']:.2f}x >= {bar:.2f}x on {cores} cores)")
+
+    if args.check_index_speedup:
+        if not oms_query_rows:
+            failures.append("index gate: no JFM_OMS_QUERY output found")
+        else:
+            by_mode = {r["mode"]: r["ns_per_op"] for r in oms_query_rows
+                       if r["size"] == 100000 and r["op"] == "find_one"}
+            if "indexed" not in by_mode or "indexes_off" not in by_mode:
+                failures.append("index gate: missing 100k find_one rows")
+            else:
+                speedup = by_mode["indexes_off"] / max(1, by_mode["indexed"])
+                if speedup < args.min_index_speedup:
+                    failures.append(
+                        f"index gate: 100k find_one speedup {speedup:.1f}x "
+                        f"< required {args.min_index_speedup:.1f}x")
+                else:
+                    print(f"run_benches: index gate ok "
+                          f"({speedup:.1f}x >= {args.min_index_speedup:.1f}x at 100k)")
 
     for failure in failures:
         print(f"run_benches: FAIL: {failure}", file=sys.stderr)

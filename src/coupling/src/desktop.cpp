@@ -175,10 +175,34 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     return {};
   }
   if (cmd == "stats") {
-    // stats [json] [prefix] -- dump the process-wide metrics registry.
-    if (words.size() > 3) return usage("stats [json] [prefix]");
+    // stats [json] [index] [prefix] -- dump the process-wide metrics
+    // registry; `stats index` summarizes OMS index effectiveness.
+    if (words.size() > 3) return usage("stats [json|index] [prefix]");
     namespace telemetry = support::telemetry;
     auto snapshot = telemetry::Registry::global().snapshot();
+    if (words.size() == 2 && words[1] == "index") {
+      auto counter = [&snapshot](const char* name) -> std::uint64_t {
+        auto it = snapshot.counters.find(name);
+        return it == snapshot.counters.end() ? 0 : it->second;
+      };
+      auto gauge = [&snapshot](const char* name) -> std::int64_t {
+        auto it = snapshot.gauges.find(name);
+        return it == snapshot.gauges.end() ? 0 : it->second;
+      };
+      const std::uint64_t indexed = counter("oms.query.indexed.count");
+      const std::uint64_t scans = counter("oms.query.scan.count");
+      const std::uint64_t hits = counter("oms.query.find_one.hit.count");
+      const std::uint64_t misses = counter("oms.query.find_one.miss.count");
+      say("oms index entries: class=" + std::to_string(gauge("oms.index.class.entries")) +
+          " attr=" + std::to_string(gauge("oms.index.attr.entries")) +
+          " edge=" + std::to_string(gauge("oms.index.edge.entries")));
+      say("queries: indexed=" + std::to_string(indexed) + " full-scan=" +
+          std::to_string(scans));
+      say("find_one: hits=" + std::to_string(hits) + " misses=" + std::to_string(misses));
+      say("maintenance: adds=" + std::to_string(counter("oms.index.add.count")) +
+          " removes=" + std::to_string(counter("oms.index.remove.count")));
+      return {};
+    }
     const bool json = words.size() >= 2 && words[1] == "json";
     if (json) {
       say(snapshot.to_json());

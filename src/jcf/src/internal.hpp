@@ -30,7 +30,9 @@ Status expect(const oms::Store& store, Ref<Tag> ref, const char* cls) {
 }
 
 /// Create an object of a Named subclass with a (globally unique within
-/// that class) name.
+/// that class) name. The uniqueness probe and every find_named below
+/// answer from the store's attribute index (docs/oms-indexing.md), so
+/// name resolution is O(1) in the number of framework objects.
 inline Result<oms::ObjectId> create_named(oms::Store& store, const char* cls,
                                           const std::string& name) {
   if (name.empty()) {

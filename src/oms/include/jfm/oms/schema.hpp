@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <variant>
 #include <vector>
@@ -55,11 +56,25 @@ class Schema {
   support::Status define_class(ClassDef def);
   support::Status define_relation(RelationDef def);
 
+  /// Seal the schema and build the derived lookup caches: per-class
+  /// ancestor sets (O(1) is_a) and the subclass closure each query-side
+  /// fan-in resolves through. Store's constructor freezes its copy of
+  /// the schema; any later define_* call fails with invalid_argument,
+  /// which is what keeps the closures trustworthy for the store's
+  /// lifetime. Idempotent.
+  void freeze();
+  bool frozen() const noexcept { return frozen_; }
+
   const ClassDef* find_class(std::string_view name) const;
   const RelationDef* find_relation(std::string_view name) const;
 
-  /// Is `cls` the same as or derived from `base`?
+  /// Is `cls` the same as or derived from `base`? O(1) once frozen.
   bool is_a(std::string_view cls, std::string_view base) const;
+
+  /// `base` itself plus every class transitively derived from it,
+  /// sorted by name. Empty for an unknown class. Requires freeze();
+  /// before it the closure has not been built and this returns empty.
+  const std::vector<std::string>& subclasses_of(std::string_view base) const;
 
   /// Attribute definition visible on `cls` (own or inherited), or nullptr.
   const AttributeDef* find_attribute(std::string_view cls, std::string_view attr) const;
@@ -73,6 +88,10 @@ class Schema {
  private:
   std::map<std::string, ClassDef, std::less<>> classes_;
   std::map<std::string, RelationDef, std::less<>> relations_;
+  // derived caches, built once by freeze()
+  bool frozen_ = false;
+  std::map<std::string, std::vector<std::string>, std::less<>> subclasses_;
+  std::map<std::string, std::set<std::string, std::less<>>, std::less<>> ancestors_;
 };
 
 }  // namespace jfm::oms

@@ -14,25 +14,43 @@
 // Mutations outside an explicit transaction auto-commit; inside a
 // transaction they are journaled and can be rolled back atomically.
 //
+// Query engine (docs/oms-indexing.md): every name resolution in the
+// frameworks above funnels through find/find_one/objects_of, so the
+// store maintains secondary indexes alongside the primary object map:
+//   * a per-class live-object index (subclass fan-in resolved once
+//     against the frozen schema) behind objects_of;
+//   * hash indexes keyed (class, attr, value) behind find/find_one;
+//   * per-relation edge sets behind linked() and the duplicate-edge
+//     check in link(), alongside the ordered adjacency vectors that
+//     keep targets()/sources() in link order.
+// Index maintenance is transactional -- the undo journal restores the
+// indexes exactly on abort() -- and results are bit-identical to the
+// full-scan path (StoreOptions::secondary_indexes=false, kept as the
+// bench ablation).
+//
 // Read isolation (docs/concurrency.md): the store carries one
 // reader-writer lock. All const queries (get*/targets/sources/
-// objects_of/find*/linked/exists/class_of) take shared access so many
-// exporters can resolve DOV attributes concurrently; every mutation
-// and the transaction machinery take exclusive access. Readers that
-// interleave with a multi-operation transaction observe individual
-// committed operations (read-committed per call, not snapshot
-// isolation) -- the single-writer discipline of the framework layers
-// above keeps that sound. Dump (friend) locks the same mutex around
-// its whole-store walks.
+// objects_of/find*/linked/exists/class_of) take shared access -- the
+// indexes are only read under it -- so many exporters can resolve DOV
+// attributes concurrently; every mutation and the transaction
+// machinery take exclusive access, which is where the indexes are
+// maintained. Readers that interleave with a multi-operation
+// transaction observe individual committed operations (read-committed
+// per call, not snapshot isolation) -- the single-writer discipline of
+// the framework layers above keeps that sound. Dump (friend) locks the
+// same mutex around its whole-store walks.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "jfm/oms/schema.hpp"
@@ -47,11 +65,20 @@ struct ObjectTag {
 };
 using ObjectId = support::Id<ObjectTag>;
 
+struct StoreOptions {
+  /// Maintain the secondary indexes and answer queries from them.
+  /// false restores the pre-index full-scan behaviour; it exists for
+  /// the bench_oms_query `indexes_off` ablation and must produce
+  /// bit-identical query results.
+  bool secondary_indexes = true;
+};
+
 class Store {
  public:
-  Store(Schema schema, support::SimClock* clock);
+  Store(Schema schema, support::SimClock* clock, StoreOptions options = {});
 
   const Schema& schema() const noexcept { return schema_; }
+  const StoreOptions& options() const noexcept { return options_; }
 
   // -- objects -----------------------------------------------------------
   support::Result<ObjectId> create(std::string_view class_name);
@@ -81,7 +108,7 @@ class Store {
   // -- queries -----------------------------------------------------------
   /// All live objects of `class_name` (including subclasses), id order.
   std::vector<ObjectId> objects_of(std::string_view class_name) const;
-  /// Objects of `class_name` whose attribute equals `value`.
+  /// Objects of `class_name` whose attribute equals `value`, id order.
   std::vector<ObjectId> find(std::string_view class_name, std::string_view attr,
                              const AttrValue& value) const;
   /// First match of find(), if any.
@@ -107,10 +134,29 @@ class Store {
     support::Timestamp created = 0;
   };
 
+  using Edge = std::pair<ObjectId, ObjectId>;
+  struct EdgeHash {
+    std::size_t operator()(const Edge& e) const noexcept {
+      return std::hash<std::uint64_t>{}((e.first.raw() * 0x9E3779B97F4A7C15ull) ^
+                                        e.second.raw());
+    }
+  };
+
   struct RelationIndex {
     std::unordered_map<ObjectId, std::vector<ObjectId>> forward;
     std::unordered_map<ObjectId, std::vector<ObjectId>> backward;
+    /// O(1) membership twin of the adjacency vectors: linked() and the
+    /// duplicate-edge check in link() hit this set instead of scanning
+    /// O(degree) vectors. Empty when secondary indexes are off.
+    std::unordered_set<Edge, EdgeHash> edges;
   };
+
+  struct ValueHash {
+    std::size_t operator()(const AttrValue& value) const noexcept;
+  };
+  /// value -> live objects of one exact class carrying it; std::set so
+  /// the smallest id (find_one's answer) is bucket.begin().
+  using ValueBucket = std::unordered_map<AttrValue, std::set<ObjectId>, ValueHash>;
 
   // transaction journal: undo closures applied in reverse on abort
   void journal(std::function<void()> undo);
@@ -121,13 +167,33 @@ class Store {
   std::vector<ObjectId> find_locked(std::string_view class_name, std::string_view attr,
                                     const AttrValue& value) const;
 
+  // -- secondary-index maintenance (mu_ held exclusively) ----------------
+  // All helpers no-op when options_.secondary_indexes is false, so the
+  // mutators and the undo closures call them unconditionally.
+  void index_add_object(ObjectId id, const Object& obj);     ///< class + attr entries
+  void index_remove_object(ObjectId id, const Object& obj);  ///< class + attr entries
+  void index_add_attr(ObjectId id, const std::string& cls, std::string_view attr,
+                      const AttrValue& value);
+  void index_remove_attr(ObjectId id, const std::string& cls, std::string_view attr,
+                         const AttrValue& value);
+  void edge_insert(RelationIndex& index, ObjectId from, ObjectId to);
+  void edge_erase(RelationIndex& index, ObjectId from, ObjectId to);
+
   Schema schema_;
   support::SimClock* clock_;
+  StoreOptions options_;
   support::IdAllocator<ObjectTag> ids_;
   // shared for const queries, exclusive for mutations/transactions
   mutable std::shared_mutex mu_;
   std::unordered_map<ObjectId, Object> objects_;
   std::map<std::string, RelationIndex, std::less<>> relations_;
+  // live objects per exact class; objects_of unions the schema's
+  // subclass closure over it
+  std::map<std::string, std::set<ObjectId>, std::less<>> class_index_;
+  // exact class -> attr -> value -> live objects; find/find_one union
+  // the subclass closure over it
+  std::map<std::string, std::map<std::string, ValueBucket, std::less<>>, std::less<>>
+      attr_index_;
   std::vector<std::function<void()>> undo_log_;
   std::atomic<bool> tx_open_{false};
 };

@@ -137,7 +137,10 @@ Status Dump::from_text(Store& store, const std::string& text) {
       Store::Object obj;
       obj.class_name = fields[2];
       obj.created = std::stoull(fields[3]);
-      store.objects_.emplace(id, std::move(obj));
+      auto oit = store.objects_.emplace(id, std::move(obj)).first;
+      // the import bypasses create(), so it maintains the secondary
+      // indexes itself through the same private helpers
+      store.index_add_object(id, oit->second);
       max_id = std::max(max_id, raw);
     } else if (kind == "attr") {
       if (fields.size() < 4) return support::fail(Errc::parse_error, "bad attr line");
@@ -167,7 +170,12 @@ Status Dump::from_text(Store& store, const std::string& text) {
       if (def->type != AttrType::text) value_text = fields.size() > 4 ? fields[4] : "";
       auto value = value_from_text(def->type, value_text);
       if (!value.ok()) return Status(value.error());
-      oit->second.attrs[fields[2]] = std::move(*value);
+      auto& attrs = oit->second.attrs;
+      if (auto prev = attrs.find(fields[2]); prev != attrs.end()) {
+        store.index_remove_attr(id, oit->second.class_name, fields[2], prev->second);
+      }
+      store.index_add_attr(id, oit->second.class_name, fields[2], *value);
+      attrs[fields[2]] = std::move(*value);
     } else if (kind == "link") {
       if (fields.size() != 4) return support::fail(Errc::parse_error, "bad link line");
       const RelationDef* rel = store.schema_.find_relation(fields[1]);

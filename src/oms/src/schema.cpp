@@ -28,6 +28,9 @@ std::string_view to_string(AttrType type) noexcept {
 }
 
 Status Schema::define_class(ClassDef def) {
+  if (frozen_) {
+    return support::fail(Errc::invalid_argument, "schema is frozen (owned by a store)");
+  }
   if (!support::is_identifier(def.name)) {
     return support::fail(Errc::invalid_argument, "bad class name '" + def.name + "'");
   }
@@ -61,6 +64,9 @@ Status Schema::define_class(ClassDef def) {
 }
 
 Status Schema::define_relation(RelationDef def) {
+  if (frozen_) {
+    return support::fail(Errc::invalid_argument, "schema is frozen (owned by a store)");
+  }
   if (!support::is_identifier(def.name)) {
     return support::fail(Errc::invalid_argument, "bad relation name '" + def.name + "'");
   }
@@ -87,7 +93,27 @@ const RelationDef* Schema::find_relation(std::string_view name) const {
   return it == relations_.end() ? nullptr : &it->second;
 }
 
+void Schema::freeze() {
+  if (frozen_) return;
+  // classes_ iterates in name order, so every closure vector comes out
+  // sorted by subclass name without an extra pass.
+  for (const auto& [name, def] : classes_) {
+    auto& anc = ancestors_[name];
+    const ClassDef* cur = &def;
+    while (cur != nullptr) {
+      anc.insert(cur->name);
+      subclasses_[cur->name].push_back(name);
+      cur = cur->parent.empty() ? nullptr : find_class(cur->parent);
+    }
+  }
+  frozen_ = true;
+}
+
 bool Schema::is_a(std::string_view cls, std::string_view base) const {
+  if (frozen_) {
+    auto it = ancestors_.find(cls);
+    return it != ancestors_.end() && it->second.count(base) != 0;
+  }
   const ClassDef* def = find_class(cls);
   while (def != nullptr) {
     if (def->name == base) return true;
@@ -95,6 +121,12 @@ bool Schema::is_a(std::string_view cls, std::string_view base) const {
     def = find_class(def->parent);
   }
   return false;
+}
+
+const std::vector<std::string>& Schema::subclasses_of(std::string_view base) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = subclasses_.find(base);
+  return it == subclasses_.end() ? kEmpty : it->second;
 }
 
 const AttributeDef* Schema::find_attribute(std::string_view cls, std::string_view attr) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <variant>
 
 #include "jfm/support/telemetry.hpp"
 
@@ -18,11 +19,56 @@ namespace telemetry = support::telemetry;
 telemetry::Counter& tx_counter(const char* which) {
   return telemetry::Registry::global().counter(std::string("oms.tx.") + which + ".count");
 }
+
+// Query-path instrumentation (docs/oms-indexing.md): every public query
+// counts once, and exactly one of indexed/scan counts per query so the
+// hit rate of the index layer is directly visible in `stats index`.
+struct QueryMetrics {
+  telemetry::Counter& indexed =
+      telemetry::Registry::global().counter("oms.query.indexed.count");
+  telemetry::Counter& scans =
+      telemetry::Registry::global().counter("oms.query.scan.count");
+
+  static QueryMetrics& get() {
+    static QueryMetrics metrics;
+    return metrics;
+  }
+};
+
+// Index maintenance cost and live entry counts. The gauges track
+// exact entry counts across every store in the process (insert/erase
+// deltas, including transactional undo).
+struct IndexMetrics {
+  telemetry::Counter& adds =
+      telemetry::Registry::global().counter("oms.index.add.count");
+  telemetry::Counter& removes =
+      telemetry::Registry::global().counter("oms.index.remove.count");
+  telemetry::Gauge& class_entries =
+      telemetry::Registry::global().gauge("oms.index.class.entries");
+  telemetry::Gauge& attr_entries =
+      telemetry::Registry::global().gauge("oms.index.attr.entries");
+  telemetry::Gauge& edge_entries =
+      telemetry::Registry::global().gauge("oms.index.edge.entries");
+
+  static IndexMetrics& get() {
+    static IndexMetrics metrics;
+    return metrics;
+  }
+};
 }  // namespace
 
-Store::Store(Schema schema, support::SimClock* clock)
-    : schema_(std::move(schema)), clock_(clock) {
+std::size_t Store::ValueHash::operator()(const AttrValue& value) const noexcept {
+  const std::size_t h = std::visit(
+      [](const auto& v) { return std::hash<std::decay_t<decltype(v)>>{}(v); }, value);
+  return h ^ (value.index() * 0x9E3779B97F4A7C15ull);
+}
+
+Store::Store(Schema schema, support::SimClock* clock, StoreOptions options)
+    : schema_(std::move(schema)), clock_(clock), options_(options) {
   assert(clock != nullptr);
+  // Resolve the subclass closure once; every indexed query fans in
+  // through schema_.subclasses_of() instead of walking the class graph.
+  schema_.freeze();
   for (const auto& name : schema_.relation_names()) {
     relations_.emplace(name, RelationIndex{});
   }
@@ -32,6 +78,84 @@ void Store::journal(std::function<void()> undo) {
   // Only called from mutators, which hold mu_ exclusively.
   if (tx_open_.load(std::memory_order_relaxed)) undo_log_.push_back(std::move(undo));
 }
+
+// ======================= secondary-index maintenance ======================
+
+void Store::index_add_object(ObjectId id, const Object& obj) {
+  if (!options_.secondary_indexes) return;
+  auto& metrics = IndexMetrics::get();
+  if (class_index_[obj.class_name].insert(id).second) {
+    metrics.adds.add(1);
+    metrics.class_entries.add(1);
+  }
+  for (const auto& [attr, value] : obj.attrs) {
+    index_add_attr(id, obj.class_name, attr, value);
+  }
+}
+
+void Store::index_remove_object(ObjectId id, const Object& obj) {
+  if (!options_.secondary_indexes) return;
+  auto& metrics = IndexMetrics::get();
+  if (auto it = class_index_.find(obj.class_name); it != class_index_.end()) {
+    if (it->second.erase(id) != 0) {
+      metrics.removes.add(1);
+      metrics.class_entries.add(-1);
+    }
+  }
+  for (const auto& [attr, value] : obj.attrs) {
+    index_remove_attr(id, obj.class_name, attr, value);
+  }
+}
+
+void Store::index_add_attr(ObjectId id, const std::string& cls, std::string_view attr,
+                           const AttrValue& value) {
+  if (!options_.secondary_indexes) return;
+  auto& metrics = IndexMetrics::get();
+  auto& per_attr = attr_index_[cls];
+  auto ait = per_attr.find(attr);
+  if (ait == per_attr.end()) ait = per_attr.emplace(std::string(attr), ValueBucket{}).first;
+  if (ait->second[value].insert(id).second) {
+    metrics.adds.add(1);
+    metrics.attr_entries.add(1);
+  }
+}
+
+void Store::index_remove_attr(ObjectId id, const std::string& cls, std::string_view attr,
+                              const AttrValue& value) {
+  if (!options_.secondary_indexes) return;
+  auto cit = attr_index_.find(cls);
+  if (cit == attr_index_.end()) return;
+  auto ait = cit->second.find(attr);
+  if (ait == cit->second.end()) return;
+  auto vit = ait->second.find(value);
+  if (vit == ait->second.end()) return;
+  if (vit->second.erase(id) != 0) {
+    auto& metrics = IndexMetrics::get();
+    metrics.removes.add(1);
+    metrics.attr_entries.add(-1);
+  }
+  if (vit->second.empty()) ait->second.erase(vit);  // don't leak dead value buckets
+}
+
+void Store::edge_insert(RelationIndex& index, ObjectId from, ObjectId to) {
+  if (!options_.secondary_indexes) return;
+  if (index.edges.insert({from, to}).second) {
+    auto& metrics = IndexMetrics::get();
+    metrics.adds.add(1);
+    metrics.edge_entries.add(1);
+  }
+}
+
+void Store::edge_erase(RelationIndex& index, ObjectId from, ObjectId to) {
+  if (!options_.secondary_indexes) return;
+  if (index.edges.erase({from, to}) != 0) {
+    auto& metrics = IndexMetrics::get();
+    metrics.removes.add(1);
+    metrics.edge_entries.add(-1);
+  }
+}
+
+// ======================= objects ==========================================
 
 Result<ObjectId> Store::create(std::string_view class_name) {
   std::unique_lock lock(mu_);
@@ -43,8 +167,14 @@ Result<ObjectId> Store::create(std::string_view class_name) {
   Object obj;
   obj.class_name = def->name;
   obj.created = clock_->tick();
-  objects_.emplace(id, std::move(obj));
-  journal([this, id] { objects_.erase(id); });
+  auto it = objects_.emplace(id, std::move(obj)).first;
+  index_add_object(id, it->second);
+  journal([this, id] {
+    if (auto oit = objects_.find(id); oit != objects_.end()) {
+      index_remove_object(id, oit->second);
+      objects_.erase(oit);
+    }
+  });
   return id;
 }
 
@@ -54,8 +184,10 @@ Status Store::destroy(ObjectId id) {
   if (it == objects_.end()) return support::fail(Errc::not_found, "no such object");
   erase_object_links(id);
   Object saved = std::move(it->second);
+  index_remove_object(id, saved);
   objects_.erase(it);
   journal([this, id, saved = std::move(saved)]() mutable {
+    index_add_object(id, saved);
     objects_.emplace(id, std::move(saved));
   });
   return {};
@@ -69,8 +201,11 @@ void Store::erase_object_links(ObjectId id) {
       for (ObjectId to : tos) {
         auto& back = index.backward[to];
         back.erase(std::remove(back.begin(), back.end(), id), back.end());
+        edge_erase(index, id, to);
         journal([this, rel = rel_name, id, to] {
-          relations_[rel].backward[to].push_back(id);
+          RelationIndex& idx = relations_[rel];
+          idx.backward[to].push_back(id);
+          edge_insert(idx, id, to);
         });
       }
       index.forward.erase(fit);
@@ -84,8 +219,11 @@ void Store::erase_object_links(ObjectId id) {
       for (ObjectId from : froms) {
         auto& fwd = index.forward[from];
         fwd.erase(std::remove(fwd.begin(), fwd.end(), id), fwd.end());
+        edge_erase(index, from, id);
         journal([this, rel = rel_name, from, id] {
-          relations_[rel].forward[from].push_back(id);
+          RelationIndex& idx = relations_[rel];
+          idx.forward[from].push_back(id);
+          edge_insert(idx, from, id);
         });
       }
       index.backward.erase(bit);
@@ -113,6 +251,8 @@ std::size_t Store::object_count() const noexcept {
   return objects_.size();
 }
 
+// ======================= attributes =======================================
+
 Status Store::set(ObjectId id, std::string_view attr, AttrValue value) {
   std::unique_lock lock(mu_);
   auto it = objects_.find(id);
@@ -130,17 +270,29 @@ Status Store::set(ObjectId id, std::string_view attr, AttrValue value) {
   auto& attrs = it->second.attrs;
   auto ait = attrs.find(attr);
   if (ait == attrs.end()) {
+    index_add_attr(id, it->second.class_name, attr, value);
     attrs.emplace(std::string(attr), std::move(value));
     journal([this, id, name = std::string(attr)] {
-      if (auto oit = objects_.find(id); oit != objects_.end()) oit->second.attrs.erase(name);
+      auto oit = objects_.find(id);
+      if (oit == objects_.end()) return;
+      auto cur = oit->second.attrs.find(name);
+      if (cur == oit->second.attrs.end()) return;
+      index_remove_attr(id, oit->second.class_name, name, cur->second);
+      oit->second.attrs.erase(cur);
     });
   } else {
     AttrValue old = ait->second;
+    index_remove_attr(id, it->second.class_name, attr, old);
+    index_add_attr(id, it->second.class_name, attr, value);
     ait->second = std::move(value);
     journal([this, id, name = std::string(attr), old = std::move(old)]() mutable {
-      if (auto oit = objects_.find(id); oit != objects_.end()) {
-        oit->second.attrs[name] = std::move(old);
+      auto oit = objects_.find(id);
+      if (oit == objects_.end()) return;
+      if (auto cur = oit->second.attrs.find(name); cur != oit->second.attrs.end()) {
+        index_remove_attr(id, oit->second.class_name, name, cur->second);
       }
+      index_add_attr(id, oit->second.class_name, name, old);
+      oit->second.attrs[name] = std::move(old);
     });
   }
   return {};
@@ -182,6 +334,8 @@ Result<double> Store::get_real(ObjectId id, std::string_view attr) const {
   return typed_get<double>(*this, id, attr);
 }
 
+// ======================= relationships ====================================
+
 Status Store::link(std::string_view relation, ObjectId from, ObjectId to) {
   std::unique_lock lock(mu_);
   const RelationDef* rel = schema_.find_relation(relation);
@@ -207,7 +361,10 @@ Status Store::link(std::string_view relation, ObjectId from, ObjectId to) {
 Status Store::link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to) {
   RelationIndex& index = relations_[rel.name];
   auto& fwd = index.forward[from];
-  if (std::find(fwd.begin(), fwd.end(), to) != fwd.end()) {
+  const bool duplicate = options_.secondary_indexes
+                             ? index.edges.contains({from, to})
+                             : std::find(fwd.begin(), fwd.end(), to) != fwd.end();
+  if (duplicate) {
     return support::fail(Errc::already_exists, "link already present");
   }
   if (rel.cardinality == Cardinality::one_to_one && !fwd.empty()) {
@@ -223,12 +380,14 @@ Status Store::link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to) {
   }
   fwd.push_back(to);
   index.backward[to].push_back(from);
+  edge_insert(index, from, to);
   journal([this, rel = rel.name, from, to] {
     RelationIndex& idx = relations_[rel];
     auto& f = idx.forward[from];
     f.erase(std::remove(f.begin(), f.end(), to), f.end());
     auto& b = idx.backward[to];
     b.erase(std::remove(b.begin(), b.end(), from), b.end());
+    edge_erase(idx, from, to);
   });
   return {};
 }
@@ -244,10 +403,12 @@ Status Store::unlink(std::string_view relation, ObjectId from, ObjectId to) {
   fwd.erase(it);
   auto& back = index.backward[to];
   back.erase(std::remove(back.begin(), back.end(), from), back.end());
+  edge_erase(index, from, to);
   journal([this, rel = rel->name, from, to] {
     RelationIndex& idx = relations_[rel];
     idx.forward[from].push_back(to);
     idx.backward[to].push_back(from);
+    edge_insert(idx, from, to);
   });
   return {};
 }
@@ -256,6 +417,12 @@ bool Store::linked(std::string_view relation, ObjectId from, ObjectId to) const 
   std::shared_lock lock(mu_);
   auto rit = relations_.find(relation);
   if (rit == relations_.end()) return false;
+  auto& metrics = QueryMetrics::get();
+  if (options_.secondary_indexes) {
+    metrics.indexed.add(1);
+    return rit->second.edges.contains({from, to});
+  }
+  metrics.scans.add(1);
   auto fit = rit->second.forward.find(from);
   if (fit == rit->second.forward.end()) return false;
   return std::find(fit->second.begin(), fit->second.end(), to) != fit->second.end();
@@ -285,8 +452,25 @@ Result<std::vector<ObjectId>> Store::sources(std::string_view relation, ObjectId
   return bit->second;
 }
 
+// ======================= queries ==========================================
+
 std::vector<ObjectId> Store::objects_of(std::string_view class_name) const {
   std::shared_lock lock(mu_);
+  auto& metrics = QueryMetrics::get();
+  if (options_.secondary_indexes) {
+    metrics.indexed.add(1);
+    std::vector<ObjectId> out;
+    for (const auto& cls : schema_.subclasses_of(class_name)) {
+      auto it = class_index_.find(cls);
+      if (it == class_index_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+    // each per-class run is already sorted; the union across classes
+    // is not, and the contract is global id order
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  metrics.scans.add(1);
   std::vector<ObjectId> out;
   for (const auto& [id, obj] : objects_) {
     if (schema_.is_a(obj.class_name, class_name)) out.push_back(id);
@@ -298,7 +482,24 @@ std::vector<ObjectId> Store::objects_of(std::string_view class_name) const {
 std::vector<ObjectId> Store::find(std::string_view class_name, std::string_view attr,
                                   const AttrValue& value) const {
   std::shared_lock lock(mu_);
-  return find_locked(class_name, attr, value);
+  auto& metrics = QueryMetrics::get();
+  if (!options_.secondary_indexes) {
+    metrics.scans.add(1);
+    return find_locked(class_name, attr, value);
+  }
+  metrics.indexed.add(1);
+  std::vector<ObjectId> out;
+  for (const auto& cls : schema_.subclasses_of(class_name)) {
+    auto cit = attr_index_.find(cls);
+    if (cit == attr_index_.end()) continue;
+    auto ait = cit->second.find(attr);
+    if (ait == cit->second.end()) continue;
+    auto vit = ait->second.find(value);
+    if (vit == ait->second.end()) continue;
+    out.insert(out.end(), vit->second.begin(), vit->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<ObjectId> Store::find_locked(std::string_view class_name, std::string_view attr,
@@ -316,10 +517,34 @@ std::vector<ObjectId> Store::find_locked(std::string_view class_name, std::strin
 std::optional<ObjectId> Store::find_one(std::string_view class_name, std::string_view attr,
                                         const AttrValue& value) const {
   std::shared_lock lock(mu_);
-  auto all = find_locked(class_name, attr, value);
-  if (all.empty()) return std::nullopt;
-  return all.front();
+  static auto& hits = telemetry::Registry::global().counter("oms.query.find_one.hit.count");
+  static auto& misses = telemetry::Registry::global().counter("oms.query.find_one.miss.count");
+  auto& metrics = QueryMetrics::get();
+  std::optional<ObjectId> best;
+  if (options_.secondary_indexes) {
+    metrics.indexed.add(1);
+    // the contract is find().front(), i.e. the smallest matching id;
+    // each value bucket is an ordered set, so per class that is begin()
+    for (const auto& cls : schema_.subclasses_of(class_name)) {
+      auto cit = attr_index_.find(cls);
+      if (cit == attr_index_.end()) continue;
+      auto ait = cit->second.find(attr);
+      if (ait == cit->second.end()) continue;
+      auto vit = ait->second.find(value);
+      if (vit == ait->second.end() || vit->second.empty()) continue;
+      ObjectId front = *vit->second.begin();
+      if (!best.has_value() || front < *best) best = front;
+    }
+  } else {
+    metrics.scans.add(1);
+    auto all = find_locked(class_name, attr, value);
+    if (!all.empty()) best = all.front();
+  }
+  (best.has_value() ? hits : misses).add(1);
+  return best;
 }
+
+// ======================= transactions =====================================
 
 Status Store::begin() {
   std::unique_lock lock(mu_);
@@ -357,7 +582,9 @@ Status Store::abort() {
   static auto& undone = telemetry::Registry::global().counter("oms.tx.undo.count");
   undone.add(undo_log_.size());
   // Undo closures may journal again if they call mutators; close the
-  // transaction first so replay is not re-journaled.
+  // transaction first so replay is not re-journaled. The closures
+  // restore the secondary indexes in the same step as the primary
+  // structures, so abort() leaves index == primary exactly.
   tx_open_.store(false, std::memory_order_relaxed);
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) (*it)();
   undo_log_.clear();

@@ -177,5 +177,36 @@ TEST_F(DesktopTest, CheckoutCommandUsageErrors) {
   EXPECT_EQ(st.error().code, Errc::invalid_argument);
 }
 
+TEST_F(DesktopTest, StatsIndexSummarizesIndexEffectiveness) {
+  const char* script = R"(
+    designer alice
+    project demo
+    cell demo counter alice
+    stats index
+  )";
+  auto result = shell->run_script(script);
+  ASSERT_TRUE(result.ok()) << result.error().to_text();
+  bool saw_entries = false;
+  bool saw_queries = false;
+  bool saw_find_one = false;
+  bool saw_maintenance = false;
+  for (const auto& line : result->transcript) {
+    if (line.rfind("oms index entries: class=", 0) == 0) saw_entries = true;
+    if (line.rfind("queries: indexed=", 0) == 0) saw_queries = true;
+    if (line.rfind("find_one: hits=", 0) == 0) saw_find_one = true;
+    if (line.rfind("maintenance: adds=", 0) == 0) saw_maintenance = true;
+  }
+  EXPECT_TRUE(saw_entries);
+  EXPECT_TRUE(saw_queries);
+  EXPECT_TRUE(saw_find_one);
+  EXPECT_TRUE(saw_maintenance);
+  // creating designers/projects/cells populated the name indexes, and
+  // the uniqueness probes inside create_named answered through them
+  DesktopResult one;
+  ASSERT_TRUE(shell->execute_line("stats index", one).ok());
+  ASSERT_FALSE(one.transcript.empty());
+  EXPECT_NE(one.transcript[0].find("class="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace jfm::coupling

@@ -165,5 +165,99 @@ TEST_F(StoreTest, CreatedTimestampsAreOrdered) {
   EXPECT_LT(store.created_at(a), store.created_at(b));
 }
 
+// Regression: the relation edge sets answer linked()/duplicate checks,
+// but targets()/sources() must keep returning *link-order* vectors.
+TEST_F(StoreTest, TargetsAndSourcesPreserveLinkOrder) {
+  auto cell = *store.create("Cell");
+  auto v1 = *store.create("Version");
+  auto v2 = *store.create("Version");
+  auto v3 = *store.create("Version");
+  // deliberately not id order
+  ASSERT_TRUE(store.link("related", cell, v2).ok());
+  ASSERT_TRUE(store.link("related", cell, v3).ok());
+  ASSERT_TRUE(store.link("related", cell, v1).ok());
+  auto targets = store.targets("related", cell);
+  ASSERT_TRUE(targets.ok());
+  EXPECT_EQ(*targets, (std::vector<ObjectId>{v2, v3, v1}));
+  // unlink the middle element and relink it: it re-enters at the end
+  ASSERT_TRUE(store.unlink("related", cell, v3).ok());
+  ASSERT_TRUE(store.link("related", cell, v3).ok());
+  targets = store.targets("related", cell);
+  ASSERT_TRUE(targets.ok());
+  EXPECT_EQ(*targets, (std::vector<ObjectId>{v2, v1, v3}));
+  // sources side: three cells point at one version, in link order
+  auto c2 = *store.create("Cell");
+  auto c3 = *store.create("Cell");
+  ASSERT_TRUE(store.link("related", c3, v1).ok());
+  ASSERT_TRUE(store.link("related", c2, v1).ok());
+  auto sources = store.sources("related", v1);
+  ASSERT_TRUE(sources.ok());
+  EXPECT_EQ(*sources, (std::vector<ObjectId>{cell, c3, c2}));
+  // and the edge set agrees with the vectors after the churn
+  EXPECT_TRUE(store.linked("related", cell, v3));
+  EXPECT_FALSE(store.linked("related", c2, v2));
+  EXPECT_EQ(store.link("related", cell, v3).code(), Errc::already_exists);
+}
+
+// The store freezes its copy of the schema at construction: the
+// subclass closure is precomputed once and the schema is immutable
+// from then on.
+TEST_F(StoreTest, SchemaIsFrozenAndClosurePrecomputed) {
+  EXPECT_TRUE(store.schema().frozen());
+  const auto& named = store.schema().subclasses_of("Named");
+  EXPECT_EQ(named, (std::vector<std::string>{"Cell", "Named"}));
+  const auto& cell = store.schema().subclasses_of("Cell");
+  EXPECT_EQ(cell, (std::vector<std::string>{"Cell"}));
+  EXPECT_TRUE(store.schema().subclasses_of("NoSuchClass").empty());
+  // a copy inherits frozenness: no post-construction mutations anywhere
+  Schema copy = store.schema();
+  EXPECT_EQ(copy.define_class({"Late", "", {}}).code(), Errc::invalid_argument);
+  EXPECT_EQ(copy.define_relation({"late", "Cell", "Cell", Cardinality::many_to_many}).code(),
+            Errc::invalid_argument);
+  // a standalone (unfrozen) schema still accepts definitions
+  Schema fresh = test_schema();
+  EXPECT_FALSE(fresh.frozen());
+  EXPECT_TRUE(fresh.define_class({"Extra", "Named", {}}).ok());
+}
+
+// The indexes_off ablation must answer every query identically.
+TEST_F(StoreTest, AblationStoreAnswersIdentically) {
+  support::SimClock scan_clock;
+  Store scan(test_schema(), &scan_clock, StoreOptions{.secondary_indexes = false});
+  for (Store* s : {&store, &scan}) {
+    auto a = *s->create("Cell");
+    auto b = *s->create("Cell");
+    auto v = *s->create("Version");
+    ASSERT_TRUE(s->set(a, "name", AttrValue(std::string("alu"))).ok());
+    ASSERT_TRUE(s->set(b, "name", AttrValue(std::string("alu"))).ok());
+    ASSERT_TRUE(s->link("has_version", a, v).ok());
+  }
+  EXPECT_EQ(store.objects_of("Named"), scan.objects_of("Named"));
+  EXPECT_EQ(store.find("Cell", "name", AttrValue(std::string("alu"))),
+            scan.find("Cell", "name", AttrValue(std::string("alu"))));
+  EXPECT_EQ(store.find_one("Named", "name", AttrValue(std::string("alu"))),
+            scan.find_one("Named", "name", AttrValue(std::string("alu"))));
+  EXPECT_EQ(store.find_one("Cell", "name", AttrValue(std::string("zz"))),
+            scan.find_one("Cell", "name", AttrValue(std::string("zz"))));
+  EXPECT_TRUE(scan.linked("has_version", scan.objects_of("Cell")[0],
+                          scan.objects_of("Version")[0]));
+}
+
+// find_one must return the *smallest* matching id (find().front()),
+// also when matches straddle base and derived classes.
+TEST_F(StoreTest, FindOneReturnsSmallestIdAcrossSubclasses) {
+  auto c1 = *store.create("Cell");
+  auto c2 = *store.create("Cell");
+  ASSERT_TRUE(store.set(c1, "name", AttrValue(std::string("dup"))).ok());
+  ASSERT_TRUE(store.set(c2, "name", AttrValue(std::string("dup"))).ok());
+  EXPECT_EQ(store.find_one("Named", "name", AttrValue(std::string("dup"))), c1);
+  ASSERT_TRUE(store.destroy(c1).ok());
+  EXPECT_EQ(store.find_one("Named", "name", AttrValue(std::string("dup"))), c2);
+  // overwriting the attribute moves the object between value buckets
+  ASSERT_TRUE(store.set(c2, "name", AttrValue(std::string("renamed"))).ok());
+  EXPECT_FALSE(store.find_one("Named", "name", AttrValue(std::string("dup"))).has_value());
+  EXPECT_EQ(store.find_one("Named", "name", AttrValue(std::string("renamed"))), c2);
+}
+
 }  // namespace
 }  // namespace jfm::oms
