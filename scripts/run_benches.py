@@ -17,7 +17,15 @@ registry snapshot (counters / gauges / histograms). This harness:
    indexed ``find_one`` at 100k objects must beat the ``indexes_off``
    ablation by ``--min-index-speedup`` (default 10x). Unlike the
    scaling gate this bar is core-independent: both sides of the ratio
-   run single-threaded on the same machine.
+   run single-threaded on the same machine;
+6. with ``--check-fault-overhead``, gates on the fault-recovery bench:
+   its ``disabled_warm`` time (the fault-tolerant export path with
+   injection disarmed) must stay within ``--max-fault-overhead``
+   (default 2%) of the parallel-checkout bench's warm time at the same
+   worker count -- the two binaries run the byte-identical workload,
+   so a drift here means the disarmed hook points grew a real cost.
+   ``--fault-overhead-slack-us`` absorbs scheduler noise on very fast
+   warm batches.
 
 The threshold is core-aware: demanding 2x from a single-core container
 is physics, not a regression, so the effective bar is
@@ -49,6 +57,12 @@ OMS_QUERY_RE = re.compile(
     r"^JFM_OMS_QUERY\s+size=(\d+)\s+mode=(\w+)\s+op=(\w+)\s+ns_per_op=(\d+)\s*$")
 OMS_QUERY_META_RE = re.compile(
     r"^JFM_OMS_QUERY_META\s+sizes=(\d+)\s+find_one_speedup_100k=([\d.]+)\s*$")
+FAULT_RE = re.compile(
+    r"^JFM_FAULT_RECOVERY\s+mode=(\w+)\s+workers=(\d+)\s+wall_us=(\d+)"
+    r"\s+retries=(\d+)\s+rollbacks=(\d+)\s+injected=(\d+)\s*$")
+FAULT_META_RE = re.compile(
+    r"^JFM_FAULT_RECOVERY_META\s+workers=(\d+)\s+dovs=(\d+)"
+    r"\s+payload_bytes=(\d+)\s+armed_ratio=([\d.]+)\s*$")
 
 
 def discover(build_dir):
@@ -80,6 +94,8 @@ def parse_output(text):
     meta = None
     query_rows = []
     query_meta = None
+    fault_rows = []
+    fault_meta = None
     for line in text.splitlines():
         m = METRICS_RE.match(line)
         if m:
@@ -122,7 +138,27 @@ def parse_output(text):
                 "sizes": int(m.group(1)),
                 "find_one_speedup_100k": float(m.group(2)),
             }
-    return metrics, rows, meta, query_rows, query_meta
+            continue
+        m = FAULT_RE.match(line)
+        if m:
+            fault_rows.append({
+                "mode": m.group(1),
+                "workers": int(m.group(2)),
+                "wall_us": int(m.group(3)),
+                "retries": int(m.group(4)),
+                "rollbacks": int(m.group(5)),
+                "injected": int(m.group(6)),
+            })
+            continue
+        m = FAULT_META_RE.match(line)
+        if m:
+            fault_meta = {
+                "workers": int(m.group(1)),
+                "dovs": int(m.group(2)),
+                "payload_bytes": int(m.group(3)),
+                "armed_ratio": float(m.group(4)),
+            }
+    return metrics, rows, meta, query_rows, query_meta, fault_rows, fault_meta
 
 
 def scaling_threshold(min_scaling, cores):
@@ -144,6 +180,16 @@ def main():
                              "indexes_off ablation by --min-index-speedup")
     parser.add_argument("--min-index-speedup", type=float, default=10.0,
                         help="required 100k find_one speedup over the ablation (default: 10.0)")
+    parser.add_argument("--check-fault-overhead", action="store_true",
+                        help="fail if the fault-tolerant warm path (injection disarmed) "
+                             "exceeds the parallel-checkout warm baseline by more than "
+                             "--max-fault-overhead")
+    parser.add_argument("--max-fault-overhead", type=float, default=0.02,
+                        help="allowed warm-path overhead ratio with faults disabled "
+                             "(default: 0.02 = 2%%)")
+    parser.add_argument("--fault-overhead-slack-us", type=int, default=500,
+                        help="absolute noise allowance on top of the ratio, in "
+                             "microseconds (default: 500)")
     parser.add_argument("--out-dir", default=REPO,
                         help="where BENCH_*.json blobs go (default: repo root)")
     args = parser.parse_args()
@@ -159,6 +205,7 @@ def main():
     failures = []
     checkout_rows, checkout_meta = [], None
     oms_query_rows, oms_query_meta = [], None
+    fault_rows, fault_meta = [], None
     for path in benches:
         name = os.path.basename(path)
         proc = run_bench(path, args.quick)
@@ -166,7 +213,8 @@ def main():
             failures.append(f"{name}: exit {proc.returncode}")
             sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
             continue
-        metrics, rows, meta, query_rows, query_meta = parse_output(proc.stdout)
+        metrics, rows, meta, query_rows, query_meta, f_rows, f_meta = \
+            parse_output(proc.stdout)
         blob = {
             "bench": name,
             "quick": args.quick,
@@ -178,6 +226,9 @@ def main():
         if query_rows:
             blob["oms_query"] = {"runs": query_rows, "meta": query_meta}
             oms_query_rows, oms_query_meta = query_rows, query_meta
+        if f_rows:
+            blob["fault_recovery"] = {"runs": f_rows, "meta": f_meta}
+            fault_rows, fault_meta = f_rows, f_meta
         out = os.path.join(args.out_dir, f"BENCH_{name}.json")
         with open(out, "w") as fh:
             json.dump(blob, fh, indent=2, sort_keys=True)
@@ -219,6 +270,31 @@ def main():
                 else:
                     print(f"run_benches: index gate ok "
                           f"({speedup:.1f}x >= {args.min_index_speedup:.1f}x at 100k)")
+
+    if args.check_fault_overhead:
+        workers = fault_meta["workers"] if fault_meta else 4
+        disabled = [r for r in fault_rows if r["mode"] == "disabled_warm"]
+        baseline = [r for r in checkout_rows
+                    if r["workers"] == workers and r["mode"] == "warm"]
+        if not disabled:
+            failures.append("fault gate: no disabled_warm JFM_FAULT_RECOVERY row")
+        elif not baseline:
+            failures.append(
+                f"fault gate: no workers={workers} warm JFM_PARALLEL_CHECKOUT baseline")
+        else:
+            limit = baseline[0]["wall_us"] * (1.0 + args.max_fault_overhead) \
+                + args.fault_overhead_slack_us
+            got = disabled[0]["wall_us"]
+            if got > limit:
+                failures.append(
+                    f"fault gate: disarmed warm path {got} us exceeds "
+                    f"{limit:.0f} us (baseline {baseline[0]['wall_us']} us "
+                    f"+ {args.max_fault_overhead:.0%} + "
+                    f"{args.fault_overhead_slack_us} us slack)")
+            else:
+                print(f"run_benches: fault-overhead gate ok ({got} us vs "
+                      f"baseline {baseline[0]['wall_us']} us, "
+                      f"limit {limit:.0f} us)")
 
     for failure in failures:
         print(f"run_benches: FAIL: {failure}", file=sys.stderr)

@@ -176,18 +176,33 @@ class HybridFramework {
   /// `dst_dir/<cell>_<view>` through TransferEngine::export_batch's
   /// worker pool -- one call instead of one desktop round-trip per
   /// cellview.
+  ///
+  /// The checkout is ALL-OR-NOTHING (docs/fault-injection.md): before
+  /// any byte moves, a two-phase journal captures the pre-image of
+  /// every destination the batch may touch. If any item fails (fault,
+  /// timeout, permission), the journal is replayed and dst_dir is
+  /// restored bit-identical to its pre-checkout state; the report then
+  /// carries rolled_back = true plus the per-item failures. A caller
+  /// that retries the whole checkout after a rollback is guaranteed to
+  /// start from clean state. `timeout_us` > 0 arms a per-batch
+  /// deadline (see TransferEngine::export_batch).
   struct CheckoutReport {
     std::size_t cells = 0;           ///< cells visited (root + children)
     std::size_t requested = 0;       ///< cellviews with data to export
-    std::size_t exported = 0;        ///< successful exports
+    std::size_t exported = 0;        ///< successful exports (before any rollback)
     std::uint64_t bytes_exported = 0;
     std::uint64_t cache_hits = 0;    ///< exports served without moving bytes
+    std::uint64_t retries = 0;       ///< export attempts repeated after transient failures
+    std::uint64_t timeouts = 0;      ///< items abandoned at the batch deadline
+    bool rolled_back = false;        ///< failures occurred; dst_dir was restored
+    std::size_t restored = 0;        ///< journal entries replayed by the rollback
     std::vector<std::string> failures;  ///< "cell/view: message"
   };
   support::Result<CheckoutReport> checkout_hierarchy(const std::string& project,
                                                      const std::string& root_cell,
                                                      jcf::UserRef user, const vfs::Path& dst_dir,
-                                                     std::size_t workers = 4);
+                                                     std::size_t workers = 4,
+                                                     std::uint64_t timeout_us = 0);
 
   // -- analysis on the master's data ---------------------------------------
   /// Layout-versus-schematic comparison of a cell's two views, read out

@@ -39,6 +39,7 @@
 // serialization ablation for bench_parallel_checkout.
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <map>
 #include <mutex>
@@ -69,6 +70,20 @@ struct TransferStats {
   std::uint64_t cache_evictions = 0;     ///< entries dropped by the LRU bound
   std::uint64_t cache_invalidations = 0; ///< entries dropped by version change
   std::uint64_t bytes_saved = 0;         ///< payload bytes a hit did NOT move
+  // fault-tolerance accounting (docs/fault-injection.md)
+  std::uint64_t retries = 0;             ///< export attempts repeated after a failure
+  std::uint64_t timeouts = 0;            ///< items abandoned at the batch deadline
+};
+
+/// Per-item retry discipline for the export path. An attempt that
+/// fails with a transient code (io_error, locked) is retried after an
+/// exponential backoff until the attempt budget is spent; other codes
+/// (not_found, permission_denied, ...) fail immediately -- retrying a
+/// deterministic error only burns the budget.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;         ///< total attempts per item (1 = no retry)
+  std::uint64_t backoff_base_us = 50;   ///< first backoff; doubles per retry
+  std::uint64_t backoff_cap_us = 2000;  ///< backoff ceiling
 };
 
 struct TransferOptions {
@@ -78,6 +93,8 @@ struct TransferOptions {
   /// Serialization ablation: exports take the exclusive lock as they
   /// did before the reader-writer split. Only benches should set this.
   bool exclusive_transfers = false;
+  /// Per-item retry discipline (applies to export_dov / export_batch).
+  RetryPolicy retry;
 };
 
 /// One export request for the batched API.
@@ -108,8 +125,20 @@ class TransferEngine {
   /// uses this to check out a whole hierarchy in one call. Workers
   /// share the engine's reader lock, so throughput scales with cores
   /// until the file system's short exclusive publish sections dominate.
+  /// `timeout_us` > 0 arms a per-batch deadline: items (and retries)
+  /// that would start after it fail with Errc::timeout instead; already
+  /// running attempts are never interrupted mid-copy, so a timed-out
+  /// batch still leaves every individual file all-or-nothing.
   std::vector<support::Status> export_batch(std::span<const ExportRequest> items,
-                                            std::size_t workers = 4);
+                                            std::size_t workers = 4,
+                                            std::uint64_t timeout_us = 0);
+
+  /// True when (dov, dst) is cached AND dst still holds exactly the
+  /// bytes an export of `dov` would produce (verified via the memoized
+  /// content hash, O(1) on an unchanged file, no payload traffic).
+  /// The checkout journal uses this to skip pre-image capture on the
+  /// warm path: a true answer means the export cannot change dst.
+  bool peek_cached(jcf::DovRef dov, const vfs::Path& dst) const;
 
   /// file -> OMS: store `src`'s content as a new version of `dobj`.
   /// Takes exclusive engine access (single writer).
@@ -148,9 +177,18 @@ class TransferEngine {
     std::atomic<std::uint64_t> cache_evictions{0};
     std::atomic<std::uint64_t> cache_invalidations{0};
     std::atomic<std::uint64_t> bytes_saved{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> timeouts{0};
   };
 
   vfs::Path staging_file(const std::string& tag);
+  /// One attempt: lock acquisition, fault hook, export_shared.
+  support::Status export_once(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst);
+  /// The retry loop around export_once; `deadline_us` is the batch
+  /// deadline as steady-clock microseconds (0 = none).
+  support::Status export_with_retry(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst,
+                                    std::chrono::steady_clock::time_point deadline,
+                                    bool has_deadline);
   support::Status export_shared(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst);
   /// True when (dov, dst) is cached with `hash` and dst still holds
   /// those bytes. Takes cache_mu_; caller holds the engine lock

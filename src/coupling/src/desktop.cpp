@@ -1,5 +1,6 @@
 #include "jfm/coupling/desktop.hpp"
 
+#include "jfm/support/faultsim.hpp"
 #include "jfm/support/strings.hpp"
 #include "jfm/support/telemetry.hpp"
 
@@ -175,11 +176,36 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     return {};
   }
   if (cmd == "stats") {
-    // stats [json] [index] [prefix] -- dump the process-wide metrics
-    // registry; `stats index` summarizes OMS index effectiveness.
-    if (words.size() > 3) return usage("stats [json|index] [prefix]");
+    // stats [json] [index|faults] [prefix] -- dump the process-wide
+    // metrics registry; `stats index` summarizes OMS index
+    // effectiveness, `stats faults` the fault-injection / recovery
+    // digest (docs/fault-injection.md).
+    if (words.size() > 3) return usage("stats [json|index|faults] [prefix]");
     namespace telemetry = support::telemetry;
     auto snapshot = telemetry::Registry::global().snapshot();
+    if (words.size() == 2 && words[1] == "faults") {
+      auto counter = [&snapshot](const char* name) -> std::uint64_t {
+        auto it = snapshot.counters.find(name);
+        return it == snapshot.counters.end() ? 0 : it->second;
+      };
+      auto& injector = support::faultsim::Injector::global();
+      if (support::faultsim::Injector::armed()) {
+        say("injector: armed (seed " + std::to_string(injector.seed()) + ")");
+        for (const auto& [site, count] : injector.injected_by_site()) {
+          say("  site " + site + ": " + std::to_string(count) + " injected");
+        }
+      } else {
+        say("injector: disarmed");
+      }
+      say("faults: evaluated=" + std::to_string(counter("faults.evaluated.count")) +
+          " injected=" + std::to_string(counter("faults.injected.count")));
+      say("transfer: retries=" + std::to_string(counter("coupling.transfer.retry.count")) +
+          " timeouts=" + std::to_string(counter("coupling.transfer.timeout.count")));
+      say("checkout: rollbacks=" +
+          std::to_string(counter("coupling.checkout.rollback.count")) + " restored=" +
+          std::to_string(counter("coupling.checkout.rollback.restored.count")));
+      return {};
+    }
     if (words.size() == 2 && words[1] == "index") {
       auto counter = [&snapshot](const char* name) -> std::uint64_t {
         auto it = snapshot.counters.find(name);
@@ -214,6 +240,27 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     for (const auto& line : support::split(snapshot.to_table(prefix), '\n')) {
       if (!line.empty()) say(line);
     }
+    return {};
+  }
+  if (cmd == "faults") {
+    // faults <plan>|off -- arm or disarm the process-wide fault
+    // injector from the desktop (the JFM_FAULTS grammar, e.g.
+    // "faults seed=7;vfs.write=0.05;transfer.export_item@3,9").
+    if (words.size() < 2) return usage("faults <plan>|off");
+    auto& injector = support::faultsim::Injector::global();
+    if (words[1] == "off") {
+      injector.disarm();
+      say("fault injector disarmed");
+      return {};
+    }
+    std::vector<std::string> rest(words.begin() + 1, words.end());
+    auto plan = support::faultsim::parse_plan(support::join(rest, ";"));
+    if (!plan.ok()) return Status(plan.error());
+    const std::size_t sites = plan->sites.size();
+    const std::uint64_t seed = plan->seed;
+    injector.arm(std::move(*plan));
+    say("fault injector armed: seed " + std::to_string(seed) + ", " +
+        std::to_string(sites) + " site(s)");
     return {};
   }
   if (cmd == "trace") {

@@ -789,7 +789,7 @@ Result<std::string> HybridFramework::open_read_only(const std::string& project,
 
 Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
     const std::string& project, const std::string& root_cell, jcf::UserRef user,
-    const vfs::Path& dst_dir, std::size_t workers) {
+    const vfs::Path& dst_dir, std::size_t workers, std::uint64_t timeout_us) {
   using Report = Result<CheckoutReport>;
   JFM_SPAN("coupling", "checkout_hierarchy");
   const ProjectCtx* ctx = project_ctx(project);
@@ -849,8 +849,40 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
   checkout_cells.add(report.cells);
   checkout_files.add(report.requested);
 
+  // Phase 1 (journal): capture the pre-image of every destination this
+  // batch may touch, BEFORE any byte moves. Three cases per item:
+  //   * peek_cached true -- the export is a guaranteed cache hit and
+  //     cannot change dst; no journal entry, no byte traffic. This is
+  //     the whole warm path: a repeat checkout journals nothing.
+  //   * dst absent -- journal "remove on rollback" (an exists() probe,
+  //     no byte traffic).
+  //   * dst present and not guaranteed unchanged -- journal its bytes.
+  // A capture failure aborts the checkout before anything mutated, so
+  // the pre-state trivially survives.
+  struct JournalEntry {
+    vfs::Path path;
+    bool existed = false;
+    std::string pre_image;
+  };
+  std::vector<JournalEntry> journal;
+  {
+    JFM_SPAN("coupling", "checkout_journal");
+    for (const auto& req : requests) {
+      if (transfer_->peek_cached(req.dov, req.dst)) continue;
+      JournalEntry entry{req.dst, fs_.exists(req.dst), {}};
+      if (entry.existed) {
+        auto pre = fs_.read_file(req.dst);
+        if (!pre.ok()) return forward_error<CheckoutReport>(pre.error());
+        entry.pre_image = std::move(*pre);
+      }
+      journal.push_back(std::move(entry));
+    }
+  }
+
+  // Phase 2: run the batch; on ANY failure replay the journal so the
+  // checkout is all-or-nothing.
   const TransferStats before = transfer_->stats_snapshot();
-  auto statuses = transfer_->export_batch(requests, workers);
+  auto statuses = transfer_->export_batch(requests, workers, timeout_us);
   const TransferStats after = transfer_->stats_snapshot();
   for (std::size_t i = 0; i < statuses.size(); ++i) {
     if (statuses[i].ok()) {
@@ -861,6 +893,43 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
   }
   report.bytes_exported = after.bytes_exported - before.bytes_exported;
   report.cache_hits = after.cache_hits - before.cache_hits;
+  report.retries = after.retries - before.retries;
+  report.timeouts = after.timeouts - before.timeouts;
+
+  if (!report.failures.empty()) {
+    JFM_SPAN("coupling", "checkout_rollback");
+    static auto& rollbacks =
+        telemetry::Registry::global().counter("coupling.checkout.rollback.count");
+    static auto& restored_files =
+        telemetry::Registry::global().counter("coupling.checkout.rollback.restored.count");
+    rollbacks.add(1);
+    report.rolled_back = true;
+    // Restore in reverse capture order. Each restore write passes back
+    // through the vfs fault hooks, so under injection the rollback
+    // itself may draw faults -- every attempt draws a fresh ordinal, so
+    // a bounded retry converges (p^16 at fault rate p). remove() has no
+    // fault hook and cannot fail on an existing path.
+    for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+      if (!it->existed) {
+        if (fs_.exists(it->path)) (void)fs_.remove(it->path);
+        ++report.restored;
+        restored_files.add(1);
+        continue;
+      }
+      Status st;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        st = fs_.write_file(it->path, it->pre_image);
+        if (st.ok()) break;
+      }
+      if (!st.ok()) {
+        return Report::failure(Errc::internal,
+                               "checkout rollback could not restore " + it->path.str() + ": " +
+                                   st.error().to_text());
+      }
+      ++report.restored;
+      restored_files.add(1);
+    }
+  }
   return report;
 }
 

@@ -1,9 +1,11 @@
 #include "jfm/coupling/transfer.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
 
+#include "jfm/support/faultsim.hpp"
 #include "jfm/support/telemetry.hpp"
 
 namespace jfm::coupling {
@@ -44,6 +46,12 @@ std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                         std::chrono::steady_clock::now() - start)
                                         .count());
+}
+
+/// Transient failures worth a retry. Deterministic errors (not_found,
+/// permission_denied, flow violations, ...) fail fast instead.
+bool retryable(Errc code) noexcept {
+  return code == Errc::io_error || code == Errc::locked;
 }
 }  // namespace
 
@@ -143,7 +151,14 @@ void TransferEngine::cache_store(jcf::DovRef dov, const vfs::Path& dst, std::uin
 }
 
 Status TransferEngine::export_dov(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst) {
+  return export_with_retry(dov, reader, dst, {}, /*has_deadline=*/false);
+}
+
+Status TransferEngine::export_once(jcf::DovRef dov, jcf::UserRef reader, const vfs::Path& dst) {
   JFM_SPAN("coupling", "transfer.export");
+  // Per-item fault hook: one ordinal per ATTEMPT, so a retried item
+  // draws a fresh decision -- exactly how a flaky NFS mount behaves.
+  if (auto f = support::faultsim::trip("transfer.export_item"); !f.ok()) return f;
   const auto started = std::chrono::steady_clock::now();
   std::shared_lock shared(mu_, std::defer_lock);
   std::unique_lock exclusive(mu_, std::defer_lock);
@@ -156,6 +171,36 @@ Status TransferEngine::export_dov(jcf::DovRef dov, jcf::UserRef reader, const vf
   Status st = export_shared(dov, reader, dst);
   export_latency().record(us_since(started));
   return st;
+}
+
+Status TransferEngine::export_with_retry(jcf::DovRef dov, jcf::UserRef reader,
+                                         const vfs::Path& dst,
+                                         std::chrono::steady_clock::time_point deadline,
+                                         bool has_deadline) {
+  const std::size_t budget = std::max<std::size_t>(1, options_.retry.max_attempts);
+  for (std::size_t attempt = 1;; ++attempt) {
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      stats_.timeouts.fetch_add(1, kRelaxed);
+      static auto& timeouts = xfer_counter("timeout.count");
+      timeouts.add(1);
+      return support::fail(Errc::timeout,
+                           "batch deadline exceeded before export of " + dst.str());
+    }
+    Status st = export_once(dov, reader, dst);
+    if (st.ok() || attempt >= budget || !retryable(st.error().code)) return st;
+    // Exponential backoff between attempts. The engine lock is NOT held
+    // here, so a backing-off item never stalls its batch siblings or an
+    // import waiting for the exclusive lock.
+    stats_.retries.fetch_add(1, kRelaxed);
+    static auto& retries = xfer_counter("retry.count");
+    retries.add(1);
+    const std::uint64_t shift = std::min<std::size_t>(attempt - 1, 16);
+    const std::uint64_t backoff_us = std::min(options_.retry.backoff_cap_us,
+                                              options_.retry.backoff_base_us << shift);
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
 }
 
 Status TransferEngine::export_shared(jcf::DovRef dov, jcf::UserRef reader,
@@ -205,14 +250,22 @@ Status TransferEngine::export_shared(jcf::DovRef dov, jcf::UserRef reader,
 }
 
 std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> items,
-                                                 std::size_t workers) {
+                                                 std::size_t workers,
+                                                 std::uint64_t timeout_us) {
   telemetry::ScopedSpan batch("coupling", "transfer.export_batch");
   std::vector<Status> results(items.size());
   if (items.empty()) return results;
+  // Per-batch deadline: items (and retries) that would START after it
+  // fail with Errc::timeout. A running attempt is never interrupted, so
+  // each file stays all-or-nothing even in a timed-out batch.
+  const bool has_deadline = timeout_us > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_us);
   const std::size_t pool = std::min(workers == 0 ? std::size_t{1} : workers, items.size());
   if (pool == 1) {
     for (std::size_t i = 0; i < items.size(); ++i) {
-      results[i] = export_dov(items[i].dov, items[i].reader, items[i].dst);
+      results[i] =
+          export_with_retry(items[i].dov, items[i].reader, items[i].dst, deadline, has_deadline);
     }
     return results;
   }
@@ -228,7 +281,8 @@ std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> 
       // Each worker owns its result slot; workers share the engine's
       // reader lock and the store/fs reader locks underneath, so the
       // payload work of distinct items genuinely overlaps.
-      results[i] = export_dov(items[i].dov, items[i].reader, items[i].dst);
+      results[i] =
+          export_with_retry(items[i].dov, items[i].reader, items[i].dst, deadline, has_deadline);
     }
   };
   std::vector<std::thread> threads;
@@ -238,10 +292,31 @@ std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> 
   return results;
 }
 
+bool TransferEngine::peek_cached(jcf::DovRef dov, const vfs::Path& dst) const {
+  // Side-effect free probe: no counters, no LRU touch, no eviction.
+  // The checkout journal uses this to decide whether an export could
+  // possibly change dst; a stale answer is safe (it only means a
+  // pre-image gets captured that turns out unnecessary).
+  std::uint64_t expected = 0;
+  {
+    std::lock_guard lock(cache_mu_);
+    auto it = cache_.find(CacheKey(dov.id, dst.str()));
+    if (it == cache_.end()) return false;
+    expected = it->second.content_hash;
+  }
+  // content_hash is O(1) when the fs has dst's hash memoized (it does
+  // right after a previous export materialized it) -- no payload reads.
+  auto on_disk = fs_->content_hash(dst);
+  return on_disk.ok() && *on_disk == expected;
+}
+
 Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
                                                 jcf::DesignObjectRef dobj,
                                                 jcf::UserRef writer) {
   JFM_SPAN("coupling", "transfer.import");
+  if (auto f = support::faultsim::trip("transfer.import"); !f.ok()) {
+    return Result<jcf::DovRef>::failure(f.error().code, f.error().message);
+  }
   const auto started = std::chrono::steady_clock::now();
   // Exclusive: an import is the single writer; every in-flight export
   // drains first and none starts until the new version is published
@@ -287,6 +362,8 @@ TransferStats TransferEngine::stats_snapshot() const {
   s.cache_evictions = stats_.cache_evictions.load(kRelaxed);
   s.cache_invalidations = stats_.cache_invalidations.load(kRelaxed);
   s.bytes_saved = stats_.bytes_saved.load(kRelaxed);
+  s.retries = stats_.retries.load(kRelaxed);
+  s.timeouts = stats_.timeouts.load(kRelaxed);
   return s;
 }
 
@@ -303,6 +380,8 @@ void TransferEngine::reset_stats() {
   stats_.cache_evictions.store(0, kRelaxed);
   stats_.cache_invalidations.store(0, kRelaxed);
   stats_.bytes_saved.store(0, kRelaxed);
+  stats_.retries.store(0, kRelaxed);
+  stats_.timeouts.store(0, kRelaxed);
 }
 
 std::size_t TransferEngine::cache_size() const {

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <variant>
 
+#include "jfm/support/faultsim.hpp"
 #include "jfm/support/telemetry.hpp"
 
 namespace jfm::oms {
@@ -563,6 +564,10 @@ Status Store::commit() {
   if (!tx_open_.load(std::memory_order_relaxed)) {
     return support::fail(Errc::invalid_argument, "no open transaction");
   }
+  // Fault hook: an injected commit failure leaves the transaction OPEN
+  // with its undo journal intact, so the caller can abort() and roll
+  // back exactly as it would after a real storage failure.
+  if (auto f = support::faultsim::trip("oms.commit"); !f.ok()) return f;
   JFM_SPAN("oms", "tx.commit");
   static auto& commits = tx_counter("commit");
   commits.add(1);

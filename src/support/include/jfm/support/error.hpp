@@ -24,6 +24,7 @@ enum class Errc {
   flow_violation,         ///< tool invocation outside the prescribed flow
   not_supported,          ///< e.g. non-isomorphic hierarchies in JCF 3.0
   io_error,
+  timeout,                ///< batch deadline exceeded (fault-tolerant checkout)
   transaction_aborted,
   stale_metadata,         ///< FMCAD .meta not refreshed (s2.2)
   checkout_required,      ///< write attempted without a checked-out version

@@ -1,0 +1,149 @@
+#pragma once
+// jfm::support::faultsim: deterministic, seed-driven fault injection.
+//
+// The coupled desktop only earns trust if checkout/checkin survives the
+// messy reality of shared design data -- partial transfers, full disks,
+// commit failures. Nothing in a test suite can assert recovery
+// invariants unless it can *provoke* those failures on demand, so every
+// risky operation in the stack carries a named HOOK POINT (an
+// "operation site"):
+//
+//   vfs.read              FileSystem::read_file
+//   vfs.write             FileSystem::write_file / append_file
+//   vfs.copy              FileSystem::copy_file / copy_tree
+//   oms.commit            oms::Store::commit
+//   transfer.export_item  TransferEngine, once per export attempt
+//   transfer.import       TransferEngine::import_file
+//
+// A FaultPlan maps sites to schedules. A schedule is a probabilistic
+// failure rate, an explicit list of operation ordinals to fail, or
+// both. Whether operation #N at a site fails is a pure function of
+// (plan seed, site name, N) -- the same SplitMix64 finalizer the
+// workload Rng uses -- so a schedule replays bit-identically from its
+// seed no matter how threads interleave: the *set* of failing ordinals
+// is fixed; concurrency only decides which caller draws which ordinal.
+//
+// Arming: programmatic (Injector::global().arm(plan)) or the JFM_FAULTS
+// environment variable, parsed on first use. Plan text format
+// (semicolon-separated; docs/fault-injection.md has the full grammar):
+//
+//   JFM_FAULTS="seed=42;vfs.write=0.05;transfer.export_item=0.2;oms.commit@3,7"
+//
+//   seed=<u64>         decision seed (default 0)
+//   <site>=<rate>      fail that fraction of operations, in [0,1]
+//   <site>@<n,m,...>   fail exactly the n-th, m-th, ... operation (1-based)
+//   <site>* . . .      a site key ending in '*' matches by prefix
+//
+// Injected failures surface as Errc::io_error ("injected fault at
+// <site> (op #N)") through the normal Result channel -- callers cannot
+// tell them from real I/O errors, which is the point.
+//
+// Zero overhead when disarmed: every hook point is gated on one relaxed
+// atomic bool (armed()); the site lookup, ordinal draw and telemetry
+// only happen once a plan is armed. Arm/disarm must not race in-flight
+// operations (tests arm around quiescent points); while armed, check()
+// is lock-free -- the site table is immutable and the per-site ordinal
+// counters are atomics.
+//
+// Telemetry: faults.evaluated.count, faults.injected.count and
+// faults.injected.<site> counters in the global registry; the desktop's
+// `stats faults` digest reads them back.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jfm/support/result.hpp"
+
+namespace jfm::support::faultsim {
+
+/// Failure schedule for one operation site (or site prefix).
+struct SiteSpec {
+  double rate = 0.0;                     ///< fraction of ops to fail, [0, 1]
+  std::vector<std::uint64_t> ordinals;   ///< explicit 1-based ops to fail
+};
+
+/// A complete injection schedule: decision seed + per-site specs.
+/// Keys ending in '*' match sites by prefix ("vfs.*" covers vfs.read,
+/// vfs.write, vfs.copy); exact keys win over prefixes.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::map<std::string, SiteSpec> sites;
+
+  bool empty() const noexcept { return sites.empty(); }
+};
+
+/// Parse the JFM_FAULTS plan grammar (see file header). Fails with
+/// invalid_argument on malformed entries; an empty string is an empty
+/// (valid, no-op) plan.
+Result<FaultPlan> parse_plan(std::string_view text);
+
+class Injector {
+ public:
+  /// The process-wide injector every hook point consults. First call
+  /// arms from the JFM_FAULTS environment variable when it is set and
+  /// parses cleanly (a malformed value is ignored -- tests own the
+  /// programmatic path).
+  static Injector& global();
+
+  /// Install `plan` and start injecting. Must not race in-flight
+  /// operations; call at a quiescent point. Resets all ordinal and
+  /// injection counts.
+  void arm(FaultPlan plan);
+  /// Stop injecting (hook points return to the one-atomic-load path).
+  void disarm();
+
+  /// The fast gate every hook point checks first; one relaxed load.
+  static bool armed() noexcept { return armed_.load(std::memory_order_relaxed); }
+
+  /// Draw the next ordinal for `site` and decide. Returns ok to let the
+  /// operation proceed, or the injected error. Only call when armed();
+  /// the free function trip() wraps the gate.
+  Status check(std::string_view site);
+
+  /// Total faults injected / hook evaluations since the last arm().
+  std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evaluated() const noexcept {
+    return evaluated_.load(std::memory_order_relaxed);
+  }
+  /// Per-site (site, injected) pairs for armed sites, name order.
+  std::vector<std::pair<std::string, std::uint64_t>> injected_by_site() const;
+
+  /// The armed plan's seed (0 when disarmed).
+  std::uint64_t seed() const noexcept { return plan_.seed; }
+
+ private:
+  Injector() = default;
+
+  struct Site {
+    SiteSpec spec;
+    mutable std::atomic<std::uint64_t> ops{0};       ///< ordinals drawn
+    mutable std::atomic<std::uint64_t> injected{0};  ///< faults delivered
+  };
+
+  const Site* match(std::string_view site) const;
+
+  static std::atomic<bool> armed_;
+  FaultPlan plan_;
+  // Immutable while armed; check() reads it lock-free. The unique_ptr
+  // keeps Site addresses stable (atomics are not movable).
+  std::map<std::string, std::unique_ptr<Site>, std::less<>> sites_;
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> evaluated_{0};
+};
+
+/// Hook-point entry: free when disarmed, one deterministic decision
+/// when armed. Sites are string literals at call sites, e.g.
+///   if (auto f = faultsim::trip("vfs.write"); !f.ok()) return f;
+inline Status trip(std::string_view site) {
+  if (!Injector::armed()) return {};
+  return Injector::global().check(site);
+}
+
+}  // namespace jfm::support::faultsim

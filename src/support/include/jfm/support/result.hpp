@@ -57,6 +57,23 @@ class [[nodiscard]] Result {
   /// value or a caller-supplied fallback
   T value_or(T fallback) const& { return ok() ? std::get<T>(state_) : std::move(fallback); }
 
+  /// error or a caller-supplied fallback -- the failure-path twin of
+  /// value_or(). Retry loops use it to inspect the (possible) error
+  /// without branching on ok() first; the default fallback is a benign
+  /// Errc::ok error.
+  Error error_or(Error fallback = Error(Errc::ok, {})) const {
+    return ok() ? std::move(fallback) : std::get<Error>(state_);
+  }
+
+  /// Transform the error, pass success through untouched. `f` takes
+  /// `const Error&` and returns an Error; typical use is annotating a
+  /// failure with retry context before propagating it.
+  template <typename F>
+  Result map_err(F&& f) const& {
+    if (ok()) return *this;
+    return Result(std::forward<F>(f)(std::get<Error>(state_)));
+  }
+
  private:
   static void require(bool cond, const char* what) {
     if (!cond) throw std::logic_error(what);
@@ -83,6 +100,18 @@ class [[nodiscard]] Result<void> {
     return error_;
   }
   Errc code() const noexcept { return failed_ ? error_.code : Errc::ok; }
+
+  /// error or a caller-supplied fallback (see Result<T>::error_or).
+  Error error_or(Error fallback = Error(Errc::ok, {})) const {
+    return failed_ ? error_ : std::move(fallback);
+  }
+
+  /// Transform the error, pass success through (see Result<T>::map_err).
+  template <typename F>
+  Result map_err(F&& f) const {
+    if (!failed_) return {};
+    return Result(std::forward<F>(f)(error_));
+  }
 
  private:
   Error error_;

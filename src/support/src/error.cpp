@@ -14,6 +14,7 @@ std::string_view to_string(Errc code) noexcept {
     case Errc::flow_violation: return "flow_violation";
     case Errc::not_supported: return "not_supported";
     case Errc::io_error: return "io_error";
+    case Errc::timeout: return "timeout";
     case Errc::transaction_aborted: return "transaction_aborted";
     case Errc::stale_metadata: return "stale_metadata";
     case Errc::checkout_required: return "checkout_required";

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <mutex>
 
+#include "jfm/support/faultsim.hpp"
 #include "jfm/support/telemetry.hpp"
 
 namespace jfm::vfs {
@@ -156,6 +157,10 @@ Result<std::vector<std::string>> FileSystem::list(const Path& dir) const {
 }
 
 Status FileSystem::write_file(const Path& path, std::string data) {
+  // Fault hook BEFORE any mutation: an injected write failure is
+  // all-or-nothing, exactly like the quota check -- the file keeps its
+  // previous payload, which is what checkout rollback relies on.
+  if (auto f = support::faultsim::trip("vfs.write"); !f.ok()) return f;
   std::unique_lock lock(mu_);
   return write_file_locked(path, std::move(data), std::nullopt);
 }
@@ -195,6 +200,7 @@ Status FileSystem::write_file_locked(const Path& path, std::string data,
 }
 
 Status FileSystem::append_file(const Path& path, std::string_view data) {
+  if (auto f = support::faultsim::trip("vfs.write"); !f.ok()) return f;
   std::unique_lock lock(mu_);
   Node* node = find(path);
   if (node == nullptr) return write_file_locked(path, std::string(data), std::nullopt);
@@ -209,6 +215,9 @@ Status FileSystem::append_file(const Path& path, std::string_view data) {
 }
 
 Result<std::string> FileSystem::read_file(const Path& path) const {
+  if (auto f = support::faultsim::trip("vfs.read"); !f.ok()) {
+    return Result<std::string>(f.error());
+  }
   std::shared_lock lock(mu_);
   const Node* node = find(path);
   if (node == nullptr) return Result<std::string>::failure(Errc::not_found, path.str());
@@ -284,6 +293,7 @@ Status FileSystem::remove(const Path& path, bool recursive) {
 
 Status FileSystem::copy_file(const Path& src, const Path& dst) {
   JFM_SPAN("vfs", "copy_file");
+  if (auto f = support::faultsim::trip("vfs.copy"); !f.ok()) return f;
   // Phase 1 (shared): move the payload bytes out under read access so
   // parallel checkouts copy concurrently. The source's hash memo rides
   // along when it is already valid.
@@ -339,6 +349,7 @@ Status FileSystem::copy_tree_into(const Node& src, Node& dst_parent, const std::
 }
 
 Status FileSystem::copy_tree(const Path& src, const Path& dst) {
+  if (auto f = support::faultsim::trip("vfs.copy"); !f.ok()) return f;
   std::unique_lock lock(mu_);
   const Node* from = find(src);
   if (from == nullptr) return support::fail(Errc::not_found, src.str());

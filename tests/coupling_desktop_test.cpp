@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "jfm/coupling/desktop.hpp"
+#include "jfm/support/faultsim.hpp"
 
 namespace jfm::coupling {
 namespace {
@@ -206,6 +207,47 @@ TEST_F(DesktopTest, StatsIndexSummarizesIndexEffectiveness) {
   ASSERT_TRUE(shell->execute_line("stats index", one).ok());
   ASSERT_FALSE(one.transcript.empty());
   EXPECT_NE(one.transcript[0].find("class="), std::string::npos);
+}
+
+TEST_F(DesktopTest, FaultCommandsArmDigestAndDisarm) {
+  auto& injector = support::faultsim::Injector::global();
+  DesktopResult result;
+  // arm with an explicit schedule; the transcript echoes seed + sites
+  ASSERT_TRUE(shell->execute_line("faults seed=5;vfs.write=0.5;oms.commit@2", result).ok());
+  EXPECT_TRUE(support::faultsim::Injector::armed());
+  EXPECT_EQ(injector.seed(), 5u);
+  ASSERT_FALSE(result.transcript.empty());
+  EXPECT_NE(result.transcript.back().find("seed 5, 2 site(s)"), std::string::npos);
+
+  DesktopResult digest;
+  ASSERT_TRUE(shell->execute_line("stats faults", digest).ok());
+  bool saw_armed = false, saw_faults = false, saw_transfer = false, saw_checkout = false;
+  for (const auto& line : digest.transcript) {
+    if (line.rfind("injector: armed (seed 5)", 0) == 0) saw_armed = true;
+    if (line.rfind("faults: evaluated=", 0) == 0) saw_faults = true;
+    if (line.rfind("transfer: retries=", 0) == 0) saw_transfer = true;
+    if (line.rfind("checkout: rollbacks=", 0) == 0) saw_checkout = true;
+  }
+  EXPECT_TRUE(saw_armed);
+  EXPECT_TRUE(saw_faults);
+  EXPECT_TRUE(saw_transfer);
+  EXPECT_TRUE(saw_checkout);
+
+  // a malformed plan is rejected and leaves the previous plan armed
+  DesktopResult bad;
+  EXPECT_FALSE(shell->execute_line("faults vfs.write=nonsense", bad).ok());
+  EXPECT_TRUE(support::faultsim::Injector::armed());
+
+  DesktopResult off;
+  ASSERT_TRUE(shell->execute_line("faults off", off).ok());
+  EXPECT_FALSE(support::faultsim::Injector::armed());
+  DesktopResult disarmed;
+  ASSERT_TRUE(shell->execute_line("stats faults", disarmed).ok());
+  ASSERT_FALSE(disarmed.transcript.empty());
+  EXPECT_EQ(disarmed.transcript.front(), "injector: disarmed");
+  // usage error on a bare `faults`
+  DesktopResult usage;
+  EXPECT_EQ(shell->execute_line("faults", usage).code(), Errc::invalid_argument);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "jfm/coupling/transfer.hpp"
 #include "jfm/support/rng.hpp"
+#include "test_seed.hpp"
 
 namespace jfm::coupling {
 namespace {
@@ -108,7 +109,8 @@ TEST_P(TransferCachePropertyTest, RandomInterleavingsNeverServeStaleBytes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TransferCachePropertyTest,
-                         ::testing::Values(1u, 2u, 3u, 0xDA7Eu, 0xC0FFEEu));
+                         ::testing::ValuesIn(jfm::testing::test_seeds<std::uint64_t>(
+                             "transfer-cache", {1u, 2u, 3u, 0xDA7Eu, 0xC0FFEEu})));
 
 }  // namespace
 }  // namespace jfm::coupling

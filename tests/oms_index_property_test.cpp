@@ -23,6 +23,7 @@
 #include "jfm/oms/dump.hpp"
 #include "jfm/oms/store.hpp"
 #include "jfm/support/rng.hpp"
+#include "test_seed.hpp"
 
 namespace jfm::oms {
 namespace {
@@ -200,7 +201,8 @@ TEST_P(IndexOracleProperty, TenThousandOpsAgreeWithFullScanOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexOracleProperty,
-                         ::testing::Values(11u, 23u, 47u, 101u));
+                         ::testing::ValuesIn(jfm::testing::test_seeds<std::uint64_t>(
+                             "oms-index", {11u, 23u, 47u, 101u})));
 
 // ---------------- TSan variant: readers during mutation bursts ------------
 

@@ -1,0 +1,189 @@
+// faultsim: the determinism contract is the whole point -- a schedule
+// must replay bit-identically from its seed, no matter who calls or
+// from how many threads. These tests pin that contract plus the plan
+// grammar and the zero-overhead disarmed gate.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "jfm/support/faultsim.hpp"
+
+namespace faultsim = jfm::support::faultsim;
+using jfm::support::Errc;
+
+namespace {
+
+class FaultsimTest : public ::testing::Test {
+ protected:
+  void TearDown() override { faultsim::Injector::global().disarm(); }
+};
+
+/// The failing 1-based ordinals among the first `n` trips of `site`.
+std::set<std::uint64_t> failing_ordinals(const char* site, std::uint64_t n) {
+  std::set<std::uint64_t> failed;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    if (!faultsim::trip(site).ok()) failed.insert(i);
+  }
+  return failed;
+}
+
+TEST_F(FaultsimTest, ParsesFullGrammar) {
+  auto plan = faultsim::parse_plan(
+      "seed=42;vfs.write=0.05;transfer.export_item=0.2;oms.commit@7,3");
+  ASSERT_TRUE(plan.ok()) << plan.error().to_text();
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->sites.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan->sites.at("vfs.write").rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan->sites.at("transfer.export_item").rate, 0.2);
+  EXPECT_EQ(plan->sites.at("oms.commit").ordinals,
+            (std::vector<std::uint64_t>{3, 7}));  // stored sorted
+}
+
+TEST_F(FaultsimTest, EmptyTextIsEmptyPlan) {
+  auto plan = faultsim::parse_plan("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->seed, 0u);
+}
+
+TEST_F(FaultsimTest, RejectsMalformedEntries) {
+  EXPECT_FALSE(faultsim::parse_plan("vfs.write=1.5").ok());   // rate out of range
+  EXPECT_FALSE(faultsim::parse_plan("vfs.write=-0.1").ok());  // rate out of range
+  EXPECT_FALSE(faultsim::parse_plan("vfs.write=abc").ok());   // not a number
+  EXPECT_FALSE(faultsim::parse_plan("=0.5").ok());            // missing site
+  EXPECT_FALSE(faultsim::parse_plan("oms.commit@").ok());     // empty ordinal list
+  EXPECT_FALSE(faultsim::parse_plan("oms.commit@0").ok());    // ordinals are 1-based
+  EXPECT_FALSE(faultsim::parse_plan("seed=nope").ok());
+  EXPECT_FALSE(faultsim::parse_plan("justaword").ok());
+}
+
+TEST_F(FaultsimTest, DisarmedTripAlwaysPasses) {
+  ASSERT_FALSE(faultsim::Injector::armed());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(faultsim::trip("vfs.write").ok());
+}
+
+TEST_F(FaultsimTest, ExplicitOrdinalsFailExactlyThoseOps) {
+  auto plan = faultsim::parse_plan("seed=1;unit.op@2,5");
+  ASSERT_TRUE(plan.ok());
+  faultsim::Injector::global().arm(std::move(*plan));
+  EXPECT_EQ(failing_ordinals("unit.op", 8), (std::set<std::uint64_t>{2, 5}));
+}
+
+TEST_F(FaultsimTest, InjectedErrorIsIoErrorNamingTheSite) {
+  auto plan = faultsim::parse_plan("unit.op@1");
+  ASSERT_TRUE(plan.ok());
+  faultsim::Injector::global().arm(std::move(*plan));
+  auto st = faultsim::trip("unit.op");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::io_error);
+  EXPECT_NE(st.error().message.find("unit.op"), std::string::npos);
+}
+
+TEST_F(FaultsimTest, RateZeroNeverFiresRateOneAlwaysFires) {
+  auto plan = faultsim::parse_plan("seed=9;quiet.op=0;loud.op=1");
+  ASSERT_TRUE(plan.ok());
+  faultsim::Injector::global().arm(std::move(*plan));
+  EXPECT_TRUE(failing_ordinals("quiet.op", 64).empty());
+  EXPECT_EQ(failing_ordinals("loud.op", 64).size(), 64u);
+}
+
+TEST_F(FaultsimTest, UnlistedSitePassesWhileArmed) {
+  auto plan = faultsim::parse_plan("loud.op=1");
+  ASSERT_TRUE(plan.ok());
+  faultsim::Injector::global().arm(std::move(*plan));
+  EXPECT_TRUE(faultsim::trip("other.op").ok());
+}
+
+TEST_F(FaultsimTest, PrefixWildcardMatchesAndExactKeyWins) {
+  auto plan = faultsim::parse_plan("vfs.*=1;vfs.read=0");
+  ASSERT_TRUE(plan.ok());
+  faultsim::Injector::global().arm(std::move(*plan));
+  EXPECT_FALSE(faultsim::trip("vfs.write").ok());  // prefix match
+  EXPECT_FALSE(faultsim::trip("vfs.copy").ok());   // prefix match
+  EXPECT_TRUE(faultsim::trip("vfs.read").ok());    // exact key overrides
+  EXPECT_TRUE(faultsim::trip("oms.commit").ok());  // no match at all
+}
+
+TEST_F(FaultsimTest, ScheduleReplaysBitIdenticallyFromItsSeed) {
+  const char* text = "seed=1234;unit.op=0.3";
+  auto first = faultsim::parse_plan(text);
+  ASSERT_TRUE(first.ok());
+  faultsim::Injector::global().arm(std::move(*first));
+  const auto run1 = failing_ordinals("unit.op", 400);
+  // Re-arming resets the ordinal counters; the same seed must reproduce
+  // the exact failing set.
+  auto second = faultsim::parse_plan(text);
+  ASSERT_TRUE(second.ok());
+  faultsim::Injector::global().arm(std::move(*second));
+  const auto run2 = failing_ordinals("unit.op", 400);
+  EXPECT_EQ(run1, run2);
+  // Sanity: at rate 0.3 over 400 draws, both tails are astronomically
+  // unlikely (p < 1e-40), so the schedule is non-trivial.
+  EXPECT_GT(run1.size(), 0u);
+  EXPECT_LT(run1.size(), 400u);
+}
+
+TEST_F(FaultsimTest, DifferentSeedsGiveDifferentSchedules) {
+  auto a = faultsim::parse_plan("seed=1;unit.op=0.3");
+  ASSERT_TRUE(a.ok());
+  faultsim::Injector::global().arm(std::move(*a));
+  const auto run_a = failing_ordinals("unit.op", 400);
+  auto b = faultsim::parse_plan("seed=2;unit.op=0.3");
+  ASSERT_TRUE(b.ok());
+  faultsim::Injector::global().arm(std::move(*b));
+  const auto run_b = failing_ordinals("unit.op", 400);
+  EXPECT_NE(run_a, run_b);
+}
+
+TEST_F(FaultsimTest, InjectionCountIsThreadInterleavingInvariant) {
+  // The set of failing ordinals is fixed by (seed, site, ordinal);
+  // threads only race for ordinals, so the injected TOTAL over N draws
+  // is identical however the draws are distributed.
+  const char* text = "seed=77;unit.op=0.25";
+  constexpr std::uint64_t kOps = 800;
+  auto serial = faultsim::parse_plan(text);
+  ASSERT_TRUE(serial.ok());
+  faultsim::Injector::global().arm(std::move(*serial));
+  const std::size_t expected = failing_ordinals("unit.op", kOps).size();
+
+  auto threaded = faultsim::parse_plan(text);
+  ASSERT_TRUE(threaded.ok());
+  faultsim::Injector::global().arm(std::move(*threaded));
+  std::atomic<std::size_t> injected{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&injected] {
+      for (std::uint64_t i = 0; i < kOps / 4; ++i) {
+        if (!faultsim::trip("unit.op").ok()) injected.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(injected.load(), expected);
+  EXPECT_EQ(faultsim::Injector::global().injected(), expected);
+  EXPECT_EQ(faultsim::Injector::global().evaluated(), kOps);
+}
+
+TEST_F(FaultsimTest, CountersAndPerSiteBreakdown) {
+  auto plan = faultsim::parse_plan("seed=5;a.op@1,2;b.op=0");
+  ASSERT_TRUE(plan.ok());
+  faultsim::Injector::global().arm(std::move(*plan));
+  auto& injector = faultsim::Injector::global();
+  EXPECT_EQ(injector.seed(), 5u);
+  (void)failing_ordinals("a.op", 4);
+  (void)failing_ordinals("b.op", 4);
+  EXPECT_EQ(injector.injected(), 2u);
+  EXPECT_EQ(injector.evaluated(), 8u);
+  auto by_site = injector.injected_by_site();
+  ASSERT_EQ(by_site.size(), 2u);
+  EXPECT_EQ(by_site[0], (std::pair<std::string, std::uint64_t>{"a.op", 2u}));
+  EXPECT_EQ(by_site[1], (std::pair<std::string, std::uint64_t>{"b.op", 0u}));
+  injector.disarm();
+  EXPECT_EQ(injector.seed(), 0u);
+  EXPECT_FALSE(faultsim::Injector::armed());
+}
+
+}  // namespace

@@ -45,6 +45,52 @@ TEST(Result, VoidSpecialization) {
   EXPECT_EQ(bad.error().code, Errc::io_error);
 }
 
+TEST(Result, ErrorOrOnSuccessAndFailure) {
+  Result<int> good(7);
+  EXPECT_EQ(good.error_or().code, Errc::ok);  // benign default fallback
+  EXPECT_EQ(good.error_or(Error(Errc::internal, "fb")).code, Errc::internal);
+  Result<int> bad = Result<int>::failure(Errc::locked, "busy");
+  EXPECT_EQ(bad.error_or().code, Errc::locked);
+  EXPECT_EQ(bad.error_or(Error(Errc::internal, "fb")).message, "busy");
+  EXPECT_EQ(*good, 7);  // accessor leaves the value untouched
+}
+
+TEST(Result, ErrorOrVoidSpecialization) {
+  Status good;
+  EXPECT_EQ(good.error_or().code, Errc::ok);
+  EXPECT_EQ(good.error_or(Error(Errc::timeout, "slow")).code, Errc::timeout);
+  Status bad = fail(Errc::io_error, "disk");
+  EXPECT_EQ(bad.error_or().code, Errc::io_error);
+  EXPECT_EQ(bad.error_or().message, "disk");
+}
+
+TEST(Result, MapErrTransformsOnlyFailures) {
+  auto annotate = [](const Error& e) {
+    return Error(e.code, "retry 3: " + e.message);
+  };
+  Result<int> good(7);
+  auto still_good = good.map_err(annotate);
+  ASSERT_TRUE(still_good.ok());
+  EXPECT_EQ(*still_good, 7);
+  Result<int> bad = Result<int>::failure(Errc::io_error, "disk");
+  auto annotated = bad.map_err(annotate);
+  ASSERT_FALSE(annotated.ok());
+  EXPECT_EQ(annotated.error().code, Errc::io_error);
+  EXPECT_EQ(annotated.error().message, "retry 3: disk");
+  EXPECT_EQ(bad.error().message, "disk");  // original untouched
+}
+
+TEST(Result, MapErrVoidSpecialization) {
+  auto upgrade = [](const Error& e) { return Error(Errc::timeout, e.message); };
+  Status good;
+  EXPECT_TRUE(good.map_err(upgrade).ok());
+  Status bad = fail(Errc::io_error, "slow disk");
+  auto mapped = bad.map_err(upgrade);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.error().code, Errc::timeout);
+  EXPECT_EQ(mapped.error().message, "slow disk");
+}
+
 TEST(Result, ErrorToText) {
   Error e(Errc::stale_metadata, "refresh needed");
   EXPECT_EQ(e.to_text(), "stale_metadata: refresh needed");

@@ -1,0 +1,48 @@
+#pragma once
+// Seed control for randomized property tests.
+//
+// Every parameterized property suite draws its seed list through
+// test_seeds(): by default the suite's built-in seeds run (so CI is
+// deterministic), but setting JFM_TEST_SEED=<u64> reruns the whole
+// suite under exactly that one seed -- the standard way to reproduce
+// a CI failure locally:
+//
+//   JFM_TEST_SEED=3405691582 ./coupling_fault_recovery_test
+//
+// The active seed(s) are printed once per process so a failing log
+// always records how to replay it.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace jfm::testing {
+
+/// The suite's default seeds, unless JFM_TEST_SEED overrides them with
+/// a single seed. Prints the chosen seeds to stderr (once per call
+/// site's suite) so every test log is replayable. `Seed` matches the
+/// suite's param type (uint32_t or uint64_t).
+template <typename Seed = std::uint32_t>
+inline std::vector<Seed> test_seeds(const char* suite, std::initializer_list<Seed> defaults) {
+  std::vector<Seed> seeds;
+  if (const char* env = std::getenv("JFM_TEST_SEED"); env != nullptr && *env != '\0') {
+    seeds.push_back(static_cast<Seed>(std::strtoull(env, nullptr, 0)));
+    std::fprintf(stderr, "[%s] JFM_TEST_SEED override: seed=%llu\n", suite,
+                 static_cast<unsigned long long>(seeds.front()));
+  } else {
+    seeds.assign(defaults);
+    std::string joined;
+    for (auto s : seeds) {
+      if (!joined.empty()) joined += ",";
+      joined += std::to_string(s);
+    }
+    std::fprintf(stderr, "[%s] seeds=%s (override with JFM_TEST_SEED=<n>)\n", suite,
+                 joined.c_str());
+  }
+  return seeds;
+}
+
+}  // namespace jfm::testing
