@@ -41,15 +41,18 @@ constexpr std::size_t kPayloadBytes = 128 * 1024;
 constexpr int kReps = 3;
 
 /// One complete JCF world with kDovs seeded design object versions.
+/// `cow_on` selects the file system's extent mode (docs/vfs-cow.md);
+/// false is the physical-duplication ablation.
 struct CheckoutEnv {
   support::SimClock clock;
-  vfs::FileSystem fs{&clock};
+  vfs::FileSystem fs;
   jcf::JcfFramework jcf{&clock};
   jcf::UserRef user;
   std::vector<jcf::DovRef> dovs;
   std::uint64_t payload_bytes = 0;
 
-  CheckoutEnv() {
+  explicit CheckoutEnv(bool cow_on = true)
+      : fs(&clock, vfs::FsOptions{.cow_extents = cow_on}) {
     if (!fs.mkdirs(vfs::Path().child("out")).ok()) std::abort();
     user = *jcf.create_user("alice");
     auto team = *jcf.create_team("rtl");
@@ -184,6 +187,39 @@ void print_report() {
                 "workers=8 exclusive-lock ablation: cold %8llu us (%4.2fx the rw-lock time)",
                 static_cast<unsigned long long>(exclusive8.cold_us), excl_ratio);
   benchutil::row(line);
+
+  // COW-off ablation (docs/vfs-cow.md): the same checkout with the file
+  // system physically duplicating every copy. Bit-identical results;
+  // the delta is the payload memcpy the COW path never pays.
+  CheckoutEnv nocow_env(/*cow_on=*/false);
+  int nocow_tags = 0;
+  for (std::size_t workers : {1u, 8u}) {
+    const Sample s = measure(nocow_env, workers, /*exclusive=*/false, &nocow_tags);
+    std::snprintf(line, sizeof(line),
+                  "workers=%zu cow-off ablation: cold %8llu us   warm %8llu us",
+                  s.workers, static_cast<unsigned long long>(s.cold_us),
+                  static_cast<unsigned long long>(s.warm_us));
+    benchutil::row(line);
+    std::printf(
+        "JFM_PARALLEL_CHECKOUT workers=%zu mode=cold_nocow wall_us=%llu bytes=%llu speedup=1.0\n",
+        s.workers, static_cast<unsigned long long>(s.cold_us),
+        static_cast<unsigned long long>(nocow_env.payload_bytes));
+    std::printf(
+        "JFM_PARALLEL_CHECKOUT workers=%zu mode=warm_nocow wall_us=%llu bytes=%llu speedup=1.0\n",
+        s.workers, static_cast<unsigned long long>(s.warm_us),
+        static_cast<unsigned long long>(nocow_env.payload_bytes));
+    registry.gauge("bench.parallel_checkout.nocow.w" + std::to_string(s.workers) + ".cold.us")
+        .set(static_cast<std::int64_t>(s.cold_us));
+  }
+  const auto cow_io = env.fs.counters();
+  const auto nocow_io = nocow_env.fs.counters();
+  std::snprintf(line, sizeof(line),
+                "physical copy bytes across the whole run: cow %llu vs ablation %llu%s",
+                static_cast<unsigned long long>(cow_io.bytes_physical_copied),
+                static_cast<unsigned long long>(nocow_io.bytes_physical_copied),
+                cow_io.bytes_physical_copied == 0 ? " (cow duplicated nothing)" : " UNEXPECTED");
+  benchutil::row(line);
+  if (cow_io.bytes_physical_copied != 0) std::abort();
   std::printf("JFM_PARALLEL_CHECKOUT_META cores=%u dovs=%d payload_bytes=%llu "
               "exclusive8_cold_us=%llu\n",
               cores, kDovs, static_cast<unsigned long long>(env.payload_bytes),

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Documentation checks: dead relative links and stale C++ snippets.
+"""Documentation checks: dead links, orphan pages, stale C++ snippets.
 
-Two passes over the user-facing markdown (README, DESIGN, EXPERIMENTS,
+Four passes over the user-facing markdown (README, DESIGN, EXPERIMENTS,
 docs/*.md):
 
 1. every relative markdown link must point at a file that exists;
-2. every fenced ``cpp`` block must still compile against the current
-   headers (``-fsyntax-only``, no linking).
+2. every ``docs/*.md`` page must be reachable from README.md by
+   following relative links (the docs index) -- an orphan page is a
+   page nobody will find;
+3. every fenced ``cpp`` block must still compile against the current
+   headers (``-fsyntax-only``, no linking);
+4. every ``jfm::``-qualified symbol mentioned in ANY fenced code block
+   (including ``text`` transcripts) must resolve: each of its name
+   components has to appear in some header under ``src/*/include``.
+   This catches docs that keep naming an API after a refactor renamed
+   or removed it, in blocks the compile pass never sees.
 
 Snippets are documentation, not translation units, so each block is
 wrapped before compilation: ``#include`` lines are hoisted to the top
@@ -83,6 +91,77 @@ def check_links(problems):
                 problems.append(
                     "%s:%d: dead link -> %s" % (rel(doc), line, match.group(1))
                 )
+
+
+def check_reachability(problems):
+    """Every docs/*.md page must be reachable from README.md's links."""
+    reachable = set()
+    frontier = [os.path.join(REPO, "README.md")]
+    while frontier:
+        doc = os.path.normpath(frontier.pop())
+        if doc in reachable or not os.path.isfile(doc):
+            continue
+        reachable.add(doc)
+        if not doc.endswith(".md"):
+            continue
+        with open(doc, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if re.match(r"[a-z]+:", target) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            frontier.append(os.path.join(os.path.dirname(doc), target))
+    for doc in sorted(glob.glob(os.path.join(REPO, "docs", "*.md"))):
+        if os.path.normpath(doc) not in reachable:
+            problems.append(
+                "%s: orphan page -- not reachable from README.md via links" % rel(doc)
+            )
+
+
+SYMBOL_RE = re.compile(r"\bjfm::((?:[A-Za-z_]\w*::)*[A-Za-z_]\w*)")
+
+
+def header_identifiers():
+    """Every identifier appearing in any header under src/*/include."""
+    idents = set()
+    pattern = os.path.join(REPO, "src", "*", "include", "**", "*.hpp")
+    for header in glob.glob(pattern, recursive=True):
+        with open(header, encoding="utf-8") as f:
+            idents.update(re.findall(r"[A-Za-z_]\w*", f.read()))
+    return idents
+
+
+def fenced_lines(doc):
+    """Yield (line_number, line) for lines inside ANY fenced block."""
+    with open(doc, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    in_block = False
+    for i, line in enumerate(lines, 1):
+        if FENCE_RE.match(line) or (in_block and line.strip() == "```"):
+            in_block = not in_block
+            continue
+        if in_block:
+            yield i, line
+
+
+def check_symbols(problems):
+    """jfm::-qualified names in fenced blocks must exist in some header."""
+    idents = header_identifiers()
+    if not idents:
+        problems.append("symbol check: no headers under src/*/include")
+        return
+    for doc in DOC_FILES:
+        for line_no, line in fenced_lines(doc):
+            for match in SYMBOL_RE.finditer(line):
+                for part in match.group(1).split("::"):
+                    if part not in idents:
+                        problems.append(
+                            "%s:%d: jfm::%s names '%s', which no header under "
+                            "src/*/include mentions"
+                            % (rel(doc), line_no, match.group(1), part)
+                        )
+                        break
 
 
 def cpp_blocks(doc):
@@ -166,7 +245,9 @@ def check_snippets(problems):
 def main():
     problems = []
     check_links(problems)
+    check_reachability(problems)
     check_snippets(problems)
+    check_symbols(problems)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)

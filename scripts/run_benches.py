@@ -13,12 +13,17 @@ registry snapshot (counters / gauges / histograms). This harness:
    (the blobs are checked in: EXPERIMENTS.md cites them);
 4. with ``--check-scaling``, gates on the parallel-checkout bench: the
    8-worker cold-cache speedup must reach the scaling threshold;
-5. with ``--check-index-speedup``, gates on the OMS query bench: the
+5. with ``--check-cow-speedup``, gates on the s3.6 bench's COW section:
+   the cold ``copy_file`` batch at the largest payload must beat the
+   ``cow_extents=false`` ablation by ``--min-cow-speedup`` (default
+   10x). Core-independent: both sides run single-threaded, and the COW
+   side does no payload work at all;
+6. with ``--check-index-speedup``, gates on the OMS query bench: the
    indexed ``find_one`` at 100k objects must beat the ``indexes_off``
    ablation by ``--min-index-speedup`` (default 10x). Unlike the
    scaling gate this bar is core-independent: both sides of the ratio
    run single-threaded on the same machine;
-6. with ``--check-fault-overhead``, gates on the fault-recovery bench:
+7. with ``--check-fault-overhead``, gates on the fault-recovery bench:
    its ``disabled_warm`` time (the fault-tolerant export path with
    injection disarmed) must stay within ``--max-fault-overhead``
    (default 2%) of the parallel-checkout bench's warm time at the same
@@ -63,6 +68,12 @@ FAULT_RE = re.compile(
 FAULT_META_RE = re.compile(
     r"^JFM_FAULT_RECOVERY_META\s+workers=(\d+)\s+dovs=(\d+)"
     r"\s+payload_bytes=(\d+)\s+armed_ratio=([\d.]+)\s*$")
+COW_RE = re.compile(
+    r"^JFM_S36_COW\s+size=(\d+)\s+mode=(\w+)\s+wall_us=(\d+)"
+    r"\s+copies=(\d+)\s+physical_bytes=(\d+)\s*$")
+COW_META_RE = re.compile(
+    r"^JFM_S36_COW_META\s+largest_size=(\d+)\s+copies=(\d+)"
+    r"\s+cold_copy_speedup=([\d.]+)\s*$")
 
 
 def discover(build_dir):
@@ -96,6 +107,8 @@ def parse_output(text):
     query_meta = None
     fault_rows = []
     fault_meta = None
+    cow_rows = []
+    cow_meta = None
     for line in text.splitlines():
         m = METRICS_RE.match(line)
         if m:
@@ -158,7 +171,26 @@ def parse_output(text):
                 "payload_bytes": int(m.group(3)),
                 "armed_ratio": float(m.group(4)),
             }
-    return metrics, rows, meta, query_rows, query_meta, fault_rows, fault_meta
+            continue
+        m = COW_RE.match(line)
+        if m:
+            cow_rows.append({
+                "size": int(m.group(1)),
+                "mode": m.group(2),
+                "wall_us": int(m.group(3)),
+                "copies": int(m.group(4)),
+                "physical_bytes": int(m.group(5)),
+            })
+            continue
+        m = COW_META_RE.match(line)
+        if m:
+            cow_meta = {
+                "largest_size": int(m.group(1)),
+                "copies": int(m.group(2)),
+                "cold_copy_speedup": float(m.group(3)),
+            }
+    return (metrics, rows, meta, query_rows, query_meta, fault_rows, fault_meta,
+            cow_rows, cow_meta)
 
 
 def scaling_threshold(min_scaling, cores):
@@ -180,6 +212,12 @@ def main():
                              "indexes_off ablation by --min-index-speedup")
     parser.add_argument("--min-index-speedup", type=float, default=10.0,
                         help="required 100k find_one speedup over the ablation (default: 10.0)")
+    parser.add_argument("--check-cow-speedup", action="store_true",
+                        help="fail unless the COW cold copy_file batch at the largest "
+                             "payload beats the cow-off ablation by --min-cow-speedup")
+    parser.add_argument("--min-cow-speedup", type=float, default=10.0,
+                        help="required largest-size cold-copy speedup over the "
+                             "cow_extents=false ablation (default: 10.0)")
     parser.add_argument("--check-fault-overhead", action="store_true",
                         help="fail if the fault-tolerant warm path (injection disarmed) "
                              "exceeds the parallel-checkout warm baseline by more than "
@@ -206,6 +244,7 @@ def main():
     checkout_rows, checkout_meta = [], None
     oms_query_rows, oms_query_meta = [], None
     fault_rows, fault_meta = [], None
+    cow_rows, cow_meta = [], None
     for path in benches:
         name = os.path.basename(path)
         proc = run_bench(path, args.quick)
@@ -213,8 +252,8 @@ def main():
             failures.append(f"{name}: exit {proc.returncode}")
             sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
             continue
-        metrics, rows, meta, query_rows, query_meta, f_rows, f_meta = \
-            parse_output(proc.stdout)
+        (metrics, rows, meta, query_rows, query_meta, f_rows, f_meta,
+         c_rows, c_meta) = parse_output(proc.stdout)
         blob = {
             "bench": name,
             "quick": args.quick,
@@ -229,6 +268,9 @@ def main():
         if f_rows:
             blob["fault_recovery"] = {"runs": f_rows, "meta": f_meta}
             fault_rows, fault_meta = f_rows, f_meta
+        if c_rows:
+            blob["s36_cow"] = {"runs": c_rows, "meta": c_meta}
+            cow_rows, cow_meta = c_rows, c_meta
         out = os.path.join(args.out_dir, f"BENCH_{name}.json")
         with open(out, "w") as fh:
             json.dump(blob, fh, indent=2, sort_keys=True)
@@ -270,6 +312,20 @@ def main():
                 else:
                     print(f"run_benches: index gate ok "
                           f"({speedup:.1f}x >= {args.min_index_speedup:.1f}x at 100k)")
+
+    if args.check_cow_speedup:
+        if cow_meta is None:
+            failures.append("cow gate: no JFM_S36_COW_META output found")
+        elif cow_meta["cold_copy_speedup"] < args.min_cow_speedup:
+            failures.append(
+                f"cow gate: largest-size cold copy speedup "
+                f"{cow_meta['cold_copy_speedup']:.1f}x < required "
+                f"{args.min_cow_speedup:.1f}x "
+                f"(size={cow_meta['largest_size']})")
+        else:
+            print(f"run_benches: cow gate ok "
+                  f"({cow_meta['cold_copy_speedup']:.1f}x >= "
+                  f"{args.min_cow_speedup:.1f}x at {cow_meta['largest_size']} B)")
 
     if args.check_fault_overhead:
         workers = fault_meta["workers"] if fault_meta else 4

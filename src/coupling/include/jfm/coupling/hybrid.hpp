@@ -50,6 +50,12 @@ struct HybridConfig {
   /// stays the baseline; bench_s36 reports the ablation.
   bool content_addressed_cache = false;
   std::size_t transfer_cache_capacity = 128;
+  /// Copy-on-write payload extents in the hybrid's file system
+  /// (docs/vfs-cow.md): logical copies are O(1) refcount bumps, and a
+  /// cold checkout physically moves zero payload bytes. false restores
+  /// the paper-faithful physical duplication on every copy -- the
+  /// bench_s36/bench_parallel_checkout ablation, bit-identical results.
+  bool cow_extents = true;
   /// Future work (s3.3): tools pass hierarchy to JCF procedurally.
   bool procedural_hierarchy_interface = false;
   /// Future JCF releases: accept non-isomorphic hierarchies.
@@ -191,6 +197,9 @@ class HybridFramework {
     std::size_t requested = 0;       ///< cellviews with data to export
     std::size_t exported = 0;        ///< successful exports (before any rollback)
     std::uint64_t bytes_exported = 0;
+    /// Bytes the exports physically duplicated (zero under COW; see
+    /// TransferStats::bytes_exported_physical for the accounting rules).
+    std::uint64_t bytes_exported_physical = 0;
     std::uint64_t cache_hits = 0;    ///< exports served without moving bytes
     std::uint64_t retries = 0;       ///< export attempts repeated after transient failures
     std::uint64_t timeouts = 0;      ///< items abandoned at the batch deadline

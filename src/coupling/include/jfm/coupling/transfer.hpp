@@ -63,6 +63,17 @@ struct TransferStats {
   std::uint64_t imports = 0;        ///< FMCAD -> OMS
   std::uint64_t bytes_exported = 0;
   std::uint64_t bytes_imported = 0;
+  /// Physical twins of the byte counters above (docs/vfs-cow.md): the
+  /// logical counters model the paper's cost -- every transfer counts
+  /// its payload once regardless of staging or sharing, which is what
+  /// keeps the 4x staged-vs-native tables comparable across COW modes.
+  /// The physical counters record bytes actually duplicated into new
+  /// buffers: zero per transfer when the file system shares extents,
+  /// size (direct) or 2x size (staged) under the cow-off ablation.
+  /// They are analytic mirrors of the engine's own work; the vfs
+  /// IoCounters physical fields are the ground truth underneath.
+  std::uint64_t bytes_exported_physical = 0;
+  std::uint64_t bytes_imported_physical = 0;
   std::uint64_t staging_copies = 0;  ///< extra copies through the transfer dir
   // content-addressed cache accounting
   std::uint64_t cache_hits = 0;          ///< exports served without moving bytes
@@ -171,6 +182,8 @@ class TransferEngine {
     std::atomic<std::uint64_t> imports{0};
     std::atomic<std::uint64_t> bytes_exported{0};
     std::atomic<std::uint64_t> bytes_imported{0};
+    std::atomic<std::uint64_t> bytes_exported_physical{0};
+    std::atomic<std::uint64_t> bytes_imported_physical{0};
     std::atomic<std::uint64_t> staging_copies{0};
     std::atomic<std::uint64_t> cache_hits{0};
     std::atomic<std::uint64_t> cache_misses{0};

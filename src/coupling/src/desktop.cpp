@@ -176,12 +176,35 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     return {};
   }
   if (cmd == "stats") {
-    // stats [json] [index|faults] [prefix] -- dump the process-wide
+    // stats [json] [index|faults|cow] [prefix] -- dump the process-wide
     // metrics registry; `stats index` summarizes OMS index
     // effectiveness, `stats faults` the fault-injection / recovery
-    // digest (docs/fault-injection.md).
-    if (words.size() > 3) return usage("stats [json|index|faults] [prefix]");
+    // digest (docs/fault-injection.md), `stats cow` the extent-sharing
+    // digest (docs/vfs-cow.md).
+    if (words.size() > 3) return usage("stats [json|index|faults|cow] [prefix]");
     namespace telemetry = support::telemetry;
+    if (words.size() == 2 && words[1] == "cow") {
+      // cow_snapshot() walks the live tree and refreshes the
+      // vfs.cow.live.* gauges as a side effect.
+      const vfs::CowStats cow = hybrid_->fs().cow_snapshot();
+      const vfs::IoCounters io = hybrid_->fs().counters();
+      say(std::string("extents: mode=") +
+          (hybrid_->fs().options().cow_extents ? "cow" : "physical") +
+          " live=" + std::to_string(cow.live_extents) + " shared=" +
+          std::to_string(cow.live_shared_extents) + " files=" +
+          std::to_string(cow.live_files));
+      say("bytes: logical=" + std::to_string(cow.logical_bytes) + " physical=" +
+          std::to_string(cow.physical_bytes));
+      say("events: shared_copies=" + std::to_string(cow.shared_copies) + " breaks=" +
+          std::to_string(cow.broken_extents) + " saved_bytes=" +
+          std::to_string(cow.bytes_saved) + " cloned_bytes=" +
+          std::to_string(cow.bytes_cloned));
+      say("io: copied_logical=" + std::to_string(io.bytes_copied) + " copied_physical=" +
+          std::to_string(io.bytes_physical_copied) + " written_logical=" +
+          std::to_string(io.bytes_written) + " written_physical=" +
+          std::to_string(io.bytes_physical_written));
+      return {};
+    }
     auto snapshot = telemetry::Registry::global().snapshot();
     if (words.size() == 2 && words[1] == "faults") {
       auto counter = [&snapshot](const char* name) -> std::uint64_t {

@@ -34,7 +34,8 @@ const std::vector<std::string>& HybridFramework::standard_views() {
 }
 
 HybridFramework::HybridFramework(HybridConfig config)
-    : config_(config), fs_(&clock_), jcf_(&clock_) {
+    : config_(config), fs_(&clock_, vfs::FsOptions{.cow_extents = config.cow_extents}),
+      jcf_(&clock_) {
   (void)fs_.mkdirs(root_path("fmcad"));
   (void)fs_.mkdirs(root_path("transfer"));
   (void)fs_.mkdirs(root_path("scratch"));
@@ -859,10 +860,18 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
   //   * dst present and not guaranteed unchanged -- journal its bytes.
   // A capture failure aborts the checkout before anything mutated, so
   // the pre-state trivially survives.
+  // Pre-images are extents: read_extent pins the destination's current
+  // payload buffer with a refcount bump instead of copying it, and the
+  // buffer is immutable, so the journal stays bit-correct no matter
+  // what the batch overwrites -- a later write_extent/write_file on the
+  // destination installs a NEW buffer, it never touches the pinned one.
+  // Under COW a journal capture therefore moves zero physical bytes;
+  // the ablation behaves the same here (the pin is a read, not a copy)
+  // and pays its physical duplication on the rollback write instead.
   struct JournalEntry {
     vfs::Path path;
     bool existed = false;
-    std::string pre_image;
+    vfs::Extent pre_image;
   };
   std::vector<JournalEntry> journal;
   {
@@ -871,7 +880,7 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
       if (transfer_->peek_cached(req.dov, req.dst)) continue;
       JournalEntry entry{req.dst, fs_.exists(req.dst), {}};
       if (entry.existed) {
-        auto pre = fs_.read_file(req.dst);
+        auto pre = fs_.read_extent(req.dst);
         if (!pre.ok()) return forward_error<CheckoutReport>(pre.error());
         entry.pre_image = std::move(*pre);
       }
@@ -892,6 +901,8 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
     }
   }
   report.bytes_exported = after.bytes_exported - before.bytes_exported;
+  report.bytes_exported_physical =
+      after.bytes_exported_physical - before.bytes_exported_physical;
   report.cache_hits = after.cache_hits - before.cache_hits;
   report.retries = after.retries - before.retries;
   report.timeouts = after.timeouts - before.timeouts;
@@ -918,7 +929,7 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
       }
       Status st;
       for (int attempt = 0; attempt < 16; ++attempt) {
-        st = fs_.write_file(it->path, it->pre_image);
+        st = fs_.write_extent(it->path, it->pre_image);
         if (st.ok()) break;
       }
       if (!st.ok()) {

@@ -209,44 +209,67 @@ Status TransferEngine::export_shared(jcf::DovRef dov, jcf::UserRef reader,
   // hash and the staging copies below all run concurrently across
   // export workers -- the store and the file system carry their own
   // reader-writer locks.
-  auto data = jcf_->dov_data(dov, reader);
+  //
+  // The payload travels as an extent: a refcount on the buffer the OMS
+  // store already owns. With the file system sharing extents a COLD
+  // export physically moves zero bytes end to end -- write_extent and
+  // copy_file are refcount bumps -- while the logical accounting below
+  // still charges the full payload, keeping the s3.6 tables comparable.
+  // Under the cow-off ablation write_extent/copy_file clone internally,
+  // restoring the paper's real byte movement.
+  auto data = jcf_->dov_extent(dov, reader);
   if (!data.ok()) return Status(data.error());
+  const std::uint64_t size = (*data)->size();
   stats_.exports.fetch_add(1, kRelaxed);
-  stats_.bytes_exported.fetch_add(data->size(), kRelaxed);
+  stats_.bytes_exported.fetch_add(size, kRelaxed);
   static auto& exports = xfer_counter("export.count");
   static auto& export_bytes = xfer_counter("export.bytes");
+  static auto& export_physical = xfer_counter("export.physical.bytes");
   exports.add(1);
-  export_bytes.add(data->size());
+  export_bytes.add(size);
+  // Analytic physical mirror: staged transfers land the payload twice
+  // (stage + destination), direct ones once, COW-shared ones never.
+  const std::uint64_t physical =
+      fs_->options().cow_extents ? 0 : (options_.copy_through_filesystem ? 2 * size : size);
   if (options_.content_addressed_cache) {
-    const std::uint64_t hash = vfs::fnv1a(*data);
-    const std::uint64_t size = data->size();
+    const std::uint64_t hash = vfs::fnv1a(**data);
     if (cache_probe(dov, dst, hash, size)) return {};  // dst is already current
     Status st;
     if (options_.copy_through_filesystem) {
       vfs::Path stage = staging_file("out");
-      if (auto ws = fs_->write_file(stage, std::move(*data)); !ws.ok()) return ws;
+      if (auto ws = fs_->write_extent(stage, *data); !ws.ok()) return ws;
       stats_.staging_copies.fetch_add(1, kRelaxed);
       xfer_counter("staging.count").add(1);
       st = fs_->copy_file(stage, dst);
       (void)fs_->remove(stage);
     } else {
-      st = fs_->write_file(dst, std::move(*data));
+      st = fs_->write_extent(dst, std::move(*data));
     }
-    if (st.ok()) cache_store(dov, dst, hash, size);
+    if (st.ok()) {
+      stats_.bytes_exported_physical.fetch_add(physical, kRelaxed);
+      export_physical.add(physical);
+      cache_store(dov, dst, hash, size);
+    }
     return st;
   }
+  Status st;
   if (options_.copy_through_filesystem) {
     // Stage in the transfer directory, then copy to the destination --
     // the payload crosses the file system twice, as in the paper.
     vfs::Path stage = staging_file("out");
-    if (auto st = fs_->write_file(stage, std::move(*data)); !st.ok()) return st;
+    if (auto ws = fs_->write_extent(stage, *data); !ws.ok()) return ws;
     stats_.staging_copies.fetch_add(1, kRelaxed);
     xfer_counter("staging.count").add(1);
-    auto st = fs_->copy_file(stage, dst);
+    st = fs_->copy_file(stage, dst);
     (void)fs_->remove(stage);
-    return st;
+  } else {
+    st = fs_->write_extent(dst, std::move(*data));
   }
-  return fs_->write_file(dst, std::move(*data));
+  if (st.ok()) {
+    stats_.bytes_exported_physical.fetch_add(physical, kRelaxed);
+    export_physical.add(physical);
+  }
+  return st;
 }
 
 std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> items,
@@ -334,18 +357,42 @@ Result<jcf::DovRef> TransferEngine::import_file(const vfs::Path& src,
     xfer_counter("staging.count").add(1);
     read_from = stage;
   }
-  auto data = fs_->read_file(read_from);
-  if (options_.copy_through_filesystem) (void)fs_->remove(stage);
-  if (!data.ok()) return Result<jcf::DovRef>::failure(data.error().code, data.error().message);
+  // COW: lift the file's extent straight into the store -- the source
+  // file, the staging hop and the new DOV all share one buffer, so the
+  // import physically moves zero bytes. The ablation takes the
+  // materializing path instead (read a private copy, hand it to the
+  // store), which is exactly what the old string pipeline did.
+  const bool cow = fs_->options().cow_extents;
+  oms::TextExtent payload;
+  if (cow) {
+    auto data = fs_->read_extent(read_from);
+    if (options_.copy_through_filesystem) (void)fs_->remove(stage);
+    if (!data.ok()) {
+      return Result<jcf::DovRef>::failure(data.error().code, data.error().message);
+    }
+    payload = std::move(*data);
+  } else {
+    auto data = fs_->read_file(read_from);
+    if (options_.copy_through_filesystem) (void)fs_->remove(stage);
+    if (!data.ok()) {
+      return Result<jcf::DovRef>::failure(data.error().code, data.error().message);
+    }
+    payload = std::make_shared<const std::string>(std::move(*data));
+  }
+  const std::uint64_t size = payload->size();
   stats_.imports.fetch_add(1, kRelaxed);
-  stats_.bytes_imported.fetch_add(data->size(), kRelaxed);
+  stats_.bytes_imported.fetch_add(size, kRelaxed);
+  stats_.bytes_imported_physical.fetch_add(
+      cow ? 0 : (options_.copy_through_filesystem ? 2 * size : size), kRelaxed);
   static auto& imports = xfer_counter("import.count");
   static auto& import_bytes = xfer_counter("import.bytes");
+  static auto& import_physical = xfer_counter("import.physical.bytes");
   imports.add(1);
-  import_bytes.add(data->size());
+  import_bytes.add(size);
+  import_physical.add(cow ? 0 : (options_.copy_through_filesystem ? 2 * size : size));
   // create_dov fires the version-change listeners, which invalidate the
   // superseded cache entries (ours and any sibling engine's).
-  return jcf_->create_dov(dobj, std::move(*data), writer);
+  return jcf_->create_dov(dobj, std::move(payload), writer);
 }
 
 TransferStats TransferEngine::stats_snapshot() const {
@@ -356,6 +403,8 @@ TransferStats TransferEngine::stats_snapshot() const {
   s.imports = stats_.imports.load(kRelaxed);
   s.bytes_exported = stats_.bytes_exported.load(kRelaxed);
   s.bytes_imported = stats_.bytes_imported.load(kRelaxed);
+  s.bytes_exported_physical = stats_.bytes_exported_physical.load(kRelaxed);
+  s.bytes_imported_physical = stats_.bytes_imported_physical.load(kRelaxed);
   s.staging_copies = stats_.staging_copies.load(kRelaxed);
   s.cache_hits = stats_.cache_hits.load(kRelaxed);
   s.cache_misses = stats_.cache_misses.load(kRelaxed);
@@ -374,6 +423,8 @@ void TransferEngine::reset_stats() {
   stats_.imports.store(0, kRelaxed);
   stats_.bytes_exported.store(0, kRelaxed);
   stats_.bytes_imported.store(0, kRelaxed);
+  stats_.bytes_exported_physical.store(0, kRelaxed);
+  stats_.bytes_imported_physical.store(0, kRelaxed);
   stats_.staging_copies.store(0, kRelaxed);
   stats_.cache_hits.store(0, kRelaxed);
   stats_.cache_misses.store(0, kRelaxed);

@@ -55,6 +55,14 @@ struct WorkspaceStats {
   std::uint64_t reservation_conflicts = 0;
   std::uint64_t publishes = 0;
   std::uint64_t read_denials = 0;
+  /// Design-data bytes handed out by dov_data/dov_extent: every read
+  /// counts its full payload here (the paper's cost model) ...
+  std::uint64_t dov_read_bytes_logical = 0;
+  /// ... and only reads that materialized a private copy count here.
+  /// dov_extent shares the store's buffer, so under COW this stays at
+  /// zero while the logical twin keeps the books comparable
+  /// (docs/vfs-cow.md).
+  std::uint64_t dov_read_bytes_physical = 0;
 };
 
 class JcfFramework {
@@ -158,6 +166,10 @@ class JcfFramework {
 
   /// Store design data as a new version of `dobj` (workspace required).
   support::Result<DovRef> create_dov(DesignObjectRef dobj, std::string data, UserRef user);
+  /// Zero-copy overload: the store adopts the caller's extent
+  /// (oms::Store::set_text), so an import from the file system shares
+  /// one buffer between the source file and the new version's data.
+  support::Result<DovRef> create_dov(DesignObjectRef dobj, oms::TextExtent data, UserRef user);
   /// Version-change notification: invoked after every successful
   /// create_dov with the design object and its new version. The
   /// coupling layer's transfer cache uses this to invalidate entries
@@ -173,6 +185,12 @@ class JcfFramework {
   support::Result<DesignObjectRef> design_object_of(DovRef dov) const;
   /// Read design data; honors the workspace visibility rules.
   support::Result<std::string> dov_data(DovRef dov, UserRef reader);
+  /// Zero-copy twin of dov_data: same visibility rules, same logical
+  /// accounting, but the payload comes back as the store's refcounted
+  /// immutable extent (oms::Store::get_text_extent) -- no bytes are
+  /// materialized. DOVs are immutable once created, so the extent is
+  /// bit-stable for as long as the caller holds it.
+  support::Result<oms::TextExtent> dov_extent(DovRef dov, UserRef reader);
   support::Status set_equivalent(DovRef a, DovRef b);
   support::Result<bool> is_equivalent(DovRef a, DovRef b) const;
 
@@ -203,6 +221,10 @@ class JcfFramework {
     s.reservation_conflicts = ws_stats_.reservation_conflicts.load(std::memory_order_relaxed);
     s.publishes = ws_stats_.publishes.load(std::memory_order_relaxed);
     s.read_denials = ws_stats_.read_denials.load(std::memory_order_relaxed);
+    s.dov_read_bytes_logical =
+        ws_stats_.dov_read_bytes_logical.load(std::memory_order_relaxed);
+    s.dov_read_bytes_physical =
+        ws_stats_.dov_read_bytes_physical.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -249,6 +271,8 @@ class JcfFramework {
     std::atomic<std::uint64_t> reservation_conflicts{0};
     std::atomic<std::uint64_t> publishes{0};
     std::atomic<std::uint64_t> read_denials{0};
+    std::atomic<std::uint64_t> dov_read_bytes_logical{0};
+    std::atomic<std::uint64_t> dov_read_bytes_physical{0};
   };
 
   oms::Store store_;

@@ -91,6 +91,16 @@ Result<std::string> JcfFramework::reserved_by(CellVersionRef cv) const {
 }
 
 Result<DovRef> JcfFramework::create_dov(DesignObjectRef dobj, std::string data, UserRef user) {
+  // One materialization at the boundary; the overload below shares it
+  // with every structure downstream.
+  return create_dov(dobj, std::make_shared<const std::string>(std::move(data)), user);
+}
+
+Result<DovRef> JcfFramework::create_dov(DesignObjectRef dobj, oms::TextExtent data,
+                                        UserRef user) {
+  if (data == nullptr) {
+    return Result<DovRef>::failure(Errc::invalid_argument, "create_dov: null extent");
+  }
   if (auto st = expect(store_, dobj, cls::DesignObject); !st.ok()) {
     return Result<DovRef>::failure(st.error().code, st.error().message);
   }
@@ -112,7 +122,7 @@ Result<DovRef> JcfFramework::create_dov(DesignObjectRef dobj, std::string data, 
   if (!id.ok()) return Result<DovRef>::failure(id.error().code, id.error().message);
   const int number = static_cast<int>(existing->size()) + 1;
   (void)store_.set(*id, "number", oms::AttrValue(std::int64_t{number}));
-  (void)store_.set(*id, "data", oms::AttrValue(std::move(data)));
+  (void)store_.set_text(*id, "data", std::move(data));
   (void)store_.set(*id, "published", oms::AttrValue(false));
   (void)store_.link(rel::do_version, dobj.id, *id);
   if (!existing->empty()) {
@@ -161,40 +171,54 @@ Result<DesignObjectRef> JcfFramework::design_object_of(DovRef dov) const {
 }
 
 Result<std::string> JcfFramework::dov_data(DovRef dov, UserRef reader) {
+  // Materializing twin of dov_extent: same visibility rules and the
+  // same logical accounting, plus one private copy of the payload --
+  // which is exactly what the physical counter records.
+  auto ext = dov_extent(dov, reader);
+  if (!ext.ok()) return Result<std::string>::failure(ext.error().code, ext.error().message);
+  ws_stats_.dov_read_bytes_physical.fetch_add((*ext)->size(), std::memory_order_relaxed);
+  return **ext;
+}
+
+Result<oms::TextExtent> JcfFramework::dov_extent(DovRef dov, UserRef reader) {
   JFM_SPAN("jcf", "dov_data");
   if (auto st = expect(store_, dov, cls::Dov); !st.ok()) {
-    return Result<std::string>::failure(st.error().code, st.error().message);
+    return Result<oms::TextExtent>::failure(st.error().code, st.error().message);
   }
   auto published = store_.get_bool(dov.id, "published");
   bool visible = published.ok() && *published;
   if (!visible) {
     // unpublished data: only the workspace holder sees it
     auto dobj = design_object_of(dov);
-    if (!dobj.ok()) return Result<std::string>::failure(dobj.error().code, dobj.error().message);
+    if (!dobj.ok()) {
+      return Result<oms::TextExtent>::failure(dobj.error().code, dobj.error().message);
+    }
     auto variant = detail::single_source(store_, rel::variant_do, dobj->id, "design object");
     if (!variant.ok()) {
-      return Result<std::string>::failure(variant.error().code, variant.error().message);
+      return Result<oms::TextExtent>::failure(variant.error().code, variant.error().message);
     }
     auto cv = cell_version_of(VariantRef(*variant));
-    if (!cv.ok()) return Result<std::string>::failure(cv.error().code, cv.error().message);
+    if (!cv.ok()) return Result<oms::TextExtent>::failure(cv.error().code, cv.error().message);
     auto holder = reserved_by(*cv);
     auto uname = name_of(reader.id);
     if (!holder.ok() || !uname.ok() || *holder != *uname) {
       ws_stats_.read_denials.fetch_add(1, std::memory_order_relaxed);
       ws_counter("read_denial").add(1);
-      return Result<std::string>::failure(Errc::permission_denied,
-                                          "design data not published yet");
+      return Result<oms::TextExtent>::failure(Errc::permission_denied,
+                                              "design data not published yet");
     }
   }
   // The actual design-data fetch out of the OMS database: the oms leaf
-  // of a checkout trace.
+  // of a checkout trace. A refcount bump on the store's extent -- the
+  // caller decides whether bytes ever get materialized.
   JFM_SPAN("oms", "read_blob");
-  auto data = store_.get_text(dov.id, "data");
+  auto data = store_.get_text_extent(dov.id, "data");
   if (data.ok()) {
     static auto& reads = telemetry::Registry::global().counter("jcf.dov.read.count");
     static auto& bytes = telemetry::Registry::global().counter("jcf.dov.read.bytes");
     reads.add(1);
-    bytes.add(data->size());
+    bytes.add((*data)->size());
+    ws_stats_.dov_read_bytes_logical.fetch_add((*data)->size(), std::memory_order_relaxed);
   }
   return data;
 }

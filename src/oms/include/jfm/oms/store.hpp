@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <shared_mutex>
@@ -51,6 +52,7 @@
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "jfm/oms/schema.hpp"
@@ -64,6 +66,16 @@ struct ObjectTag {
   static constexpr const char* prefix() { return "obj#"; }
 };
 using ObjectId = support::Id<ObjectTag>;
+
+/// A refcounted immutable text payload, structurally identical to
+/// vfs::Extent (docs/vfs-cow.md). Text attributes are stored as
+/// extents internally, so get_text_extent() hands the blob out as a
+/// refcount bump and the transfer layer can publish it into the file
+/// system without ever materializing a private duplicate: one buffer
+/// is shared by the store, its value index, the undo journal and every
+/// checked-out file. set() replaces an attribute's extent, it never
+/// mutates it, so a handed-out extent stays bit-stable forever.
+using TextExtent = std::shared_ptr<const std::string>;
 
 struct StoreOptions {
   /// Maintain the secondary indexes and answer queries from them.
@@ -89,12 +101,22 @@ class Store {
 
   // -- attributes --------------------------------------------------------
   support::Status set(ObjectId id, std::string_view attr, AttrValue value);
+  /// Zero-copy twin of set() for text attributes: the store adopts the
+  /// caller's extent instead of materializing a private string, so a
+  /// blob imported from the file system is ONE buffer shared by the
+  /// file, the attribute and the value index. Fails with
+  /// invalid_argument when the attribute is not declared text.
+  support::Status set_text(ObjectId id, std::string_view attr, TextExtent value);
   support::Result<AttrValue> get(ObjectId id, std::string_view attr) const;
   /// Typed accessors; fail with invalid_argument on type mismatch.
   support::Result<std::int64_t> get_int(ObjectId id, std::string_view attr) const;
   support::Result<std::string> get_text(ObjectId id, std::string_view attr) const;
   support::Result<bool> get_bool(ObjectId id, std::string_view attr) const;
   support::Result<double> get_real(ObjectId id, std::string_view attr) const;
+  /// Zero-copy twin of get_text: returns the attribute's stored extent
+  /// (a refcount bump, no byte traffic). The extent is immutable; a
+  /// later set() on the attribute installs a new one.
+  support::Result<TextExtent> get_text_extent(ObjectId id, std::string_view attr) const;
 
   // -- relationships -----------------------------------------------------
   support::Status link(std::string_view relation, ObjectId from, ObjectId to);
@@ -128,9 +150,26 @@ class Store {
  private:
   friend class Dump;
 
+  /// Internal attribute representation: AttrValue with the text
+  /// alternative swapped for a refcounted extent (same alternative
+  /// order, so the two variants agree on index()). Everything the
+  /// store retains -- the attribute maps, the value index keys, the
+  /// undo-journal closures -- holds StoredValue, so one text blob is
+  /// one buffer no matter how many structures reference it, and
+  /// journaling a text overwrite is a refcount bump instead of a
+  /// payload copy. Conversion to/from the public AttrValue happens at
+  /// the API boundary (to_stored/to_attr).
+  using StoredValue = std::variant<std::int64_t, double, TextExtent, bool>;
+
+  static StoredValue to_stored(AttrValue value);
+  static AttrValue to_attr(const StoredValue& value);
+  /// Content equality across the representation boundary (extents
+  /// compare by the bytes they hold, never by buffer identity).
+  static bool stored_equals(const StoredValue& stored, const AttrValue& value) noexcept;
+
   struct Object {
     std::string class_name;
-    std::map<std::string, AttrValue, std::less<>> attrs;
+    std::map<std::string, StoredValue, std::less<>> attrs;
     support::Timestamp created = 0;
   };
 
@@ -151,17 +190,35 @@ class Store {
     std::unordered_set<Edge, EdgeHash> edges;
   };
 
+  /// Hash/equality for the value index, transparent (C++20
+  /// heterogeneous lookup) across StoredValue and AttrValue: extents
+  /// hash and compare by content, and the two variants share
+  /// alternative indices, so a query carrying a plain AttrValue probes
+  /// the StoredValue-keyed buckets without allocating a conversion.
   struct ValueHash {
+    using is_transparent = void;
+    std::size_t operator()(const StoredValue& value) const noexcept;
     std::size_t operator()(const AttrValue& value) const noexcept;
+  };
+  struct ValueEq {
+    using is_transparent = void;
+    bool operator()(const StoredValue& a, const StoredValue& b) const noexcept;
+    bool operator()(const StoredValue& a, const AttrValue& b) const noexcept;
+    bool operator()(const AttrValue& a, const StoredValue& b) const noexcept;
   };
   /// value -> live objects of one exact class carrying it; std::set so
   /// the smallest id (find_one's answer) is bucket.begin().
-  using ValueBucket = std::unordered_map<AttrValue, std::set<ObjectId>, ValueHash>;
+  using ValueBucket = std::unordered_map<StoredValue, std::set<ObjectId>, ValueHash, ValueEq>;
 
   // transaction journal: undo closures applied in reverse on abort
   void journal(std::function<void()> undo);
 
   void erase_object_links(ObjectId id);
+  /// Shared body of set()/set_text(): install `value` on an existing
+  /// object, maintaining the value index and the undo journal. mu_
+  /// held exclusively; the attribute is already schema-validated.
+  support::Status set_stored(ObjectId id, Object& obj, std::string_view attr,
+                             StoredValue value);
   support::Status link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to);
   // query bodies shared by the locking public wrappers; mu_ held
   std::vector<ObjectId> find_locked(std::string_view class_name, std::string_view attr,
@@ -173,9 +230,9 @@ class Store {
   void index_add_object(ObjectId id, const Object& obj);     ///< class + attr entries
   void index_remove_object(ObjectId id, const Object& obj);  ///< class + attr entries
   void index_add_attr(ObjectId id, const std::string& cls, std::string_view attr,
-                      const AttrValue& value);
+                      const StoredValue& value);
   void index_remove_attr(ObjectId id, const std::string& cls, std::string_view attr,
-                         const AttrValue& value);
+                         const StoredValue& value);
   void edge_insert(RelationIndex& index, ObjectId from, ObjectId to);
   void edge_erase(RelationIndex& index, ObjectId from, ObjectId to);
 

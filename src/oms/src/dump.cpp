@@ -77,8 +77,12 @@ std::string Dump::to_text(const Store& store) {
            std::to_string(obj.created) + '\n';
     for (const auto& [name, value] : obj.attrs) {
       const AttributeDef* def = store.schema_.find_attribute(obj.class_name, name);
+      // Serialization materializes text payloads by design -- the dump
+      // is a fresh byte stream either way -- so converting the stored
+      // extent back to a plain AttrValue here costs nothing extra.
       out += "attr " + std::to_string(id.raw()) + ' ' + name + ' ' +
-             std::string(to_string(def->type)) + ' ' + value_to_text(value) + '\n';
+             std::string(to_string(def->type)) + ' ' + value_to_text(Store::to_attr(value)) +
+             '\n';
     }
   }
   for (const auto& [rel_name, index] : store.relations_) {
@@ -170,12 +174,15 @@ Status Dump::from_text(Store& store, const std::string& text) {
       if (def->type != AttrType::text) value_text = fields.size() > 4 ? fields[4] : "";
       auto value = value_from_text(def->type, value_text);
       if (!value.ok()) return Status(value.error());
+      // One extent per text payload, shared between the attribute map
+      // and the value-index key it seeds.
+      Store::StoredValue stored = Store::to_stored(std::move(*value));
       auto& attrs = oit->second.attrs;
       if (auto prev = attrs.find(fields[2]); prev != attrs.end()) {
         store.index_remove_attr(id, oit->second.class_name, fields[2], prev->second);
       }
-      store.index_add_attr(id, oit->second.class_name, fields[2], *value);
-      attrs[fields[2]] = std::move(*value);
+      store.index_add_attr(id, oit->second.class_name, fields[2], stored);
+      attrs[fields[2]] = std::move(stored);
     } else if (kind == "link") {
       if (fields.size() != 4) return support::fail(Errc::parse_error, "bad link line");
       const RelationDef* rel = store.schema_.find_relation(fields[1]);

@@ -58,10 +58,88 @@ struct IndexMetrics {
 };
 }  // namespace
 
+// The two variants share alternative indices, and an extent hashes as
+// the string it holds, so ValueHash(StoredValue) == ValueHash(AttrValue)
+// whenever the two compare equal -- the contract heterogeneous lookup
+// needs.
+std::size_t Store::ValueHash::operator()(const StoredValue& value) const noexcept {
+  const std::size_t h = std::visit(
+      [](const auto& v) -> std::size_t {
+        if constexpr (std::is_same_v<std::decay_t<decltype(v)>, TextExtent>) {
+          return std::hash<std::string>{}(*v);
+        } else {
+          return std::hash<std::decay_t<decltype(v)>>{}(v);
+        }
+      },
+      value);
+  return h ^ (value.index() * 0x9E3779B97F4A7C15ull);
+}
+
 std::size_t Store::ValueHash::operator()(const AttrValue& value) const noexcept {
   const std::size_t h = std::visit(
       [](const auto& v) { return std::hash<std::decay_t<decltype(v)>>{}(v); }, value);
   return h ^ (value.index() * 0x9E3779B97F4A7C15ull);
+}
+
+bool Store::ValueEq::operator()(const StoredValue& a, const StoredValue& b) const noexcept {
+  if (a.index() != b.index()) return false;
+  if (const auto* ea = std::get_if<TextExtent>(&a)) {
+    return **ea == **std::get_if<TextExtent>(&b);
+  }
+  return a == b;
+}
+
+bool Store::ValueEq::operator()(const StoredValue& a, const AttrValue& b) const noexcept {
+  return stored_equals(a, b);
+}
+
+bool Store::ValueEq::operator()(const AttrValue& a, const StoredValue& b) const noexcept {
+  return stored_equals(b, a);
+}
+
+bool Store::stored_equals(const StoredValue& stored, const AttrValue& value) noexcept {
+  if (stored.index() != value.index()) return false;
+  if (const auto* ext = std::get_if<TextExtent>(&stored)) {
+    return **ext == *std::get_if<std::string>(&value);
+  }
+  return std::visit(
+      [&value](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, TextExtent>) {
+          return false;  // unreachable: handled above
+        } else {
+          return s == *std::get_if<T>(&value);
+        }
+      },
+      stored);
+}
+
+Store::StoredValue Store::to_stored(AttrValue value) {
+  if (auto* text = std::get_if<std::string>(&value)) {
+    return StoredValue(std::make_shared<const std::string>(std::move(*text)));
+  }
+  return std::visit(
+      [](auto&& v) -> StoredValue {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return StoredValue(TextExtent{});  // unreachable: handled above
+        } else {
+          return StoredValue(v);
+        }
+      },
+      value);
+}
+
+AttrValue Store::to_attr(const StoredValue& value) {
+  return std::visit(
+      [](const auto& v) -> AttrValue {
+        if constexpr (std::is_same_v<std::decay_t<decltype(v)>, TextExtent>) {
+          return AttrValue(*v);  // the one place a text payload is materialized
+        } else {
+          return AttrValue(v);
+        }
+      },
+      value);
 }
 
 Store::Store(Schema schema, support::SimClock* clock, StoreOptions options)
@@ -109,7 +187,7 @@ void Store::index_remove_object(ObjectId id, const Object& obj) {
 }
 
 void Store::index_add_attr(ObjectId id, const std::string& cls, std::string_view attr,
-                           const AttrValue& value) {
+                           const StoredValue& value) {
   if (!options_.secondary_indexes) return;
   auto& metrics = IndexMetrics::get();
   auto& per_attr = attr_index_[cls];
@@ -122,7 +200,7 @@ void Store::index_add_attr(ObjectId id, const std::string& cls, std::string_view
 }
 
 void Store::index_remove_attr(ObjectId id, const std::string& cls, std::string_view attr,
-                              const AttrValue& value) {
+                              const StoredValue& value) {
   if (!options_.secondary_indexes) return;
   auto cit = attr_index_.find(cls);
   if (cit == attr_index_.end()) return;
@@ -268,10 +346,37 @@ Status Store::set(ObjectId id, std::string_view attr, AttrValue value) {
                          "attribute " + std::string(attr) + " expects " +
                              std::string(to_string(def->type)));
   }
-  auto& attrs = it->second.attrs;
+  // Convert at the boundary: a text payload becomes an extent once,
+  // here, and every internal structure (attr map, index key, journal)
+  // shares that one buffer from now on.
+  return set_stored(id, it->second, attr, to_stored(std::move(value)));
+}
+
+Status Store::set_text(ObjectId id, std::string_view attr, TextExtent value) {
+  if (value == nullptr) {
+    return support::fail(Errc::invalid_argument, "set_text: null extent");
+  }
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return support::fail(Errc::not_found, "no such object");
+  const AttributeDef* def = schema_.find_attribute(it->second.class_name, attr);
+  if (def == nullptr) {
+    return support::fail(Errc::not_found, "attribute " + std::string(attr) + " on class " +
+                                              it->second.class_name);
+  }
+  if (def->type != AttrType::text) {
+    return support::fail(Errc::invalid_argument,
+                         "attribute " + std::string(attr) + " expects " +
+                             std::string(to_string(def->type)));
+  }
+  return set_stored(id, it->second, attr, StoredValue(std::move(value)));
+}
+
+Status Store::set_stored(ObjectId id, Object& obj, std::string_view attr, StoredValue value) {
+  auto& attrs = obj.attrs;
   auto ait = attrs.find(attr);
   if (ait == attrs.end()) {
-    index_add_attr(id, it->second.class_name, attr, value);
+    index_add_attr(id, obj.class_name, attr, value);
     attrs.emplace(std::string(attr), std::move(value));
     journal([this, id, name = std::string(attr)] {
       auto oit = objects_.find(id);
@@ -282,9 +387,9 @@ Status Store::set(ObjectId id, std::string_view attr, AttrValue value) {
       oit->second.attrs.erase(cur);
     });
   } else {
-    AttrValue old = ait->second;
-    index_remove_attr(id, it->second.class_name, attr, old);
-    index_add_attr(id, it->second.class_name, attr, value);
+    StoredValue old = ait->second;  // refcount bump, not a payload copy
+    index_remove_attr(id, obj.class_name, attr, old);
+    index_add_attr(id, obj.class_name, attr, value);
     ait->second = std::move(value);
     journal([this, id, name = std::string(attr), old = std::move(old)]() mutable {
       auto oit = objects_.find(id);
@@ -308,7 +413,7 @@ Result<AttrValue> Store::get(ObjectId id, std::string_view attr) const {
     return Result<AttrValue>::failure(Errc::not_found,
                                       "attribute " + std::string(attr) + " unset");
   }
-  return ait->second;
+  return to_attr(ait->second);
 }
 
 template <typename T>
@@ -326,7 +431,30 @@ Result<std::int64_t> Store::get_int(ObjectId id, std::string_view attr) const {
   return typed_get<std::int64_t>(*this, id, attr);
 }
 Result<std::string> Store::get_text(ObjectId id, std::string_view attr) const {
-  return typed_get<std::string>(*this, id, attr);
+  // Via the extent so the payload is materialized exactly once (going
+  // through get() would copy extent -> AttrValue -> result).
+  auto ext = get_text_extent(id, attr);
+  if (!ext.ok()) return Result<std::string>::failure(ext.error().code, ext.error().message);
+  return **ext;
+}
+Result<TextExtent> Store::get_text_extent(ObjectId id, std::string_view attr) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Result<TextExtent>::failure(Errc::not_found, "no such object");
+  }
+  auto ait = it->second.attrs.find(attr);
+  if (ait == it->second.attrs.end()) {
+    return Result<TextExtent>::failure(Errc::not_found,
+                                       "attribute " + std::string(attr) + " unset");
+  }
+  const auto* ext = std::get_if<TextExtent>(&ait->second);
+  if (ext == nullptr) {
+    return Result<TextExtent>::failure(Errc::invalid_argument,
+                                       "attribute " + std::string(attr) +
+                                           " has a different type");
+  }
+  return *ext;
 }
 Result<bool> Store::get_bool(ObjectId id, std::string_view attr) const {
   return typed_get<bool>(*this, id, attr);
@@ -509,7 +637,7 @@ std::vector<ObjectId> Store::find_locked(std::string_view class_name, std::strin
   for (const auto& [id, obj] : objects_) {
     if (!schema_.is_a(obj.class_name, class_name)) continue;
     auto ait = obj.attrs.find(attr);
-    if (ait != obj.attrs.end() && ait->second == value) out.push_back(id);
+    if (ait != obj.attrs.end() && stored_equals(ait->second, value)) out.push_back(id);
   }
   std::sort(out.begin(), out.end());
   return out;

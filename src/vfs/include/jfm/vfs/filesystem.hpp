@@ -4,20 +4,39 @@
 // This is the substrate both frameworks share (paper s2.1/s2.2): FMCAD
 // libraries are directories, JCF encapsulation copies design data
 // "to and from the database via the UNIX file system". Payloads are real
-// strings, so copying an N-byte design really moves N bytes -- the s3.6
-// size-scaling benchmark measures physical work, not a model.
+// strings, so copying an N-byte design really moves N bytes in the
+// paper-faithful mode -- the s3.6 size-scaling benchmark measures
+// physical work, not a model.
 //
-// The file system also keeps I/O counters (bytes read / written /
-// copied) that the coupling layer and the benches use to attribute cost.
+// Copy-on-write extents (docs/vfs-cow.md): each file's payload is a
+// refcounted immutable buffer (an Extent). With FsOptions::cow_extents
+// enabled (the default), copy_file shares the source's extent with the
+// destination -- an O(1) refcount bump instead of an O(size) byte
+// duplication -- and a later mutation of either file installs a fresh
+// buffer (sharing is broken, never observed by readers). cow_extents =
+// false restores the paper's physical byte-moving behaviour: every copy
+// materializes a private duplicate. Both modes produce bit-identical
+// file contents and identical *logical* I/O counters; only the
+// physical counters and the wall clock differ.
+//
+// The file system keeps two families of I/O accounting:
+//   * logical counters (bytes_read / bytes_written / bytes_copied):
+//     the paper's cost model -- every operation counts its payload size
+//     regardless of sharing, so the s3.6 byte-scaling ablation and the
+//     4x transfer-cache claims stay comparable across COW modes;
+//   * physical counters (bytes_physical_*): bytes actually duplicated
+//     into a new buffer. Under COW a copy_file adds zero.
 //
 // Thread-safety (docs/concurrency.md): the tree is guarded by one
-// reader-writer lock. Read-only operations (read_file, stat,
-// content_hash, walk_files, tree_size, list, exists) take shared
+// reader-writer lock. Read-only operations (read_file, read_extent,
+// stat, content_hash, walk_files, tree_size, list, exists) take shared
 // access and run concurrently; mutations take exclusive access. The
 // I/O counters and the per-node memoized content hash are atomics so
 // concurrent readers never race, and copy_file splits its work into a
-// shared read phase and a short exclusive publish phase so parallel
-// checkout is not serialized on payload bytes.
+// shared read phase and a short exclusive publish phase (with COW the
+// shared phase is O(1) too) so parallel checkout is not serialized on
+// payload bytes. Extents themselves are immutable once published;
+// the shared_ptr control block makes cross-thread refcounting safe.
 
 #include <atomic>
 #include <cstdint>
@@ -50,6 +69,28 @@ constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
   return h;
 }
 
+/// A refcounted immutable payload buffer. Extents are the currency of
+/// the zero-copy data path: the OMS store, the transfer engine, the
+/// checkout journal and the file system all hold references to the
+/// same buffer instead of materializing private duplicates. An extent
+/// handed out by read_extent stays valid and bit-stable forever --
+/// writers replace a file's extent, they never mutate it.
+using Extent = std::shared_ptr<const std::string>;
+
+/// Wrap a byte payload into a fresh extent (one materialization).
+inline Extent make_extent(std::string data) {
+  return std::make_shared<const std::string>(std::move(data));
+}
+
+struct FsOptions {
+  /// Share payload extents on copy (O(1) logical copies) and break
+  /// sharing only when a co-owned buffer is mutated. false restores
+  /// the paper-faithful physical duplication on every copy; it exists
+  /// as the bench_s36 ablation and must produce bit-identical file
+  /// contents and logical counters.
+  bool cow_extents = true;
+};
+
 struct FileStat {
   std::uint64_t size = 0;
   support::Timestamp mtime = 0;
@@ -65,13 +106,41 @@ struct IoCounters {
   std::uint64_t files_copied = 0;
   std::uint64_t hash_ops = 0;      ///< content_hash() calls answered
   std::uint64_t hash_bytes = 0;    ///< bytes actually hashed (cache misses only)
+  // -- physical accounting (docs/vfs-cow.md) ------------------------------
+  // The logical counters above model the paper's cost; these count what
+  // the process really duplicated. bytes_physical_copied is the subset
+  // of bytes_copied that was memcpy'd into a new buffer (zero for a
+  // shared COW copy); bytes_physical_written counts every byte that
+  // landed in a newly materialized extent (write_file always, a
+  // write_extent only when the ablation forces a private clone).
+  std::uint64_t bytes_physical_written = 0;
+  std::uint64_t bytes_physical_copied = 0;
+};
+
+/// Copy-on-write accounting: event counters since construction (or
+/// reset_counters) plus a live walk of the tree. cow_snapshot() returns
+/// one by value and refreshes the vfs.cow.live.* gauges.
+struct CowStats {
+  // event counters
+  std::uint64_t shared_copies = 0;   ///< copies served by a refcount bump
+  std::uint64_t broken_extents = 0;  ///< mutations that replaced a co-owned buffer
+  std::uint64_t bytes_saved = 0;     ///< payload bytes sharing did NOT duplicate
+  std::uint64_t bytes_cloned = 0;    ///< payload bytes break-of-sharing DID duplicate
+  // live state (computed by walking the tree under the shared lock)
+  std::uint64_t live_files = 0;        ///< file nodes in the tree
+  std::uint64_t live_extents = 0;      ///< distinct payload buffers
+  std::uint64_t live_shared_extents = 0;  ///< distinct buffers referenced by >1 file
+  std::uint64_t logical_bytes = 0;     ///< sum of file sizes
+  std::uint64_t physical_bytes = 0;    ///< sum of distinct extent sizes
 };
 
 class FileSystem {
  public:
   /// The clock stamps mtimes; it is borrowed, not owned, so one clock
   /// can drive the whole simulated environment.
-  explicit FileSystem(support::SimClock* clock);
+  explicit FileSystem(support::SimClock* clock, FsOptions options = {});
+
+  const FsOptions& options() const noexcept { return options_; }
 
   // -- directories -------------------------------------------------------
   support::Status mkdir(const Path& path);   ///< parent must exist
@@ -83,6 +152,19 @@ class FileSystem {
   support::Status write_file(const Path& path, std::string data);  ///< create/overwrite
   support::Status append_file(const Path& path, std::string_view data);
   support::Result<std::string> read_file(const Path& path) const;
+
+  /// Zero-copy read: the returned extent shares the file's payload
+  /// buffer (a refcount bump, no byte traffic beyond the logical read
+  /// accounting). The extent is immutable and survives any later write
+  /// to -- or removal of -- the file; the checkout journal's pre-image
+  /// capture is built on exactly this guarantee.
+  support::Result<Extent> read_extent(const Path& path) const;
+
+  /// Publish an extent at `path` (create/overwrite). With cow_extents
+  /// the file shares the caller's buffer -- O(1), no duplication; the
+  /// ablation clones it into a private buffer instead. Counts as a
+  /// logical write either way.
+  support::Status write_extent(const Path& path, Extent data);
 
   // -- shared ------------------------------------------------------------
   bool exists(const Path& path) const;
@@ -97,16 +179,20 @@ class FileSystem {
   support::Status remove(const Path& path, bool recursive = false);
 
   /// Copy one file; dst parent must exist. This is the paper's
-  /// encapsulation data path, so it updates the copy counters. The
-  /// destination inherits the source's memoized content hash, so a
-  /// post-copy content_hash(dst) is O(1) when the source's hash was
-  /// already known -- the transfer cache's verify-by-hash probe relies
-  /// on this.
+  /// encapsulation data path, so it updates the logical copy counters
+  /// in both modes. With cow_extents the destination shares the
+  /// source's extent (O(1), zero physical bytes); the ablation
+  /// duplicates the payload. The destination inherits the source's
+  /// memoized content hash, so a post-copy content_hash(dst) is O(1)
+  /// when the source's hash was already known -- the transfer cache's
+  /// verify-by-hash probe relies on this.
   support::Status copy_file(const Path& src, const Path& dst);
-  /// Recursively copy a directory tree (creates dst).
+  /// Recursively copy a directory tree (creates dst). Shares extents
+  /// per file under COW, duplicates under the ablation.
   support::Status copy_tree(const Path& src, const Path& dst);
 
-  /// Total payload bytes under a path (file -> its size).
+  /// Total payload bytes under a path (file -> its size). Logical:
+  /// shared extents count once per file referencing them.
   support::Result<std::uint64_t> tree_size(const Path& path) const;
   /// All file paths under `root`, depth-first, sorted.
   support::Result<std::vector<Path>> walk_files(const Path& root) const;
@@ -114,9 +200,16 @@ class FileSystem {
   IoCounters counters() const noexcept;
   void reset_counters() noexcept;
 
+  /// COW accounting: event counters + a live tree walk (shared lock).
+  /// Also refreshes the vfs.cow.live.* telemetry gauges.
+  CowStats cow_snapshot() const;
+
   /// Disk-capacity quota for failure injection: writes that would push
   /// the total payload past `bytes` fail with Errc::io_error ("no space
-  /// left on device"). 0 = unlimited (default). Shrinking below current
+  /// left on device"). 0 = unlimited (default). The quota tracks
+  /// *logical* bytes -- a COW-shared copy still charges its full size,
+  /// exactly like the paper's real file system would -- so quota
+  /// behaviour is identical across COW modes. Shrinking below current
   /// usage only affects future growth.
   void set_capacity(std::uint64_t bytes) noexcept {
     capacity_.store(bytes, std::memory_order_relaxed);
@@ -129,13 +222,15 @@ class FileSystem {
  private:
   struct Node {
     bool dir = false;
-    std::string data;                                   // file payload
+    Extent data;  // file payload; never null for files, immutable once set
     std::map<std::string, std::unique_ptr<Node>> children;  // dir entries, sorted
     support::Timestamp mtime = 0;
-    // Memoized fnv1a(data). hash_valid is published with release order
+    // Memoized fnv1a(*data). hash_valid is published with release order
     // after cached_hash so shared-lock readers see a consistent pair.
     mutable std::atomic<std::uint64_t> cached_hash{0};
     mutable std::atomic<bool> hash_valid{false};
+
+    const std::string& payload() const noexcept { return *data; }
   };
 
   /// Atomic twin of IoCounters: bumped from shared-lock read paths.
@@ -146,6 +241,15 @@ class FileSystem {
     std::atomic<std::uint64_t> files_copied{0};
     std::atomic<std::uint64_t> hash_ops{0};
     std::atomic<std::uint64_t> hash_bytes{0};
+    std::atomic<std::uint64_t> bytes_physical_written{0};
+    std::atomic<std::uint64_t> bytes_physical_copied{0};
+  };
+
+  struct AtomicCowCounters {
+    std::atomic<std::uint64_t> shared_copies{0};
+    std::atomic<std::uint64_t> broken_extents{0};
+    std::atomic<std::uint64_t> bytes_saved{0};
+    std::atomic<std::uint64_t> bytes_cloned{0};
   };
 
   // All helpers below require mu_ to be held by the caller (shared is
@@ -155,21 +259,27 @@ class FileSystem {
   support::Status mkdir_locked(const Path& path);
   /// create/overwrite `path` with `data`; when `known_hash` is set the
   /// destination's hash memo is seeded instead of invalidated (the
-  /// copy-propagation fast path).
-  support::Status write_file_locked(const Path& path, std::string data,
-                                    std::optional<std::uint64_t> known_hash);
+  /// copy-propagation fast path). `physical` says whether the buffer
+  /// was freshly materialized (physical accounting) or shared.
+  support::Status write_extent_locked(const Path& path, Extent data,
+                                      std::optional<std::uint64_t> known_hash, bool physical);
+  /// Replacing a file's extent while other owners still reference it
+  /// is a break of sharing; count it.
+  void note_replaced(const Node& node);
   support::Status copy_tree_into(const Node& src, Node& dst_parent, const std::string& name);
   /// Would growing usage by `delta` exceed the quota?
   support::Status charge(std::uint64_t new_size, std::uint64_t old_size);
   static std::uint64_t subtree_bytes(const Node& node);
 
   support::SimClock* clock_;
+  FsOptions options_;
   Node root_;
   // One lock for the whole tree: shared for reads, exclusive for
   // mutations. Leaf metadata that reads must update (counters, hash
   // memos, used bytes) is atomic instead of lock-protected.
   mutable std::shared_mutex mu_;
   mutable AtomicIoCounters counters_;
+  AtomicCowCounters cow_;
   std::atomic<std::uint64_t> capacity_{0};  // 0 = unlimited
   std::atomic<std::uint64_t> used_bytes_{0};
 };

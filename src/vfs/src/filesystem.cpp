@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <mutex>
+#include <unordered_map>
 
 #include "jfm/support/faultsim.hpp"
 #include "jfm/support/telemetry.hpp"
@@ -42,11 +43,39 @@ telemetry::Counter& hash_bytes_counter() {
   static auto& c = telemetry::Registry::global().counter("vfs.hash.bytes");
   return c;
 }
+// Physical accounting: bytes the process really duplicated, as opposed
+// to the logical model above. Under COW the copy path adds zero here.
+telemetry::Counter& physical_write_bytes_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.file.write.physical.bytes");
+  return c;
+}
+telemetry::Counter& physical_copy_bytes_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.file.copy.physical.bytes");
+  return c;
+}
+// COW event counters (docs/vfs-cow.md).
+telemetry::Counter& cow_shared_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.cow.shared.count");
+  return c;
+}
+telemetry::Counter& cow_break_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.cow.break.count");
+  return c;
+}
+telemetry::Counter& cow_saved_bytes_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.cow.saved.bytes");
+  return c;
+}
+telemetry::Counter& cow_cloned_bytes_counter() {
+  static auto& c = telemetry::Registry::global().counter("vfs.cow.cloned.bytes");
+  return c;
+}
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
 
-FileSystem::FileSystem(support::SimClock* clock) : clock_(clock) {
+FileSystem::FileSystem(support::SimClock* clock, FsOptions options)
+    : clock_(clock), options_(options) {
   assert(clock != nullptr);
   root_.dir = true;
 }
@@ -59,6 +88,8 @@ IoCounters FileSystem::counters() const noexcept {
   c.files_copied = counters_.files_copied.load(kRelaxed);
   c.hash_ops = counters_.hash_ops.load(kRelaxed);
   c.hash_bytes = counters_.hash_bytes.load(kRelaxed);
+  c.bytes_physical_written = counters_.bytes_physical_written.load(kRelaxed);
+  c.bytes_physical_copied = counters_.bytes_physical_copied.load(kRelaxed);
   return c;
 }
 
@@ -69,6 +100,12 @@ void FileSystem::reset_counters() noexcept {
   counters_.files_copied.store(0, kRelaxed);
   counters_.hash_ops.store(0, kRelaxed);
   counters_.hash_bytes.store(0, kRelaxed);
+  counters_.bytes_physical_written.store(0, kRelaxed);
+  counters_.bytes_physical_copied.store(0, kRelaxed);
+  cow_.shared_copies.store(0, kRelaxed);
+  cow_.broken_extents.store(0, kRelaxed);
+  cow_.bytes_saved.store(0, kRelaxed);
+  cow_.bytes_cloned.store(0, kRelaxed);
 }
 
 const FileSystem::Node* FileSystem::find(const Path& path) const {
@@ -98,7 +135,7 @@ Status FileSystem::charge(std::uint64_t new_size, std::uint64_t old_size) {
 }
 
 std::uint64_t FileSystem::subtree_bytes(const Node& node) {
-  if (!node.dir) return node.data.size();
+  if (!node.dir) return node.payload().size();
   std::uint64_t total = 0;
   for (const auto& [name, child] : node.children) total += subtree_bytes(*child);
   return total;
@@ -156,17 +193,58 @@ Result<std::vector<std::string>> FileSystem::list(const Path& dir) const {
   return names;
 }
 
+void FileSystem::note_replaced(const Node& node) {
+  // A file mutation that discards a co-owned extent breaks sharing:
+  // the other owners keep the old buffer, this file moves on. Only
+  // counted, never copied -- immutability means nobody has to be
+  // defended against. The ablation never shares, so its counters stay
+  // at zero even when an external read_extent holder pins the buffer.
+  if (options_.cow_extents && node.data && node.data.use_count() > 1) {
+    cow_.broken_extents.fetch_add(1, kRelaxed);
+    cow_break_counter().add(1);
+  }
+}
+
 Status FileSystem::write_file(const Path& path, std::string data) {
   // Fault hook BEFORE any mutation: an injected write failure is
   // all-or-nothing, exactly like the quota check -- the file keeps its
   // previous payload, which is what checkout rollback relies on.
   if (auto f = support::faultsim::trip("vfs.write"); !f.ok()) return f;
   std::unique_lock lock(mu_);
-  return write_file_locked(path, std::move(data), std::nullopt);
+  // The caller handed us a freshly materialized buffer: physical bytes
+  // moved regardless of COW mode.
+  return write_extent_locked(path, make_extent(std::move(data)), std::nullopt,
+                             /*physical=*/true);
 }
 
-Status FileSystem::write_file_locked(const Path& path, std::string data,
-                                     std::optional<std::uint64_t> known_hash) {
+Status FileSystem::write_extent(const Path& path, Extent data) {
+  if (data == nullptr) {
+    return support::fail(Errc::invalid_argument, "write_extent: null extent");
+  }
+  if (auto f = support::faultsim::trip("vfs.write"); !f.ok()) return f;
+  if (!options_.cow_extents) {
+    // Ablation: every publish materializes a private duplicate, exactly
+    // like the string-payload file system the paper measures.
+    std::string clone = *data;
+    std::unique_lock lock(mu_);
+    return write_extent_locked(path, make_extent(std::move(clone)), std::nullopt,
+                               /*physical=*/true);
+  }
+  std::unique_lock lock(mu_);
+  if (data.use_count() > 1) {
+    // The buffer is co-owned (by the caller, the OMS store, another
+    // file, ...): this publish is a logical write served by sharing.
+    cow_.shared_copies.fetch_add(1, kRelaxed);
+    cow_.bytes_saved.fetch_add(data->size(), kRelaxed);
+    cow_shared_counter().add(1);
+    cow_saved_bytes_counter().add(data->size());
+  }
+  return write_extent_locked(path, std::move(data), std::nullopt, /*physical=*/false);
+}
+
+Status FileSystem::write_extent_locked(const Path& path, Extent data,
+                                       std::optional<std::uint64_t> known_hash,
+                                       bool physical) {
   if (path.is_root()) return support::fail(Errc::invalid_argument, "cannot write /");
   Node* parent = find(path.parent());
   if (parent == nullptr || !parent->dir) {
@@ -175,17 +253,22 @@ Status FileSystem::write_file_locked(const Path& path, std::string data,
   auto it = parent->children.find(path.basename());
   Node* node;
   if (it == parent->children.end()) {
-    if (auto st = charge(data.size(), 0); !st.ok()) return st;
+    if (auto st = charge(data->size(), 0); !st.ok()) return st;
     auto owned = std::make_unique<Node>();
     node = owned.get();
     parent->children.emplace(path.basename(), std::move(owned));
   } else {
     node = it->second.get();
     if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
-    if (auto st = charge(data.size(), node->data.size()); !st.ok()) return st;
+    if (auto st = charge(data->size(), node->payload().size()); !st.ok()) return st;
+    note_replaced(*node);
   }
-  counters_.bytes_written.fetch_add(data.size(), kRelaxed);
-  write_bytes_counter().add(data.size());
+  counters_.bytes_written.fetch_add(data->size(), kRelaxed);
+  write_bytes_counter().add(data->size());
+  if (physical) {
+    counters_.bytes_physical_written.fetch_add(data->size(), kRelaxed);
+    physical_write_bytes_counter().add(data->size());
+  }
   node->data = std::move(data);
   if (known_hash.has_value()) {
     // Copy propagation: the caller hashed (or inherited) exactly these
@@ -203,12 +286,32 @@ Status FileSystem::append_file(const Path& path, std::string_view data) {
   if (auto f = support::faultsim::trip("vfs.write"); !f.ok()) return f;
   std::unique_lock lock(mu_);
   Node* node = find(path);
-  if (node == nullptr) return write_file_locked(path, std::string(data), std::nullopt);
+  if (node == nullptr) {
+    return write_extent_locked(path, make_extent(std::string(data)), std::nullopt,
+                               /*physical=*/true);
+  }
   if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
-  if (auto st = charge(node->data.size() + data.size(), node->data.size()); !st.ok()) return st;
+  const std::uint64_t old_size = node->payload().size();
+  if (auto st = charge(old_size + data.size(), old_size); !st.ok()) return st;
+  // Extents are immutable, so append is read-modify-replace: clone the
+  // old payload into a fresh buffer and grow it. When the old extent
+  // was co-owned this is the classic copy-on-write break -- the clone
+  // exists only because sharing had to be preserved for the co-owners.
+  if (options_.cow_extents && node->data.use_count() > 1) {
+    cow_.broken_extents.fetch_add(1, kRelaxed);
+    cow_.bytes_cloned.fetch_add(old_size, kRelaxed);
+    cow_break_counter().add(1);
+    cow_cloned_bytes_counter().add(old_size);
+  }
+  std::string grown;
+  grown.reserve(old_size + data.size());
+  grown = node->payload();
+  grown.append(data);
   counters_.bytes_written.fetch_add(data.size(), kRelaxed);
+  counters_.bytes_physical_written.fetch_add(data.size(), kRelaxed);
   write_bytes_counter().add(data.size());
-  node->data.append(data);
+  physical_write_bytes_counter().add(data.size());
+  node->data = make_extent(std::move(grown));
   node->hash_valid.store(false, kRelaxed);
   node->mtime = clock_->tick();
   return {};
@@ -224,8 +327,27 @@ Result<std::string> FileSystem::read_file(const Path& path) const {
   if (node->dir) {
     return Result<std::string>::failure(Errc::invalid_argument, path.str() + " is a directory");
   }
-  counters_.bytes_read.fetch_add(node->data.size(), kRelaxed);
-  read_bytes_counter().add(node->data.size());
+  counters_.bytes_read.fetch_add(node->payload().size(), kRelaxed);
+  read_bytes_counter().add(node->payload().size());
+  return node->payload();
+}
+
+Result<Extent> FileSystem::read_extent(const Path& path) const {
+  if (auto f = support::faultsim::trip("vfs.read"); !f.ok()) {
+    return Result<Extent>(f.error());
+  }
+  std::shared_lock lock(mu_);
+  const Node* node = find(path);
+  if (node == nullptr) return Result<Extent>::failure(Errc::not_found, path.str());
+  if (node->dir) {
+    return Result<Extent>::failure(Errc::invalid_argument, path.str() + " is a directory");
+  }
+  // A logical read of the whole payload -- same accounting as
+  // read_file -- served by a refcount bump. The returned extent is
+  // immutable and detached from the file's future: a later write
+  // replaces the node's extent, it never touches this one.
+  counters_.bytes_read.fetch_add(node->payload().size(), kRelaxed);
+  read_bytes_counter().add(node->payload().size());
   return node->data;
 }
 
@@ -257,11 +379,11 @@ Result<std::uint64_t> FileSystem::content_hash(const Path& path) const {
   if (node->hash_valid.load(std::memory_order_acquire)) {
     return node->cached_hash.load(kRelaxed);
   }
-  const std::uint64_t h = fnv1a(node->data);
+  const std::uint64_t h = fnv1a(node->payload());
   node->cached_hash.store(h, kRelaxed);
   node->hash_valid.store(true, std::memory_order_release);
-  counters_.hash_bytes.fetch_add(node->data.size(), kRelaxed);
-  hash_bytes_counter().add(node->data.size());
+  counters_.hash_bytes.fetch_add(node->payload().size(), kRelaxed);
+  hash_bytes_counter().add(node->payload().size());
   return h;
 }
 
@@ -271,7 +393,7 @@ Result<FileStat> FileSystem::stat(const Path& path) const {
   if (node == nullptr) return Result<FileStat>::failure(Errc::not_found, path.str());
   FileStat st;
   st.is_directory = node->dir;
-  st.size = node->dir ? 0 : node->data.size();
+  st.size = node->dir ? 0 : node->payload().size();
   st.mtime = node->mtime;
   return st;
 }
@@ -294,32 +416,49 @@ Status FileSystem::remove(const Path& path, bool recursive) {
 Status FileSystem::copy_file(const Path& src, const Path& dst) {
   JFM_SPAN("vfs", "copy_file");
   if (auto f = support::faultsim::trip("vfs.copy"); !f.ok()) return f;
-  // Phase 1 (shared): move the payload bytes out under read access so
-  // parallel checkouts copy concurrently. The source's hash memo rides
-  // along when it is already valid.
-  std::string payload;
+  // Phase 1 (shared): take a reference to the payload under read access
+  // so parallel checkouts proceed concurrently. The source's hash memo
+  // rides along when it is already valid. Both COW modes count the
+  // same *logical* traffic here: one read + one copy of the payload.
+  Extent payload;
   std::optional<std::uint64_t> src_hash;
+  bool physical = false;
   {
     std::shared_lock lock(mu_);
     const Node* from = find(src);
     if (from == nullptr) return support::fail(Errc::not_found, src.str());
     if (from->dir) return support::fail(Errc::invalid_argument, src.str() + " is a directory");
-    // Count the copy explicitly: one read + one write of the payload.
-    counters_.bytes_read.fetch_add(from->data.size(), kRelaxed);
-    counters_.bytes_copied.fetch_add(from->data.size(), kRelaxed);
+    const std::uint64_t size = from->payload().size();
+    counters_.bytes_read.fetch_add(size, kRelaxed);
+    counters_.bytes_copied.fetch_add(size, kRelaxed);
     counters_.files_copied.fetch_add(1, kRelaxed);
-    read_bytes_counter().add(from->data.size());
-    copy_bytes_counter().add(from->data.size());
+    read_bytes_counter().add(size);
+    copy_bytes_counter().add(size);
     copy_files_counter().add(1);
-    payload = from->data;  // real byte movement
+    if (options_.cow_extents) {
+      // O(1): the destination will share this buffer. Zero physical
+      // bytes move; record what a physical copy would have cost.
+      payload = from->data;
+      cow_.shared_copies.fetch_add(1, kRelaxed);
+      cow_.bytes_saved.fetch_add(size, kRelaxed);
+      cow_shared_counter().add(1);
+      cow_saved_bytes_counter().add(size);
+    } else {
+      // Paper-faithful ablation: real byte movement, still under the
+      // shared lock so the exclusive publish below stays O(1).
+      payload = make_extent(std::string(from->payload()));
+      physical = true;
+      counters_.bytes_physical_copied.fetch_add(size, kRelaxed);
+      physical_copy_bytes_counter().add(size);
+    }
     if (from->hash_valid.load(std::memory_order_acquire)) {
       src_hash = from->cached_hash.load(kRelaxed);
     }
   }
-  // Phase 2 (exclusive): publish. The critical section is O(1) in the
-  // payload size -- the bytes were copied under the shared lock.
+  // Phase 2 (exclusive): publish. O(1) in the payload size in both
+  // modes -- under COW even phase 1 was O(1).
   std::unique_lock lock(mu_);
-  return write_file_locked(dst, std::move(payload), src_hash);
+  return write_extent_locked(dst, std::move(payload), src_hash, physical);
 }
 
 Status FileSystem::copy_tree_into(const Node& src, Node& dst_parent, const std::string& name) {
@@ -328,12 +467,25 @@ Status FileSystem::copy_tree_into(const Node& src, Node& dst_parent, const std::
   dst->dir = src.dir;
   dst->mtime = clock_->tick();
   if (!src.dir) {
-    if (auto st = charge(src.data.size(), 0); !st.ok()) return st;
-    counters_.bytes_read.fetch_add(src.data.size(), kRelaxed);
-    counters_.bytes_written.fetch_add(src.data.size(), kRelaxed);
-    counters_.bytes_copied.fetch_add(src.data.size(), kRelaxed);
+    const std::uint64_t size = src.payload().size();
+    if (auto st = charge(size, 0); !st.ok()) return st;
+    counters_.bytes_read.fetch_add(size, kRelaxed);
+    counters_.bytes_written.fetch_add(size, kRelaxed);
+    counters_.bytes_copied.fetch_add(size, kRelaxed);
     counters_.files_copied.fetch_add(1, kRelaxed);
-    dst->data = src.data;
+    if (options_.cow_extents) {
+      dst->data = src.data;
+      cow_.shared_copies.fetch_add(1, kRelaxed);
+      cow_.bytes_saved.fetch_add(size, kRelaxed);
+      cow_shared_counter().add(1);
+      cow_saved_bytes_counter().add(size);
+    } else {
+      dst->data = make_extent(std::string(src.payload()));
+      counters_.bytes_physical_written.fetch_add(size, kRelaxed);
+      counters_.bytes_physical_copied.fetch_add(size, kRelaxed);
+      physical_write_bytes_counter().add(size);
+      physical_copy_bytes_counter().add(size);
+    }
     if (src.hash_valid.load(std::memory_order_acquire)) {
       dst->cached_hash.store(src.cached_hash.load(kRelaxed), kRelaxed);
       dst->hash_valid.store(true, std::memory_order_release);
@@ -390,6 +542,48 @@ Result<std::vector<Path>> FileSystem::walk_files(const Path& root) const {
   } walker{&out};
   walker.visit(*node, root);
   return out;
+}
+
+CowStats FileSystem::cow_snapshot() const {
+  CowStats s;
+  s.shared_copies = cow_.shared_copies.load(kRelaxed);
+  s.broken_extents = cow_.broken_extents.load(kRelaxed);
+  s.bytes_saved = cow_.bytes_saved.load(kRelaxed);
+  s.bytes_cloned = cow_.bytes_cloned.load(kRelaxed);
+  // Live walk: group the tree's file payloads by buffer identity. An
+  // extent referenced by two files stores its bytes once -- that is the
+  // resident-set win the event counters only approximate.
+  std::unordered_map<const std::string*, std::uint64_t> refs;  // buffer -> file count
+  {
+    std::shared_lock lock(mu_);
+    struct Walker {
+      CowStats* s;
+      std::unordered_map<const std::string*, std::uint64_t>* refs;
+      void visit(const Node& n) {
+        if (!n.dir) {
+          ++s->live_files;
+          s->logical_bytes += n.payload().size();
+          ++(*refs)[n.data.get()];
+          return;
+        }
+        for (const auto& [name, child] : n.children) visit(*child);
+      }
+    } walker{&s, &refs};
+    walker.visit(root_);
+    for (const auto& [buffer, count] : refs) {
+      ++s.live_extents;
+      s.physical_bytes += buffer->size();
+      if (count > 1) ++s.live_shared_extents;
+    }
+  }
+  auto& reg = telemetry::Registry::global();
+  reg.gauge("vfs.cow.live.files").set(static_cast<std::int64_t>(s.live_files));
+  reg.gauge("vfs.cow.live.extents").set(static_cast<std::int64_t>(s.live_extents));
+  reg.gauge("vfs.cow.live.shared.extents")
+      .set(static_cast<std::int64_t>(s.live_shared_extents));
+  reg.gauge("vfs.cow.live.logical.bytes").set(static_cast<std::int64_t>(s.logical_bytes));
+  reg.gauge("vfs.cow.live.physical.bytes").set(static_cast<std::int64_t>(s.physical_bytes));
+  return s;
 }
 
 }  // namespace jfm::vfs

@@ -1,0 +1,254 @@
+// COW ablation contract at the coupling layer (docs/vfs-cow.md): a
+// hybrid world with cow_extents on and one with it off, driven by the
+// SAME randomized transfer workload, must end bit-identical -- same
+// tree contents, same content hashes, same logical transfer
+// accounting. Only the physical counters may differ (and must: a cold
+// COW checkout moves zero physical payload bytes). Plus: pre-image
+// journals built on shared extents survive fault-injected rollbacks.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "jfm/coupling/hybrid.hpp"
+#include "jfm/support/faultsim.hpp"
+#include "test_seed.hpp"
+
+namespace jfm::coupling {
+namespace {
+
+namespace faultsim = support::faultsim;
+
+std::vector<ToolCommand> schematic(std::uint32_t salt) {
+  std::vector<ToolCommand> cmds = {
+      {"add-port", {"a", "in"}},
+      {"add-port", {"y", "out"}},
+      {"add-prim", {"g" + std::to_string(salt % 97), "NOT"}},
+      {"connect", {"a", "g" + std::to_string(salt % 97), "a"}},
+      {"connect", {"y", "g" + std::to_string(salt % 97), "y"}},
+  };
+  return cmds;
+}
+
+/// A re-edit of an existing schematic: adds a fresh net. `step` keeps
+/// names unique within one workload run (the tool rejects duplicates);
+/// `salt` varies the payload across seeds.
+std::vector<ToolCommand> edit(int step, std::uint32_t salt) {
+  return {{"add-net", {"n" + std::to_string(step) + "_" + std::to_string(salt % 1000)}}};
+}
+
+/// root-relative path -> (content, fnv1a hash) for every file under
+/// `root`. Comparing these across worlds is the bit-identical check.
+std::map<std::string, std::pair<std::string, std::uint64_t>> tree_fingerprint(
+    vfs::FileSystem& fs, const vfs::Path& root) {
+  std::map<std::string, std::pair<std::string, std::uint64_t>> out;
+  if (!fs.exists(root)) return out;
+  auto files = fs.walk_files(root);
+  if (!files.ok()) return out;
+  const std::string prefix = root.is_root() ? "/" : root.str() + "/";
+  for (const auto& file : *files) {
+    auto content = fs.read_file(file);
+    auto hash = fs.content_hash(file);
+    if (!content.ok() || !hash.ok()) continue;
+    out.emplace(file.str().substr(prefix.size()), std::make_pair(*content, *hash));
+  }
+  return out;
+}
+
+const char* kCells[] = {"top", "alu", "regfile"};
+
+struct World {
+  std::unique_ptr<HybridFramework> hybrid;
+  jcf::UserRef alice;
+};
+
+World build_world(bool cow_on) {
+  World w;
+  HybridConfig config;
+  config.cow_extents = cow_on;
+  w.hybrid = std::make_unique<HybridFramework>(config);
+  EXPECT_TRUE(w.hybrid->bootstrap().ok());
+  w.alice = *w.hybrid->add_designer("alice");
+  EXPECT_TRUE(w.hybrid->create_project("p").ok());
+  for (const char* cell : kCells) {
+    EXPECT_TRUE(w.hybrid->create_cell("p", cell, w.alice).ok());
+    EXPECT_TRUE(w.hybrid->reserve_cell("p", cell, w.alice).ok());
+    auto run = w.hybrid->run_activity("p", cell, "enter_schematic", w.alice, schematic(0));
+    EXPECT_TRUE(run.ok()) << run.error().to_text();
+  }
+  EXPECT_TRUE(w.hybrid->declare_child("p", "top", "alu").ok());
+  EXPECT_TRUE(w.hybrid->declare_child("p", "top", "regfile").ok());
+  return w;
+}
+
+/// Drive one world through a seed-determined mix of re-edits and
+/// checkouts. Every decision comes from the generator, so two worlds
+/// fed the same seed execute the same workload.
+void run_workload(World& w, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  for (int step = 0; step < 24; ++step) {
+    const std::uint32_t roll = rng();
+    const char* cell = kCells[roll % 3];
+    switch (roll % 4) {
+      case 0: {  // re-edit a cell: import path, publishes a new DOV
+        auto run = w.hybrid->run_activity("p", cell, "enter_schematic", w.alice,
+                                          edit(step, rng()));
+        ASSERT_TRUE(run.ok()) << run.error().to_text();
+        break;
+      }
+      case 1:    // cold or warm checkout of the whole hierarchy
+      case 2: {
+        auto dst = vfs::Path().child("scratch").child("co" + std::to_string(roll % 5));
+        auto report = w.hybrid->checkout_hierarchy("p", "top", w.alice, dst);
+        ASSERT_TRUE(report.ok()) << report.error().to_text();
+        ASSERT_TRUE(report->failures.empty());
+        break;
+      }
+      default: {  // plain fs-level copy of a previous checkout, if any
+        auto src = vfs::Path().child("scratch").child("co" + std::to_string(rng() % 5));
+        auto dst = vfs::Path().child("scratch").child("mirror" + std::to_string(rng() % 3));
+        auto& fs = w.hybrid->fs();
+        if (fs.exists(src)) {
+          if (fs.exists(dst)) {
+            ASSERT_TRUE(fs.remove(dst, /*recursive=*/true).ok());
+          }
+          ASSERT_TRUE(fs.copy_tree(src, dst).ok());
+        }
+        break;
+      }
+    }
+  }
+}
+
+class CowAblationProperty : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  void TearDown() override { faultsim::Injector::global().disarm(); }
+};
+
+TEST_P(CowAblationProperty, BothModesEndBitIdenticalUnderRandomWorkload) {
+  const std::uint32_t seed = GetParam();
+
+  World cow = build_world(/*cow_on=*/true);
+  World raw = build_world(/*cow_on=*/false);
+  run_workload(cow, seed);
+  run_workload(raw, seed);
+
+  // Bit-identical trees, including the memoized content hashes.
+  auto cow_tree = tree_fingerprint(cow.hybrid->fs(), vfs::Path());
+  auto raw_tree = tree_fingerprint(raw.hybrid->fs(), vfs::Path());
+  EXPECT_FALSE(cow_tree.empty());
+  EXPECT_EQ(cow_tree, raw_tree) << "seed " << seed;
+
+  // Identical logical accounting at every layer...
+  auto cow_io = cow.hybrid->fs().counters();
+  auto raw_io = raw.hybrid->fs().counters();
+  EXPECT_EQ(cow_io.bytes_written, raw_io.bytes_written);
+  EXPECT_EQ(cow_io.bytes_copied, raw_io.bytes_copied);
+  EXPECT_EQ(cow_io.files_copied, raw_io.files_copied);
+  EXPECT_EQ(cow.hybrid->fs().used_bytes(), raw.hybrid->fs().used_bytes());
+  auto cow_xfer = cow.hybrid->transfer().stats_snapshot();
+  auto raw_xfer = raw.hybrid->transfer().stats_snapshot();
+  EXPECT_EQ(cow_xfer.exports, raw_xfer.exports);
+  EXPECT_EQ(cow_xfer.bytes_exported, raw_xfer.bytes_exported);
+  EXPECT_EQ(cow_xfer.imports, raw_xfer.imports);
+  EXPECT_EQ(cow_xfer.bytes_imported, raw_xfer.bytes_imported);
+
+  // ...but physically the COW world never duplicated a copied byte,
+  // while the ablation duplicated every one of them.
+  EXPECT_EQ(cow_io.bytes_physical_copied, 0u);
+  EXPECT_EQ(raw_io.bytes_physical_copied, raw_io.bytes_copied);
+  EXPECT_EQ(cow_xfer.bytes_exported_physical, 0u);
+  EXPECT_GE(raw_xfer.bytes_exported_physical, raw_xfer.bytes_exported);
+  auto cow_stats = cow.hybrid->fs().cow_snapshot();
+  auto raw_stats = raw.hybrid->fs().cow_snapshot();
+  EXPECT_GT(cow_stats.shared_copies, 0u);
+  EXPECT_EQ(raw_stats.shared_copies, 0u);
+  EXPECT_LE(cow_stats.physical_bytes, cow_stats.logical_bytes);
+  EXPECT_EQ(raw_stats.physical_bytes, raw_stats.logical_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowAblationProperty,
+                         ::testing::ValuesIn(jfm::testing::test_seeds(
+                             "cow-ablation", {7u, 23u, 0xC0FFEEu, 0xD15EA5Eu})));
+
+// ---------------------------------------------------------------------------
+// Rollback with shared pre-images: after a cold checkout, destination
+// files SHARE extents with the OMS store's payloads. A later faulty
+// re-checkout journals those shared extents as pre-images; a failed
+// attempt must restore the destination bit-exactly even though the
+// journal never copied a byte.
+
+class CowRollbackProperty : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  void TearDown() override { faultsim::Injector::global().disarm(); }
+};
+
+TEST_P(CowRollbackProperty, SharedExtentJournalRollsBackBitExactly) {
+  const std::uint32_t seed = GetParam();
+
+  World w = build_world(/*cow_on=*/true);
+  auto& fs = w.hybrid->fs();
+  const auto dst = vfs::Path().child("scratch").child("work");
+
+  // Cold checkout: dst now shares extents with the store's payloads.
+  auto cold = w.hybrid->checkout_hierarchy("p", "top", w.alice, dst);
+  ASSERT_TRUE(cold.ok()) << cold.error().to_text();
+  ASSERT_TRUE(cold->failures.empty());
+  ASSERT_GT(fs.cow_snapshot().live_shared_extents, 0u);
+  const auto before = tree_fingerprint(fs, dst);
+  ASSERT_EQ(before.size(), 3u);
+
+  // New versions of every cell, so a re-checkout overwrites all three
+  // files and must journal their (shared) pre-images.
+  int step = 0;
+  for (const char* cell : kCells) {
+    auto run = w.hybrid->run_activity("p", cell, "enter_schematic", w.alice, edit(step++, seed));
+    ASSERT_TRUE(run.ok()) << run.error().to_text();
+  }
+
+  // Oracle for the converged end state, computed fault-free elsewhere.
+  const auto oracle_dst = vfs::Path().child("scratch").child("oracle");
+  auto oracle = w.hybrid->checkout_hierarchy("p", "top", w.alice, oracle_dst);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(oracle->failures.empty());
+  const auto want = tree_fingerprint(fs, oracle_dst);
+
+  auto plan = faultsim::parse_plan("seed=" + std::to_string(seed) +
+                                   ";transfer.export_item=0.25;vfs.write=0.25;vfs.copy=0.25");
+  ASSERT_TRUE(plan.ok());
+  faultsim::Injector::global().arm(std::move(*plan));
+
+  bool converged = false;
+  for (int attempt = 0; attempt < 12 && !converged; ++attempt) {
+    auto report = w.hybrid->checkout_hierarchy("p", "top", w.alice, dst);
+    // The plan leaves vfs.read unarmed, so fingerprinting mid-run is
+    // side-effect free: no matched site draws an ordinal for it.
+    if (!report.ok()) {
+      // Failed before mutating anything: dst must still be pre-state.
+      EXPECT_EQ(tree_fingerprint(fs, dst), before) << "seed " << seed;
+      continue;
+    }
+    if (report->failures.empty()) {
+      converged = true;
+    } else {
+      EXPECT_TRUE(report->rolled_back);
+      // The rollback wrote the journaled shared extents back: the
+      // destination is bit-identical to its pre-checkout state.
+      EXPECT_EQ(tree_fingerprint(fs, dst), before) << "seed " << seed;
+    }
+  }
+  faultsim::Injector::global().disarm();
+  ASSERT_TRUE(converged) << "seed " << seed;
+  EXPECT_EQ(tree_fingerprint(fs, dst), want) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowRollbackProperty,
+                         ::testing::ValuesIn(jfm::testing::test_seeds(
+                             "cow-rollback", {11u, 0xABCDu})));
+
+}  // namespace
+}  // namespace jfm::coupling
