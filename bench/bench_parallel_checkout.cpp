@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "jfm/coupling/hybrid.hpp"
 #include "jfm/coupling/transfer.hpp"
 #include "jfm/support/rng.hpp"
 #include "jfm/workload/generators.hpp"
@@ -229,6 +230,130 @@ void print_report() {
       .set(static_cast<std::int64_t>(exclusive8.cold_us));
 }
 
+// -- end-to-end checkout_hierarchy: cold vs warm ---------------------------
+//
+// The zero-rehash claim, measured where users feel it: a repeat
+// checkout of an unchanged hierarchy must (a) read and hash ZERO
+// payload bytes -- the fingerprint memo chain (oms memo -> dov
+// fingerprint -> transfer cache probe -> fs hash memo) answers
+// everything -- and (b) beat the cold checkout by >= 2x
+// (scripts/run_benches.py --check-warm-speedup gates the hier_cold /
+// hier_warm rows below in CI). Property (a) is asserted right here so
+// a regression fails the bench itself, not just the gate.
+
+std::vector<coupling::ToolCommand> hierarchy_schematic(int gates) {
+  std::vector<coupling::ToolCommand> cmds;
+  cmds.push_back({"add-port", {"a", "in"}});
+  cmds.push_back({"add-port", {"y", "out"}});
+  for (int g = 0; g < gates; ++g) {
+    const std::string name = "g" + std::to_string(g);
+    cmds.push_back({"add-prim", {name, "NOT"}});
+    cmds.push_back({"connect", {"a", name, "a"}});
+    cmds.push_back({"connect", {"y", name, "y"}});
+  }
+  return cmds;
+}
+
+void print_hierarchy_report() {
+  benchutil::header("checkout_hierarchy: cold vs warm (zero-rehash warm path)");
+  constexpr int kHierCells = 12;
+  constexpr int kGatesPerCell = 96;
+  std::uint64_t cold_us = ~0ull;
+  std::uint64_t warm_us = ~0ull;
+  std::uint64_t cold_bytes = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // A fresh world per rep keeps cold honest: the OMS hash memos are
+    // per-store, so reusing a world would hand rep 2 a half-warm start.
+    coupling::HybridConfig config;
+    config.content_addressed_cache = true;
+    coupling::HybridFramework hybrid(config);
+    if (!hybrid.bootstrap().ok()) std::abort();
+    auto user = *hybrid.add_designer("alice");
+    if (!hybrid.create_project("p").ok()) std::abort();
+    std::vector<std::string> cells{"top"};
+    for (int c = 1; c < kHierCells; ++c) cells.push_back("cell" + std::to_string(c));
+    for (const auto& cell : cells) {
+      if (!hybrid.create_cell("p", cell, user).ok()) std::abort();
+      if (!hybrid.reserve_cell("p", cell, user).ok()) std::abort();
+      auto run = hybrid.run_activity("p", cell, "enter_schematic", user,
+                                     hierarchy_schematic(kGatesPerCell));
+      if (!run.ok()) std::abort();
+    }
+    for (std::size_t c = 1; c < cells.size(); ++c) {
+      if (!hybrid.declare_child("p", "top", cells[c]).ok()) std::abort();
+    }
+
+    const vfs::Path dst = vfs::Path().child("out").child("hier");
+    const auto xfer_before = hybrid.transfer().stats_snapshot();
+    auto t0 = std::chrono::steady_clock::now();
+    auto cold = hybrid.checkout_hierarchy("p", "top", user, dst, /*workers=*/1);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!cold.ok() || cold->rolled_back || !cold->failures.empty()) std::abort();
+    const auto xfer_cold = hybrid.transfer().stats_snapshot();
+    cold_bytes = xfer_cold.bytes_exported - xfer_before.bytes_exported;
+
+    // Warm run: same destinations, nothing changed. Snapshot every
+    // payload-byte counter on the read/hash path around it.
+    const auto fs_before = hybrid.fs().counters();
+    const auto ws_before = hybrid.jcf().workspace_stats();
+    auto t2 = std::chrono::steady_clock::now();
+    auto warm = hybrid.checkout_hierarchy("p", "top", user, dst, /*workers=*/1);
+    auto t3 = std::chrono::steady_clock::now();
+    if (!warm.ok() || warm->rolled_back || !warm->failures.empty()) std::abort();
+    const auto fs_after = hybrid.fs().counters();
+    const auto ws_after = hybrid.jcf().workspace_stats();
+
+    const std::uint64_t hash_delta = fs_after.hash_bytes - fs_before.hash_bytes;
+    const std::uint64_t read_delta = fs_after.bytes_read - fs_before.bytes_read;
+    const std::uint64_t dov_delta =
+        ws_after.dov_read_bytes_logical - ws_before.dov_read_bytes_logical;
+    if (hash_delta != 0 || read_delta != 0 || dov_delta != 0) {
+      std::printf("FAIL: warm checkout touched payload bytes: vfs.hash.bytes=+%llu "
+                  "vfs bytes_read=+%llu jcf dov_read_bytes_logical=+%llu\n",
+                  static_cast<unsigned long long>(hash_delta),
+                  static_cast<unsigned long long>(read_delta),
+                  static_cast<unsigned long long>(dov_delta));
+      std::abort();
+    }
+
+    auto us = [](auto a, auto b) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+    };
+    cold_us = std::min(cold_us, us(t0, t1));
+    warm_us = std::min(warm_us, us(t2, t3));
+  }
+
+  char line[256];
+  const double speedup = warm_us == 0 ? 0.0
+                                      : static_cast<double>(cold_us) /
+                                            static_cast<double>(warm_us);
+  std::snprintf(line, sizeof(line),
+                "hierarchy of %d cells: cold %8llu us   warm %8llu us (%4.2fx, "
+                "0 payload bytes read/hashed)",
+                kHierCells, static_cast<unsigned long long>(cold_us),
+                static_cast<unsigned long long>(warm_us), speedup);
+  benchutil::row(line);
+  std::printf("JFM_PARALLEL_CHECKOUT workers=1 mode=hier_cold wall_us=%llu bytes=%llu "
+              "speedup=1.0\n",
+              static_cast<unsigned long long>(cold_us),
+              static_cast<unsigned long long>(cold_bytes));
+  std::printf("JFM_PARALLEL_CHECKOUT workers=1 mode=hier_warm wall_us=%llu bytes=%llu "
+              "speedup=%.3f\n",
+              static_cast<unsigned long long>(warm_us),
+              static_cast<unsigned long long>(cold_bytes), speedup);
+  auto& registry = support::telemetry::Registry::global();
+  registry.gauge("bench.parallel_checkout.hier.cold.us")
+      .set(static_cast<std::int64_t>(cold_us));
+  registry.gauge("bench.parallel_checkout.hier.warm.us")
+      .set(static_cast<std::int64_t>(warm_us));
+}
+
+void print_full_report() {
+  print_report();
+  print_hierarchy_report();
+}
+
 // -- google-benchmark micro-timings ----------------------------------------
 
 void BM_ExportBatchCold(benchmark::State& state) {
@@ -270,4 +395,4 @@ BENCHMARK(BM_ExportBatchWarm)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-JFM_BENCH_MAIN(print_report)
+JFM_BENCH_MAIN(print_full_report)

@@ -30,7 +30,20 @@ registry snapshot (counters / gauges / histograms). This harness:
    worker count -- the two binaries run the byte-identical workload,
    so a drift here means the disarmed hook points grew a real cost.
    ``--fault-overhead-slack-us`` absorbs scheduler noise on very fast
-   warm batches.
+   warm batches;
+8. with ``--check-warm-speedup``, gates on the zero-rehash warm path:
+   at workers=1 the warm run must beat the cold run by
+   ``--min-warm-speedup`` (default 2x), both for the raw
+   ``export_batch`` rows (cold / warm) and for the end-to-end
+   ``checkout_hierarchy`` rows (hier_cold / hier_warm). Core-
+   independent: both sides are single-threaded; the warm side answers
+   from hash memos and should touch zero payload bytes (the bench
+   aborts on its own if it does not).
+
+Every blob additionally carries an ``executor`` section -- the
+``executor.*`` counters and gauges of the shared work-stealing pool
+(docs/executor.md) -- so scheduler behaviour (steals, task counts,
+queue depth) is diffable across checked-in BENCH_*.json revisions.
 
 The threshold is core-aware: demanding 2x from a single-core container
 is physics, not a regression, so the effective bar is
@@ -225,6 +238,13 @@ def main():
     parser.add_argument("--max-fault-overhead", type=float, default=0.02,
                         help="allowed warm-path overhead ratio with faults disabled "
                              "(default: 0.02 = 2%%)")
+    parser.add_argument("--check-warm-speedup", action="store_true",
+                        help="fail unless the workers=1 warm checkout beats cold by "
+                             "--min-warm-speedup, for both the export_batch and the "
+                             "checkout_hierarchy row pairs")
+    parser.add_argument("--min-warm-speedup", type=float, default=2.0,
+                        help="required workers=1 cold/warm wall-time ratio "
+                             "(default: 2.0)")
     parser.add_argument("--fault-overhead-slack-us", type=int, default=500,
                         help="absolute noise allowance on top of the ratio, in "
                              "microseconds (default: 500)")
@@ -259,6 +279,15 @@ def main():
             "quick": args.quick,
             "metrics": metrics,
         }
+        if metrics:
+            executor = {
+                "counters": {k: v for k, v in (metrics.get("counters") or {}).items()
+                             if k.startswith("executor.")},
+                "gauges": {k: v for k, v in (metrics.get("gauges") or {}).items()
+                           if k.startswith("executor.")},
+            }
+            if executor["counters"] or executor["gauges"]:
+                blob["executor"] = executor
         if rows:
             blob["parallel_checkout"] = {"runs": rows, "meta": meta}
             checkout_rows, checkout_meta = rows, meta
@@ -326,6 +355,29 @@ def main():
             print(f"run_benches: cow gate ok "
                   f"({cow_meta['cold_copy_speedup']:.1f}x >= "
                   f"{args.min_cow_speedup:.1f}x at {cow_meta['largest_size']} B)")
+
+    if args.check_warm_speedup:
+        if not checkout_rows:
+            failures.append("warm gate: no JFM_PARALLEL_CHECKOUT output found")
+        else:
+            pairs = [("cold", "warm"), ("hier_cold", "hier_warm")]
+            for cold_mode, warm_mode in pairs:
+                w1 = {r["mode"]: r["wall_us"] for r in checkout_rows
+                      if r["workers"] == 1 and r["mode"] in (cold_mode, warm_mode)}
+                if cold_mode not in w1 or warm_mode not in w1:
+                    failures.append(
+                        f"warm gate: missing workers=1 {cold_mode}/{warm_mode} rows")
+                    continue
+                ratio = w1[cold_mode] / max(1, w1[warm_mode])
+                if ratio < args.min_warm_speedup:
+                    failures.append(
+                        f"warm gate: {warm_mode} {w1[warm_mode]} us is only "
+                        f"{ratio:.2f}x faster than {cold_mode} {w1[cold_mode]} us "
+                        f"(required {args.min_warm_speedup:.2f}x)")
+                else:
+                    print(f"run_benches: warm gate ok ({cold_mode} {w1[cold_mode]} us "
+                          f"/ {warm_mode} {w1[warm_mode]} us = {ratio:.2f}x >= "
+                          f"{args.min_warm_speedup:.2f}x)")
 
     if args.check_fault_overhead:
         workers = fault_meta["workers"] if fault_meta else 4

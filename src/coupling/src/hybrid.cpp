@@ -1,11 +1,15 @@
 #include "jfm/coupling/hybrid.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
 #include <set>
 
 #include <chrono>
 
 #include "jfm/coupling/resolvers.hpp"
+#include "jfm/support/executor.hpp"
 #include "jfm/support/strings.hpp"
 #include "jfm/support/telemetry.hpp"
 
@@ -876,15 +880,50 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
   std::vector<JournalEntry> journal;
   {
     JFM_SPAN("coupling", "checkout_journal");
-    for (const auto& req : requests) {
-      if (transfer_->peek_cached(req.dov, req.dst)) continue;
+    // Captures are pure reads (peek / exists / extent pin), so with
+    // workers > 1 they fan out on the shared executor. Per-index slots
+    // compacted in request order keep the journal -- and therefore the
+    // rollback replay -- byte-identical to the sequential capture.
+    auto capture = [&](const ExportRequest& req,
+                       std::optional<JournalEntry>& slot) -> Status {
+      if (transfer_->peek_cached(req.dov, req.dst)) return {};
       JournalEntry entry{req.dst, fs_.exists(req.dst), {}};
       if (entry.existed) {
         auto pre = fs_.read_extent(req.dst);
-        if (!pre.ok()) return forward_error<CheckoutReport>(pre.error());
+        if (!pre.ok()) return Status(pre.error());
         entry.pre_image = std::move(*pre);
       }
-      journal.push_back(std::move(entry));
+      slot = std::move(entry);
+      return {};
+    };
+    std::vector<std::optional<JournalEntry>> slots(requests.size());
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (auto st = capture(requests[i], slots[i]); !st.ok()) {
+          return forward_error<CheckoutReport>(st.error());
+        }
+      }
+    } else {
+      std::mutex err_mu;
+      std::size_t err_index = requests.size();
+      std::optional<support::Error> first_error;
+      support::executor::Executor::global().parallel_for(
+          requests.size(), workers, [&](std::size_t i) {
+            if (auto st = capture(requests[i], slots[i]); !st.ok()) {
+              std::lock_guard<std::mutex> lock(err_mu);
+              // Keep the lowest-index failure so the reported error does
+              // not depend on lane interleaving.
+              if (i < err_index) {
+                err_index = i;
+                first_error = st.error();
+              }
+            }
+          });
+      if (first_error) return forward_error<CheckoutReport>(*first_error);
+    }
+    journal.reserve(slots.size());
+    for (auto& slot : slots) {
+      if (slot) journal.push_back(std::move(*slot));
     }
   }
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "jfm/support/executor.hpp"
 #include "jfm/support/faultsim.hpp"
 #include "jfm/support/telemetry.hpp"
 
@@ -217,41 +218,64 @@ Status TransferEngine::export_shared(jcf::DovRef dov, jcf::UserRef reader,
   // still charges the full payload, keeping the s3.6 tables comparable.
   // Under the cow-off ablation write_extent/copy_file clone internally,
   // restoring the paper's real byte movement.
+  static auto& exports = xfer_counter("export.count");
+  static auto& export_bytes = xfer_counter("export.bytes");
+  static auto& export_physical = xfer_counter("export.physical.bytes");
+  if (options_.content_addressed_cache) {
+    // Zero-rehash path: probe the cache with the DOV's FINGERPRINT --
+    // the hash memoized by the OMS store and the payload size -- so a
+    // warm export never reads, and never re-hashes, a single payload
+    // byte. The same visibility rules apply (dov_fingerprint shares
+    // dov_extent's gate); the export still counts its full logical
+    // size, keeping the 4x cache tables comparable.
+    auto fp = jcf_->dov_fingerprint(dov, reader);
+    if (!fp.ok()) return Status(fp.error());
+    const std::uint64_t size = fp->size;
+    stats_.exports.fetch_add(1, kRelaxed);
+    stats_.bytes_exported.fetch_add(size, kRelaxed);
+    exports.add(1);
+    export_bytes.add(size);
+    const std::uint64_t physical =
+        fs_->options().cow_extents ? 0
+                                   : (options_.copy_through_filesystem ? 2 * size : size);
+    if (cache_probe(dov, dst, fp->content_hash, size)) return {};  // dst already current
+    // Miss: fetch the payload once, WITH its hash, and publish it
+    // hash-seeded -- content_hash(dst) is O(1) from the very first
+    // probe, and copy_file propagates the memo to the destination.
+    auto data = jcf_->dov_extent_hashed(dov, reader);
+    if (!data.ok()) return Status(data.error());
+    Status st;
+    if (options_.copy_through_filesystem) {
+      vfs::Path stage = staging_file("out");
+      if (auto ws = fs_->write_extent_hashed(stage, data->text, data->hash); !ws.ok()) {
+        return ws;
+      }
+      stats_.staging_copies.fetch_add(1, kRelaxed);
+      xfer_counter("staging.count").add(1);
+      st = fs_->copy_file(stage, dst);
+      (void)fs_->remove(stage);
+    } else {
+      st = fs_->write_extent_hashed(dst, std::move(data->text), data->hash);
+    }
+    if (st.ok()) {
+      stats_.bytes_exported_physical.fetch_add(physical, kRelaxed);
+      export_physical.add(physical);
+      cache_store(dov, dst, data->hash, size);
+    }
+    return st;
+  }
+  // Cache-off ablation: the original extent pipeline, untouched.
   auto data = jcf_->dov_extent(dov, reader);
   if (!data.ok()) return Status(data.error());
   const std::uint64_t size = (*data)->size();
   stats_.exports.fetch_add(1, kRelaxed);
   stats_.bytes_exported.fetch_add(size, kRelaxed);
-  static auto& exports = xfer_counter("export.count");
-  static auto& export_bytes = xfer_counter("export.bytes");
-  static auto& export_physical = xfer_counter("export.physical.bytes");
   exports.add(1);
   export_bytes.add(size);
   // Analytic physical mirror: staged transfers land the payload twice
   // (stage + destination), direct ones once, COW-shared ones never.
   const std::uint64_t physical =
       fs_->options().cow_extents ? 0 : (options_.copy_through_filesystem ? 2 * size : size);
-  if (options_.content_addressed_cache) {
-    const std::uint64_t hash = vfs::fnv1a(**data);
-    if (cache_probe(dov, dst, hash, size)) return {};  // dst is already current
-    Status st;
-    if (options_.copy_through_filesystem) {
-      vfs::Path stage = staging_file("out");
-      if (auto ws = fs_->write_extent(stage, *data); !ws.ok()) return ws;
-      stats_.staging_copies.fetch_add(1, kRelaxed);
-      xfer_counter("staging.count").add(1);
-      st = fs_->copy_file(stage, dst);
-      (void)fs_->remove(stage);
-    } else {
-      st = fs_->write_extent(dst, std::move(*data));
-    }
-    if (st.ok()) {
-      stats_.bytes_exported_physical.fetch_add(physical, kRelaxed);
-      export_physical.add(physical);
-      cache_store(dov, dst, hash, size);
-    }
-    return st;
-  }
   Status st;
   if (options_.copy_through_filesystem) {
     // Stage in the transfer directory, then copy to the destination --
@@ -293,25 +317,29 @@ std::vector<Status> TransferEngine::export_batch(std::span<const ExportRequest> 
     return results;
   }
   std::atomic<std::size_t> next{0};
-  // Worker threads start with an empty span context; parent their spans
-  // to the batch span explicitly so the trace keeps a single tree.
+  // Lanes run on the persistent executor pool instead of freshly
+  // spawned threads; they start with an empty span context, so their
+  // spans parent to the batch span explicitly to keep a single tree.
   const std::uint64_t batch_span = batch.id();
-  auto worker = [&]() {
+  auto lane_body = [&]() {
     telemetry::ScopedSpan lane("coupling", "transfer.worker", batch_span);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= items.size()) return;
-      // Each worker owns its result slot; workers share the engine's
+      // Each lane owns its result slot; lanes share the engine's
       // reader lock and the store/fs reader locks underneath, so the
       // payload work of distinct items genuinely overlaps.
       results[i] =
           export_with_retry(items[i].dov, items[i].reader, items[i].dst, deadline, has_deadline);
     }
   };
-  std::vector<std::thread> threads;
-  threads.reserve(pool);
-  for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
-  for (auto& thread : threads) thread.join();
+  // `pool` (the workers knob, preserved for the ablation) caps the
+  // LOGICAL lane count; the executor's size caps real parallelism.
+  // run_lanes executes one lane on this thread and helps until the
+  // submitted lanes finish, so a saturated pool can never deadlock
+  // and per-item fault decisions stay interleaving-invariant
+  // (docs/fault-injection.md).
+  support::executor::Executor::global().run_lanes(pool, lane_body);
   return results;
 }
 

@@ -180,33 +180,31 @@ Result<std::string> JcfFramework::dov_data(DovRef dov, UserRef reader) {
   return **ext;
 }
 
+support::Status JcfFramework::check_dov_visibility(DovRef dov, UserRef reader) {
+  if (auto st = expect(store_, dov, cls::Dov); !st.ok()) return st;
+  auto published = store_.get_bool(dov.id, "published");
+  if (published.ok() && *published) return {};
+  // unpublished data: only the workspace holder sees it
+  auto dobj = design_object_of(dov);
+  if (!dobj.ok()) return support::Status(dobj.error());
+  auto variant = detail::single_source(store_, rel::variant_do, dobj->id, "design object");
+  if (!variant.ok()) return support::Status(variant.error());
+  auto cv = cell_version_of(VariantRef(*variant));
+  if (!cv.ok()) return support::Status(cv.error());
+  auto holder = reserved_by(*cv);
+  auto uname = name_of(reader.id);
+  if (!holder.ok() || !uname.ok() || *holder != *uname) {
+    ws_stats_.read_denials.fetch_add(1, std::memory_order_relaxed);
+    ws_counter("read_denial").add(1);
+    return support::fail(Errc::permission_denied, "design data not published yet");
+  }
+  return {};
+}
+
 Result<oms::TextExtent> JcfFramework::dov_extent(DovRef dov, UserRef reader) {
   JFM_SPAN("jcf", "dov_data");
-  if (auto st = expect(store_, dov, cls::Dov); !st.ok()) {
+  if (auto st = check_dov_visibility(dov, reader); !st.ok()) {
     return Result<oms::TextExtent>::failure(st.error().code, st.error().message);
-  }
-  auto published = store_.get_bool(dov.id, "published");
-  bool visible = published.ok() && *published;
-  if (!visible) {
-    // unpublished data: only the workspace holder sees it
-    auto dobj = design_object_of(dov);
-    if (!dobj.ok()) {
-      return Result<oms::TextExtent>::failure(dobj.error().code, dobj.error().message);
-    }
-    auto variant = detail::single_source(store_, rel::variant_do, dobj->id, "design object");
-    if (!variant.ok()) {
-      return Result<oms::TextExtent>::failure(variant.error().code, variant.error().message);
-    }
-    auto cv = cell_version_of(VariantRef(*variant));
-    if (!cv.ok()) return Result<oms::TextExtent>::failure(cv.error().code, cv.error().message);
-    auto holder = reserved_by(*cv);
-    auto uname = name_of(reader.id);
-    if (!holder.ok() || !uname.ok() || *holder != *uname) {
-      ws_stats_.read_denials.fetch_add(1, std::memory_order_relaxed);
-      ws_counter("read_denial").add(1);
-      return Result<oms::TextExtent>::failure(Errc::permission_denied,
-                                              "design data not published yet");
-    }
   }
   // The actual design-data fetch out of the OMS database: the oms leaf
   // of a checkout trace. A refcount bump on the store's extent -- the
@@ -221,6 +219,45 @@ Result<oms::TextExtent> JcfFramework::dov_extent(DovRef dov, UserRef reader) {
     ws_stats_.dov_read_bytes_logical.fetch_add((*data)->size(), std::memory_order_relaxed);
   }
   return data;
+}
+
+Result<oms::HashedText> JcfFramework::dov_extent_hashed(DovRef dov, UserRef reader) {
+  JFM_SPAN("jcf", "dov_data");
+  if (auto st = check_dov_visibility(dov, reader); !st.ok()) {
+    return Result<oms::HashedText>::failure(st.error().code, st.error().message);
+  }
+  // Same read semantics and accounting as dov_extent; the store throws
+  // in the buffer's memoized hash (computed at most once per DOV --
+  // DOVs are immutable).
+  JFM_SPAN("oms", "read_blob");
+  auto data = store_.get_text_extent_hashed(dov.id, "data");
+  if (data.ok()) {
+    static auto& reads = telemetry::Registry::global().counter("jcf.dov.read.count");
+    static auto& bytes = telemetry::Registry::global().counter("jcf.dov.read.bytes");
+    reads.add(1);
+    bytes.add(data->text->size());
+    ws_stats_.dov_read_bytes_logical.fetch_add(data->text->size(),
+                                               std::memory_order_relaxed);
+  }
+  return data;
+}
+
+Result<JcfFramework::DovFingerprint> JcfFramework::dov_fingerprint(DovRef dov,
+                                                                   UserRef reader) {
+  JFM_SPAN("jcf", "dov_fingerprint");
+  if (auto st = check_dov_visibility(dov, reader); !st.ok()) {
+    return Result<DovFingerprint>::failure(st.error().code, st.error().message);
+  }
+  // Deliberately NOT a dov read: no jcf.dov.read.* counts, no logical
+  // byte accounting -- the warm transfer path proves freshness without
+  // touching design data, and the counters must say so.
+  auto fp = store_.text_fingerprint(dov.id, "data");
+  if (!fp.ok()) {
+    return Result<DovFingerprint>::failure(fp.error().code, fp.error().message);
+  }
+  static auto& probes = telemetry::Registry::global().counter("jcf.dov.fingerprint.count");
+  probes.add(1);
+  return DovFingerprint{fp->hash, fp->size};
 }
 
 }  // namespace jfm::jcf

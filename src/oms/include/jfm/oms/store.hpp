@@ -77,6 +77,23 @@ using ObjectId = support::Id<ObjectTag>;
 /// mutates it, so a handed-out extent stays bit-stable forever.
 using TextExtent = std::shared_ptr<const std::string>;
 
+/// A text extent together with the FNV-1a hash of its bytes. This is
+/// what the zero-rehash warm path rides on: the store memoizes the
+/// hash per immutable buffer, so the transfer layer can publish the
+/// payload AND seed the file system's content-hash memo without ever
+/// re-reading the bytes (docs/transfer-cache.md).
+struct HashedText {
+  TextExtent text;
+  std::uint64_t hash = 0;
+};
+
+/// Constant-size summary of a text attribute -- exactly what a
+/// content-addressed cache probe needs, with no payload access at all.
+struct TextFingerprint {
+  std::uint64_t hash = 0;
+  std::uint64_t size = 0;
+};
+
 struct StoreOptions {
   /// Maintain the secondary indexes and answer queries from them.
   /// false restores the pre-index full-scan behaviour; it exists for
@@ -117,6 +134,15 @@ class Store {
   /// (a refcount bump, no byte traffic). The extent is immutable; a
   /// later set() on the attribute installs a new one.
   support::Result<TextExtent> get_text_extent(ObjectId id, std::string_view attr) const;
+  /// get_text_extent plus the buffer's memoized FNV-1a hash. The first
+  /// call per buffer hashes it (O(size), counted under oms.text.hash.*)
+  /// and memoizes; every later call -- on this attribute, a journal
+  /// copy or an index key sharing the buffer -- is O(1).
+  support::Result<HashedText> get_text_extent_hashed(ObjectId id, std::string_view attr) const;
+  /// Hash + size of a text attribute WITHOUT handing out the payload:
+  /// the O(1) warm-path probe (after the hash memo is populated). Same
+  /// lazy memoization as get_text_extent_hashed.
+  support::Result<TextFingerprint> text_fingerprint(ObjectId id, std::string_view attr) const;
 
   // -- relationships -----------------------------------------------------
   support::Status link(std::string_view relation, ObjectId from, ObjectId to);
@@ -150,16 +176,41 @@ class Store {
  private:
   friend class Dump;
 
+  /// Lazily-filled FNV-1a memo for one immutable text buffer. Shared
+  /// (by shared_ptr) between every StoredValue copy that shares the
+  /// buffer -- attribute slot, index key, journal pre-image -- so the
+  /// memo is coherent BY CONSTRUCTION: an undo that restores an old
+  /// extent restores its memo with it, and no invalidation logic ever
+  /// exists. Filled under the store's shared lock (atomic publish,
+  /// valid released after hash; concurrent fillers compute identical
+  /// values).
+  struct TextHashMemo {
+    std::atomic<std::uint64_t> hash{0};
+    std::atomic<bool> valid{false};
+  };
+
+  /// The text alternative of StoredValue: the extent plus its hash
+  /// memo. The memo pointer is never null for values the store holds.
+  struct StoredText {
+    TextExtent text;
+    std::shared_ptr<TextHashMemo> memo;
+  };
+
   /// Internal attribute representation: AttrValue with the text
-  /// alternative swapped for a refcounted extent (same alternative
-  /// order, so the two variants agree on index()). Everything the
-  /// store retains -- the attribute maps, the value index keys, the
-  /// undo-journal closures -- holds StoredValue, so one text blob is
-  /// one buffer no matter how many structures reference it, and
-  /// journaling a text overwrite is a refcount bump instead of a
-  /// payload copy. Conversion to/from the public AttrValue happens at
-  /// the API boundary (to_stored/to_attr).
-  using StoredValue = std::variant<std::int64_t, double, TextExtent, bool>;
+  /// alternative swapped for a refcounted extent + hash memo (same
+  /// alternative order, so the two variants agree on index()).
+  /// Everything the store retains -- the attribute maps, the value
+  /// index keys, the undo-journal closures -- holds StoredValue, so
+  /// one text blob is one buffer (and one memo) no matter how many
+  /// structures reference it, and journaling a text overwrite is a
+  /// refcount bump instead of a payload copy. Conversion to/from the
+  /// public AttrValue happens at the API boundary (to_stored/to_attr).
+  using StoredValue = std::variant<std::int64_t, double, StoredText, bool>;
+
+  static StoredText make_stored_text(TextExtent text);
+  /// The buffer's FNV-1a, from the memo when valid, computed-and-
+  /// published otherwise (misses counted under oms.text.hash.*).
+  static std::uint64_t memoized_hash(const StoredText& stored);
 
   static StoredValue to_stored(AttrValue value);
   static AttrValue to_attr(const StoredValue& value);

@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "jfm/support/faultsim.hpp"
+#include "jfm/support/hash.hpp"
 #include "jfm/support/telemetry.hpp"
 
 namespace jfm::oms {
@@ -65,8 +66,8 @@ struct IndexMetrics {
 std::size_t Store::ValueHash::operator()(const StoredValue& value) const noexcept {
   const std::size_t h = std::visit(
       [](const auto& v) -> std::size_t {
-        if constexpr (std::is_same_v<std::decay_t<decltype(v)>, TextExtent>) {
-          return std::hash<std::string>{}(*v);
+        if constexpr (std::is_same_v<std::decay_t<decltype(v)>, StoredText>) {
+          return std::hash<std::string>{}(*v.text);
         } else {
           return std::hash<std::decay_t<decltype(v)>>{}(v);
         }
@@ -83,10 +84,19 @@ std::size_t Store::ValueHash::operator()(const AttrValue& value) const noexcept 
 
 bool Store::ValueEq::operator()(const StoredValue& a, const StoredValue& b) const noexcept {
   if (a.index() != b.index()) return false;
-  if (const auto* ea = std::get_if<TextExtent>(&a)) {
-    return **ea == **std::get_if<TextExtent>(&b);
+  if (const auto* ea = std::get_if<StoredText>(&a)) {
+    return *ea->text == *std::get_if<StoredText>(&b)->text;
   }
-  return a == b;
+  return std::visit(
+      [&b](const auto& va) {
+        using T = std::decay_t<decltype(va)>;
+        if constexpr (std::is_same_v<T, StoredText>) {
+          return false;  // unreachable: handled above
+        } else {
+          return va == *std::get_if<T>(&b);
+        }
+      },
+      a);
 }
 
 bool Store::ValueEq::operator()(const StoredValue& a, const AttrValue& b) const noexcept {
@@ -99,13 +109,13 @@ bool Store::ValueEq::operator()(const AttrValue& a, const StoredValue& b) const 
 
 bool Store::stored_equals(const StoredValue& stored, const AttrValue& value) noexcept {
   if (stored.index() != value.index()) return false;
-  if (const auto* ext = std::get_if<TextExtent>(&stored)) {
-    return **ext == *std::get_if<std::string>(&value);
+  if (const auto* ext = std::get_if<StoredText>(&stored)) {
+    return *ext->text == *std::get_if<std::string>(&value);
   }
   return std::visit(
       [&value](const auto& s) {
         using T = std::decay_t<decltype(s)>;
-        if constexpr (std::is_same_v<T, TextExtent>) {
+        if constexpr (std::is_same_v<T, StoredText>) {
           return false;  // unreachable: handled above
         } else {
           return s == *std::get_if<T>(&value);
@@ -114,15 +124,39 @@ bool Store::stored_equals(const StoredValue& stored, const AttrValue& value) noe
       stored);
 }
 
+Store::StoredText Store::make_stored_text(TextExtent text) {
+  // Every stored text carries its own (initially empty) hash memo; the
+  // memo travels with the extent through journal copies and index keys.
+  return StoredText{std::move(text), std::make_shared<TextHashMemo>()};
+}
+
+std::uint64_t Store::memoized_hash(const StoredText& stored) {
+  auto& memo = *stored.memo;
+  if (memo.valid.load(std::memory_order_acquire)) {
+    return memo.hash.load(std::memory_order_relaxed);
+  }
+  // Miss: one pass over the payload, then an atomic publish. Racing
+  // fillers compute the identical value (the buffer is immutable).
+  const std::uint64_t h = support::fnv1a(*stored.text);
+  memo.hash.store(h, std::memory_order_relaxed);
+  memo.valid.store(true, std::memory_order_release);
+  static auto& hash_count = telemetry::Registry::global().counter("oms.text.hash.count");
+  static auto& hash_bytes = telemetry::Registry::global().counter("oms.text.hash.bytes");
+  hash_count.add(1);
+  hash_bytes.add(stored.text->size());
+  return h;
+}
+
 Store::StoredValue Store::to_stored(AttrValue value) {
   if (auto* text = std::get_if<std::string>(&value)) {
-    return StoredValue(std::make_shared<const std::string>(std::move(*text)));
+    return StoredValue(
+        make_stored_text(std::make_shared<const std::string>(std::move(*text))));
   }
   return std::visit(
       [](auto&& v) -> StoredValue {
         using T = std::decay_t<decltype(v)>;
         if constexpr (std::is_same_v<T, std::string>) {
-          return StoredValue(TextExtent{});  // unreachable: handled above
+          return StoredValue(StoredText{});  // unreachable: handled above
         } else {
           return StoredValue(v);
         }
@@ -133,8 +167,8 @@ Store::StoredValue Store::to_stored(AttrValue value) {
 AttrValue Store::to_attr(const StoredValue& value) {
   return std::visit(
       [](const auto& v) -> AttrValue {
-        if constexpr (std::is_same_v<std::decay_t<decltype(v)>, TextExtent>) {
-          return AttrValue(*v);  // the one place a text payload is materialized
+        if constexpr (std::is_same_v<std::decay_t<decltype(v)>, StoredText>) {
+          return AttrValue(*v.text);  // the one place a text payload is materialized
         } else {
           return AttrValue(v);
         }
@@ -369,7 +403,7 @@ Status Store::set_text(ObjectId id, std::string_view attr, TextExtent value) {
                          "attribute " + std::string(attr) + " expects " +
                              std::string(to_string(def->type)));
   }
-  return set_stored(id, it->second, attr, StoredValue(std::move(value)));
+  return set_stored(id, it->second, attr, StoredValue(make_stored_text(std::move(value))));
 }
 
 Status Store::set_stored(ObjectId id, Object& obj, std::string_view attr, StoredValue value) {
@@ -448,13 +482,53 @@ Result<TextExtent> Store::get_text_extent(ObjectId id, std::string_view attr) co
     return Result<TextExtent>::failure(Errc::not_found,
                                        "attribute " + std::string(attr) + " unset");
   }
-  const auto* ext = std::get_if<TextExtent>(&ait->second);
+  const auto* ext = std::get_if<StoredText>(&ait->second);
   if (ext == nullptr) {
     return Result<TextExtent>::failure(Errc::invalid_argument,
                                        "attribute " + std::string(attr) +
                                            " has a different type");
   }
-  return *ext;
+  return ext->text;
+}
+
+Result<HashedText> Store::get_text_extent_hashed(ObjectId id, std::string_view attr) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Result<HashedText>::failure(Errc::not_found, "no such object");
+  }
+  auto ait = it->second.attrs.find(attr);
+  if (ait == it->second.attrs.end()) {
+    return Result<HashedText>::failure(Errc::not_found,
+                                       "attribute " + std::string(attr) + " unset");
+  }
+  const auto* ext = std::get_if<StoredText>(&ait->second);
+  if (ext == nullptr) {
+    return Result<HashedText>::failure(Errc::invalid_argument,
+                                       "attribute " + std::string(attr) +
+                                           " has a different type");
+  }
+  return HashedText{ext->text, memoized_hash(*ext)};
+}
+
+Result<TextFingerprint> Store::text_fingerprint(ObjectId id, std::string_view attr) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Result<TextFingerprint>::failure(Errc::not_found, "no such object");
+  }
+  auto ait = it->second.attrs.find(attr);
+  if (ait == it->second.attrs.end()) {
+    return Result<TextFingerprint>::failure(Errc::not_found,
+                                            "attribute " + std::string(attr) + " unset");
+  }
+  const auto* ext = std::get_if<StoredText>(&ait->second);
+  if (ext == nullptr) {
+    return Result<TextFingerprint>::failure(Errc::invalid_argument,
+                                            "attribute " + std::string(attr) +
+                                                " has a different type");
+  }
+  return TextFingerprint{memoized_hash(*ext), ext->text->size()};
 }
 Result<bool> Store::get_bool(ObjectId id, std::string_view attr) const {
   return typed_get<bool>(*this, id, attr);

@@ -1,0 +1,29 @@
+#pragma once
+// Content-hash primitive shared by every layer.
+//
+// FNV-1a over a byte span: cheap (one pass, no allocation) and
+// deterministic across platforms, which is all the content addressing
+// in the transfer layer needs. It lives in support so the OMS store
+// can memoize the same hash the file system and the transfer cache
+// verify against -- one hash function, end to end (the zero-rehash
+// warm path depends on all three layers agreeing bit-for-bit).
+// jfm::vfs re-exports these names for its historical callers.
+
+#include <cstdint>
+#include <string_view>
+
+namespace jfm::support {
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnv1aOffset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace jfm::support

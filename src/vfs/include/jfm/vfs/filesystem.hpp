@@ -27,16 +27,26 @@
 //   * physical counters (bytes_physical_*): bytes actually duplicated
 //     into a new buffer. Under COW a copy_file adds zero.
 //
-// Thread-safety (docs/concurrency.md): the tree is guarded by one
-// reader-writer lock. Read-only operations (read_file, read_extent,
-// stat, content_hash, walk_files, tree_size, list, exists) take shared
-// access and run concurrently; mutations take exclusive access. The
-// I/O counters and the per-node memoized content hash are atomics so
-// concurrent readers never race, and copy_file splits its work into a
-// shared read phase and a short exclusive publish phase (with COW the
-// shared phase is O(1) too) so parallel checkout is not serialized on
-// payload bytes. Extents themselves are immutable once published;
-// the shared_ptr control block makes cross-thread refcounting safe.
+// Thread-safety (docs/concurrency.md): TWO-LEVEL striped locking.
+//   * the TREE lock (one reader-writer lock) guards structure only:
+//     children maps, node existence, directory metadata. Lookups take
+//     it shared; structure changes (mkdir, remove, node creation,
+//     copy_tree, append_file) take it exclusive.
+//   * a fixed array of PAYLOAD SHARDS (FsOptions::lock_shards
+//     reader-writer locks, keyed by node identity) guards a file
+//     node's payload state: its extent, hash memo and mtime. Readers
+//     take the node's shard shared; a payload overwrite takes it
+//     exclusive -- while holding the tree lock only SHARED, so eight
+//     workers publishing eight different files no longer serialize on
+//     one global lock.
+// Lock order: tree before shards; multiple shards (copy_file's
+// two-endpoint fast path) in ascending shard index; at most two shards
+// are ever held. Operations that hold the tree lock exclusively need no
+// shard locks -- payload writers hold the tree lock shared, so tree-
+// exclusive access excludes them all. The I/O counters and the quota
+// are atomics (the quota check is a CAS loop); extents themselves are
+// immutable once published, and the shared_ptr control block makes
+// cross-thread refcounting safe.
 
 #include <atomic>
 #include <cstdint>
@@ -49,25 +59,18 @@
 #include <vector>
 
 #include "jfm/support/clock.hpp"
+#include "jfm/support/hash.hpp"
 #include "jfm/support/result.hpp"
 #include "jfm/vfs/path.hpp"
 
 namespace jfm::vfs {
 
-/// FNV-1a over a byte span: the framework's content-hash primitive.
-/// Cheap (one pass, no allocation) and deterministic across platforms,
-/// which is all content addressing in the transfer layer needs.
-inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
-inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
-
-constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
-  std::uint64_t h = kFnv1aOffset;
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= kFnv1aPrime;
-  }
-  return h;
-}
+/// The framework's content-hash primitive now lives in support (so the
+/// OMS store memoizes the exact hash the transfer cache verifies);
+/// re-exported here for the vfs-level callers that grew up with it.
+using support::fnv1a;
+inline constexpr std::uint64_t kFnv1aOffset = support::kFnv1aOffset;
+inline constexpr std::uint64_t kFnv1aPrime = support::kFnv1aPrime;
 
 /// A refcounted immutable payload buffer. Extents are the currency of
 /// the zero-copy data path: the OMS store, the transfer engine, the
@@ -89,6 +92,10 @@ struct FsOptions {
   /// as the bench_s36 ablation and must produce bit-identical file
   /// contents and logical counters.
   bool cow_extents = true;
+  /// Number of payload shard locks (clamped to >= 1). More shards =
+  /// less false sharing between writers of unrelated files; the
+  /// default comfortably exceeds any realistic worker count.
+  std::size_t lock_shards = 64;
 };
 
 struct FileStat {
@@ -165,6 +172,15 @@ class FileSystem {
   /// ablation clones it into a private buffer instead. Counts as a
   /// logical write either way.
   support::Status write_extent(const Path& path, Extent data);
+
+  /// write_extent plus a hash the caller already knows for exactly
+  /// these bytes: the destination's content-hash memo is seeded instead
+  /// of invalidated, so a post-publish content_hash (the transfer
+  /// cache's verify probe) is O(1) with zero bytes hashed. The caller
+  /// vouches that `hash == fnv1a(*data)`; in the cow_extents=false
+  /// ablation the private clone holds identical bytes, so the memo
+  /// stays truthful there too.
+  support::Status write_extent_hashed(const Path& path, Extent data, std::uint64_t hash);
 
   // -- shared ------------------------------------------------------------
   bool exists(const Path& path) const;
@@ -252,6 +268,18 @@ class FileSystem {
     std::atomic<std::uint64_t> bytes_cloned{0};
   };
 
+  /// A payload shard: guards the extent, hash memo and mtime of every
+  /// file node that hashes to it. See the locking rules above.
+  struct Shard {
+    std::shared_mutex mu;
+  };
+
+  /// Which shard guards this node's payload. Keyed by node identity
+  /// (the address is stable for the node's lifetime and available to
+  /// tree walkers that never formed a path string).
+  std::size_t shard_index(const void* node) const noexcept;
+  Shard& shard_of(const Node& node) const noexcept;
+
   // All helpers below require mu_ to be held by the caller (shared is
   // enough for the const ones, exclusive for the mutating ones).
   const Node* find(const Path& path) const;
@@ -261,8 +289,18 @@ class FileSystem {
   /// destination's hash memo is seeded instead of invalidated (the
   /// copy-propagation fast path). `physical` says whether the buffer
   /// was freshly materialized (physical accounting) or shared.
+  /// Requires mu_ EXCLUSIVE (and therefore no shard locks).
   support::Status write_extent_locked(const Path& path, Extent data,
                                       std::optional<std::uint64_t> known_hash, bool physical);
+  /// Replace an existing file node's payload. Requires mu_ SHARED plus
+  /// the node's shard EXCLUSIVE.
+  support::Status overwrite_locked(Node& node, Extent data,
+                                   std::optional<std::uint64_t> known_hash, bool physical);
+  /// The striped create/overwrite entry point behind every write_*:
+  /// existing files are overwritten under tree-shared + shard-exclusive
+  /// (the hot parallel path); creation falls back to tree-exclusive.
+  support::Status publish_extent(const Path& path, Extent data,
+                                 std::optional<std::uint64_t> known_hash, bool physical);
   /// Replacing a file's extent while other owners still reference it
   /// is a break of sharing; count it.
   void note_replaced(const Node& node);
@@ -274,10 +312,11 @@ class FileSystem {
   support::SimClock* clock_;
   FsOptions options_;
   Node root_;
-  // One lock for the whole tree: shared for reads, exclusive for
-  // mutations. Leaf metadata that reads must update (counters, hash
-  // memos, used bytes) is atomic instead of lock-protected.
+  // Tree (structure) lock: shared for lookups, exclusive for structure
+  // changes. Payload state lives under the shards below; leaf metadata
+  // that reads must update (counters, hash memos, used bytes) is atomic.
   mutable std::shared_mutex mu_;
+  mutable std::vector<Shard> shards_;  // fixed size after construction
   mutable AtomicIoCounters counters_;
   AtomicCowCounters cow_;
   std::atomic<std::uint64_t> capacity_{0};  // 0 = unlimited

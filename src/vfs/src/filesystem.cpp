@@ -75,9 +75,23 @@ constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
 
 FileSystem::FileSystem(support::SimClock* clock, FsOptions options)
-    : clock_(clock), options_(options) {
+    : clock_(clock),
+      options_(options),
+      shards_(options.lock_shards == 0 ? 1 : options.lock_shards) {
   assert(clock != nullptr);
   root_.dir = true;
+}
+
+std::size_t FileSystem::shard_index(const void* node) const noexcept {
+  // Golden-ratio mix of the node address; drop the low alignment bits
+  // first so neighbouring allocations spread across shards.
+  const auto v = reinterpret_cast<std::uintptr_t>(node);
+  const std::uint64_t mixed = (static_cast<std::uint64_t>(v) >> 4) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(mixed >> 32) % shards_.size();
+}
+
+FileSystem::Shard& FileSystem::shard_of(const Node& node) const noexcept {
+  return shards_[shard_index(&node)];
 }
 
 IoCounters FileSystem::counters() const noexcept {
@@ -124,14 +138,25 @@ FileSystem::Node* FileSystem::find(const Path& path) {
 }
 
 Status FileSystem::charge(std::uint64_t new_size, std::uint64_t old_size) {
+  // CAS loop: with striped payload locks, writers to different files
+  // charge the quota concurrently -- a plain load/store pair would lose
+  // updates.
   const std::uint64_t capacity = capacity_.load(kRelaxed);
-  const std::uint64_t used = used_bytes_.load(kRelaxed);
-  if (capacity != 0 && new_size > old_size && used + (new_size - old_size) > capacity) {
-    return support::fail(Errc::io_error, "no space left on device (quota " +
-                                             std::to_string(capacity) + " bytes)");
+  if (new_size <= old_size) {
+    used_bytes_.fetch_sub(old_size - new_size, kRelaxed);
+    return {};
   }
-  used_bytes_.store(used + new_size - old_size, kRelaxed);
-  return {};
+  const std::uint64_t delta = new_size - old_size;
+  std::uint64_t used = used_bytes_.load(kRelaxed);
+  for (;;) {
+    if (capacity != 0 && used + delta > capacity) {
+      return support::fail(Errc::io_error, "no space left on device (quota " +
+                                               std::to_string(capacity) + " bytes)");
+    }
+    if (used_bytes_.compare_exchange_weak(used, used + delta, kRelaxed, kRelaxed)) {
+      return {};
+    }
+  }
 }
 
 std::uint64_t FileSystem::subtree_bytes(const Node& node) {
@@ -210,11 +235,10 @@ Status FileSystem::write_file(const Path& path, std::string data) {
   // all-or-nothing, exactly like the quota check -- the file keeps its
   // previous payload, which is what checkout rollback relies on.
   if (auto f = support::faultsim::trip("vfs.write"); !f.ok()) return f;
-  std::unique_lock lock(mu_);
   // The caller handed us a freshly materialized buffer: physical bytes
   // moved regardless of COW mode.
-  return write_extent_locked(path, make_extent(std::move(data)), std::nullopt,
-                             /*physical=*/true);
+  return publish_extent(path, make_extent(std::move(data)), std::nullopt,
+                        /*physical=*/true);
 }
 
 Status FileSystem::write_extent(const Path& path, Extent data) {
@@ -225,12 +249,9 @@ Status FileSystem::write_extent(const Path& path, Extent data) {
   if (!options_.cow_extents) {
     // Ablation: every publish materializes a private duplicate, exactly
     // like the string-payload file system the paper measures.
-    std::string clone = *data;
-    std::unique_lock lock(mu_);
-    return write_extent_locked(path, make_extent(std::move(clone)), std::nullopt,
-                               /*physical=*/true);
+    return publish_extent(path, make_extent(std::string(*data)), std::nullopt,
+                          /*physical=*/true);
   }
-  std::unique_lock lock(mu_);
   if (data.use_count() > 1) {
     // The buffer is co-owned (by the caller, the OMS store, another
     // file, ...): this publish is a logical write served by sharing.
@@ -239,7 +260,72 @@ Status FileSystem::write_extent(const Path& path, Extent data) {
     cow_shared_counter().add(1);
     cow_saved_bytes_counter().add(data->size());
   }
-  return write_extent_locked(path, std::move(data), std::nullopt, /*physical=*/false);
+  return publish_extent(path, std::move(data), std::nullopt, /*physical=*/false);
+}
+
+Status FileSystem::write_extent_hashed(const Path& path, Extent data, std::uint64_t hash) {
+  if (data == nullptr) {
+    return support::fail(Errc::invalid_argument, "write_extent_hashed: null extent");
+  }
+  if (auto f = support::faultsim::trip("vfs.write"); !f.ok()) return f;
+  if (!options_.cow_extents) {
+    // The clone holds bit-identical bytes, so the caller's hash still
+    // describes the destination exactly -- the memo survives the
+    // ablation.
+    return publish_extent(path, make_extent(std::string(*data)), hash,
+                          /*physical=*/true);
+  }
+  if (data.use_count() > 1) {
+    cow_.shared_copies.fetch_add(1, kRelaxed);
+    cow_.bytes_saved.fetch_add(data->size(), kRelaxed);
+    cow_shared_counter().add(1);
+    cow_saved_bytes_counter().add(data->size());
+  }
+  return publish_extent(path, std::move(data), hash, /*physical=*/false);
+}
+
+Status FileSystem::publish_extent(const Path& path, Extent data,
+                                  std::optional<std::uint64_t> known_hash, bool physical) {
+  {
+    // Hot path: the file already exists, so only its payload shard is
+    // taken exclusively -- the tree lock stays shared and other files'
+    // writers proceed in parallel.
+    std::shared_lock tree(mu_);
+    Node* node = find(path);
+    if (node != nullptr) {
+      if (node->dir) {
+        return support::fail(Errc::invalid_argument, path.str() + " is a directory");
+      }
+      std::unique_lock shard(shard_of(*node).mu);
+      return overwrite_locked(*node, std::move(data), known_hash, physical);
+    }
+  }
+  // Creation is a structure change: fall back to the exclusive tree
+  // lock. write_extent_locked re-finds, so a racing creator is benign.
+  std::unique_lock lock(mu_);
+  return write_extent_locked(path, std::move(data), known_hash, physical);
+}
+
+Status FileSystem::overwrite_locked(Node& node, Extent data,
+                                    std::optional<std::uint64_t> known_hash, bool physical) {
+  if (auto st = charge(data->size(), node.payload().size()); !st.ok()) return st;
+  note_replaced(node);
+  counters_.bytes_written.fetch_add(data->size(), kRelaxed);
+  write_bytes_counter().add(data->size());
+  if (physical) {
+    counters_.bytes_physical_written.fetch_add(data->size(), kRelaxed);
+    physical_write_bytes_counter().add(data->size());
+  }
+  // Invalidate BEFORE the swap so no observer can pair the old "valid"
+  // flag with the new extent.
+  node.hash_valid.store(false, kRelaxed);
+  node.data = std::move(data);
+  if (known_hash.has_value()) {
+    node.cached_hash.store(*known_hash, kRelaxed);
+    node.hash_valid.store(true, std::memory_order_release);
+  }
+  node.mtime = clock_->tick();
+  return {};
 }
 
 Status FileSystem::write_extent_locked(const Path& path, Extent data,
@@ -327,6 +413,7 @@ Result<std::string> FileSystem::read_file(const Path& path) const {
   if (node->dir) {
     return Result<std::string>::failure(Errc::invalid_argument, path.str() + " is a directory");
   }
+  std::shared_lock shard(shard_of(*node).mu);
   counters_.bytes_read.fetch_add(node->payload().size(), kRelaxed);
   read_bytes_counter().add(node->payload().size());
   return node->payload();
@@ -346,6 +433,7 @@ Result<Extent> FileSystem::read_extent(const Path& path) const {
   // read_file -- served by a refcount bump. The returned extent is
   // immutable and detached from the file's future: a later write
   // replaces the node's extent, it never touches this one.
+  std::shared_lock shard(shard_of(*node).mu);
   counters_.bytes_read.fetch_add(node->payload().size(), kRelaxed);
   read_bytes_counter().add(node->payload().size());
   return node->data;
@@ -373,9 +461,11 @@ Result<std::uint64_t> FileSystem::content_hash(const Path& path) const {
   JFM_SPAN("vfs", "content_hash");
   counters_.hash_ops.fetch_add(1, kRelaxed);
   hash_ops_counter().add(1);
-  // Double-checked memo under the shared lock: the payload is immutable
-  // while we hold it, so concurrent callers at worst both compute the
-  // same hash and publish identical values.
+  // The node's shard (shared) pins the extent/memo pair: a concurrent
+  // overwrite needs the shard exclusively, so the memo we read always
+  // describes the payload we would hash. Concurrent hashers at worst
+  // both compute the same value and publish identical memos.
+  std::shared_lock shard(shard_of(*node).mu);
   if (node->hash_valid.load(std::memory_order_acquire)) {
     return node->cached_hash.load(kRelaxed);
   }
@@ -393,8 +483,13 @@ Result<FileStat> FileSystem::stat(const Path& path) const {
   if (node == nullptr) return Result<FileStat>::failure(Errc::not_found, path.str());
   FileStat st;
   st.is_directory = node->dir;
-  st.size = node->dir ? 0 : node->payload().size();
-  st.mtime = node->mtime;
+  if (node->dir) {
+    st.mtime = node->mtime;  // directory metadata changes hold the tree lock
+  } else {
+    std::shared_lock shard(shard_of(*node).mu);
+    st.size = node->payload().size();
+    st.mtime = node->mtime;
+  }
   return st;
 }
 
@@ -416,19 +511,16 @@ Status FileSystem::remove(const Path& path, bool recursive) {
 Status FileSystem::copy_file(const Path& src, const Path& dst) {
   JFM_SPAN("vfs", "copy_file");
   if (auto f = support::faultsim::trip("vfs.copy"); !f.ok()) return f;
-  // Phase 1 (shared): take a reference to the payload under read access
-  // so parallel checkouts proceed concurrently. The source's hash memo
-  // rides along when it is already valid. Both COW modes count the
-  // same *logical* traffic here: one read + one copy of the payload.
+  // Reads the source payload under its shard (shared): the extent, its
+  // size and its memoized hash. The source's hash memo rides along when
+  // it is already valid. Both COW modes count the same *logical*
+  // traffic: one read + one copy of the payload. Caller must hold the
+  // source's shard (shared is enough).
   Extent payload;
   std::optional<std::uint64_t> src_hash;
   bool physical = false;
-  {
-    std::shared_lock lock(mu_);
-    const Node* from = find(src);
-    if (from == nullptr) return support::fail(Errc::not_found, src.str());
-    if (from->dir) return support::fail(Errc::invalid_argument, src.str() + " is a directory");
-    const std::uint64_t size = from->payload().size();
+  const auto read_source = [&](const Node& from) {
+    const std::uint64_t size = from.payload().size();
     counters_.bytes_read.fetch_add(size, kRelaxed);
     counters_.bytes_copied.fetch_add(size, kRelaxed);
     counters_.files_copied.fetch_add(1, kRelaxed);
@@ -438,25 +530,62 @@ Status FileSystem::copy_file(const Path& src, const Path& dst) {
     if (options_.cow_extents) {
       // O(1): the destination will share this buffer. Zero physical
       // bytes move; record what a physical copy would have cost.
-      payload = from->data;
+      payload = from.data;
       cow_.shared_copies.fetch_add(1, kRelaxed);
       cow_.bytes_saved.fetch_add(size, kRelaxed);
       cow_shared_counter().add(1);
       cow_saved_bytes_counter().add(size);
     } else {
-      // Paper-faithful ablation: real byte movement, still under the
-      // shared lock so the exclusive publish below stays O(1).
-      payload = make_extent(std::string(from->payload()));
+      // Paper-faithful ablation: real byte movement, still under
+      // shared-mode locks so any exclusive publish stays O(1).
+      payload = make_extent(std::string(from.payload()));
       physical = true;
       counters_.bytes_physical_copied.fetch_add(size, kRelaxed);
       physical_copy_bytes_counter().add(size);
     }
-    if (from->hash_valid.load(std::memory_order_acquire)) {
-      src_hash = from->cached_hash.load(kRelaxed);
+    if (from.hash_valid.load(std::memory_order_acquire)) {
+      src_hash = from.cached_hash.load(kRelaxed);
     }
+  };
+  {
+    std::shared_lock lock(mu_);
+    Node* from = find(src);
+    if (from == nullptr) return support::fail(Errc::not_found, src.str());
+    if (from->dir) return support::fail(Errc::invalid_argument, src.str() + " is a directory");
+    Node* to = find(dst);
+    if (to != nullptr && to->dir) {
+      return support::fail(Errc::invalid_argument, dst.str() + " is a directory");
+    }
+    if (to != nullptr) {
+      // Fast path: both endpoints exist, so the whole copy runs under
+      // the SHARED tree lock with the two payload shards taken in
+      // ascending index order (src shared, dst exclusive) -- the
+      // ordered multi-shard acquisition that makes concurrent copies
+      // deadlock-free. Equal indices collapse to one exclusive lock
+      // covering both nodes (which also handles src == dst).
+      const std::size_t si = shard_index(from);
+      const std::size_t di = shard_index(to);
+      std::shared_lock<std::shared_mutex> src_shard;
+      std::unique_lock<std::shared_mutex> dst_shard;
+      if (si == di) {
+        dst_shard = std::unique_lock(shards_[di].mu);
+      } else if (si < di) {
+        src_shard = std::shared_lock(shards_[si].mu);
+        dst_shard = std::unique_lock(shards_[di].mu);
+      } else {
+        dst_shard = std::unique_lock(shards_[di].mu);
+        src_shard = std::shared_lock(shards_[si].mu);
+      }
+      read_source(*from);
+      return overwrite_locked(*to, std::move(payload), src_hash, physical);
+    }
+    // Destination does not exist yet: read the source under its shard,
+    // then create under the exclusive tree lock below.
+    std::shared_lock shard(shard_of(*from).mu);
+    read_source(*from);
   }
-  // Phase 2 (exclusive): publish. O(1) in the payload size in both
-  // modes -- under COW even phase 1 was O(1).
+  // Creation phase (exclusive): O(1) in the payload size in both modes
+  // -- under COW even the read phase was O(1).
   std::unique_lock lock(mu_);
   return write_extent_locked(dst, std::move(payload), src_hash, physical);
 }
@@ -522,7 +651,25 @@ Result<std::uint64_t> FileSystem::tree_size(const Path& path) const {
   std::shared_lock lock(mu_);
   const Node* node = find(path);
   if (node == nullptr) return Result<std::uint64_t>::failure(Errc::not_found, path.str());
-  return subtree_bytes(*node);
+  // Striped writers publish payloads under the shared tree lock, so the
+  // walk takes each file's shard (shared) around the size read.
+  // (subtree_bytes stays lock-free for remove, which holds the tree
+  // lock exclusively.)
+  std::uint64_t total = 0;
+  struct Walker {
+    const FileSystem* fs;
+    std::uint64_t* total;
+    void visit(const Node& n) {
+      if (!n.dir) {
+        std::shared_lock shard(fs->shard_of(n).mu);
+        *total += n.payload().size();
+        return;
+      }
+      for (const auto& [name, child] : n.children) visit(*child);
+    }
+  } walker{this, &total};
+  walker.visit(*node);
+  return total;
 }
 
 Result<std::vector<Path>> FileSystem::walk_files(const Path& root) const {
@@ -552,28 +699,37 @@ CowStats FileSystem::cow_snapshot() const {
   s.bytes_cloned = cow_.bytes_cloned.load(kRelaxed);
   // Live walk: group the tree's file payloads by buffer identity. An
   // extent referenced by two files stores its bytes once -- that is the
-  // resident-set win the event counters only approximate.
-  std::unordered_map<const std::string*, std::uint64_t> refs;  // buffer -> file count
+  // resident-set win the event counters only approximate. The map pins
+  // each extent (a real shared_ptr copy, not a raw pointer): with
+  // striped writers running under the shared tree lock, a concurrent
+  // overwrite may drop a buffer's last file reference mid-walk, and
+  // pinning both keeps the size read valid and prevents a freed
+  // buffer's address being reused for a different extent.
+  std::unordered_map<const std::string*, std::pair<Extent, std::uint64_t>> refs;
   {
     std::shared_lock lock(mu_);
     struct Walker {
+      const FileSystem* fs;
       CowStats* s;
-      std::unordered_map<const std::string*, std::uint64_t>* refs;
+      std::unordered_map<const std::string*, std::pair<Extent, std::uint64_t>>* refs;
       void visit(const Node& n) {
         if (!n.dir) {
+          std::shared_lock shard(fs->shard_of(n).mu);
           ++s->live_files;
           s->logical_bytes += n.payload().size();
-          ++(*refs)[n.data.get()];
+          auto& slot = (*refs)[n.data.get()];
+          if (slot.first == nullptr) slot.first = n.data;
+          ++slot.second;
           return;
         }
         for (const auto& [name, child] : n.children) visit(*child);
       }
-    } walker{&s, &refs};
+    } walker{this, &s, &refs};
     walker.visit(root_);
-    for (const auto& [buffer, count] : refs) {
+    for (const auto& [buffer, slot] : refs) {
       ++s.live_extents;
-      s.physical_bytes += buffer->size();
-      if (count > 1) ++s.live_shared_extents;
+      s.physical_bytes += slot.first->size();
+      if (slot.second > 1) ++s.live_shared_extents;
     }
   }
   auto& reg = telemetry::Registry::global();

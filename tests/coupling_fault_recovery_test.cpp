@@ -305,5 +305,62 @@ TEST_F(FaultRecoveryTest, ParallelCheckoutStormUnderInjectedFaults) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Executor parity: moving checkout lanes from per-call std::threads to
+// the shared work-stealing pool must change NOTHING observable.
+
+TEST_F(FaultRecoveryTest, CheckoutIsBitIdenticalAcrossWorkersAndExecutorLanes) {
+  // workers=1 runs inline on the caller (no pool at all); workers=8
+  // fans out on the shared executor. Identical worlds => identical
+  // trees, reports and transfer stats.
+  auto run = [this](std::size_t workers) {
+    build_world();
+    auto dst = vfs::Path().child("scratch").child("det");
+    auto report = hybrid->checkout_hierarchy("p", "top", alice, dst, workers);
+    EXPECT_TRUE(report.ok());
+    auto trees = tree_contents(hybrid->fs(), dst);
+    const auto stats = hybrid->transfer().stats_snapshot();
+    return std::make_tuple(trees, report.ok() ? report->exported : 0u,
+                           report.ok() ? report->cache_hits : 0u, stats.exports,
+                           stats.bytes_exported, stats.cache_hits, stats.cache_misses);
+  };
+  const auto serial = run(1);
+  const auto pooled = run(8);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(std::get<0>(serial).size(), 3u);
+}
+
+// Fault-injection parity on executor lanes: an armed plan draws the
+// SAME per-item decisions whether the items run inline (workers=1) or
+// on stolen executor lanes (workers=8), because ordinal sets key on
+// (seed, site, per-site ordinal) -- interleaving-invariant by design
+// (docs/fault-injection.md). This is the same property the pinned-seed
+// fault-matrix CI leg locks down end to end.
+TEST_F(FaultRecoveryTest, InjectedFaultCountsMatchAcrossExecutorLanes) {
+  // Explicit ordinals 1 and 2 fault. WHICH item draws them depends on
+  // lane interleaving, but both faults land in the consumed ordinal
+  // prefix and both retries succeed, so every aggregate -- injected
+  // counts, retries, failures, bytes on disk -- is invariant.
+  auto run = [this](std::size_t workers) {
+    build_world();
+    arm("transfer.export_item@1,2");
+    auto dst = vfs::Path().child("scratch").child("parity");
+    auto report = hybrid->checkout_hierarchy("p", "top", alice, dst, workers);
+    const auto injected = faultsim::Injector::global().injected_by_site();
+    faultsim::Injector::global().disarm();
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(!report.ok() || report->failures.empty());
+    return std::make_tuple(injected, report.ok() ? report->retries : 0u,
+                           tree_contents(hybrid->fs(), dst));
+  };
+  const auto serial = run(1);
+  const auto pooled = run(8);
+  EXPECT_EQ(serial, pooled);
+  const auto& by_site = std::get<0>(serial);
+  ASSERT_EQ(by_site.size(), 1u);
+  EXPECT_EQ(by_site[0].first, "transfer.export_item");
+  EXPECT_EQ(by_site[0].second, 2u);
+}
+
 }  // namespace
 }  // namespace jfm::coupling

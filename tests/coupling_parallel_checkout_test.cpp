@@ -276,6 +276,68 @@ TEST_F(ParallelCheckoutTest, WorkerCountDoesNotChangeResults) {
   EXPECT_EQ(serial.stats.cache_hits, static_cast<std::uint64_t>(kObjects));
 }
 
+// Zero-rehash warm exports: once a destination is materialized, a
+// repeat export of the same DOVs must answer entirely from hash memos
+// -- zero payload bytes read, zero payload bytes hashed, at either end
+// of the pipe (vfs counters AND the jcf logical read accounting).
+TEST_F(ParallelCheckoutTest, WarmExportBatchReadsAndHashesZeroPayloadBytes) {
+  constexpr int kObjects = 12;
+  Env env(kObjects);
+  TransferOptions options;
+  options.copy_through_filesystem = true;
+  options.content_addressed_cache = true;
+  TransferEngine engine(&env.jcf, &env.fs, vfs::Path().child("xfer"), options);
+  auto items = requests(env, "z");
+  for (const auto& st : engine.export_batch(items, 1)) ASSERT_TRUE(st.ok());
+
+  const auto fs_before = env.fs.counters();
+  const auto ws_before = env.jcf.workspace_stats();
+  auto warm = engine.export_batch(items, 1);
+  for (const auto& st : warm) EXPECT_TRUE(st.ok());
+  const auto fs_after = env.fs.counters();
+  const auto ws_after = env.jcf.workspace_stats();
+
+  EXPECT_EQ(fs_after.hash_bytes, fs_before.hash_bytes);
+  EXPECT_EQ(fs_after.bytes_read, fs_before.bytes_read);
+  EXPECT_EQ(ws_after.dov_read_bytes_logical, ws_before.dov_read_bytes_logical);
+  // ... while the exports still count as exports, with real byte totals
+  const auto stats = engine.stats_snapshot();
+  EXPECT_EQ(stats.exports, 2u * kObjects);
+  EXPECT_EQ(stats.cache_hits, static_cast<std::uint64_t>(kObjects));
+}
+
+// cache_probe leaves the fs hash memo behind: after an out-of-band
+// overwrite invalidates it, the FIRST probe re-hashes the destination
+// once and the SECOND probe of the same path is O(1) -- no new hashed
+// bytes.
+TEST_F(ParallelCheckoutTest, CacheProbeMemoizesSoSecondProbeIsFree) {
+  Env env(1);
+  TransferOptions options;
+  options.copy_through_filesystem = true;
+  options.content_addressed_cache = true;
+  TransferEngine engine(&env.jcf, &env.fs, vfs::Path().child("xfer"), options);
+  auto items = requests(env, "p");
+  ASSERT_TRUE(engine.export_batch(items, 1)[0].ok());
+
+  // Out-of-band rewrite with the SAME bytes: contents unchanged, but
+  // write_file cannot know that, so the node's hash memo is dropped.
+  auto bytes = env.fs.read_file(items[0].dst);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(env.fs.write_file(items[0].dst, *bytes).ok());
+
+  const auto before = env.fs.counters();
+  ASSERT_TRUE(engine.export_dov(items[0].dov, env.user, items[0].dst).ok());
+  const auto mid = env.fs.counters();
+  // probe 1 verified by hashing the destination payload exactly once
+  EXPECT_EQ(mid.hash_bytes - before.hash_bytes, bytes->size());
+
+  ASSERT_TRUE(engine.export_dov(items[0].dov, env.user, items[0].dst).ok());
+  const auto after = env.fs.counters();
+  // probe 2 rides the memo probe 1 installed: zero new hashed bytes
+  EXPECT_EQ(after.hash_bytes, mid.hash_bytes);
+  EXPECT_EQ(engine.stats_snapshot().cache_hits, 2u);
+}
+
 // The serialization ablation still produces correct results -- it only
 // changes the locking, never the data path.
 TEST_F(ParallelCheckoutTest, ExclusiveTransfersAblationStaysCorrect) {

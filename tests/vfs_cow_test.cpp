@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -315,6 +316,102 @@ TEST_F(CowTest, ConcurrentCopyWriteStormOnSharedExtents) {
   EXPECT_GE(cow.shared_copies, static_cast<std::uint64_t>(kThreads));
   // Consistency of the live walk: physical never exceeds logical.
   EXPECT_LE(cow.physical_bytes, cow.logical_bytes);
+}
+
+// write_extent_hashed seeds the node's hash memo at publish time, and
+// copy_file carries the memo to the destination: no content_hash after
+// either may ever touch payload bytes.
+TEST_F(CowTest, WriteExtentHashedSeedsTheMemoAndCopyPropagatesIt) {
+  FileSystem fs(&clock);
+  auto ext = std::make_shared<const std::string>(blob(1024, 'm'));
+  const std::uint64_t h = fnv1a(*ext);
+  ASSERT_TRUE(fs.write_extent_hashed(p("/m"), ext, h).ok());
+  const auto before = fs.counters();
+  auto got = fs.content_hash(p("/m"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, h);
+  ASSERT_TRUE(fs.copy_file(p("/m"), p("/m2")).ok());
+  auto propagated = fs.content_hash(p("/m2"));
+  ASSERT_TRUE(propagated.ok());
+  EXPECT_EQ(*propagated, h);
+  EXPECT_EQ(fs.counters().hash_bytes, before.hash_bytes);
+
+  // Overwriting through the hashed path re-seeds; a plain write drops
+  // the memo and the next hash recomputes.
+  auto ext2 = std::make_shared<const std::string>(blob(512, 'n'));
+  ASSERT_TRUE(fs.write_extent_hashed(p("/m"), ext2, fnv1a(*ext2)).ok());
+  EXPECT_EQ(*fs.content_hash(p("/m")), fnv1a(*ext2));
+  EXPECT_EQ(fs.counters().hash_bytes, before.hash_bytes);
+  ASSERT_TRUE(fs.write_file(p("/m"), blob(512, 'n')).ok());
+  EXPECT_EQ(*fs.content_hash(p("/m")), fnv1a(*ext2));
+  EXPECT_EQ(fs.counters().hash_bytes, before.hash_bytes + 512);
+}
+
+// The ablation must accept the hashed write too: it clones the buffer,
+// but a clone has identical bytes, so the memo stays truthful.
+TEST_F(CowTest, WriteExtentHashedSeedsTheMemoUnderTheAblation) {
+  FileSystem fs(&clock, FsOptions{.cow_extents = false});
+  auto ext = std::make_shared<const std::string>(blob(256, 'q'));
+  ASSERT_TRUE(fs.write_extent_hashed(p("/q"), ext, fnv1a(*ext)).ok());
+  const auto before = fs.counters();
+  EXPECT_EQ(*fs.content_hash(p("/q")), fnv1a(*ext));
+  EXPECT_EQ(fs.counters().hash_bytes, before.hash_bytes);
+}
+
+// Striped-lock storm (docs/concurrency.md): two shards only, so
+// distinct nodes collide on a stripe constantly; copiers run the
+// dual-shard ordered-acquisition path in BOTH directions at once
+// (a->b vs b->a would deadlock unordered locks) plus the equal-index
+// self-copy edge, while probers hammer read/stat/hash on the same
+// nodes. TSan proves the lock order; the assertions prove reads are
+// never torn -- every observed payload is one of the two seed blobs.
+TEST_F(CowTest, OrderedShardAcquisitionSurvivesBidirectionalCopyStorm) {
+  FsOptions options;
+  options.lock_shards = 2;
+  FileSystem fs(&clock, options);
+  const std::string blob_a = blob(2048, 'a');
+  const std::string blob_b = blob(2048, 'b');
+  const std::uint64_t hash_a = fnv1a(blob_a);
+  const std::uint64_t hash_b = fnv1a(blob_b);
+  ASSERT_TRUE(fs.mkdirs(p("/d")).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/a"), blob_a).ok());
+  ASSERT_TRUE(fs.write_file(p("/d/b"), blob_b).ok());
+
+  constexpr int kIters = 150;
+  std::atomic<int> torn{0};
+  auto copier = [&](const Path& from, const Path& to) {
+    for (int i = 0; i < kIters; ++i) {
+      if (!fs.copy_file(from, to).ok()) torn.fetch_add(1);
+      if (!fs.copy_file(from, from).ok()) torn.fetch_add(1);  // src==dst shard
+    }
+  };
+  auto prober = [&]() {
+    for (int i = 0; i < kIters; ++i) {
+      for (const char* name : {"a", "b"}) {
+        const Path f = Path().child("d").child(name);
+        auto data = fs.read_file(f);
+        auto hash = fs.content_hash(f);
+        (void)fs.stat(f);
+        if (!data.ok() || (*data != blob_a && *data != blob_b)) torn.fetch_add(1);
+        if (!hash.ok() || (*hash != hash_a && *hash != hash_b)) torn.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.emplace_back(copier, p("/d/a"), p("/d/b"));
+  threads.emplace_back(copier, p("/d/b"), p("/d/a"));
+  threads.emplace_back(prober);
+  threads.emplace_back(prober);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(torn.load(), 0);
+  // End state: both files hold one of the seed blobs, hashes agree.
+  for (const char* name : {"a", "b"}) {
+    const Path f = Path().child("d").child(name);
+    auto data = fs.read_file(f);
+    ASSERT_TRUE(data.ok());
+    EXPECT_TRUE(*data == blob_a || *data == blob_b);
+    EXPECT_EQ(*fs.content_hash(f), fnv1a(*data));
+  }
 }
 
 }  // namespace
