@@ -283,10 +283,12 @@ void print_hierarchy_report() {
       if (!hybrid.declare_child("p", "top", cells[c]).ok()) std::abort();
     }
 
+    // checkout_hierarchy_full keeps this section measuring the warm
+    // FULL walk; the change-feed delta path has its own section below.
     const vfs::Path dst = vfs::Path().child("out").child("hier");
     const auto xfer_before = hybrid.transfer().stats_snapshot();
     auto t0 = std::chrono::steady_clock::now();
-    auto cold = hybrid.checkout_hierarchy("p", "top", user, dst, /*workers=*/1);
+    auto cold = hybrid.checkout_hierarchy_full("p", "top", user, dst, /*workers=*/1);
     auto t1 = std::chrono::steady_clock::now();
     if (!cold.ok() || cold->rolled_back || !cold->failures.empty()) std::abort();
     const auto xfer_cold = hybrid.transfer().stats_snapshot();
@@ -297,7 +299,7 @@ void print_hierarchy_report() {
     const auto fs_before = hybrid.fs().counters();
     const auto ws_before = hybrid.jcf().workspace_stats();
     auto t2 = std::chrono::steady_clock::now();
-    auto warm = hybrid.checkout_hierarchy("p", "top", user, dst, /*workers=*/1);
+    auto warm = hybrid.checkout_hierarchy_full("p", "top", user, dst, /*workers=*/1);
     auto t3 = std::chrono::steady_clock::now();
     if (!warm.ok() || warm->rolled_back || !warm->failures.empty()) std::abort();
     const auto fs_after = hybrid.fs().counters();
@@ -349,9 +351,132 @@ void print_hierarchy_report() {
       .set(static_cast<std::int64_t>(warm_us));
 }
 
+// -- incremental checkout: change-feed delta vs full warm walk -------------
+//
+// The O(changed) claim (docs/incremental-checkout.md): once a workspace
+// cursor exists, a repeat sync costs work proportional to the DOVs
+// that actually changed, not the hierarchy size. We churn {0, 1, 10}%
+// of a large hierarchy, then time the change-feed delta
+// (checkout_hierarchy) against the full warm walk
+// (checkout_hierarchy_full) over the SAME churn event. The JFM_INCR
+// rows feed scripts/run_benches.py --check-incremental-speedup, which
+// gates >= 5x at 1% churn in CI.
+
+void print_incremental_report() {
+  benchutil::header("incremental checkout: change-feed delta vs full warm walk");
+  constexpr int kIncrCells = 96;
+  constexpr int kIncrGates = 12;  // small payloads: walk cost must dominate
+
+  coupling::HybridConfig config;
+  config.content_addressed_cache = true;
+  coupling::HybridFramework hybrid(config);
+  if (!hybrid.bootstrap().ok()) std::abort();
+  auto user = *hybrid.add_designer("alice");
+  if (!hybrid.create_project("p").ok()) std::abort();
+  std::vector<std::string> cells{"top"};
+  for (int c = 1; c < kIncrCells; ++c) cells.push_back("cell" + std::to_string(c));
+  for (const auto& cell : cells) {
+    if (!hybrid.create_cell("p", cell, user).ok()) std::abort();
+    if (!hybrid.reserve_cell("p", cell, user).ok()) std::abort();
+    auto run = hybrid.run_activity("p", cell, "enter_schematic", user,
+                                   hierarchy_schematic(kIncrGates));
+    if (!run.ok()) std::abort();
+  }
+  for (std::size_t c = 1; c < cells.size(); ++c) {
+    if (!hybrid.declare_child("p", "top", cells[c]).ok()) std::abort();
+  }
+
+  // Two destinations -> two independent cursors; both primed by a
+  // first full sync so every timed row below is a warm repeat.
+  const vfs::Path dst_full = vfs::Path().child("out").child("incr_full");
+  const vfs::Path dst_incr = vfs::Path().child("out").child("incr_delta");
+  for (const auto& dst : {dst_full, dst_incr}) {
+    auto prime = hybrid.checkout_hierarchy_full("p", "top", user, dst, /*workers=*/1);
+    if (!prime.ok() || !prime->failures.empty()) std::abort();
+  }
+
+  auto us = [](auto a, auto b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+  };
+  int edit_seq = 0;
+  char line[256];
+  double speedup_1pct = 0.0;
+  for (int churn_pct : {0, 1, 10}) {
+    const int n_changed = churn_pct == 0 ? 0 : std::max(1, kIncrCells * churn_pct / 100);
+    std::uint64_t full_us = ~0ull;
+    std::uint64_t incr_us = ~0ull;
+    std::size_t full_requests = 0;
+    std::size_t incr_requests = 0;
+    std::size_t incr_skipped = 0;
+    std::size_t incr_feed = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      // Fresh edits each rep (rotating cells, unique net names) so
+      // every rep is a genuine new churn event, not a cache replay.
+      for (int i = 0; i < n_changed; ++i) {
+        const auto& cell = cells[static_cast<std::size_t>(
+            (rep * n_changed + i) % static_cast<int>(cells.size()))];
+        // A new DOV inherits the previous version's content, so the
+        // churn edit is a single fresh net, not the whole schematic.
+        std::vector<coupling::ToolCommand> edits{
+            {"add-net", {"churn" + std::to_string(edit_seq++)}}};
+        if (!hybrid.run_activity("p", cell, "enter_schematic", user, edits).ok()) {
+          std::abort();
+        }
+      }
+      // Delta first: if the shared content cache biases anything, it
+      // biases toward the full walk measured second.
+      auto t0 = std::chrono::steady_clock::now();
+      auto incr = hybrid.checkout_hierarchy("p", "top", user, dst_incr, /*workers=*/1);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!incr.ok() || incr->rolled_back || !incr->failures.empty()) std::abort();
+      if (!incr->incremental || incr->skipped == 0) std::abort();
+      auto t2 = std::chrono::steady_clock::now();
+      auto full = hybrid.checkout_hierarchy_full("p", "top", user, dst_full, /*workers=*/1);
+      auto t3 = std::chrono::steady_clock::now();
+      if (!full.ok() || full->rolled_back || !full->failures.empty()) std::abort();
+      if (incr_us > us(t0, t1)) {
+        incr_us = us(t0, t1);
+        incr_requests = incr->requested;
+        incr_skipped = incr->skipped;
+        incr_feed = incr->feed_size;
+      }
+      if (full_us > us(t2, t3)) {
+        full_us = us(t2, t3);
+        full_requests = full->requested;
+      }
+    }
+    const double speedup = incr_us == 0
+                               ? static_cast<double>(full_us)
+                               : static_cast<double>(full_us) / static_cast<double>(incr_us);
+    if (churn_pct == 1) speedup_1pct = speedup;
+    std::snprintf(line, sizeof(line),
+                  "churn %2d%% (%2d cell(s)): full %8llu us (%zu req)   delta %8llu us "
+                  "(%zu req, %zu skipped, feed %zu, %5.1fx)",
+                  churn_pct, n_changed, static_cast<unsigned long long>(full_us),
+                  full_requests, static_cast<unsigned long long>(incr_us), incr_requests,
+                  incr_skipped, incr_feed, speedup);
+    benchutil::row(line);
+    std::printf("JFM_INCR churn_pct=%d mode=full wall_us=%llu requests=%zu skipped=0 "
+                "feed=0 speedup=1.0\n",
+                churn_pct, static_cast<unsigned long long>(full_us), full_requests);
+    std::printf("JFM_INCR churn_pct=%d mode=incr wall_us=%llu requests=%zu skipped=%zu "
+                "feed=%zu speedup=%.3f\n",
+                churn_pct, static_cast<unsigned long long>(incr_us), incr_requests,
+                incr_skipped, incr_feed, speedup);
+    auto& registry = support::telemetry::Registry::global();
+    const std::string prefix = "bench.incremental_checkout.churn" + std::to_string(churn_pct);
+    registry.gauge(prefix + ".full.us").set(static_cast<std::int64_t>(full_us));
+    registry.gauge(prefix + ".incr.us").set(static_cast<std::int64_t>(incr_us));
+  }
+  std::printf("JFM_INCR_META cells=%d views=%zu incr_speedup_1pct=%.3f\n", kIncrCells,
+              coupling::HybridFramework::standard_views().size(), speedup_1pct);
+}
+
 void print_full_report() {
   print_report();
   print_hierarchy_report();
+  print_incremental_report();
 }
 
 // -- google-benchmark micro-timings ----------------------------------------

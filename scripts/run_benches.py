@@ -38,7 +38,15 @@ registry snapshot (counters / gauges / histograms). This harness:
    ``checkout_hierarchy`` rows (hier_cold / hier_warm). Core-
    independent: both sides are single-threaded; the warm side answers
    from hash memos and should touch zero payload bytes (the bench
-   aborts on its own if it does not).
+   aborts on its own if it does not);
+9. with ``--check-incremental-speedup``, gates on the change-feed
+   delta path (docs/incremental-checkout.md): at 1% churn the
+   incremental ``checkout_hierarchy`` must beat the full warm walk by
+   ``--min-incremental-speedup`` (default 5x), and the
+   ``coupling.checkout.skipped.count`` counter must be non-zero --
+   proof the delta path really skipped unchanged cellviews rather than
+   walking everything. Core-independent: both sides run
+   single-threaded over the same churn event.
 
 Every blob additionally carries an ``executor`` section -- the
 ``executor.*`` counters and gauges of the shared work-stealing pool
@@ -87,6 +95,11 @@ COW_RE = re.compile(
 COW_META_RE = re.compile(
     r"^JFM_S36_COW_META\s+largest_size=(\d+)\s+copies=(\d+)"
     r"\s+cold_copy_speedup=([\d.]+)\s*$")
+INCR_RE = re.compile(
+    r"^JFM_INCR\s+churn_pct=(\d+)\s+mode=(\w+)\s+wall_us=(\d+)"
+    r"\s+requests=(\d+)\s+skipped=(\d+)\s+feed=(\d+)\s+speedup=([\d.]+)\s*$")
+INCR_META_RE = re.compile(
+    r"^JFM_INCR_META\s+cells=(\d+)\s+views=(\d+)\s+incr_speedup_1pct=([\d.]+)\s*$")
 
 
 def discover(build_dir):
@@ -122,6 +135,8 @@ def parse_output(text):
     fault_meta = None
     cow_rows = []
     cow_meta = None
+    incr_rows = []
+    incr_meta = None
     for line in text.splitlines():
         m = METRICS_RE.match(line)
         if m:
@@ -202,8 +217,28 @@ def parse_output(text):
                 "copies": int(m.group(2)),
                 "cold_copy_speedup": float(m.group(3)),
             }
+            continue
+        m = INCR_RE.match(line)
+        if m:
+            incr_rows.append({
+                "churn_pct": int(m.group(1)),
+                "mode": m.group(2),
+                "wall_us": int(m.group(3)),
+                "requests": int(m.group(4)),
+                "skipped": int(m.group(5)),
+                "feed": int(m.group(6)),
+                "speedup": float(m.group(7)),
+            })
+            continue
+        m = INCR_META_RE.match(line)
+        if m:
+            incr_meta = {
+                "cells": int(m.group(1)),
+                "views": int(m.group(2)),
+                "incr_speedup_1pct": float(m.group(3)),
+            }
     return (metrics, rows, meta, query_rows, query_meta, fault_rows, fault_meta,
-            cow_rows, cow_meta)
+            cow_rows, cow_meta, incr_rows, incr_meta)
 
 
 def scaling_threshold(min_scaling, cores):
@@ -245,6 +280,13 @@ def main():
     parser.add_argument("--min-warm-speedup", type=float, default=2.0,
                         help="required workers=1 cold/warm wall-time ratio "
                              "(default: 2.0)")
+    parser.add_argument("--check-incremental-speedup", action="store_true",
+                        help="fail unless the change-feed delta checkout beats the full "
+                             "warm walk by --min-incremental-speedup at 1%% churn, with "
+                             "a non-zero coupling.checkout.skipped.count in the metrics")
+    parser.add_argument("--min-incremental-speedup", type=float, default=5.0,
+                        help="required 1%%-churn delta-vs-full-walk wall-time ratio "
+                             "(default: 5.0)")
     parser.add_argument("--fault-overhead-slack-us", type=int, default=500,
                         help="absolute noise allowance on top of the ratio, in "
                              "microseconds (default: 500)")
@@ -265,6 +307,7 @@ def main():
     oms_query_rows, oms_query_meta = [], None
     fault_rows, fault_meta = [], None
     cow_rows, cow_meta = [], None
+    incr_rows, incr_meta, incr_metrics = [], None, None
     for path in benches:
         name = os.path.basename(path)
         proc = run_bench(path, args.quick)
@@ -273,7 +316,7 @@ def main():
             sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
             continue
         (metrics, rows, meta, query_rows, query_meta, f_rows, f_meta,
-         c_rows, c_meta) = parse_output(proc.stdout)
+         c_rows, c_meta, i_rows, i_meta) = parse_output(proc.stdout)
         blob = {
             "bench": name,
             "quick": args.quick,
@@ -300,6 +343,9 @@ def main():
         if c_rows:
             blob["s36_cow"] = {"runs": c_rows, "meta": c_meta}
             cow_rows, cow_meta = c_rows, c_meta
+        if i_rows:
+            blob["incremental"] = {"runs": i_rows, "meta": i_meta}
+            incr_rows, incr_meta, incr_metrics = i_rows, i_meta, metrics
         out = os.path.join(args.out_dir, f"BENCH_{name}.json")
         with open(out, "w") as fh:
             json.dump(blob, fh, indent=2, sort_keys=True)
@@ -378,6 +424,31 @@ def main():
                     print(f"run_benches: warm gate ok ({cold_mode} {w1[cold_mode]} us "
                           f"/ {warm_mode} {w1[warm_mode]} us = {ratio:.2f}x >= "
                           f"{args.min_warm_speedup:.2f}x)")
+
+    if args.check_incremental_speedup:
+        incr1 = [r for r in incr_rows
+                 if r["churn_pct"] == 1 and r["mode"] == "incr"]
+        if not incr1:
+            failures.append("incremental gate: no churn_pct=1 incr JFM_INCR row")
+        else:
+            row = incr1[0]
+            skipped_counter = ((incr_metrics or {}).get("counters") or {}).get(
+                "coupling.checkout.skipped.count", 0)
+            if row["speedup"] < args.min_incremental_speedup:
+                failures.append(
+                    f"incremental gate: 1%-churn delta speedup {row['speedup']:.2f}x "
+                    f"< required {args.min_incremental_speedup:.2f}x "
+                    f"(delta {row['wall_us']} us)")
+            elif row["skipped"] == 0 or skipped_counter == 0:
+                failures.append(
+                    f"incremental gate: delta ran but skipped nothing "
+                    f"(row skipped={row['skipped']}, "
+                    f"coupling.checkout.skipped.count={skipped_counter})")
+            else:
+                print(f"run_benches: incremental gate ok "
+                      f"({row['speedup']:.2f}x >= "
+                      f"{args.min_incremental_speedup:.2f}x at 1% churn, "
+                      f"{skipped_counter} cellviews skipped)")
 
     if args.check_fault_overhead:
         workers = fault_meta["workers"] if fault_meta else 4

@@ -24,6 +24,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,13 @@ struct HybridConfig {
   /// the paper-faithful physical duplication on every copy -- the
   /// bench_s36/bench_parallel_checkout ablation, bit-identical results.
   bool cow_extents = true;
+  /// Incremental O(changed) checkout (docs/incremental-checkout.md):
+  /// repeat checkout_hierarchy calls build their request list from the
+  /// JCF change feed instead of re-walking the whole hierarchy, and
+  /// skip unchanged cellviews before any lock or cache probe. false
+  /// restores the full walk on every call -- the ablation, which must
+  /// stay bit-identical in materialized files.
+  bool incremental_checkout = true;
   /// Future work (s3.3): tools pass hierarchy to JCF procedurally.
   bool procedural_hierarchy_interface = false;
   /// Future JCF releases: accept non-isomorphic hierarchies.
@@ -206,12 +215,49 @@ class HybridFramework {
     bool rolled_back = false;        ///< failures occurred; dst_dir was restored
     std::size_t restored = 0;        ///< journal entries replayed by the rollback
     std::vector<std::string> failures;  ///< "cell/view: message"
+    /// Incremental sync (docs/incremental-checkout.md): this checkout
+    /// was served from the change feed instead of a full walk.
+    bool incremental = false;
+    std::size_t skipped = 0;    ///< known cellviews skipped as unchanged
+    std::size_t feed_size = 0;  ///< change-feed rows consumed (incremental only)
   };
+  /// Repeat checkouts of the same (project, root, user, dst_dir) ride
+  /// the change feed when config().incremental_checkout is on: the
+  /// request list is built from DOVs changed since the workspace's
+  /// cursor, unchanged cellviews are skipped before any lock or cache
+  /// probe, and the first sync / a hierarchy-shape change / a restore
+  /// fall back to the full walk. Materialized files are bit-identical
+  /// to the full walk either way.
   support::Result<CheckoutReport> checkout_hierarchy(const std::string& project,
                                                      const std::string& root_cell,
                                                      jcf::UserRef user, const vfs::Path& dst_dir,
                                                      std::size_t workers = 4,
                                                      std::uint64_t timeout_us = 0);
+  /// Always performs the full hierarchy walk (the incremental_checkout
+  /// ablation path, also the repair tool when dst_dir was modified
+  /// behind the framework's back). Still records the sync cursor, so a
+  /// later checkout_hierarchy can continue incrementally.
+  support::Result<CheckoutReport> checkout_hierarchy_full(
+      const std::string& project, const std::string& root_cell, jcf::UserRef user,
+      const vfs::Path& dst_dir, std::size_t workers = 4, std::uint64_t timeout_us = 0);
+
+  /// Per-workspace sync cursor: one per (project, root cell, user,
+  /// dst_dir), advanced only by a SUCCESSFUL checkout -- a rolled-back
+  /// delta leaves the cursor unmoved, so the failed delta is re-synced
+  /// next time.
+  struct CheckoutCursor {
+    std::uint64_t epoch = 0;            ///< store epoch of the last successful sync
+    std::uint64_t structure_epoch = 0;  ///< hierarchy shape at that sync
+    std::size_t cells = 0;              ///< cells enumerated by the last full walk
+    std::set<std::string> known;        ///< "cell/view" labels materialized in dst
+    std::uint64_t syncs = 0;            ///< successful syncs through this cursor
+    std::uint64_t incremental_syncs = 0;
+    std::uint64_t last_feed = 0;     ///< feed rows consumed by the last sync
+    std::uint64_t last_skipped = 0;  ///< cellviews skipped by the last sync
+  };
+  /// Snapshot of every workspace cursor, keyed
+  /// "project|root|user#<id>|dst" (the desktop's `stats changes`).
+  std::map<std::string, CheckoutCursor> checkout_cursors() const;
 
   // -- analysis on the master's data ---------------------------------------
   /// Layout-versus-schematic comparison of a cell's two views, read out
@@ -262,6 +308,12 @@ class HybridFramework {
   fmcad::DesignerSession* session_for(ProjectCtx& ctx, const std::string& user);
   support::Result<jcf::VariantRef> work_variant(const std::string& project,
                                                 const std::string& cell) const;
+  /// Shared body of checkout_hierarchy / checkout_hierarchy_full.
+  support::Result<CheckoutReport> checkout_sync(const std::string& project,
+                                                const std::string& root_cell, jcf::UserRef user,
+                                                const vfs::Path& dst_dir, std::size_t workers,
+                                                std::uint64_t timeout_us,
+                                                bool allow_incremental);
   void install_guards();
   void show_window(const std::string& message, std::vector<std::string>* run_log);
 
@@ -279,6 +331,11 @@ class HybridFramework {
   jcf::TeamRef team_;
   jcf::FlowRef flow_;
   std::map<std::string, ProjectCtx> projects_;
+  /// Workspace sync cursors (docs/incremental-checkout.md). Guarded by
+  /// cursors_mu_: concurrent checkouts into distinct destinations are
+  /// legal and each owns its own entry.
+  mutable std::mutex cursors_mu_;
+  std::map<std::string, CheckoutCursor> cursors_;
   std::vector<std::string> consistency_log_;
   UiBurden ui_burden_;
 

@@ -146,17 +146,30 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     return {};
   }
   if (cmd == "checkout") {
-    if (words.size() != 4) return usage("checkout <project> <cell> <designer>");
+    // Plain checkout always re-walks the full hierarchy; with
+    // --incremental, repeat checkouts of the same cell ride the change
+    // feed and sync only what changed (docs/incremental-checkout.md).
+    const bool incremental = words.size() == 5 && words[4] == "--incremental";
+    if (words.size() != 4 && !incremental) {
+      return usage("checkout <project> <cell> <designer> [--incremental]");
+    }
     auto user = hybrid_->jcf().find_user(words[3]);
     if (!user.ok()) return Status(user.error());
     vfs::Path dst = vfs::Path().child("scratch").child("checkout_" + words[2]);
-    auto report = hybrid_->checkout_hierarchy(words[1], words[2], *user, dst);
+    auto report = incremental
+                      ? hybrid_->checkout_hierarchy(words[1], words[2], *user, dst)
+                      : hybrid_->checkout_hierarchy_full(words[1], words[2], *user, dst);
     if (!report.ok()) return Status(report.error());
-    say("checked out " + words[2] + " hierarchy: " + std::to_string(report->exported) + "/" +
-        std::to_string(report->requested) + " cellviews from " +
-        std::to_string(report->cells) + " cell(s), " +
+    say(std::string("checked out ") + words[2] +
+        (report->incremental ? " delta: " : " hierarchy: ") +
+        std::to_string(report->exported) + "/" + std::to_string(report->requested) +
+        " cellviews from " + std::to_string(report->cells) + " cell(s), " +
         std::to_string(report->bytes_exported) + " bytes, " +
         std::to_string(report->cache_hits) + " cache hit(s)");
+    if (report->incremental) {
+      say("  feed " + std::to_string(report->feed_size) + " change(s), skipped " +
+          std::to_string(report->skipped) + " unchanged cellview(s)");
+    }
     for (const auto& failure : report->failures) say("  [failed] " + failure);
     return {};
   }
@@ -177,14 +190,17 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     return {};
   }
   if (cmd == "stats") {
-    // stats [json] [index|faults|cow|executor] [prefix] -- dump the
-    // process-wide
-    // metrics registry; `stats index` summarizes OMS index
-    // effectiveness, `stats faults` the fault-injection / recovery
-    // digest (docs/fault-injection.md), `stats cow` the extent-sharing
-    // digest (docs/vfs-cow.md), `stats executor` the shared work-
-    // stealing pool (docs/executor.md).
-    if (words.size() > 3) return usage("stats [json|index|faults|cow|executor] [prefix]");
+    // stats [json] [index|faults|cow|executor|changes] [prefix] --
+    // dump the process-wide metrics registry; `stats index` summarizes
+    // OMS index effectiveness, `stats faults` the fault-injection /
+    // recovery digest (docs/fault-injection.md), `stats cow` the
+    // extent-sharing digest (docs/vfs-cow.md), `stats executor` the
+    // shared work-stealing pool (docs/executor.md), `stats changes`
+    // the change-tracking spine and the per-workspace checkout cursors
+    // (docs/incremental-checkout.md).
+    if (words.size() > 3) {
+      return usage("stats [json|index|faults|cow|executor|changes] [prefix]");
+    }
     namespace telemetry = support::telemetry;
     if (words.size() == 2 && words[1] == "cow") {
       // cow_snapshot() walks the live tree and refreshes the
@@ -273,6 +289,29 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
       say("find_one: hits=" + std::to_string(hits) + " misses=" + std::to_string(misses));
       say("maintenance: adds=" + std::to_string(counter("oms.index.add.count")) +
           " removes=" + std::to_string(counter("oms.index.remove.count")));
+      return {};
+    }
+    if (words.size() == 2 && words[1] == "changes") {
+      auto counter = [&snapshot](const char* name) -> std::uint64_t {
+        auto it = snapshot.counters.find(name);
+        return it == snapshot.counters.end() ? 0 : it->second;
+      };
+      say("epochs: store=" + std::to_string(hybrid_->jcf().store().epoch()) +
+          " structure=" + std::to_string(hybrid_->jcf().structure_epoch()));
+      say("feed: served=" + std::to_string(counter("jcf.changes.feed.count")));
+      say("checkout: incremental=" +
+          std::to_string(counter("coupling.checkout.incremental.count")) + " skipped=" +
+          std::to_string(counter("coupling.checkout.skipped.count")));
+      const auto cursors = hybrid_->checkout_cursors();
+      say("cursors: " + std::to_string(cursors.size()));
+      for (const auto& [key, cur] : cursors) {
+        say("  " + key + ": epoch=" + std::to_string(cur.epoch) + " structure=" +
+            std::to_string(cur.structure_epoch) + " known=" +
+            std::to_string(cur.known.size()) + " syncs=" + std::to_string(cur.syncs) +
+            " (" + std::to_string(cur.incremental_syncs) + " incremental) last_feed=" +
+            std::to_string(cur.last_feed) + " last_skipped=" +
+            std::to_string(cur.last_skipped));
+      }
       return {};
     }
     const bool json = words.size() >= 2 && words[1] == "json";

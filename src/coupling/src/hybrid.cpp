@@ -795,6 +795,27 @@ Result<std::string> HybridFramework::open_read_only(const std::string& project,
 Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
     const std::string& project, const std::string& root_cell, jcf::UserRef user,
     const vfs::Path& dst_dir, std::size_t workers, std::uint64_t timeout_us) {
+  return checkout_sync(project, root_cell, user, dst_dir, workers, timeout_us,
+                       /*allow_incremental=*/true);
+}
+
+Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy_full(
+    const std::string& project, const std::string& root_cell, jcf::UserRef user,
+    const vfs::Path& dst_dir, std::size_t workers, std::uint64_t timeout_us) {
+  return checkout_sync(project, root_cell, user, dst_dir, workers, timeout_us,
+                       /*allow_incremental=*/false);
+}
+
+std::map<std::string, HybridFramework::CheckoutCursor> HybridFramework::checkout_cursors()
+    const {
+  std::lock_guard<std::mutex> lock(cursors_mu_);
+  return cursors_;
+}
+
+Result<HybridFramework::CheckoutReport> HybridFramework::checkout_sync(
+    const std::string& project, const std::string& root_cell, jcf::UserRef user,
+    const vfs::Path& dst_dir, std::size_t workers, std::uint64_t timeout_us,
+    bool allow_incremental) {
   using Report = Result<CheckoutReport>;
   JFM_SPAN("coupling", "checkout_hierarchy");
   const ProjectCtx* ctx = project_ctx(project);
@@ -803,13 +824,112 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
   if (!root.ok()) return forward_error<CheckoutReport>(root.error());
   if (auto st = fs_.mkdirs(dst_dir); !st.ok()) return forward_error<CheckoutReport>(st.error());
 
-  // Collect the CompOf closure: root cell + transitive children, each
-  // cell once (diamonds are legal in the hierarchy).
-  std::vector<std::string> cells;
+  // Snapshot both epochs BEFORE enumerating anything: a mutation that
+  // slips in after the snapshot is re-examined by the next sync (the
+  // cursor only advances to the snapshot), so the delta protocol is
+  // at-least-once and never loses a change.
+  const std::string cursor_key = project + "|" + root_cell + "|user#" +
+                                 std::to_string(user.id.raw()) + "|" + dst_dir.str();
+  const std::uint64_t store_epoch_now = jcf_.store().epoch();
+  const std::uint64_t structure_now = jcf_.structure_epoch();
+  std::optional<CheckoutCursor> cursor;
+  {
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    if (auto it = cursors_.find(cursor_key); it != cursors_.end()) cursor = it->second;
+  }
+  // Cursor invalidation (docs/incremental-checkout.md): fall back to
+  // the full walk on the first sync, after any hierarchy-shape change,
+  // and when the cursor claims an epoch the store has never reached (a
+  // restore reset the epoch history).
+  const bool incremental = allow_incremental && config_.incremental_checkout &&
+                           cursor.has_value() &&
+                           cursor->structure_epoch == structure_now &&
+                           cursor->epoch <= store_epoch_now;
+
   std::vector<ExportRequest> requests;
   std::vector<std::string> labels;
   CheckoutReport report;
-  {
+  report.incremental = incremental;
+  if (incremental) {
+    // O(changed): the request list comes from the change feed alone --
+    // no project->cell->version->DOV walk, no per-cellview lock or
+    // cache probe for unchanged subtrees.
+    JFM_SPAN("coupling", "checkout_delta");
+    const auto feed = jcf_.dovs_changed_since(cursor->epoch);
+    report.feed_size = feed.size();
+    // Membership in the root's CompOf closure, resolved UPWARD from
+    // the changed cell with memoization: the downward walk visits a
+    // cell when some ancestor chain of latest cell versions leads to
+    // the root, so the probe follows parents() and only accepts
+    // parents that are their cell's latest version.
+    std::map<std::uint64_t, bool> member_memo;
+    auto in_subtree = [&](jcf::CellRef cell, auto&& self) -> bool {
+      if (cell == *root) return true;
+      if (auto it = member_memo.find(cell.id.raw()); it != member_memo.end()) {
+        return it->second;
+      }
+      member_memo[cell.id.raw()] = false;  // cycle guard; CompOf is acyclic anyway
+      bool found = false;
+      auto cvs = jcf_.cell_versions(cell);
+      if (cvs.ok()) {
+        for (auto cv : *cvs) {
+          auto parents = jcf_.parents(cv);
+          if (!parents.ok()) continue;
+          for (auto parent : *parents) {
+            auto parent_cell = jcf_.cell_of(parent);
+            if (!parent_cell.ok()) continue;
+            auto parent_latest = jcf_.latest_cell_version(*parent_cell);
+            if (!parent_latest.ok() || !(*parent_latest == parent)) continue;
+            if (self(*parent_cell, self)) {
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+        }
+      }
+      member_memo[cell.id.raw()] = found;
+      return found;
+    };
+    const auto& views = standard_views();
+    std::set<std::uint64_t> dobjs_seen;
+    std::set<std::string> delta_cells;
+    for (const auto& change : feed) {
+      // Several feed rows may map to one design object (a new DOV
+      // stamps the superseded predecessor too); each dobj resolves to
+      // at most one request, always for its latest version.
+      if (!dobjs_seen.insert(change.dobj.id.raw()).second) continue;
+      auto view = jcf_.name_of(change.dobj);
+      if (!view.ok() || std::find(views.begin(), views.end(), *view) == views.end()) continue;
+      auto variant = jcf_.variant_of(change.dobj);
+      if (!variant.ok()) continue;
+      auto cv = jcf_.cell_version_of(*variant);
+      if (!cv.ok()) continue;
+      auto cell = jcf_.cell_of(*cv);
+      if (!cell.ok()) continue;
+      auto cell_name = jcf_.name_of(cell->id);
+      if (!cell_name.ok()) continue;
+      // Only the work variant of the cell's latest version is checked
+      // out; data in other variants/versions never reaches dst.
+      auto work = work_variant(project, *cell_name);
+      if (!work.ok() || !(*work == *variant)) continue;
+      if (!in_subtree(*cell, in_subtree)) continue;
+      auto dov = jcf_.latest_dov(change.dobj);
+      if (!dov.ok()) continue;
+      requests.push_back({*dov, user, dst_dir.child(*cell_name + "_" + *view)});
+      labels.push_back(*cell_name + "/" + *view);
+      delta_cells.insert(*cell_name);
+    }
+    report.cells = delta_cells.size();
+    // Everything the cursor knows about and the delta does not touch
+    // is skipped outright -- before any lock or cache probe.
+    for (const auto& known : cursor->known) {
+      if (std::find(labels.begin(), labels.end(), known) == labels.end()) ++report.skipped;
+    }
+  } else {
+    // Full walk: collect the CompOf closure -- root cell + transitive
+    // children, each cell once (diamonds are legal in the hierarchy).
+    std::vector<std::string> cells;
     JFM_SPAN("coupling", "hierarchy_closure");
     std::set<std::string> seen;
     std::vector<jcf::CellRef> frontier{*root};
@@ -830,10 +950,12 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
     }
 
     report.cells = cells.size();
+    // The view list is identical for every cell; enumerate it once.
+    const auto& views = standard_views();
     for (const auto& cell : cells) {
       auto variant = work_variant(project, cell);
       if (!variant.ok()) continue;
-      for (const auto& view : standard_views()) {
+      for (const auto& view : views) {
         auto dobj = jcf_.find_design_object(*variant, view);
         if (!dobj.ok()) continue;
         auto dov = jcf_.latest_dov(*dobj);
@@ -850,9 +972,15 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
       telemetry::Registry::global().counter("coupling.checkout.cells.count");
   static auto& checkout_files =
       telemetry::Registry::global().counter("coupling.checkout.files.count");
+  static auto& checkout_skipped =
+      telemetry::Registry::global().counter("coupling.checkout.skipped.count");
+  static auto& checkout_incremental =
+      telemetry::Registry::global().counter("coupling.checkout.incremental.count");
   checkouts.add(1);
   checkout_cells.add(report.cells);
   checkout_files.add(report.requested);
+  checkout_skipped.add(report.skipped);
+  if (report.incremental) checkout_incremental.add(1);
 
   // Phase 1 (journal): capture the pre-image of every destination this
   // batch may touch, BEFORE any byte moves. Three cases per item:
@@ -979,6 +1107,26 @@ Result<HybridFramework::CheckoutReport> HybridFramework::checkout_hierarchy(
       ++report.restored;
       restored_files.add(1);
     }
+  }
+
+  if (report.failures.empty()) {
+    // Advance the cursor only on clean success: a rolled-back delta
+    // leaves it unmoved, so the next sync re-derives the same delta
+    // (plus anything newer) and retries it.
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    CheckoutCursor& cur = cursors_[cursor_key];
+    cur.epoch = store_epoch_now;
+    cur.structure_epoch = structure_now;
+    if (report.incremental) {
+      cur.known.insert(labels.begin(), labels.end());
+      ++cur.incremental_syncs;
+    } else {
+      cur.known = std::set<std::string>(labels.begin(), labels.end());
+      cur.cells = report.cells;
+    }
+    ++cur.syncs;
+    cur.last_feed = report.feed_size;
+    cur.last_skipped = report.skipped;
   }
   return report;
 }

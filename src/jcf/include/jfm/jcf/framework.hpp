@@ -162,6 +162,8 @@ class JcfFramework {
   support::Result<std::vector<DesignObjectRef>> design_objects(VariantRef variant) const;
   support::Result<DesignObjectRef> find_design_object(VariantRef variant,
                                                       const std::string& name) const;
+  /// The variant a design object belongs to (reverse of design_objects).
+  support::Result<VariantRef> variant_of(DesignObjectRef dobj) const;
   support::Result<ViewTypeRef> viewtype_of(DesignObjectRef dobj) const;
 
   /// Store design data as a new version of `dobj` (workspace required).
@@ -210,6 +212,38 @@ class JcfFramework {
   /// the DOV's buffer is populated (DOVs are immutable, so it never
   /// invalidates).
   support::Result<DovFingerprint> dov_fingerprint(DovRef dov, UserRef reader);
+
+  /// One row of the DOV change feed: a design-object version whose OMS
+  /// object mutated after the consumer's epoch -- created, published or
+  /// superseded (gaining a dov_precedes successor stamps the
+  /// predecessor too). Carries everything a sync consumer needs to
+  /// decide staleness without walking project->cell->version->DOV.
+  struct DovChange {
+    DovRef dov;
+    DesignObjectRef dobj;
+    /// store epoch of the DOV's last mutation
+    std::uint64_t modified = 0;
+    bool published = false;
+    DovFingerprint fingerprint;
+  };
+  /// Everything that changed in the DOV population since `epoch`
+  /// (exclusive), in id order -- served from the store's per-class
+  /// epoch index, O(changed), no payload reads. Administrative feed
+  /// for sync consumers (the coupling layer's incremental checkout):
+  /// no visibility gate -- readers enforce visibility when they fetch
+  /// data. Counted under jcf.changes.feed.count. Pair with
+  /// store().epoch() snapshotted BEFORE consuming the feed.
+  std::vector<DovChange> dovs_changed_since(std::uint64_t epoch) const;
+  /// Monotonic counter of hierarchy-shape changes: cells, cell
+  /// versions, variants, CompOf edges, cross-project shares. A sync
+  /// consumer whose cursor predates a shape change cannot trust the
+  /// change feed alone (the set of cells under its root may differ)
+  /// and must fall back to a full walk. reserve/publish do NOT bump
+  /// it -- workspace churn is exactly what the feed covers.
+  std::uint64_t structure_epoch() const noexcept {
+    return structure_epoch_.load(std::memory_order_acquire);
+  }
+
   support::Status set_equivalent(DovRef a, DovRef b);
   support::Result<bool> is_equivalent(DovRef a, DovRef b) const;
 
@@ -303,6 +337,7 @@ class JcfFramework {
   oms::Store store_;
   support::SimClock* clock_;
   AtomicWorkspaceStats ws_stats_;
+  std::atomic<std::uint64_t> structure_epoch_{0};
   std::vector<std::pair<std::uint64_t, DovCreatedListener>> dov_listeners_;
   std::uint64_t next_listener_token_ = 0;
 };

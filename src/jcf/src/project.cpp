@@ -61,6 +61,7 @@ Result<CellRef> JcfFramework::create_cell(ProjectRef project, const std::string&
   (void)store_.link(rel::project_cell, project.id, *id);
   (void)store_.link(rel::cell_flow, *id, flow.id);
   (void)store_.link(rel::cell_team, *id, team.id);
+  structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return CellRef(*id);
 }
 
@@ -95,7 +96,9 @@ Status JcfFramework::share_cell(ProjectRef borrower, CellRef cell) {
   if (store_.linked(rel::project_shared, borrower.id, cell.id)) {
     return support::fail(Errc::already_exists, "cell is already shared into this project");
   }
-  return store_.link(rel::project_shared, borrower.id, cell.id);
+  auto st = store_.link(rel::project_shared, borrower.id, cell.id);
+  if (st.ok()) structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return st;
 }
 
 Result<std::vector<CellRef>> JcfFramework::shared_cells(ProjectRef project) const {
@@ -153,6 +156,7 @@ Result<CellVersionRef> JcfFramework::create_cell_version(CellRef cell, UserRef c
   auto flow = detail::single_target(store_, rel::cell_flow, cell.id, "cell flow");
   if (flow.ok()) (void)store_.link(rel::cv_flow, *id, *flow);
   (void)store_.link(rel::cv_team, *id, *team);
+  structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return CellVersionRef(*id);
 }
 
@@ -241,6 +245,7 @@ Result<VariantRef> JcfFramework::create_variant(CellVersionRef cv, const std::st
   if (!id.ok()) return Result<VariantRef>::failure(id.error().code, id.error().message);
   (void)store_.set(*id, "name", oms::AttrValue(name));
   (void)store_.link(rel::cv_variant, cv.id, *id);
+  structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return VariantRef(*id);
 }
 
@@ -320,6 +325,12 @@ Result<DesignObjectRef> JcfFramework::find_design_object(VariantRef variant,
   return Result<DesignObjectRef>::failure(Errc::not_found, "design object '" + name + "'");
 }
 
+Result<VariantRef> JcfFramework::variant_of(DesignObjectRef dobj) const {
+  auto id = detail::single_source(store_, rel::variant_do, dobj.id, "design object");
+  if (!id.ok()) return Result<VariantRef>::failure(id.error().code, id.error().message);
+  return VariantRef(*id);
+}
+
 Result<ViewTypeRef> JcfFramework::viewtype_of(DesignObjectRef dobj) const {
   auto id = detail::single_target(store_, rel::do_viewtype, dobj.id, "design object viewtype");
   if (!id.ok()) return Result<ViewTypeRef>::failure(id.error().code, id.error().message);
@@ -362,11 +373,15 @@ Status JcfFramework::add_child(CellVersionRef parent, CellVersionRef child) {
   if (reachable(store_, child.id, parent.id, 0)) {
     return support::fail(Errc::consistency_violation, "CompOf hierarchy would become cyclic");
   }
-  return store_.link(rel::comp_of, parent.id, child.id);
+  auto st = store_.link(rel::comp_of, parent.id, child.id);
+  if (st.ok()) structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return st;
 }
 
 Status JcfFramework::remove_child(CellVersionRef parent, CellVersionRef child) {
-  return store_.unlink(rel::comp_of, parent.id, child.id);
+  auto st = store_.unlink(rel::comp_of, parent.id, child.id);
+  if (st.ok()) structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return st;
 }
 
 Result<std::vector<CellVersionRef>> JcfFramework::children(CellVersionRef parent) const {

@@ -25,7 +25,12 @@ Status JcfFramework::checkpoint(vfs::FileSystem& fs, const vfs::Path& file) cons
 }
 
 Status JcfFramework::restore(const vfs::FileSystem& fs, const vfs::Path& file) {
-  return oms::Dump::import_store(store_, fs, file);
+  auto st = oms::Dump::import_store(store_, fs, file);
+  // A restored store starts its mutation-epoch history fresh, so any
+  // change-feed cursor taken before the restore is meaningless; the
+  // structure bump forces sync consumers back to a full walk.
+  if (st.ok()) structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return st;
 }
 
 Result<UserRef> JcfFramework::create_user(const std::string& name) {

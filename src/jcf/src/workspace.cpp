@@ -73,11 +73,20 @@ Status JcfFramework::publish(CellVersionRef cv, UserRef user) {
       auto dovs = dov_versions(dobj);
       if (!dovs.ok()) return Status(dovs.error());
       for (auto dov : *dovs) {
+        // Skip DOVs that are already visible: re-stamping them would
+        // bump their mutation epoch and flood the change feed with
+        // unchanged versions on every publish cycle
+        // (docs/incremental-checkout.md).
+        auto published = store_.get_bool(dov.id, "published");
+        if (published.ok() && *published) continue;
         (void)store_.set(dov.id, "published", oms::AttrValue(true));
       }
     }
   }
-  (void)store_.set(cv.id, "published", oms::AttrValue(true));
+  auto cv_published = store_.get_bool(cv.id, "published");
+  if (!cv_published.ok() || !*cv_published) {
+    (void)store_.set(cv.id, "published", oms::AttrValue(true));
+  }
   ws_stats_.publishes.fetch_add(1, std::memory_order_relaxed);
   ws_counter("publish").add(1);
   return store_.set(cv.id, "reserved_by", oms::AttrValue(std::string()));
@@ -258,6 +267,34 @@ Result<JcfFramework::DovFingerprint> JcfFramework::dov_fingerprint(DovRef dov,
   static auto& probes = telemetry::Registry::global().counter("jcf.dov.fingerprint.count");
   probes.add(1);
   return DovFingerprint{fp->hash, fp->size};
+}
+
+std::vector<JcfFramework::DovChange> JcfFramework::dovs_changed_since(
+    std::uint64_t epoch) const {
+  JFM_SPAN("jcf", "changes_feed");
+  std::vector<DovChange> out;
+  for (const auto& [id, modified] : store_.objects_changed_since(cls::Dov, epoch)) {
+    DovChange change;
+    change.dov = DovRef(id);
+    change.modified = modified;
+    auto dobj = design_object_of(change.dov);
+    // A DOV mid-construction (created but not yet linked to its design
+    // object) is invisible to the feed; the link itself restamps it,
+    // so it reappears once attached.
+    if (!dobj.ok()) continue;
+    change.dobj = *dobj;
+    auto published = store_.get_bool(id, "published");
+    change.published = published.ok() && *published;
+    // Constant-size payload summary straight off the store's hash
+    // memo -- the feed never reads design data.
+    if (auto fp = store_.text_fingerprint(id, "data"); fp.ok()) {
+      change.fingerprint = DovFingerprint{fp->hash, fp->size};
+    }
+    out.push_back(change);
+  }
+  static auto& feed = telemetry::Registry::global().counter("jcf.changes.feed.count");
+  feed.add(out.size());
+  return out;
 }
 
 }  // namespace jfm::jcf

@@ -28,6 +28,17 @@
 // full-scan path (StoreOptions::secondary_indexes=false, kept as the
 // bench ablation).
 //
+// Change tracking (docs/incremental-checkout.md): the store carries a
+// monotonic mutation epoch, bumped on every mutation. Every live
+// object is stamped with the epoch of its last mutation, and a
+// per-class epoch-ordered index answers objects_changed_since() in
+// O(changed) -- no full scans. Stamps are journaled exactly like the
+// secondary indexes, so abort() restores them; the epoch counter
+// itself never moves backwards (aborted work leaves a gap, which is
+// harmless: consumers only ever ask "changed since E"). Unlike the
+// secondary indexes the epoch layer has no ablation -- it is
+// maintained unconditionally.
+//
 // Read isolation (docs/concurrency.md): the store carries one
 // reader-writer lock. All const queries (get*/targets/sources/
 // objects_of/find*/linked/exists/class_of) take shared access -- the
@@ -92,6 +103,13 @@ struct HashedText {
 struct TextFingerprint {
   std::uint64_t hash = 0;
   std::uint64_t size = 0;
+};
+
+/// One row of objects_changed_since(): a live object and the epoch of
+/// its last committed mutation.
+struct ChangedObject {
+  ObjectId id;
+  std::uint64_t modified = 0;
 };
 
 struct StoreOptions {
@@ -163,6 +181,21 @@ class Store {
   std::optional<ObjectId> find_one(std::string_view class_name, std::string_view attr,
                                    const AttrValue& value) const;
 
+  // -- change tracking ---------------------------------------------------
+  /// The store-wide mutation epoch: 0 for a pristine store, bumped on
+  /// every mutation (create/destroy/set/link/unlink). Lock-free --
+  /// callable concurrently with mutators -- so a consumer can snapshot
+  /// it BEFORE reading state and later ask "what changed since".
+  std::uint64_t epoch() const noexcept { return epoch_.load(std::memory_order_acquire); }
+  /// Live objects of `class_name` (including subclasses) whose last
+  /// mutation is AFTER `epoch`, in id order. Served from the per-class
+  /// epoch index: O(changed + log n), never a store scan. Objects
+  /// destroyed since simply drop out (live objects only), and an
+  /// aborted transaction restores the stamps it touched, so committed
+  /// state alone is visible.
+  std::vector<ChangedObject> objects_changed_since(std::string_view class_name,
+                                                   std::uint64_t epoch) const;
+
   // -- transactions ------------------------------------------------------
   support::Status begin();
   support::Status commit();
@@ -222,6 +255,11 @@ class Store {
     std::string class_name;
     std::map<std::string, StoredValue, std::less<>> attrs;
     support::Timestamp created = 0;
+    /// Epoch of the last committed mutation touching this object
+    /// (0 = never stamped). Journal-restored on abort, mirrored in
+    /// epoch_index_. Not serialized by Dump: a restored store starts
+    /// its epoch history fresh (docs/incremental-checkout.md).
+    std::uint64_t modified = 0;
   };
 
   using Edge = std::pair<ObjectId, ObjectId>;
@@ -287,6 +325,15 @@ class Store {
   void edge_insert(RelationIndex& index, ObjectId from, ObjectId to);
   void edge_erase(RelationIndex& index, ObjectId from, ObjectId to);
 
+  // -- epoch maintenance (mu_ held exclusively) --------------------------
+  // Unlike the secondary indexes these have no ablation: the epoch
+  // layer is maintained unconditionally.
+  /// Bump the store epoch, restamp `obj`, move its epoch-index entry
+  /// and journal the restoration of the previous stamp.
+  void touch(ObjectId id, Object& obj);
+  void epoch_entry_insert(const std::string& cls, std::uint64_t epoch, ObjectId id);
+  void epoch_entry_erase(const std::string& cls, std::uint64_t epoch, ObjectId id);
+
   Schema schema_;
   support::SimClock* clock_;
   StoreOptions options_;
@@ -302,6 +349,15 @@ class Store {
   // the subclass closure over it
   std::map<std::string, std::map<std::string, ValueBucket, std::less<>>, std::less<>>
       attr_index_;
+  // exact class -> last-modified epoch -> live object. Written under
+  // mu_ exclusive alongside the object stamp; objects_changed_since
+  // walks upper_bound(epoch)..end per subclass. Stamps are unique per
+  // object (each touch() issues a fresh epoch), so the value is a
+  // single id, and a set<> per epoch is unnecessary.
+  std::map<std::string, std::map<std::uint64_t, ObjectId>, std::less<>> epoch_index_;
+  // store-wide mutation epoch; bumped under mu_ exclusive, read
+  // lock-free by epoch()
+  std::atomic<std::uint64_t> epoch_{0};
   std::vector<std::function<void()>> undo_log_;
   std::atomic<bool> tx_open_{false};
 };

@@ -268,6 +268,36 @@ void Store::edge_erase(RelationIndex& index, ObjectId from, ObjectId to) {
   }
 }
 
+// ======================= epoch maintenance ================================
+
+void Store::epoch_entry_insert(const std::string& cls, std::uint64_t epoch, ObjectId id) {
+  epoch_index_[cls].emplace(epoch, id);
+}
+
+void Store::epoch_entry_erase(const std::string& cls, std::uint64_t epoch, ObjectId id) {
+  auto cit = epoch_index_.find(cls);
+  if (cit == epoch_index_.end()) return;
+  auto eit = cit->second.find(epoch);
+  if (eit != cit->second.end() && eit->second == id) cit->second.erase(eit);
+}
+
+void Store::touch(ObjectId id, Object& obj) {
+  const std::uint64_t prev = obj.modified;
+  // fetch_add under mu_ exclusive; the atomic exists so epoch() can
+  // read without the lock.
+  const std::uint64_t now = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (prev != 0) epoch_entry_erase(obj.class_name, prev, id);
+  obj.modified = now;
+  epoch_entry_insert(obj.class_name, now, id);
+  journal([this, id, prev] {
+    auto it = objects_.find(id);
+    if (it == objects_.end()) return;
+    epoch_entry_erase(it->second.class_name, it->second.modified, id);
+    it->second.modified = prev;
+    if (prev != 0) epoch_entry_insert(it->second.class_name, prev, id);
+  });
+}
+
 // ======================= objects ==========================================
 
 Result<ObjectId> Store::create(std::string_view class_name) {
@@ -282,12 +312,15 @@ Result<ObjectId> Store::create(std::string_view class_name) {
   obj.created = clock_->tick();
   auto it = objects_.emplace(id, std::move(obj)).first;
   index_add_object(id, it->second);
+  // The erase closure runs AFTER touch()'s undo (reverse replay), which
+  // has already removed the epoch entry and zeroed the stamp.
   journal([this, id] {
     if (auto oit = objects_.find(id); oit != objects_.end()) {
       index_remove_object(id, oit->second);
       objects_.erase(oit);
     }
   });
+  touch(id, it->second);
   return id;
 }
 
@@ -298,9 +331,15 @@ Status Store::destroy(ObjectId id) {
   erase_object_links(id);
   Object saved = std::move(it->second);
   index_remove_object(id, saved);
+  if (saved.modified != 0) epoch_entry_erase(saved.class_name, saved.modified, id);
   objects_.erase(it);
+  // A destroyed object leaves the change feed (live objects only) but
+  // the store epoch still advances, so feed consumers see "something
+  // changed" even for a destroy with no surviving neighbors.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   journal([this, id, saved = std::move(saved)]() mutable {
     index_add_object(id, saved);
+    if (saved.modified != 0) epoch_entry_insert(saved.class_name, saved.modified, id);
     objects_.emplace(id, std::move(saved));
   });
   return {};
@@ -320,6 +359,8 @@ void Store::erase_object_links(ObjectId id) {
           idx.backward[to].push_back(id);
           edge_insert(idx, id, to);
         });
+        // the surviving endpoint's relationship set changed
+        if (auto oit = objects_.find(to); oit != objects_.end()) touch(to, oit->second);
       }
       index.forward.erase(fit);
       journal([this, rel = rel_name, id, tos = std::move(tos)]() mutable {
@@ -338,6 +379,7 @@ void Store::erase_object_links(ObjectId id) {
           idx.forward[from].push_back(id);
           edge_insert(idx, from, id);
         });
+        if (auto oit = objects_.find(from); oit != objects_.end()) touch(from, oit->second);
       }
       index.backward.erase(bit);
       journal([this, rel = rel_name, id, froms = std::move(froms)]() mutable {
@@ -435,6 +477,7 @@ Status Store::set_stored(ObjectId id, Object& obj, std::string_view attr, Stored
       oit->second.attrs[name] = std::move(old);
     });
   }
+  touch(id, obj);
   return {};
 }
 
@@ -592,6 +635,11 @@ Status Store::link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to) {
     b.erase(std::remove(b.begin(), b.end(), from), b.end());
     edge_erase(idx, from, to);
   });
+  // A new edge is a mutation of BOTH endpoints: a DOV gains its
+  // dov_precedes successor exactly this way, and the change feed must
+  // surface the superseded side too.
+  if (auto oit = objects_.find(from); oit != objects_.end()) touch(from, oit->second);
+  if (auto oit = objects_.find(to); oit != objects_.end()) touch(to, oit->second);
   return {};
 }
 
@@ -613,6 +661,8 @@ Status Store::unlink(std::string_view relation, ObjectId from, ObjectId to) {
     idx.backward[to].push_back(from);
     edge_insert(idx, from, to);
   });
+  if (auto oit = objects_.find(from); oit != objects_.end()) touch(from, oit->second);
+  if (auto oit = objects_.find(to); oit != objects_.end()) touch(to, oit->second);
   return {};
 }
 
@@ -714,6 +764,23 @@ std::vector<ObjectId> Store::find_locked(std::string_view class_name, std::strin
     if (ait != obj.attrs.end() && stored_equals(ait->second, value)) out.push_back(id);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ChangedObject> Store::objects_changed_since(std::string_view class_name,
+                                                        std::uint64_t epoch) const {
+  std::shared_lock lock(mu_);
+  QueryMetrics::get().indexed.add(1);
+  std::vector<ChangedObject> out;
+  for (const auto& cls : schema_.subclasses_of(class_name)) {
+    auto cit = epoch_index_.find(cls);
+    if (cit == epoch_index_.end()) continue;
+    for (auto eit = cit->second.upper_bound(epoch); eit != cit->second.end(); ++eit) {
+      out.push_back({eit->second, eit->first});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChangedObject& a, const ChangedObject& b) { return a.id < b.id; });
   return out;
 }
 

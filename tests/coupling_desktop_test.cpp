@@ -177,6 +177,60 @@ TEST_F(DesktopTest, CheckoutCommandUsageErrors) {
   auto st = shell->execute_line("checkout p", result);
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.error().code, Errc::invalid_argument);
+  // a fifth word other than --incremental is rejected too
+  EXPECT_EQ(shell->execute_line("checkout p top alice --wrong", result).code(),
+            Errc::invalid_argument);
+}
+
+TEST_F(DesktopTest, IncrementalCheckoutRidesTheChangeFeed) {
+  const char* script = R"(
+    designer alice
+    project p
+    cell p top alice
+    cell p leaf alice
+    reserve p top alice
+    reserve p leaf alice
+    edit add-net n1
+    run p top enter_schematic alice
+    edit add-net n2
+    run p leaf enter_schematic alice
+    declare-child p top leaf
+    checkout p top alice
+    checkout p top alice --incremental
+  )";
+  auto result = shell->run_script(script);
+  ASSERT_TRUE(result.ok()) << result.error().to_text();
+  // The repeat sync with --incremental finds nothing changed: zero
+  // requests, both known cellviews skipped.
+  bool saw_delta = false;
+  bool saw_skipped = false;
+  for (const auto& line : result->transcript) {
+    if (line.find("checked out top delta: 0/0 cellviews") != std::string::npos) {
+      saw_delta = true;
+    }
+    if (line.find("skipped 2 unchanged cellview(s)") != std::string::npos) {
+      saw_skipped = true;
+    }
+  }
+  EXPECT_TRUE(saw_delta);
+  EXPECT_TRUE(saw_skipped);
+
+  DesktopResult stats;
+  ASSERT_TRUE(shell->execute_line("stats changes", stats).ok());
+  bool saw_epochs = false, saw_feed = false, saw_counts = false, saw_cursor = false;
+  for (const auto& line : stats.transcript) {
+    if (line.rfind("epochs: store=", 0) == 0) saw_epochs = true;
+    if (line.rfind("feed: served=", 0) == 0) saw_feed = true;
+    if (line.rfind("checkout: incremental=", 0) == 0) saw_counts = true;
+    if (line.find("incremental) last_feed=") != std::string::npos &&
+        line.find("checkout_top") != std::string::npos) {
+      saw_cursor = true;
+    }
+  }
+  EXPECT_TRUE(saw_epochs);
+  EXPECT_TRUE(saw_feed);
+  EXPECT_TRUE(saw_counts);
+  EXPECT_TRUE(saw_cursor);
 }
 
 TEST_F(DesktopTest, StatsIndexSummarizesIndexEffectiveness) {

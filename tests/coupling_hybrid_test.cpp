@@ -550,12 +550,24 @@ TEST_F(HybridTest, CheckoutHierarchyExportsWholeCompOfClosure) {
     EXPECT_FALSE(content->empty());
   }
 
-  // A second checkout of the unchanged hierarchy is all cache hits:
-  // zero bytes are copied through the file system.
+  // A second checkout of the unchanged hierarchy rides the change
+  // feed: nothing changed since the cursor epoch, so the three known
+  // cellviews are skipped before any lock or cache probe.
   hybrid->fs().reset_counters();
   auto warm = hybrid->checkout_hierarchy("p", "top", alice, dst);
   ASSERT_TRUE(warm.ok());
-  EXPECT_EQ(warm->cache_hits, 3u);
+  EXPECT_TRUE(warm->incremental);
+  EXPECT_EQ(warm->requested, 0u);
+  EXPECT_EQ(warm->skipped, 3u);
+  EXPECT_EQ(hybrid->fs().counters().bytes_copied, 0u);
+  EXPECT_EQ(hybrid->fs().counters().bytes_written, 0u);
+
+  // The full-walk ablation still probes every cellview and answers
+  // from the content-addressed cache: zero bytes move either way.
+  auto full = hybrid->checkout_hierarchy_full("p", "top", alice, dst);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->incremental);
+  EXPECT_EQ(full->cache_hits, 3u);
   EXPECT_EQ(hybrid->fs().counters().bytes_copied, 0u);
   EXPECT_EQ(hybrid->fs().counters().bytes_written, 0u);
 }
