@@ -1,20 +1,24 @@
 #!/usr/bin/env python3
 """Documentation checks: dead links, orphan pages, stale C++ snippets.
 
-Four passes over the user-facing markdown (README, DESIGN, EXPERIMENTS,
+Five passes over the user-facing markdown (README, DESIGN, EXPERIMENTS,
 docs/*.md):
 
 1. every relative markdown link must point at a file that exists;
-2. every ``docs/*.md`` page must be reachable from README.md by
-   following relative links (the docs index) -- an orphan page is a
-   page nobody will find;
+2. every ``docs/*.md`` page must be reachable from ``docs/index.md``
+   (the docs landing page) by following relative links -- an orphan
+   page is a page nobody will find. README.md must in turn link to the
+   index, so the whole docs tree hangs off one entry point;
 3. every fenced ``cpp`` block must still compile against the current
    headers (``-fsyntax-only``, no linking);
 4. every ``jfm::``-qualified symbol mentioned in ANY fenced code block
    (including ``text`` transcripts) must resolve: each of its name
    components has to appear in some header under ``src/*/include``.
    This catches docs that keep naming an API after a refactor renamed
-   or removed it, in blocks the compile pass never sees.
+   or removed it, in blocks the compile pass never sees;
+5. every ``BENCH_*.json`` mentioned anywhere in the docs must exist in
+   the repo root -- a renamed or retired benchmark otherwise leaves
+   docs citing numbers nobody can regenerate.
 
 Snippets are documentation, not translation units, so each block is
 wrapped before compilation: ``#include`` lines are hoisted to the top
@@ -94,9 +98,13 @@ def check_links(problems):
 
 
 def check_reachability(problems):
-    """Every docs/*.md page must be reachable from README.md's links."""
+    """Every docs/*.md page must be reachable from docs/index.md."""
+    index = os.path.join(REPO, "docs", "index.md")
+    if not os.path.isfile(index):
+        problems.append("docs/index.md: missing -- the docs need a landing page")
+        return
     reachable = set()
-    frontier = [os.path.join(REPO, "README.md")]
+    frontier = [index]
     while frontier:
         doc = os.path.normpath(frontier.pop())
         if doc in reachable or not os.path.isfile(doc):
@@ -115,8 +123,26 @@ def check_reachability(problems):
     for doc in sorted(glob.glob(os.path.join(REPO, "docs", "*.md"))):
         if os.path.normpath(doc) not in reachable:
             problems.append(
-                "%s: orphan page -- not reachable from README.md via links" % rel(doc)
+                "%s: orphan page -- not reachable from docs/index.md via links"
+                % rel(doc)
             )
+
+
+BENCH_RE = re.compile(r"\bBENCH_\w+\.json\b")
+
+
+def check_bench_refs(problems):
+    """Every BENCH_*.json a doc cites must exist in the repo root."""
+    for doc in DOC_FILES:
+        with open(doc, encoding="utf-8") as f:
+            text = f.read()
+        for match in BENCH_RE.finditer(text):
+            if not os.path.isfile(os.path.join(REPO, match.group(0))):
+                line = text.count("\n", 0, match.start()) + 1
+                problems.append(
+                    "%s:%d: cites %s, which does not exist in the repo root "
+                    "(stale benchmark reference?)" % (rel(doc), line, match.group(0))
+                )
 
 
 SYMBOL_RE = re.compile(r"\bjfm::((?:[A-Za-z_]\w*::)*[A-Za-z_]\w*)")
@@ -248,6 +274,7 @@ def main():
     check_reachability(problems)
     check_snippets(problems)
     check_symbols(problems)
+    check_bench_refs(problems)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)

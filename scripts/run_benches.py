@@ -46,7 +46,13 @@ registry snapshot (counters / gauges / histograms). This harness:
    ``coupling.checkout.skipped.count`` counter must be non-zero --
    proof the delta path really skipped unchanged cellviews rather than
    walking everything. Core-independent: both sides run
-   single-threaded over the same churn event.
+   single-threaded over the same churn event;
+10. with ``--check-wal-overhead``, gates on the durable-OMS bench
+   (docs/persistence.md): the group-commit WAL mode must keep its
+   commit-path wall-time within ``--max-wal-overhead`` (default 15%)
+   of the ``durability=off`` ablation. Core-independent: all three
+   modes run the byte-identical single-threaded mutation sequence, so
+   the ratio measures only the journalling tax.
 
 Every blob additionally carries an ``executor`` section -- the
 ``executor.*`` counters and gauges of the shared work-stealing pool
@@ -100,6 +106,12 @@ INCR_RE = re.compile(
     r"\s+requests=(\d+)\s+skipped=(\d+)\s+feed=(\d+)\s+speedup=([\d.]+)\s*$")
 INCR_META_RE = re.compile(
     r"^JFM_INCR_META\s+cells=(\d+)\s+views=(\d+)\s+incr_speedup_1pct=([\d.]+)\s*$")
+WAL_RE = re.compile(
+    r"^JFM_WAL\s+mode=(\w+)\s+commits=(\d+)\s+wall_us=(\d+)\s+ns_per_commit=(\d+)"
+    r"\s+wal_bytes=(\d+)\s+flushes=(\d+)\s*$")
+WAL_META_RE = re.compile(
+    r"^JFM_WAL_META\s+commits=(\d+)\s+group=(\d+)\s+overhead_wal=(-?[\d.]+)"
+    r"\s+overhead_group=(-?[\d.]+)\s*$")
 
 
 def discover(build_dir):
@@ -137,6 +149,8 @@ def parse_output(text):
     cow_meta = None
     incr_rows = []
     incr_meta = None
+    wal_rows = []
+    wal_meta = None
     for line in text.splitlines():
         m = METRICS_RE.match(line)
         if m:
@@ -237,8 +251,28 @@ def parse_output(text):
                 "views": int(m.group(2)),
                 "incr_speedup_1pct": float(m.group(3)),
             }
+            continue
+        m = WAL_RE.match(line)
+        if m:
+            wal_rows.append({
+                "mode": m.group(1),
+                "commits": int(m.group(2)),
+                "wall_us": int(m.group(3)),
+                "ns_per_commit": int(m.group(4)),
+                "wal_bytes": int(m.group(5)),
+                "flushes": int(m.group(6)),
+            })
+            continue
+        m = WAL_META_RE.match(line)
+        if m:
+            wal_meta = {
+                "commits": int(m.group(1)),
+                "group": int(m.group(2)),
+                "overhead_wal": float(m.group(3)),
+                "overhead_group": float(m.group(4)),
+            }
     return (metrics, rows, meta, query_rows, query_meta, fault_rows, fault_meta,
-            cow_rows, cow_meta, incr_rows, incr_meta)
+            cow_rows, cow_meta, incr_rows, incr_meta, wal_rows, wal_meta)
 
 
 def scaling_threshold(min_scaling, cores):
@@ -287,6 +321,13 @@ def main():
     parser.add_argument("--min-incremental-speedup", type=float, default=5.0,
                         help="required 1%%-churn delta-vs-full-walk wall-time ratio "
                              "(default: 5.0)")
+    parser.add_argument("--check-wal-overhead", action="store_true",
+                        help="fail unless the durable store with group commit stays "
+                             "within --max-wal-overhead of the volatile (durability "
+                             "off) baseline on the WAL bench's commit workload")
+    parser.add_argument("--max-wal-overhead", type=float, default=0.15,
+                        help="allowed group-commit wall-time overhead ratio vs the "
+                             "durability-off baseline (default: 0.15 = 15%%)")
     parser.add_argument("--fault-overhead-slack-us", type=int, default=500,
                         help="absolute noise allowance on top of the ratio, in "
                              "microseconds (default: 500)")
@@ -308,6 +349,7 @@ def main():
     fault_rows, fault_meta = [], None
     cow_rows, cow_meta = [], None
     incr_rows, incr_meta, incr_metrics = [], None, None
+    wal_rows, wal_meta = [], None
     for path in benches:
         name = os.path.basename(path)
         proc = run_bench(path, args.quick)
@@ -316,7 +358,7 @@ def main():
             sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
             continue
         (metrics, rows, meta, query_rows, query_meta, f_rows, f_meta,
-         c_rows, c_meta, i_rows, i_meta) = parse_output(proc.stdout)
+         c_rows, c_meta, i_rows, i_meta, w_rows, w_meta) = parse_output(proc.stdout)
         blob = {
             "bench": name,
             "quick": args.quick,
@@ -346,6 +388,9 @@ def main():
         if i_rows:
             blob["incremental"] = {"runs": i_rows, "meta": i_meta}
             incr_rows, incr_meta, incr_metrics = i_rows, i_meta, metrics
+        if w_rows:
+            blob["wal_overhead"] = {"runs": w_rows, "meta": w_meta}
+            wal_rows, wal_meta = w_rows, w_meta
         out = os.path.join(args.out_dir, f"BENCH_{name}.json")
         with open(out, "w") as fh:
             json.dump(blob, fh, indent=2, sort_keys=True)
@@ -449,6 +494,25 @@ def main():
                       f"({row['speedup']:.2f}x >= "
                       f"{args.min_incremental_speedup:.2f}x at 1% churn, "
                       f"{skipped_counter} cellviews skipped)")
+
+    if args.check_wal_overhead:
+        if wal_meta is None:
+            failures.append("wal gate: no JFM_WAL_META output found")
+        elif wal_meta["overhead_group"] > args.max_wal_overhead:
+            group_row = next((r for r in wal_rows if r["mode"] == "wal_group"), None)
+            detail = (f" (wal_group {group_row['ns_per_commit']} ns/commit)"
+                      if group_row else "")
+            failures.append(
+                f"wal gate: group-commit overhead "
+                f"{wal_meta['overhead_group']:.1%} vs durability-off baseline "
+                f"exceeds {args.max_wal_overhead:.0%}"
+                f" (group={wal_meta['group']}){detail}")
+        else:
+            print(f"run_benches: wal gate ok "
+                  f"(group-commit overhead {wal_meta['overhead_group']:.1%} <= "
+                  f"{args.max_wal_overhead:.0%}, "
+                  f"plain wal {wal_meta['overhead_wal']:.1%}, "
+                  f"group={wal_meta['group']})")
 
     if args.check_fault_overhead:
         workers = fault_meta["workers"] if fault_meta else 4

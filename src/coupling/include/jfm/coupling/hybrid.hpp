@@ -65,6 +65,18 @@ struct HybridConfig {
   /// restores the full walk on every call -- the ablation, which must
   /// stay bit-identical in materialized files.
   bool incremental_checkout = true;
+  /// Durable OMS (docs/persistence.md): the JCF store journals every
+  /// committed transaction into a write-ahead log under /oms in the
+  /// hybrid's file system, and open_store() recovers the image after a
+  /// crash. false = the paper's volatile in-memory prototype, and the
+  /// bit-identical ablation for bench_wal_overhead.
+  bool durable_store = false;
+  /// WAL group-commit batch size (1 = flush on every commit; larger
+  /// values amortize the append across commits, docs/persistence.md).
+  std::size_t wal_group_commit = 1;
+  /// Automatic snapshot cadence in commits (0 = only explicit
+  /// Store::snapshot() calls truncate the log).
+  std::uint64_t snapshot_every = 0;
   /// Future work (s3.3): tools pass hierarchy to JCF procedurally.
   bool procedural_hierarchy_interface = false;
   /// Future JCF releases: accept non-isomorphic hierarchies.
@@ -108,6 +120,13 @@ class HybridFramework {
   /// enter_layout) and the frozen flow "asic_flow"; team "designers".
   support::Status bootstrap();
   support::Result<jcf::UserRef> add_designer(const std::string& name);
+  /// Attach the (empty) JCF store to /oms in this hybrid's file system
+  /// and recover whatever a previous incarnation journalled there:
+  /// latest valid snapshot plus the committed WAL tail
+  /// (docs/persistence.md). Requires durable_store; call before
+  /// bootstrap(), which resolves recovered resources instead of
+  /// re-creating them.
+  support::Status open_store();
   jcf::FlowRef standard_flow() const noexcept { return flow_; }
   jcf::TeamRef designers() const noexcept { return team_; }
   support::Result<jcf::ActivityRef> activity(const std::string& name) const;

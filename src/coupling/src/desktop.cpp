@@ -190,16 +190,17 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
     return {};
   }
   if (cmd == "stats") {
-    // stats [json] [index|faults|cow|executor|changes] [prefix] --
+    // stats [json] [index|faults|cow|executor|changes|wal] [prefix] --
     // dump the process-wide metrics registry; `stats index` summarizes
     // OMS index effectiveness, `stats faults` the fault-injection /
     // recovery digest (docs/fault-injection.md), `stats cow` the
     // extent-sharing digest (docs/vfs-cow.md), `stats executor` the
     // shared work-stealing pool (docs/executor.md), `stats changes`
     // the change-tracking spine and the per-workspace checkout cursors
-    // (docs/incremental-checkout.md).
+    // (docs/incremental-checkout.md), `stats wal` the durable-store
+    // journal digest (docs/persistence.md).
     if (words.size() > 3) {
-      return usage("stats [json|index|faults|cow|executor|changes] [prefix]");
+      return usage("stats [json|index|faults|cow|executor|changes|wal] [prefix]");
     }
     namespace telemetry = support::telemetry;
     if (words.size() == 2 && words[1] == "cow") {
@@ -222,6 +223,24 @@ Status DesktopShell::dispatch(const std::vector<std::string>& words, DesktopResu
           std::to_string(io.bytes_physical_copied) + " written_logical=" +
           std::to_string(io.bytes_written) + " written_physical=" +
           std::to_string(io.bytes_physical_written));
+      return {};
+    }
+    if (words.size() == 2 && words[1] == "wal") {
+      const oms::Store::WalStats wal = hybrid_->jcf().store().wal_stats();
+      if (!wal.attached) {
+        say("journal: detached (durable_store is off)");
+        return {};
+      }
+      say("journal: attached commit_seq=" + std::to_string(wal.commit_seq) +
+          " snapshot_seq=" + std::to_string(wal.snapshot_seq) + " pending=" +
+          std::to_string(wal.pending_records));
+      say("appends: records=" + std::to_string(wal.appended_records) + " bytes=" +
+          std::to_string(wal.appended_bytes) + " flushes=" + std::to_string(wal.flushes) +
+          " failures=" + std::to_string(wal.flush_failures));
+      say("recovery: replayed=" + std::to_string(wal.replayed_records) +
+          " discarded_bytes=" + std::to_string(wal.discarded_bytes));
+      say("snapshots: written=" + std::to_string(wal.snapshots_written) + " loaded=" +
+          std::to_string(wal.snapshots_loaded));
       return {};
     }
     auto snapshot = telemetry::Registry::global().snapshot();

@@ -30,6 +30,14 @@ template <typename T>
 Result<T> forward_error(const support::Error& e) {
   return Result<T>::failure(e.code, e.message);
 }
+
+oms::StoreOptions store_options_for(const HybridConfig& config) {
+  oms::StoreOptions opts;
+  if (config.durable_store) opts.durability = oms::StoreOptions::Durability::wal;
+  opts.wal_group_commit = config.wal_group_commit;
+  opts.snapshot_every = config.snapshot_every;
+  return opts;
+}
 }  // namespace
 
 const std::vector<std::string>& HybridFramework::standard_views() {
@@ -39,7 +47,7 @@ const std::vector<std::string>& HybridFramework::standard_views() {
 
 HybridFramework::HybridFramework(HybridConfig config)
     : config_(config), fs_(&clock_, vfs::FsOptions{.cow_extents = config.cow_extents}),
-      jcf_(&clock_) {
+      jcf_(&clock_, store_options_for(config)) {
   (void)fs_.mkdirs(root_path("fmcad"));
   (void)fs_.mkdirs(root_path("transfer"));
   (void)fs_.mkdirs(root_path("scratch"));
@@ -147,7 +155,28 @@ void HybridFramework::show_window(const std::string& message, std::vector<std::s
   if (run_log != nullptr) run_log->push_back(message);
 }
 
+Status HybridFramework::open_store() {
+  if (!config_.durable_store) {
+    return support::fail(Errc::invalid_argument, "open_store requires durable_store");
+  }
+  (void)fs_.mkdirs(root_path("oms"));
+  return jcf_.open_store(fs_, root_path("oms"));
+}
+
 Status HybridFramework::bootstrap() {
+  // Resolve-or-create: when open_store() recovered a durable image the
+  // standard resources already exist, and bootstrap() must adopt them
+  // instead of failing on the duplicates (docs/persistence.md). The
+  // flow is created last, so its presence implies the full set.
+  if (auto team = jcf_.find_team("designers"); team.ok()) {
+    team_ = *team;
+    if (auto flow = jcf_.find_flow("asic_flow"); flow.ok()) {
+      flow_ = *flow;
+      return {};
+    }
+    return support::fail(Errc::consistency_violation,
+                         "partial bootstrap image: team exists without asic_flow");
+  }
   auto team = jcf_.create_team("designers");
   if (!team.ok()) return Status(team.error());
   team_ = *team;
@@ -183,8 +212,13 @@ Status HybridFramework::bootstrap() {
 }
 
 Result<jcf::UserRef> HybridFramework::add_designer(const std::string& name) {
-  auto user = jcf_.create_user(name);
+  // Adopt a user recovered from the durable store rather than failing
+  // on the duplicate; membership links are idempotent the same way.
+  auto user = jcf_.find_user(name);
+  if (!user.ok()) user = jcf_.create_user(name);
   if (!user.ok()) return user;
+  auto member = jcf_.is_member(team_, *user);
+  if (member.ok() && *member) return user;
   if (auto st = jcf_.add_member(team_, *user); !st.ok()) {
     return forward_error<jcf::UserRef>(st.error());
   }
@@ -238,7 +272,11 @@ Result<jcf::ProjectRef> HybridFramework::create_project(const std::string& name)
   if (projects_.contains(name)) {
     return Result<jcf::ProjectRef>::failure(Errc::already_exists, "project " + name);
   }
-  auto project = jcf_.create_project(name, team_);
+  // A recovered store already holds the JCF project; re-attach a fresh
+  // slave library to it (the FMCAD side lives in this instance's file
+  // system and is rebuilt on demand, docs/persistence.md).
+  auto project = jcf_.find_project(name);
+  if (!project.ok()) project = jcf_.create_project(name, team_);
   if (!project.ok()) return project;
   auto library = fmcad::Library::create(&fs_, &clock_, root_path("fmcad"), name);
   if (!library.ok()) return forward_error<jcf::ProjectRef>(library.error());
@@ -288,14 +326,19 @@ Status HybridFramework::create_cell(const std::string& project, const std::strin
                                     jcf::UserRef creator) {
   ProjectCtx* ctx = project_ctx(project);
   if (ctx == nullptr) return support::fail(Errc::not_found, "project " + project);
-  auto jcf_cell = jcf_.create_cell(ctx->ref, cell, flow_, team_);
-  if (!jcf_cell.ok()) return Status(jcf_cell.error());
-  auto cv = jcf_.create_cell_version(*jcf_cell, creator);
-  if (!cv.ok()) return Status(cv.error());
-  if (auto st = jcf_.reserve(*cv, creator); !st.ok()) return st;
-  auto variant = jcf_.create_variant(*cv, "work", creator);
-  if (!variant.ok()) return Status(variant.error());
-  if (auto st = jcf_.publish(*cv, creator); !st.ok()) return st;
+  // Adopt a cell recovered from the durable store (version, variant and
+  // flow state survived in the OMS); a genuine same-instance duplicate
+  // still fails below when the FMCAD cell already exists.
+  if (auto existing = jcf_.find_cell(ctx->ref, cell); !existing.ok()) {
+    auto jcf_cell = jcf_.create_cell(ctx->ref, cell, flow_, team_);
+    if (!jcf_cell.ok()) return Status(jcf_cell.error());
+    auto cv = jcf_.create_cell_version(*jcf_cell, creator);
+    if (!cv.ok()) return Status(cv.error());
+    if (auto st = jcf_.reserve(*cv, creator); !st.ok()) return st;
+    auto variant = jcf_.create_variant(*cv, "work", creator);
+    if (!variant.ok()) return Status(variant.error());
+    if (auto st = jcf_.publish(*cv, creator); !st.ok()) return st;
+  }
 
   fmcad::DesignerSession* session = session_for(*ctx, "jcf_admin");
   if (auto st = session->create_cell(cell); !st.ok()) return st;

@@ -67,7 +67,7 @@ struct WorkspaceStats {
 
 class JcfFramework {
  public:
-  explicit JcfFramework(support::SimClock* clock);
+  explicit JcfFramework(support::SimClock* clock, oms::StoreOptions store_options = {});
 
   /// The underlying store, for administrative export/checkpoint only
   /// (oms::Dump). Application code must use the typed API.
@@ -310,6 +310,12 @@ class JcfFramework {
   support::Status checkpoint(vfs::FileSystem& fs, const vfs::Path& file) const;
   /// Load a checkpoint into this (still empty) framework.
   support::Status restore(const vfs::FileSystem& fs, const vfs::Path& file);
+  /// Attach the (empty, durability=wal) store to `dir` and recover
+  /// whatever committed state it holds -- snapshot plus WAL tail
+  /// (oms::Store::open, docs/persistence.md). Bumps structure_epoch():
+  /// recovered hierarchy invalidates every incremental-sync cursor,
+  /// exactly like restore().
+  support::Status open_store(vfs::FileSystem& fs, const vfs::Path& dir);
 
   // ======================= consistency ====================================
   /// Framework-wide invariant sweep over one project; returns human-

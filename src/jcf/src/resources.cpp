@@ -17,8 +17,8 @@ std::string_view to_string(ExecState state) {
   return "?";
 }
 
-JcfFramework::JcfFramework(support::SimClock* clock)
-    : store_(build_jcf_schema(), clock), clock_(clock) {}
+JcfFramework::JcfFramework(support::SimClock* clock, oms::StoreOptions store_options)
+    : store_(build_jcf_schema(), clock, store_options), clock_(clock) {}
 
 Status JcfFramework::checkpoint(vfs::FileSystem& fs, const vfs::Path& file) const {
   return oms::Dump::export_store(store_, fs, file);
@@ -29,6 +29,14 @@ Status JcfFramework::restore(const vfs::FileSystem& fs, const vfs::Path& file) {
   // A restored store starts its mutation-epoch history fresh, so any
   // change-feed cursor taken before the restore is meaningless; the
   // structure bump forces sync consumers back to a full walk.
+  if (st.ok()) structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return st;
+}
+
+Status JcfFramework::open_store(vfs::FileSystem& fs, const vfs::Path& dir) {
+  auto st = store_.open(fs, dir);
+  // Same cursor-invalidation rule as restore(): recovery may have
+  // materialized hierarchy this process never observed being built.
   if (st.ok()) structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return st;
 }

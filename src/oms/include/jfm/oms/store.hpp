@@ -67,9 +67,15 @@
 #include <vector>
 
 #include "jfm/oms/schema.hpp"
+#include "jfm/oms/wal.hpp"
 #include "jfm/support/clock.hpp"
 #include "jfm/support/ids.hpp"
 #include "jfm/support/result.hpp"
+#include "jfm/vfs/path.hpp"
+
+namespace jfm::vfs {
+class FileSystem;
+}  // namespace jfm::vfs
 
 namespace jfm::oms {
 
@@ -118,6 +124,33 @@ struct StoreOptions {
   /// the bench_oms_query `indexes_off` ablation and must produce
   /// bit-identical query results.
   bool secondary_indexes = true;
+
+  /// Durability mode (docs/persistence.md). `off` keeps the purely
+  /// in-memory behaviour bit-identically -- the ablation every
+  /// existing caller rides on; `wal` enables Store::open(), which
+  /// attaches the store to a vfs directory and appends one CRC-framed
+  /// redo record per committed transaction.
+  enum class Durability { off, wal };
+  Durability durability = Durability::off;
+
+  /// Commit records buffered before one vfs append flushes them all
+  /// (group commit). 1 flushes every commit; larger values amortize
+  /// the fsync-analog append, trading a bounded committed-but-
+  /// unflushed window a crash can lose (committed-prefix semantics).
+  std::size_t wal_group_commit = 1;
+
+  /// Write a full snapshot (and truncate the WAL) every N committed
+  /// records; 0 snapshots only on explicit snapshot() calls.
+  std::uint64_t snapshot_every = 0;
+
+  /// Journal capacity reserved (and pre-faulted) whenever the WAL file
+  /// is created or truncated -- the log-file preallocation real
+  /// databases do with fallocate, so commit-path appends within the
+  /// reservation are pure memcpy instead of paying reallocation and
+  /// first-touch page faults. Sized as headroom for the WAL volume one
+  /// snapshot interval accumulates; growth past it falls back to
+  /// amortized doubling. 0 disables preallocation.
+  std::size_t wal_preallocate_bytes = 4u << 20;
 };
 
 class Store {
@@ -205,6 +238,42 @@ class Store {
   }
 
   support::Timestamp created_at(ObjectId id) const;
+
+  // -- durability (docs/persistence.md) ----------------------------------
+  /// Attach this store to durability directory `dir` inside `fs` and
+  /// recover whatever committed state the directory holds: load the
+  /// latest CRC-valid snapshot, replay the WAL tail on top of it and
+  /// physically discard any torn/corrupt suffix. Requires
+  /// durability=wal, an empty store and no prior attach; after open()
+  /// every committed transaction is encoded into the WAL.
+  support::Status open(vfs::FileSystem& fs, const vfs::Path& dir);
+  /// Append any buffered (group-commit) records to the WAL now. A
+  /// failed flush keeps the records buffered for retry -- commit()
+  /// itself never fails on WAL I/O.
+  support::Status flush_wal();
+  /// Write a full snapshot of the store image and truncate the WAL.
+  /// Payload bytes are published as COW extents (refcount-pinned, not
+  /// copied) keyed by their memoized content hash.
+  support::Status snapshot();
+
+  /// Durability introspection for `stats wal` and the tests. All
+  /// counters are per-store; the oms.wal.* / oms.snapshot.* telemetry
+  /// counters aggregate the same events process-wide.
+  struct WalStats {
+    bool attached = false;
+    std::uint64_t commit_seq = 0;       ///< last committed record sequence
+    std::uint64_t snapshot_seq = 0;     ///< sequence the snapshot covers
+    std::uint64_t pending_records = 0;  ///< encoded, not yet appended
+    std::uint64_t appended_records = 0;
+    std::uint64_t appended_bytes = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t flush_failures = 0;
+    std::uint64_t replayed_records = 0;  ///< applied by the last open()
+    std::uint64_t discarded_bytes = 0;   ///< torn suffix dropped at open()
+    std::uint64_t snapshots_written = 0;
+    std::uint64_t snapshots_loaded = 0;
+  };
+  WalStats wal_stats() const;
 
  private:
   friend class Dump;
@@ -309,6 +378,9 @@ class Store {
   support::Status set_stored(ObjectId id, Object& obj, std::string_view attr,
                              StoredValue value);
   support::Status link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to);
+  // lock-free bodies of destroy()/unlink(), shared with WAL replay
+  support::Status destroy_locked(ObjectId id);
+  support::Status unlink_locked(std::string_view relation, ObjectId from, ObjectId to);
   // query bodies shared by the locking public wrappers; mu_ held
   std::vector<ObjectId> find_locked(std::string_view class_name, std::string_view attr,
                                     const AttrValue& value) const;
@@ -333,6 +405,54 @@ class Store {
   void touch(ObjectId id, Object& obj);
   void epoch_entry_insert(const std::string& cls, std::uint64_t epoch, ObjectId id);
   void epoch_entry_erase(const std::string& cls, std::uint64_t epoch, ObjectId id);
+
+  // -- durability internals (persist.cpp; mu_ held exclusively) ----------
+  /// Whether mutators should record WAL ops: attached, and not inside
+  /// recovery replay or a Dump import (both re-snapshot instead).
+  bool wal_active() const noexcept { return journal_fs_ != nullptr && !replaying_; }
+  /// Capture protocol: before emitting a mutation's bytes into
+  /// wal_pending_ call wal_note_op(e0) (stamps the record's epoch
+  /// bracket and opens the frame-header slot on the first op), after
+  /// the mutation succeeded call wal_op_done() (counts it; outside a
+  /// transaction, packages the single-op record immediately). The emit
+  /// itself is a direct wal::emit_* append behind the open frame of
+  /// wal_pending_ -- no Op objects, no per-op allocations, and sealing
+  /// the record (wal_package) backpatches the header in place instead
+  /// of copying the ops.
+  void wal_note_op(std::uint64_t epoch_before) {
+    if (tx_wal_op_count_ == 0) {
+      tx_epoch_before_ = epoch_before;
+      tx_frame_base_ = wal::open_frame(wal_pending_);
+    }
+  }
+  void wal_op_done() {
+    ++tx_wal_op_count_;
+    // Auto-commit: one mutation outside a transaction is one committed
+    // transaction, packaged immediately.
+    if (!tx_open_.load(std::memory_order_relaxed)) wal_package();
+  }
+  /// Seal the buffered tx ops into the next commit record, flush when
+  /// the group is full and auto-snapshot on the snapshot_every cadence.
+  void wal_package();
+  /// Re-apply the journal preallocation (StoreOptions::
+  /// wal_preallocate_bytes) after the WAL file was created, truncated
+  /// or rewritten. Best effort: the reservation is a performance hint.
+  void wal_preallocate_locked();
+  support::Status wal_flush_locked();
+  /// After a failed append the file may hold a torn half-record;
+  /// truncate it back to the last durable byte before appending again.
+  support::Status wal_repair_tail();
+  support::Status write_snapshot_locked();
+  support::Status load_snapshot_locked(vfs::FileSystem& fs, const vfs::Path& dir,
+                                       std::uint64_t seq, std::uint64_t& max_id);
+  /// Re-execute one WAL record through the mutator paths, pinning the
+  /// epoch counter to the recorded bracket.
+  support::Status apply_record(const wal::Record& rec, std::uint64_t& max_id);
+  /// Drop all store state back to pristine (between snapshot-load
+  /// attempts during recovery).
+  void reset_locked();
+  vfs::Path wal_path() const { return journal_dir_.child("wal"); }
+  vfs::Path snap_root() const { return journal_dir_.child("snap"); }
 
   Schema schema_;
   support::SimClock* clock_;
@@ -360,6 +480,38 @@ class Store {
   std::atomic<std::uint64_t> epoch_{0};
   std::vector<std::function<void()>> undo_log_;
   std::atomic<bool> tx_open_{false};
+
+  // -- durability state (docs/persistence.md); all under mu_ exclusive ---
+  vfs::FileSystem* journal_fs_ = nullptr;  ///< null until open() succeeds
+  vfs::Path journal_dir_;
+  bool replaying_ = false;  ///< inside open() replay or a Dump import
+  std::uint64_t commit_seq_ = 0;
+  std::uint64_t snapshot_seq_ = 0;
+  std::uint64_t tx_epoch_before_ = 0;  ///< epoch at the tx's first captured op
+  // Offset of the open transaction's frame-header slot inside
+  // wal_pending_; valid while tx_wal_op_count_ > 0. Ops are captured
+  // directly as encoded bytes behind it (wal::emit_*), commit
+  // backpatches the header in place, abort resizes the buffer back.
+  std::size_t tx_frame_base_ = 0;
+  std::uint32_t tx_wal_op_count_ = 0;
+  // Sealed frames awaiting append -- plus, past tx_frame_base_, the
+  // open frame of the in-flight transaction -- concatenated into one
+  // buffer so a group commit hands the vfs a single contiguous batch;
+  // capacity is retained across flushes.
+  std::string wal_pending_;
+  std::uint64_t wal_pending_count_ = 0;  ///< sealed records inside wal_pending_
+  std::uint64_t wal_expected_bytes_ = 0;  ///< durable WAL size after last success
+  bool wal_tail_dirty_ = false;           ///< a failed append may have torn the tail
+  std::uint64_t commits_since_snapshot_ = 0;
+  // per-store stat mirrors of the oms.wal.* / oms.snapshot.* telemetry
+  std::uint64_t wal_appended_records_ = 0;
+  std::uint64_t wal_appended_bytes_ = 0;
+  std::uint64_t wal_flushes_ = 0;
+  std::uint64_t wal_flush_failures_ = 0;
+  std::uint64_t wal_replayed_records_ = 0;
+  std::uint64_t wal_discarded_bytes_ = 0;
+  std::uint64_t snapshots_written_ = 0;
+  std::uint64_t snapshots_loaded_ = 0;
 };
 
 }  // namespace jfm::oms

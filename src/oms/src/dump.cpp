@@ -112,6 +112,16 @@ Status Dump::from_text(Store& store, const std::string& text) {
   if (!store.objects_.empty()) {
     return support::fail(Errc::invalid_argument, "import target store is not empty");
   }
+  // The import bypasses the capturing mutators, so per-op WAL records
+  // would be incomplete; suppress capture and write a full snapshot of
+  // the imported image below instead (docs/persistence.md).
+  const bool was_replaying = store.replaying_;
+  store.replaying_ = true;
+  struct ReplayGuard {
+    Store& store;
+    bool restore;
+    ~ReplayGuard() { store.replaying_ = restore; }
+  } guard{store, was_replaying};
   auto lines = support::split(text, '\n');
   if (lines.empty() || support::trim(lines[0]) != "omsdump 1") {
     return support::fail(Errc::parse_error, "not an OMS dump");
@@ -202,6 +212,10 @@ Status Dump::from_text(Store& store, const std::string& text) {
   if (!saw_end) return support::fail(Errc::parse_error, "dump truncated (no 'end')");
   // Preserve id continuity: new objects must not collide with imports.
   while (store.ids_.issued() < max_id) store.ids_.next();
+  // A durable store snapshots the imported image immediately so the
+  // bypassed mutations become recoverable (best-effort: the WAL stays
+  // consistent either way, it simply does not cover the import).
+  if (store.journal_fs_ != nullptr) (void)store.write_snapshot_locked();
   return {};
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <optional>
 #include <variant>
 
 #include "jfm/support/faultsim.hpp"
@@ -306,6 +307,7 @@ Result<ObjectId> Store::create(std::string_view class_name) {
   if (def == nullptr) {
     return Result<ObjectId>::failure(Errc::not_found, "class " + std::string(class_name));
   }
+  const std::uint64_t e0 = epoch_.load(std::memory_order_relaxed);
   ObjectId id = ids_.next();
   Object obj;
   obj.class_name = def->name;
@@ -321,11 +323,28 @@ Result<ObjectId> Store::create(std::string_view class_name) {
     }
   });
   touch(id, it->second);
+  if (wal_active()) {
+    wal_note_op(e0);
+    wal::emit_create(wal_pending_, id.raw(), def->name,
+                     static_cast<std::uint64_t>(it->second.created));
+    wal_op_done();
+  }
   return id;
 }
 
 Status Store::destroy(ObjectId id) {
   std::unique_lock lock(mu_);
+  const std::uint64_t e0 = epoch_.load(std::memory_order_relaxed);
+  auto st = destroy_locked(id);
+  if (st.ok() && wal_active()) {
+    wal_note_op(e0);
+    wal::emit_destroy(wal_pending_, id.raw());
+    wal_op_done();
+  }
+  return st;
+}
+
+Status Store::destroy_locked(ObjectId id) {
   auto it = objects_.find(id);
   if (it == objects_.end()) return support::fail(Errc::not_found, "no such object");
   erase_object_links(id);
@@ -449,6 +468,30 @@ Status Store::set_text(ObjectId id, std::string_view attr, TextExtent value) {
 }
 
 Status Store::set_stored(ObjectId id, Object& obj, std::string_view attr, StoredValue value) {
+  const std::uint64_t e0 = epoch_.load(std::memory_order_relaxed);
+  // Emit the WAL op up front (the value is moved into the slot below);
+  // nothing past this point can fail, so the buffered bytes always
+  // describe a mutation that happened. The text alternative records an
+  // already-memoized hash (0 = unmemoized; capture never hashes
+  // eagerly) so replay can seed the recovered attribute's memo.
+  const bool captured = wal_active();
+  if (captured) {
+    wal_note_op(e0);
+    wal::ValueView wv = std::visit(
+        [](const auto& v) -> wal::ValueView {
+          if constexpr (std::is_same_v<std::decay_t<decltype(v)>, StoredText>) {
+            const auto& memo = *v.memo;
+            const std::uint64_t hash = memo.valid.load(std::memory_order_acquire)
+                                           ? memo.hash.load(std::memory_order_relaxed)
+                                           : 0;
+            return wal::TextView{hash, *v.text};
+          } else {
+            return wal::ValueView(v);
+          }
+        },
+        value);
+    wal::emit_set(wal_pending_, id.raw(), attr, wv);
+  }
   auto& attrs = obj.attrs;
   auto ait = attrs.find(attr);
   if (ait == attrs.end()) {
@@ -478,6 +521,7 @@ Status Store::set_stored(ObjectId id, Object& obj, std::string_view attr, Stored
     });
   }
   touch(id, obj);
+  if (captured) wal_op_done();
   return {};
 }
 
@@ -605,6 +649,7 @@ Status Store::link(std::string_view relation, ObjectId from, ObjectId to) {
 }
 
 Status Store::link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to) {
+  const std::uint64_t e0 = epoch_.load(std::memory_order_relaxed);
   RelationIndex& index = relations_[rel.name];
   auto& fwd = index.forward[from];
   const bool duplicate = options_.secondary_indexes
@@ -640,11 +685,27 @@ Status Store::link_nocheck(const RelationDef& rel, ObjectId from, ObjectId to) {
   // surface the superseded side too.
   if (auto oit = objects_.find(from); oit != objects_.end()) touch(from, oit->second);
   if (auto oit = objects_.find(to); oit != objects_.end()) touch(to, oit->second);
+  if (wal_active()) {
+    wal_note_op(e0);
+    wal::emit_link(wal_pending_, rel.name, from.raw(), to.raw());
+    wal_op_done();
+  }
   return {};
 }
 
 Status Store::unlink(std::string_view relation, ObjectId from, ObjectId to) {
   std::unique_lock lock(mu_);
+  const std::uint64_t e0 = epoch_.load(std::memory_order_relaxed);
+  auto st = unlink_locked(relation, from, to);
+  if (st.ok() && wal_active()) {
+    wal_note_op(e0);
+    wal::emit_unlink(wal_pending_, relation, from.raw(), to.raw());
+    wal_op_done();
+  }
+  return st;
+}
+
+Status Store::unlink_locked(std::string_view relation, ObjectId from, ObjectId to) {
   const RelationDef* rel = schema_.find_relation(relation);
   if (rel == nullptr) return support::fail(Errc::not_found, "relation " + std::string(relation));
   RelationIndex& index = relations_[rel->name];
@@ -825,6 +886,7 @@ Status Store::begin() {
   begins.add(1);
   tx_open_.store(true, std::memory_order_relaxed);
   undo_log_.clear();
+  tx_wal_op_count_ = 0;  // the first captured op opens the WAL frame
   return {};
 }
 
@@ -842,6 +904,14 @@ Status Store::commit() {
   commits.add(1);
   tx_open_.store(false, std::memory_order_relaxed);
   undo_log_.clear();
+  // Seal the transaction's redo record AFTER the commit itself is
+  // final: a WAL flush failure never un-commits (the record stays
+  // buffered for retry -- committed-prefix semantics on crash).
+  if (wal_active() && tx_wal_op_count_ > 0) {
+    wal_package();
+  } else {
+    tx_wal_op_count_ = 0;
+  }
   return {};
 }
 
@@ -862,6 +932,10 @@ Status Store::abort() {
   tx_open_.store(false, std::memory_order_relaxed);
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) (*it)();
   undo_log_.clear();
+  // An aborted transaction leaves no WAL trace: abandon its open frame
+  // by shrinking the pending buffer back to the sealed records.
+  if (tx_wal_op_count_ > 0) wal_pending_.resize(tx_frame_base_);
+  tx_wal_op_count_ = 0;
   return {};
 }
 

@@ -1,0 +1,378 @@
+#include "jfm/oms/wal.hpp"
+
+#include <bit>
+#include <cstring>
+#include <optional>
+
+#include "jfm/support/hash.hpp"
+
+namespace jfm::oms::wal {
+
+namespace {
+
+// Op tags. Stable on-disk values; append-only.
+constexpr std::uint8_t kOpCreate = 1;
+constexpr std::uint8_t kOpDestroy = 2;
+constexpr std::uint8_t kOpSet = 3;
+constexpr std::uint8_t kOpLink = 4;
+constexpr std::uint8_t kOpUnlink = 5;
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+// The on-disk format is little-endian; on LE hosts a raw memcpy of the
+// native value is that exact byte sequence, so the per-byte shift loop
+// only exists for the (hypothetical) BE port.
+void put_u32(std::string& out, std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    char b[4];
+    std::memcpy(b, &v, 4);
+    out.append(b, 4);
+  } else {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    char b[8];
+    std::memcpy(b, &v, 8);
+    out.append(b, 8);
+  } else {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+// Unsigned LEB128. Op payloads are varint-packed: object ids, clock
+// stamps and string lengths are small in practice, so they encode in
+// one or two bytes instead of a fixed eight -- the dominant lever on
+// journal growth, which is what the durable commit path actually pays
+// for (see bench_wal_overhead).
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7Fu) | 0x80u));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+// Zigzag so small negative integers stay small on disk.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_varint(out, s.size());
+  out.append(s);
+}
+
+void store_le32(char* at, std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(at, &v, 4);
+  } else {
+    for (int i = 0; i < 4; ++i) at[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+void store_le64(char* at, std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(at, &v, 8);
+  } else {
+    for (int i = 0; i < 8; ++i) at[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+void put_op(std::string& out, const Op& op) {
+  std::visit(
+      [&out](const auto& o) {
+        using T = std::decay_t<decltype(o)>;
+        if constexpr (std::is_same_v<T, OpCreate>) {
+          emit_create(out, o.id, o.class_name, o.created);
+        } else if constexpr (std::is_same_v<T, OpDestroy>) {
+          emit_destroy(out, o.id);
+        } else if constexpr (std::is_same_v<T, OpSet>) {
+          ValueView view = std::visit(
+              [](const auto& v) -> ValueView {
+                if constexpr (std::is_same_v<std::decay_t<decltype(v)>, TextValue>) {
+                  return TextView{v.hash, v.bytes};
+                } else {
+                  return ValueView(v);
+                }
+              },
+              o.value);
+          emit_set(out, o.id, o.attr, view);
+        } else if constexpr (std::is_same_v<T, OpLink>) {
+          emit_link(out, o.relation, o.from, o.to);
+        } else {
+          emit_unlink(out, o.relation, o.from, o.to);
+        }
+      },
+      op);
+}
+
+// Bounds-checked little-endian reader; every accessor degrades to a
+// sticky !ok instead of reading past the end, so a torn frame can
+// never crash the decoder.
+struct Reader {
+  std::string_view in;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (!ok || in.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(in[pos++]);
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(static_cast<unsigned char>(in[pos + i])) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(static_cast<unsigned char>(in[pos + i])) << (8 * i);
+    pos += 8;
+    return v;
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (!need(1)) return 0;
+      const std::uint8_t byte = static_cast<std::uint8_t>(in[pos++]);
+      v |= std::uint64_t(byte & 0x7Fu) << shift;
+      if ((byte & 0x80u) == 0) return v;
+    }
+    ok = false;  // > 10 continuation bytes: not a valid LEB128 u64
+    return 0;
+  }
+  std::string str() {
+    const std::uint64_t n = varint();
+    if (!need(n)) return {};
+    std::string s(in.substr(pos, n));
+    pos += n;
+    return s;
+  }
+  bool done() const { return ok && pos == in.size(); }
+};
+
+std::optional<Value> read_value(Reader& r) {
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case 0:
+      return Value(unzigzag(r.varint()));
+    case 1:
+      return Value(std::bit_cast<double>(r.u64()));
+    case 2: {
+      TextValue t;
+      t.hash = r.varint();
+      t.bytes = r.str();
+      if (!r.ok) return std::nullopt;
+      return Value(std::move(t));
+    }
+    case 3:
+      return Value(r.u8() != 0);
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<Op> read_op(Reader& r) {
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case kOpCreate: {
+      OpCreate o;
+      o.id = r.varint();
+      o.class_name = r.str();
+      o.created = r.varint();
+      if (!r.ok) return std::nullopt;
+      return Op(std::move(o));
+    }
+    case kOpDestroy: {
+      OpDestroy o;
+      o.id = r.varint();
+      if (!r.ok) return std::nullopt;
+      return Op(o);
+    }
+    case kOpSet: {
+      OpSet o;
+      o.id = r.varint();
+      o.attr = r.str();
+      auto v = read_value(r);
+      if (!v.has_value() || !r.ok) return std::nullopt;
+      o.value = std::move(*v);
+      return Op(std::move(o));
+    }
+    case kOpLink:
+    case kOpUnlink: {
+      std::string rel = r.str();
+      const std::uint64_t from = r.varint();
+      const std::uint64_t to = r.varint();
+      if (!r.ok) return std::nullopt;
+      if (tag == kOpLink) return Op(OpLink{std::move(rel), from, to});
+      return Op(OpUnlink{std::move(rel), from, to});
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<Record> decode_payload(std::string_view payload) {
+  Reader r{payload};
+  Record rec;
+  rec.seq = r.u64();
+  rec.epoch_before = r.u64();
+  rec.epoch_after = r.u64();
+  const std::uint32_t nops = r.u32();
+  rec.ops.reserve(std::min<std::uint32_t>(nops, 4096));
+  for (std::uint32_t i = 0; i < nops; ++i) {
+    auto op = read_op(r);
+    if (!op.has_value()) return std::nullopt;
+    rec.ops.push_back(std::move(*op));
+  }
+  // Trailing garbage inside a CRC-valid payload means the writer and
+  // reader disagree about the format; treat it as corruption.
+  if (!r.done()) return std::nullopt;
+  return rec;
+}
+
+}  // namespace
+
+void emit_create(std::string& ops, std::uint64_t id, std::string_view class_name,
+                 std::uint64_t created) {
+  put_u8(ops, kOpCreate);
+  put_varint(ops, id);
+  put_str(ops, class_name);
+  put_varint(ops, created);
+}
+
+void emit_destroy(std::string& ops, std::uint64_t id) {
+  put_u8(ops, kOpDestroy);
+  put_varint(ops, id);
+}
+
+void emit_set(std::string& ops, std::uint64_t id, std::string_view attr,
+              const ValueView& value) {
+  put_u8(ops, kOpSet);
+  put_varint(ops, id);
+  put_str(ops, attr);
+  // ValueView mirrors Value's alternative order, so the index IS the
+  // on-disk type tag.
+  put_u8(ops, static_cast<std::uint8_t>(value.index()));
+  std::visit(
+      [&ops](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::int64_t>) {
+          put_varint(ops, zigzag(v));
+        } else if constexpr (std::is_same_v<T, double>) {
+          // Doubles stay fixed-width: bit patterns of reals are dense,
+          // so LEB128 would usually cost MORE than eight bytes.
+          put_u64(ops, std::bit_cast<std::uint64_t>(v));
+        } else if constexpr (std::is_same_v<T, TextView>) {
+          // hash == 0 ("not memoized", the common case on the commit
+          // path) collapses to a single byte.
+          put_varint(ops, v.hash);
+          put_str(ops, v.bytes);
+        } else {
+          put_u8(ops, v ? 1 : 0);
+        }
+      },
+      value);
+}
+
+void emit_link(std::string& ops, std::string_view relation, std::uint64_t from,
+               std::uint64_t to) {
+  put_u8(ops, kOpLink);
+  put_str(ops, relation);
+  put_varint(ops, from);
+  put_varint(ops, to);
+}
+
+void emit_unlink(std::string& ops, std::string_view relation, std::uint64_t from,
+                 std::uint64_t to) {
+  put_u8(ops, kOpUnlink);
+  put_str(ops, relation);
+  put_varint(ops, from);
+  put_varint(ops, to);
+}
+
+std::size_t open_frame(std::string& out) {
+  const std::size_t base = out.size();
+  out.append(kFrameOverhead, '\0');
+  return base;
+}
+
+void finish_frame(std::string& out, std::size_t base, std::uint64_t seq,
+                  std::uint64_t epoch_before, std::uint64_t epoch_after,
+                  std::uint32_t nops) {
+  char* frame = out.data() + base;
+  store_le64(frame + 8, seq);
+  store_le64(frame + 16, epoch_before);
+  store_le64(frame + 24, epoch_after);
+  store_le32(frame + 32, nops);
+  const std::string_view payload(frame + 8, out.size() - base - 8);
+  store_le32(frame, static_cast<std::uint32_t>(payload.size()));
+  store_le32(frame + 4, support::crc32c(payload));
+}
+
+void emit_frame(std::string& out, std::uint64_t seq, std::uint64_t epoch_before,
+                std::uint64_t epoch_after, std::uint32_t nops, std::string_view ops_bytes) {
+  char header[28];
+  store_le64(header, seq);
+  store_le64(header + 8, epoch_before);
+  store_le64(header + 16, epoch_after);
+  store_le32(header + 24, nops);
+  const std::string_view header_view(header, sizeof(header));
+  // CRC of header || ops via one chained pass -- the payload is never
+  // materialized contiguously before it lands in `out`.
+  const std::uint32_t crc = support::crc32c(ops_bytes, support::crc32c(header_view));
+  out.reserve(out.size() + 8 + sizeof(header) + ops_bytes.size());
+  put_u32(out, static_cast<std::uint32_t>(sizeof(header) + ops_bytes.size()));
+  put_u32(out, crc);
+  out.append(header_view);
+  out.append(ops_bytes);
+}
+
+std::string encode_record(const Record& record) {
+  std::string ops;
+  for (const auto& op : record.ops) put_op(ops, op);
+  std::string frame;
+  emit_frame(frame, record.seq, record.epoch_before, record.epoch_after,
+             static_cast<std::uint32_t>(record.ops.size()), ops);
+  return frame;
+}
+
+ScanResult scan(std::string_view bytes) {
+  ScanResult out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) break;  // torn frame header
+    Reader header{bytes.substr(pos, 8)};
+    const std::uint32_t len = header.u32();
+    const std::uint32_t crc = header.u32();
+    if (bytes.size() - pos - 8 < len) break;  // torn payload
+    const std::string_view payload = bytes.substr(pos + 8, len);
+    if (support::crc32c(payload) != crc) break;  // corrupt payload
+    auto rec = decode_payload(payload);
+    if (!rec.has_value()) break;  // CRC-valid but malformed
+    out.records.push_back(std::move(*rec));
+    pos += 8 + len;
+    out.record_ends.push_back(pos);
+    out.valid_bytes = pos;
+  }
+  out.discarded_bytes = bytes.size() - out.valid_bytes;
+  out.torn = out.discarded_bytes != 0;
+  return out;
+}
+
+}  // namespace jfm::oms::wal

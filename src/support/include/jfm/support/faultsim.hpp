@@ -10,8 +10,12 @@
 //
 //   vfs.read              FileSystem::read_file
 //   vfs.write             FileSystem::write_file / append_file
+//   vfs.append.torn       FileSystem::append_file -- half the bytes
+//                         land, then the op fails (torn-write crash)
 //   vfs.copy              FileSystem::copy_file / copy_tree
 //   oms.commit            oms::Store::commit
+//   oms.wal.flush         oms::Store WAL flush, before the vfs append
+//   oms.snapshot          oms::Store snapshot write
 //   transfer.export_item  TransferEngine, once per export attempt
 //   transfer.import       TransferEngine::import_file
 //

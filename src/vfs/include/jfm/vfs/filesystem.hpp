@@ -158,6 +158,18 @@ class FileSystem {
   // -- files -------------------------------------------------------------
   support::Status write_file(const Path& path, std::string data);  ///< create/overwrite
   support::Status append_file(const Path& path, std::string_view data);
+
+  /// Preallocate an existing file's payload buffer to `capacity` bytes
+  /// and pre-fault the pages -- the fallocate analog real databases
+  /// apply to their log files. Logical state (contents, size, mtime,
+  /// content hash, quota usage) is untouched; only the buffer backing
+  /// future append_file growth changes, so appends within the reserved
+  /// capacity are pure memcpy with no reallocation and no first-touch
+  /// page faults on the commit path. Appending past the reservation
+  /// simply falls back to amortized growth. A co-owned extent is
+  /// cloned first (counted as a COW break, like append), preserving
+  /// the bit-stability contract for existing references.
+  support::Status reserve_file(const Path& path, std::size_t capacity);
   support::Result<std::string> read_file(const Path& path) const;
 
   /// Zero-copy read: the returned extent shares the file's payload
@@ -239,6 +251,15 @@ class FileSystem {
   struct Node {
     bool dir = false;
     Extent data;  // file payload; never null for files, immutable once set
+    // True only while `data` points at a buffer append_file itself
+    // allocated (as a non-const string) and nothing else has ever
+    // replaced. Together with use_count()==1 under the exclusive tree
+    // lock it licenses the in-place append fast path: growing the
+    // buffer is O(appended bytes) amortized instead of O(file), which
+    // is what keeps WAL appends (docs/persistence.md) off a quadratic
+    // cliff. Any handed-out reference forces the copy path, so the
+    // "extents are bit-stable while referenced" contract holds.
+    bool appendable = false;
     std::map<std::string, std::unique_ptr<Node>> children;  // dir entries, sorted
     support::Timestamp mtime = 0;
     // Memoized fnv1a(*data). hash_valid is published with release order

@@ -320,6 +320,7 @@ Status FileSystem::overwrite_locked(Node& node, Extent data,
   // flag with the new extent.
   node.hash_valid.store(false, kRelaxed);
   node.data = std::move(data);
+  node.appendable = false;
   if (known_hash.has_value()) {
     node.cached_hash.store(*known_hash, kRelaxed);
     node.hash_valid.store(true, std::memory_order_release);
@@ -356,6 +357,7 @@ Status FileSystem::write_extent_locked(const Path& path, Extent data,
     physical_write_bytes_counter().add(data->size());
   }
   node->data = std::move(data);
+  node->appendable = false;
   if (known_hash.has_value()) {
     // Copy propagation: the caller hashed (or inherited) exactly these
     // bytes, so the destination's memo starts valid.
@@ -370,36 +372,88 @@ Status FileSystem::write_extent_locked(const Path& path, Extent data,
 
 Status FileSystem::append_file(const Path& path, std::string_view data) {
   if (auto f = support::faultsim::trip("vfs.write"); !f.ok()) return f;
+  // Torn-write crash point (docs/fault-injection.md): when this site
+  // trips, the FIRST HALF of the payload still lands in the file and
+  // the operation fails anyway -- the file is left mid-record, exactly
+  // what a process kill during a partially flushed append produces.
+  // The WAL recovery tests drive this site to prove torn tails are
+  // discarded (docs/persistence.md).
+  Status torn = support::faultsim::trip("vfs.append.torn");
+  if (!torn.ok()) data = data.substr(0, data.size() / 2);
   std::unique_lock lock(mu_);
   Node* node = find(path);
   if (node == nullptr) {
-    return write_extent_locked(path, make_extent(std::string(data)), std::nullopt,
-                               /*physical=*/true);
+    auto st = write_extent_locked(path, make_extent(std::string(data)), std::nullopt,
+                                  /*physical=*/true);
+    return st.ok() ? torn : st;
   }
   if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
   const std::uint64_t old_size = node->payload().size();
   if (auto st = charge(old_size + data.size(), old_size); !st.ok()) return st;
-  // Extents are immutable, so append is read-modify-replace: clone the
-  // old payload into a fresh buffer and grow it. When the old extent
-  // was co-owned this is the classic copy-on-write break -- the clone
-  // exists only because sharing had to be preserved for the co-owners.
-  if (options_.cow_extents && node->data.use_count() > 1) {
-    cow_.broken_extents.fetch_add(1, kRelaxed);
-    cow_.bytes_cloned.fetch_add(old_size, kRelaxed);
-    cow_break_counter().add(1);
-    cow_cloned_bytes_counter().add(old_size);
+  if (node->appendable && node->data.use_count() == 1) {
+    // Fast path: the buffer was privately allocated (non-const) by a
+    // previous append and nothing else holds a reference -- the
+    // exclusive tree lock keeps it that way for the duration -- so it
+    // grows in place, amortized O(appended bytes). This is what keeps
+    // a growing log file (docs/persistence.md) off the quadratic
+    // read-modify-replace cliff.
+    std::const_pointer_cast<std::string>(node->data)->append(data);
+  } else {
+    // Referenced extents are immutable, so append is read-modify-
+    // replace: clone the old payload into a fresh buffer and grow it.
+    // When the old extent was co-owned this is the classic
+    // copy-on-write break -- the clone exists only because sharing had
+    // to be preserved for the co-owners.
+    if (options_.cow_extents && node->data.use_count() > 1) {
+      cow_.broken_extents.fetch_add(1, kRelaxed);
+      cow_.bytes_cloned.fetch_add(old_size, kRelaxed);
+      cow_break_counter().add(1);
+      cow_cloned_bytes_counter().add(old_size);
+    }
+    auto grown = std::make_shared<std::string>();
+    grown->reserve(old_size + data.size());
+    *grown = node->payload();
+    grown->append(data);
+    node->data = std::move(grown);
+    node->appendable = true;
   }
-  std::string grown;
-  grown.reserve(old_size + data.size());
-  grown = node->payload();
-  grown.append(data);
   counters_.bytes_written.fetch_add(data.size(), kRelaxed);
   counters_.bytes_physical_written.fetch_add(data.size(), kRelaxed);
   write_bytes_counter().add(data.size());
   physical_write_bytes_counter().add(data.size());
-  node->data = make_extent(std::move(grown));
   node->hash_valid.store(false, kRelaxed);
   node->mtime = clock_->tick();
+  return torn;
+}
+
+Status FileSystem::reserve_file(const Path& path, std::size_t capacity) {
+  std::unique_lock lock(mu_);
+  Node* node = find(path);
+  if (node == nullptr) return support::fail(Errc::not_found, path.str());
+  if (node->dir) return support::fail(Errc::invalid_argument, path.str() + " is a directory");
+  const std::size_t size = node->payload().size();
+  if (node->appendable && node->data.use_count() == 1) {
+    auto* buf = std::const_pointer_cast<std::string>(node->data).get();
+    if (capacity > buf->capacity()) buf->reserve(capacity);
+    // Pre-fault the reserved tail: resize value-initializes (touches)
+    // every page once, here, instead of on the first append that
+    // reaches it; shrinking back keeps the capacity.
+    buf->resize(buf->capacity());
+    buf->resize(size);
+  } else {
+    if (options_.cow_extents && node->data.use_count() > 1) {
+      cow_.broken_extents.fetch_add(1, kRelaxed);
+      cow_.bytes_cloned.fetch_add(size, kRelaxed);
+      cow_break_counter().add(1);
+      cow_cloned_bytes_counter().add(size);
+    }
+    auto grown = std::make_shared<std::string>();
+    grown->reserve(std::max(capacity, size));
+    grown->resize(grown->capacity());
+    grown->assign(node->payload());
+    node->data = std::move(grown);
+    node->appendable = true;
+  }
   return {};
 }
 
@@ -604,12 +658,14 @@ Status FileSystem::copy_tree_into(const Node& src, Node& dst_parent, const std::
     counters_.files_copied.fetch_add(1, kRelaxed);
     if (options_.cow_extents) {
       dst->data = src.data;
+      dst->appendable = false;
       cow_.shared_copies.fetch_add(1, kRelaxed);
       cow_.bytes_saved.fetch_add(size, kRelaxed);
       cow_shared_counter().add(1);
       cow_saved_bytes_counter().add(size);
     } else {
       dst->data = make_extent(std::string(src.payload()));
+      dst->appendable = false;
       counters_.bytes_physical_written.fetch_add(size, kRelaxed);
       counters_.bytes_physical_copied.fetch_add(size, kRelaxed);
       physical_write_bytes_counter().add(size);

@@ -1,0 +1,121 @@
+// Durable hybrid (docs/persistence.md): a HybridFramework built with
+// durable_store journals the JCF master database into /oms of its own
+// file system. These tests simulate a crash by carrying the /oms
+// subtree bytes -- and nothing else -- into a brand-new framework
+// instance: open_store() recovers the JCF side, bootstrap() and the
+// project/cell helpers adopt the recovered resources instead of
+// duplicating them, and design data checked into the OMS reads back
+// through the coupling unchanged even though the FMCAD slave library
+// started empty.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "jfm/coupling/hybrid.hpp"
+
+namespace jfm::coupling {
+namespace {
+
+using support::Errc;
+
+std::vector<ToolCommand> tiny_schematic() {
+  return {
+      {"add-port", {"a", "in"}},  {"add-port", {"y", "out"}},
+      {"add-prim", {"g0", "NOT"}}, {"connect", {"a", "g0", "a"}},
+      {"connect", {"y", "g0", "y"}},
+  };
+}
+
+// The "disk that survives the crash": copy one subtree between two
+// otherwise independent in-memory file systems.
+void copy_tree(vfs::FileSystem& src, vfs::FileSystem& dst, const vfs::Path& dir) {
+  ASSERT_TRUE(dst.mkdirs(dir).ok());
+  auto names = src.list(dir);
+  ASSERT_TRUE(names.ok());
+  for (const auto& name : *names) {
+    const vfs::Path child = dir.child(name);
+    auto st = src.stat(child);
+    ASSERT_TRUE(st.ok());
+    if (st->is_directory) {
+      copy_tree(src, dst, child);
+    } else {
+      auto bytes = src.read_file(child);
+      ASSERT_TRUE(bytes.ok());
+      ASSERT_TRUE(dst.write_file(child, *bytes).ok());
+    }
+  }
+}
+
+HybridConfig durable_config() {
+  HybridConfig config;
+  config.durable_store = true;
+  return config;
+}
+
+TEST(CouplingPersistenceTest, OpenStoreRequiresDurableStore) {
+  HybridFramework hybrid;
+  auto st = hybrid.open_store();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::invalid_argument);
+}
+
+TEST(CouplingPersistenceTest, ReopenedFrameworkAdoptsRecoveredResources) {
+  HybridFramework first(durable_config());
+  ASSERT_TRUE(first.open_store().ok());
+  ASSERT_TRUE(first.bootstrap().ok());
+  auto alice = first.add_designer("alice");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(first.create_project("p").ok());
+  ASSERT_TRUE(first.create_cell("p", "c", *alice).ok());
+  ASSERT_TRUE(first.reserve_cell("p", "c", *alice).ok());
+  auto run = first.run_activity("p", "c", "enter_schematic", *alice, tiny_schematic());
+  ASSERT_TRUE(run.ok()) << run.error().to_text();
+  auto before = first.open_read_only("p", "c", "schematic", *alice);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(first.jcf().store().flush_wal().ok());
+
+  // "Crash": only the journal directory survives into the new instance.
+  HybridFramework second(durable_config());
+  copy_tree(first.fs(), second.fs(), vfs::Path().child("oms"));
+  ASSERT_TRUE(second.open_store().ok());
+  EXPECT_GT(second.jcf().store().wal_stats().replayed_records, 0u);
+
+  // bootstrap()/add_designer()/create_project()/create_cell() resolve
+  // the recovered resources instead of re-creating them.
+  ASSERT_TRUE(second.bootstrap().ok());
+  EXPECT_TRUE(second.jcf().flow_frozen(second.standard_flow()).ok());
+  auto alice2 = second.add_designer("alice");
+  ASSERT_TRUE(alice2.ok());
+  ASSERT_TRUE(second.create_project("p").ok());
+
+  // The design data lives in the recovered master database and reads
+  // back through the coupling even though the slave library is fresh.
+  auto after = second.open_read_only("p", "c", "schematic", *alice2);
+  ASSERT_TRUE(after.ok()) << after.error().to_text();
+  EXPECT_EQ(*after, *before);
+
+  // create_cell adopts the recovered JCF cell (rebuilding only the
+  // FMCAD side); a genuine duplicate in the SAME instance still fails.
+  ASSERT_TRUE(second.create_cell("p", "c", *alice2).ok());
+  auto dup = second.create_cell("p", "c", *alice2);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, Errc::already_exists);
+}
+
+TEST(CouplingPersistenceTest, VolatileFrameworkBehavesAsBefore) {
+  HybridFramework hybrid;  // durable_store off: the paper's prototype
+  ASSERT_TRUE(hybrid.bootstrap().ok());
+  auto alice = hybrid.add_designer("alice");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(hybrid.create_project("p").ok());
+  ASSERT_TRUE(hybrid.create_cell("p", "c", *alice).ok());
+  EXPECT_FALSE(hybrid.jcf().store().wal_stats().attached);
+  auto dup = hybrid.create_cell("p", "c", *alice);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, Errc::already_exists);
+}
+
+}  // namespace
+}  // namespace jfm::coupling
